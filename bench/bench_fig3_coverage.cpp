@@ -1,0 +1,59 @@
+// E-FIG3 — reproduces Figure 3: the threats × mitigations map. Prints the
+// static coverage matrix from the threat model, then VALIDATES it
+// dynamically by running every T1–T8 attack scenario with mitigations off
+// (expected: attack succeeds) and on (expected: blocked/detected).
+#include <cstdio>
+
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/core/scenarios.hpp"
+#include "genio/core/threat_model.hpp"
+
+namespace gc = genio::common;
+namespace core = genio::core;
+
+int main() {
+  std::printf("=== E-FIG3: OSS security solutions and standards in GENIO ===\n\n");
+  std::printf("%s\n", core::render_coverage_matrix().c_str());
+
+  std::printf("dynamic validation (attack scenarios):\n\n");
+  const auto results = core::run_all_scenarios();
+
+  gc::Table table({"threat", "unmitigated attack", "hardened attack", "blocked by",
+                   "contrast"});
+  int held = 0;
+  for (const auto& result : results) {
+    const bool ok = result.contrast_holds();
+    held += ok ? 1 : 0;
+    table.add_row({result.threat_id,
+                   result.unmitigated.attack_succeeded ? "succeeds" : "fails",
+                   result.mitigated.attack_succeeded
+                       ? (result.mitigated.detected ? "succeeds (detected)" : "SUCCEEDS")
+                       : "blocked",
+                   result.mitigated.blocked_by.empty() ? "-" : result.mitigated.blocked_by,
+                   ok ? "holds" : "VIOLATED"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Cross-check: every mitigation the scenarios credit appears in the
+  // static coverage map for that threat.
+  int mapped = 0, total = 0;
+  for (const auto& result : results) {
+    if (result.mitigated.blocked_by.empty()) continue;
+    const auto& expected = core::coverage_map().at(result.threat_id);
+    for (const auto& mid : gc::split_trimmed(result.mitigated.blocked_by, ' ')) {
+      ++total;
+      for (const auto& e : expected) {
+        if (e == mid) {
+          ++mapped;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("mitigation attribution: %d/%d scenario-credited mitigations appear in "
+              "the Fig. 3 map\n",
+              mapped, total);
+  std::printf("coverage contrast: %d/8 threats blocked/detected when hardened\n", held);
+  return held == 8 ? 0 : 1;
+}

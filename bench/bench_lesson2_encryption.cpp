@@ -1,0 +1,96 @@
+// E-L2 — Lesson 2: "Encryption imposes additional engineering efforts and
+// computational resources." Measures the PON data path with and without
+// GPON payload encryption, the MACsec protect/validate path on the
+// Ethernet segments, and the certificate-handshake cost per node count —
+// the quantities behind the lesson.
+#include <benchmark/benchmark.h>
+
+#include "genio/core/platform.hpp"
+#include "genio/pon/gpon_crypto.hpp"
+#include "genio/pon/macsec.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace pon = genio::pon;
+
+namespace {
+
+pon::GemFrame make_frame(std::size_t payload_size, std::uint32_t superframe) {
+  pon::GemFrame frame;
+  frame.onu_id = 7;
+  frame.port_id = 2;
+  frame.superframe = superframe;
+  frame.payload.assign(payload_size, 0x5a);
+  frame.seal_fcs();
+  return frame;
+}
+
+// Plaintext baseline: just the FCS, as an unencrypted PON would compute.
+void BM_GponPlaintext(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::uint32_t superframe = 0;
+  for (auto _ : state) {
+    auto frame = make_frame(size, ++superframe);
+    benchmark::DoNotOptimize(frame.fcs_valid());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_GponPlaintext)->Arg(256)->Arg(1500)->Arg(9000);
+
+// G.987.3-style AES-GCM payload protection, both directions.
+void BM_GponEncryptDecrypt(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const pon::GponCipher cipher(cr::make_aes_key(gc::Bytes(16, 0x11)));
+  std::uint32_t superframe = 0;
+  for (auto _ : state) {
+    auto frame = make_frame(size, ++superframe);
+    cipher.encrypt(frame);
+    const auto st = cipher.decrypt(frame);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_GponEncryptDecrypt)->Arg(256)->Arg(1500)->Arg(9000);
+
+// MACsec on the inter-OLT / uplink Ethernet segment.
+void BM_MacsecProtectValidate(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  pon::MacsecSecY tx(0x1, cr::make_aes_key(gc::Bytes(16, 0x22)));
+  pon::MacsecSecY rx(0x2, cr::make_aes_key(gc::Bytes(16, 0x22)));
+  pon::EthFrame frame;
+  frame.src_mac = "02:00:00:00:00:01";
+  frame.dst_mac = "02:00:00:00:00:02";
+  frame.payload.assign(size, 0x6b);
+  for (auto _ : state) {
+    const auto wire = tx.protect(frame);
+    const auto got = rx.validate(wire);
+    benchmark::DoNotOptimize(got.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_MacsecProtectValidate)->Arg(256)->Arg(1500)->Arg(9000);
+
+// Certificate-based mutual authentication per fleet size: the per-node
+// handshake cost an operator pays at activation (certificates + signed
+// transcripts + key derivation).
+void BM_NodeAuthenticationHandshakes(benchmark::State& state) {
+  const int onu_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    genio::core::PlatformConfig config;
+    config.onu_count = onu_count;
+    genio::core::GenioPlatform platform(config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(platform.activate_pon());
+  }
+  state.SetItemsProcessed(state.iterations() * onu_count);
+}
+BENCHMARK(BM_NodeAuthenticationHandshakes)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

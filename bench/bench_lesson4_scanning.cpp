@@ -1,0 +1,111 @@
+// E-L4 — Lesson 4: "The maturity of automated scanning solutions
+// facilitated smooth integration; APT GPG signatures are a reliable and
+// straightforward solution." Measures host CVE-scan throughput as the
+// package count grows, SCAP benchmark evaluation cost, and the verify
+// cost of the two signed-update channels (APT-like vs ONIE-like).
+#include <benchmark/benchmark.h>
+
+#include "genio/hardening/scap.hpp"
+#include "genio/os/apt.hpp"
+#include "genio/os/onie.hpp"
+#include "genio/vuln/scanner.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace os = genio::os;
+namespace vn = genio::vuln;
+
+namespace {
+
+os::Host make_host_with_packages(int count) {
+  os::Host host = os::make_stock_onl_host("olt-1");
+  for (int i = 0; i < count; ++i) {
+    host.install_package("pkg-" + std::to_string(i),
+                         gc::Version(1, i % 20, i % 7), "onl");
+  }
+  return host;
+}
+
+vn::CveDatabase make_db(int cve_count) {
+  vn::CveDatabase db;
+  for (int i = 0; i < cve_count; ++i) {
+    vn::CveRecord record;
+    record.id = "CVE-2024-" + std::to_string(10000 + i);
+    record.package = "pkg-" + std::to_string(i % 500);
+    record.affected = gc::VersionRange::parse("<1." + std::to_string(i % 20) + ".9").value();
+    record.cvss = vn::CvssV3::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N").value();
+    db.upsert(std::move(record));
+  }
+  return db;
+}
+
+void BM_HostCveScan(benchmark::State& state) {
+  const int packages = static_cast<int>(state.range(0));
+  const auto host = make_host_with_packages(packages);
+  const auto db = make_db(2000);
+  const vn::HostVulnScanner scanner(&db);
+  for (auto _ : state) {
+    const auto report = scanner.scan(host);
+    benchmark::DoNotOptimize(report.findings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * packages);
+}
+BENCHMARK(BM_HostCveScan)->Arg(50)->Arg(200)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_ScapEvaluate(benchmark::State& state) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto bench = genio::hardening::make_scap_benchmark();
+  for (auto _ : state) {
+    const auto report = bench.evaluate(host);
+    benchmark::DoNotOptimize(report.failed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bench.rule_count()));
+}
+BENCHMARK(BM_ScapEvaluate);
+
+void BM_AptVerifyInstall(benchmark::State& state) {
+  os::AptRepository repo("genio-main", cr::SigningKey::generate(gc::to_bytes("rk"), 12));
+  repo.add_package({"tool", gc::Version(1, 0, 0), gc::Bytes(64 * 1024, 0x7f)});
+  const auto snapshot = repo.snapshot().value();
+  os::AptClient client;
+  client.trust_key("genio-main", repo.public_key());
+  os::Host host;
+  for (auto _ : state) {
+    const auto st = client.install(host, snapshot, "tool");
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetLabel("64KiB package, signed metadata");
+}
+BENCHMARK(BM_AptVerifyInstall)->Unit(benchmark::kMicrosecond);
+
+void BM_OnieVerifyInstall(benchmark::State& state) {
+  auto ca = cr::CertificateAuthority::create_root("rel", gc::to_bytes("ca"),
+                                                  gc::SimTime::from_days(0),
+                                                  gc::SimTime::from_days(3650), 4);
+  cr::TrustStore trust;
+  trust.add_root(ca.certificate());
+  auto builder = cr::SigningKey::generate(gc::to_bytes("b"), 12);
+  const auto cert = ca.issue("builder", builder.public_key(), gc::SimTime::from_days(0),
+                             gc::SimTime::from_days(3650),
+                             {cr::KeyUsage::kCodeSigning})
+                        .value();
+  const auto image =
+      os::make_signed_image("onl-update", gc::Version(4, 19, 200),
+                            gc::Bytes(1024 * 1024, 0x3c), builder,
+                            {cert, ca.certificate()})
+          .value();
+  os::Tpm tpm(gc::to_bytes("tpm"));
+  os::OnieInstaller installer(&trust, &tpm);
+  os::Host host = os::make_stock_onl_host("olt-1");
+  for (auto _ : state) {
+    const auto st = installer.install(host, image, gc::SimTime::from_days(1));
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetLabel("1MiB image, chain + detached signature + TPM measure");
+}
+BENCHMARK(BM_OnieVerifyInstall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

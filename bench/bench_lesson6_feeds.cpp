@@ -1,0 +1,121 @@
+// E-L6 — Lesson 6: "Middleware vulnerability management remains reactive
+// and resource-intensive, since tracking vulnerabilities involves
+// fragmented sources." Simulates a year of advisories across the four
+// feed shapes the paper found (structured k8s feed, NVD API, blog-format
+// Docker posts, stale ONOS tracker), measuring detection latency and
+// recall per feed, and the precision gain from KBOM-exact matching.
+#include <cstdio>
+
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/vuln/feeds.hpp"
+#include "genio/vuln/kbom.hpp"
+
+namespace gc = genio::common;
+namespace vn = genio::vuln;
+
+namespace {
+
+vn::CveRecord make_cve(int index, const std::string& package, gc::SimTime published) {
+  vn::CveRecord record;
+  record.id = "CVE-2025-" + std::to_string(20000 + index);
+  record.package = package;
+  // Half the advisories affect an old minor; the deployed versions only
+  // match a quarter of them (the KBOM precision material).
+  record.affected = gc::VersionRange::parse(index % 2 == 0 ? "<1.20.0" : "<1.22.0").value();
+  record.cvss = vn::CvssV3::parse(index % 3 == 0 ? "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+                                                 : "AV:N/AC:H/PR:L/UI:N/S:U/C:H/I:N/A:N")
+                    .value();
+  record.published = published;
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E-L6: fragmented advisory feeds (one simulated year) ===\n\n");
+
+  gc::Rng rng(7);
+  vn::StructuredFeed k8s("k8s-cve-feed", gc::SimTime::from_hours(6));
+  vn::StructuredFeed nvd("nvd-api", gc::SimTime::from_hours(48));  // slower enrichment
+  vn::UnstructuredFeed docker("docker-blog", gc::SimTime::from_hours(72), 0.7,
+                              rng.fork("docker"));
+  vn::StaleFeed onos("onos-tracker", gc::SimTime::from_days(60));
+
+  // 52 weeks of advisories, spread across the components.
+  int index = 0;
+  for (int week = 0; week < 52; ++week) {
+    const auto when = gc::SimTime::from_days(7 * week);
+    k8s.publish(make_cve(index++, "kube-apiserver", when));
+    nvd.publish(make_cve(index++, "etcd", when));
+    docker.publish(make_cve(index++, "docker-runtime", when));
+    onos.publish(make_cve(index++, "onos", when));
+  }
+
+  vn::FeedAggregator aggregator;
+  for (vn::AdvisoryFeed* feed :
+       std::initializer_list<vn::AdvisoryFeed*>{&k8s, &nvd, &docker, &onos}) {
+    aggregator.add_feed(feed);
+  }
+
+  vn::CveDatabase db;
+  // Daily polling, as GENIO's automation does; a quarterly manual sweep
+  // recovers whatever the blog-format parsing missed so far.
+  std::size_t recovered = 0;
+  for (int day = 0; day <= 370; ++day) {
+    const auto now = gc::SimTime::from_days(day);
+    aggregator.poll_all(now, db);
+    if (day > 0 && day % 90 == 0) {
+      for (auto& record : docker.recover_missed(now)) {
+        db.upsert(std::move(record));
+        ++recovered;
+      }
+    }
+  }
+
+  gc::Table table({"feed", "shape", "published", "delivered", "missed",
+                   "recall", "mean latency (h)"});
+  auto add = [&table](const vn::AdvisoryFeed& feed, const char* shape) {
+    const auto& s = feed.stats();
+    table.add_row({feed.name(), shape, std::to_string(s.published),
+                   std::to_string(s.delivered), std::to_string(s.missed),
+                   gc::format_double(100.0 * s.recall(), 0) + "%",
+                   gc::format_double(s.mean_latency_hours(), 1)});
+  };
+  add(k8s, "structured");
+  add(nvd, "structured (slow)");
+  add(docker, "blog-format");
+  add(onos, "stale tracker");
+  std::printf("%s\n", table.render().c_str());
+  std::printf("manual sweeps recovered %zu blog advisories (at quarterly latency); "
+              "database now holds %zu records\n\n",
+              recovered, db.size());
+
+  // KBOM precision on the deployed cluster inventory.
+  vn::Bom bom{"genio-edge",
+              {{"kube-apiserver", gc::Version(1, 20, 3), "control-plane"},
+               {"etcd", gc::Version(1, 21, 0), "control-plane"},
+               {"docker-runtime", gc::Version(1, 19, 5), "node"},
+               {"onos", gc::Version(1, 21, 5), "sdn"}}};
+  const auto exact = vn::scan_bom(bom, db);
+  const auto noisy = vn::scan_name_only(bom, db);
+  std::printf("KBOM-exact scan: %zu actionable findings (discarded %zu version "
+              "mismatches)\nname-only scan: %zu candidate findings to triage by hand\n",
+              exact.findings.size(), exact.discarded_version_mismatches, noisy.size());
+  const double precision_gain =
+      noisy.empty() ? 1.0
+                    : static_cast<double>(exact.findings.size()) /
+                          static_cast<double>(noisy.size());
+  std::printf("precision: KBOM keeps %.0f%% of the name-only candidates\n\n",
+              100.0 * precision_gain);
+
+  const bool shape_holds =
+      k8s.stats().mean_latency_hours() < docker.stats().mean_latency_hours() &&
+      recovered > 0 && onos.stats().missed > 0 &&
+      exact.findings.size() < noisy.size();
+  std::printf("shape check: structured < blog latency; blog parsing needed manual "
+              "recovery sweeps; stale "
+              "tracker loses advisories; KBOM < name-only noise — %s\n",
+              shape_holds ? "holds" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

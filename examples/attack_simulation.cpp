@@ -1,0 +1,57 @@
+// Attack simulation: run all eight threat scenarios (T1–T8) against both
+// an unmitigated and a fully hardened GENIO platform and print the
+// contrast — the executable version of the paper's Fig. 3 story.
+//
+//   $ ./attack_simulation
+#include <cstdio>
+
+#include "genio/common/table.hpp"
+#include "genio/core/scenarios.hpp"
+#include "genio/core/threat_model.hpp"
+
+namespace core = genio::core;
+
+namespace {
+
+std::string outcome_cell(const core::ScenarioOutcome& outcome) {
+  if (outcome.attack_succeeded && !outcome.detected) return "SUCCEEDS (undetected)";
+  if (outcome.attack_succeeded) return "succeeds (detected)";
+  if (!outcome.blocked_by.empty()) return "blocked by " + outcome.blocked_by;
+  return "fails";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== GENIO attack simulation: T1-T8 with and without mitigations ===\n\n");
+
+  const auto results = core::run_all_scenarios();
+
+  genio::common::Table table(
+      {"threat", "name", "unmitigated platform", "hardened platform", "detected by"});
+  int contrasts = 0;
+  for (const auto& result : results) {
+    table.add_row({result.threat_id, result.name, outcome_cell(result.unmitigated),
+                   outcome_cell(result.mitigated),
+                   result.mitigated.detected_by.empty() ? "-"
+                                                        : result.mitigated.detected_by});
+    if (result.contrast_holds()) ++contrasts;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("details:\n");
+  for (const auto& result : results) {
+    std::printf("  %s %s\n", result.threat_id.c_str(), result.name.c_str());
+    for (const auto& note : result.unmitigated.notes) {
+      std::printf("      unmitigated: %s\n", note.c_str());
+    }
+    for (const auto& note : result.mitigated.notes) {
+      std::printf("      hardened:    %s\n", note.c_str());
+    }
+  }
+
+  std::printf("\n%d/8 threat scenarios show the expected contrast "
+              "(attack works unmitigated, blocked/detected hardened)\n",
+              contrasts);
+  return contrasts == 8 ? 0 : 1;
+}

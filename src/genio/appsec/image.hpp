@@ -1,0 +1,87 @@
+// Container images and the GENIO public registry. Images carry layered
+// filesystems (Crane-style extraction gives the flattened view scanners
+// use), a package manifest for SCA, and optional publisher signatures.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/common/version.hpp"
+#include "genio/crypto/signature.hpp"
+
+namespace genio::appsec {
+
+using common::Bytes;
+using common::BytesView;
+using common::Version;
+
+struct ImagePackage {
+  std::string name;
+  Version version;
+  std::string ecosystem;  // "debian", "pypi", "maven", "npm"
+};
+
+/// One filesystem layer: path -> content.
+using ImageLayer = std::map<std::string, Bytes>;
+
+class ContainerImage {
+ public:
+  ContainerImage(std::string name, std::string tag)
+      : name_(std::move(name)), tag_(std::move(tag)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& tag() const { return tag_; }
+  std::string reference() const { return name_ + ":" + tag_; }
+
+  void add_layer(ImageLayer layer) { layers_.push_back(std::move(layer)); }
+  void add_package(ImagePackage package) { manifest_.push_back(std::move(package)); }
+  void set_entrypoint(std::string entrypoint) { entrypoint_ = std::move(entrypoint); }
+  const std::string& entrypoint() const { return entrypoint_; }
+
+  const std::vector<ImagePackage>& manifest() const { return manifest_; }
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Flattened filesystem (later layers shadow earlier ones) — what Crane
+  /// extraction produces for the SAST/YARA scanners.
+  std::map<std::string, Bytes> flatten() const;
+
+  /// Content-addressed digest over layers + manifest + entrypoint.
+  crypto::Digest digest() const;
+
+ private:
+  std::string name_;
+  std::string tag_;
+  std::vector<ImageLayer> layers_;
+  std::vector<ImagePackage> manifest_;
+  std::string entrypoint_;
+};
+
+/// A registry entry: the image plus (optionally) a publisher signature over
+/// its digest.
+struct RegistryEntry {
+  ContainerImage image;
+  std::optional<crypto::Signature> signature;
+  std::string publisher;  // business-user identity
+};
+
+class ImageRegistry {
+ public:
+  /// Push unsigned (the paper's "reuse of images from external repos").
+  void push(ContainerImage image, std::string publisher);
+  /// Push with a publisher signature over the image digest.
+  common::Status push_signed(ContainerImage image, std::string publisher,
+                             crypto::SigningKey& key);
+
+  common::Result<const RegistryEntry*> pull(const std::string& reference) const;
+  std::vector<std::string> references() const;
+
+ private:
+  std::map<std::string, RegistryEntry> entries_;
+};
+
+/// Verify a registry entry's signature against a publisher key.
+common::Status verify_image(const RegistryEntry& entry, const crypto::PublicKey& key);
+
+}  // namespace genio::appsec

@@ -1,0 +1,43 @@
+#include "genio/appsec/peach.hpp"
+
+namespace genio::appsec {
+
+double PeachAssessment::score() const {
+  const double mean = (privilege + encryption + authentication + connectivity + hygiene) /
+                      (5.0 * 2.0);
+  // Complexity penalty: each level shaves 10% off the achieved controls.
+  const double penalty = 1.0 - 0.1 * complexity;
+  return mean * penalty;
+}
+
+std::string to_string(IsolationTier tier) {
+  switch (tier) {
+    case IsolationTier::kStrong: return "strong";
+    case IsolationTier::kAdequate: return "adequate";
+    case IsolationTier::kWeak: return "weak";
+  }
+  return "unknown";
+}
+
+IsolationTier tier_for_score(double score) {
+  if (score >= 0.75) return IsolationTier::kStrong;
+  if (score >= 0.5) return IsolationTier::kAdequate;
+  return IsolationTier::kWeak;
+}
+
+double PeachReport::mean_score() const {
+  if (assessments.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& a : assessments) sum += a.score();
+  return sum / static_cast<double>(assessments.size());
+}
+
+std::vector<const PeachAssessment*> PeachReport::weakest(double threshold) const {
+  std::vector<const PeachAssessment*> out;
+  for (const auto& a : assessments) {
+    if (a.score() < threshold) out.push_back(&a);
+  }
+  return out;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,43 @@
+// PEACH-style tenant isolation review (M17): score each tenant-facing
+// interface on Privilege, Encryption, Authentication, Connectivity and
+// Hygiene, derive a per-interface isolation score, and classify the
+// environment's overall isolation posture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace genio::appsec {
+
+/// 0 = worst, 2 = best on each PEACH dimension.
+struct PeachAssessment {
+  std::string interface_name;   // "tenant REST API", "shared VM runtime"
+  int privilege = 0;      // 0 runs as root/admin ... 2 minimal service account
+  int encryption = 0;     // 0 plaintext ... 2 end-to-end encrypted
+  int authentication = 0; // 0 anonymous ... 2 mutual/cert-based
+  int connectivity = 0;   // 0 flat network ... 2 segmented per tenant
+  int hygiene = 0;        // 0 shared secrets/state ... 2 scrubbed per tenant
+  /// Interface complexity raises risk: simple=0, moderate=1, complex=2.
+  int complexity = 0;
+
+  /// Normalized isolation score in [0, 1]: dimension mean, penalized by
+  /// complexity (a complex interface needs stronger controls to achieve
+  /// the same effective isolation).
+  double score() const;
+};
+
+enum class IsolationTier { kStrong, kAdequate, kWeak };
+std::string to_string(IsolationTier tier);
+
+IsolationTier tier_for_score(double score);
+
+struct PeachReport {
+  std::vector<PeachAssessment> assessments;
+
+  double mean_score() const;
+  IsolationTier overall_tier() const { return tier_for_score(mean_score()); }
+  /// Interfaces below the "adequate" threshold — the remediation list.
+  std::vector<const PeachAssessment*> weakest(double threshold = 0.5) const;
+};
+
+}  // namespace genio::appsec

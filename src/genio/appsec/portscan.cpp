@@ -1,0 +1,28 @@
+#include "genio/appsec/portscan.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::appsec {
+
+PortScanReport PortScanner::scan(const NetworkSurface& surface,
+                                 const std::set<int>& declared_ports) const {
+  PortScanReport report;
+  report.open_ports = surface.ports;
+  for (const auto& listening : surface.ports) {
+    if (!declared_ports.contains(listening.port)) {
+      report.issues.push_back(
+          {listening.port, listening.service, "port not in declared set"});
+    }
+    if (!listening.tls) {
+      report.issues.push_back({listening.port, listening.service, "no TLS"});
+    }
+    if (common::icontains(listening.service, "debug") ||
+        common::icontains(listening.service, "telnet")) {
+      report.issues.push_back(
+          {listening.port, listening.service, "debug/legacy service exposed"});
+    }
+  }
+  return report;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,41 @@
+// Nmap-style deployment checks (M15): enumerate a deployed application's
+// listening ports, verify TLS enforcement, and flag unnecessary exposure.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace genio::appsec {
+
+struct ListeningPort {
+  int port = 0;
+  std::string service;  // "https-api", "redis", "debug-console"
+  bool tls = false;
+};
+
+/// A deployed application's network surface.
+struct NetworkSurface {
+  std::string app;
+  std::vector<ListeningPort> ports;
+};
+
+struct PortScanIssue {
+  int port = 0;
+  std::string service;
+  std::string problem;  // "no TLS", "not in declared set", "debug service"
+};
+
+struct PortScanReport {
+  std::vector<ListeningPort> open_ports;
+  std::vector<PortScanIssue> issues;
+};
+
+class PortScanner {
+ public:
+  /// `declared_ports`: ports the deployment manifest says should be open.
+  PortScanReport scan(const NetworkSurface& surface,
+                      const std::set<int>& declared_ports) const;
+};
+
+}  // namespace genio::appsec

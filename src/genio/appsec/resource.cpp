@@ -1,0 +1,88 @@
+#include "genio/appsec/resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace genio::appsec {
+
+void ResourceArbiter::register_workload(const std::string& name, ResourceQuota quota) {
+  quotas_[name] = quota;
+  usage_[name] = WorkloadUsage{};
+}
+
+std::map<std::string, ResourceDemand> ResourceArbiter::run_epoch(
+    const std::map<std::string, ResourceDemand>& demands) {
+  // Pass 1: clamp each demand to its quota (throttle / OOM accounting).
+  std::map<std::string, ResourceDemand> capped;
+  for (const auto& [name, demand] : demands) {
+    const auto it = quotas_.find(name);
+    if (it == quotas_.end()) {
+      throw std::invalid_argument("unregistered workload '" + name + "'");
+    }
+    const ResourceQuota& quota = it->second;
+    ResourceDemand grant = demand;
+    bool throttled = false;
+    if (quota.cpu_cores > 0 && grant.cpu_cores > quota.cpu_cores) {
+      grant.cpu_cores = quota.cpu_cores;
+      throttled = true;
+    }
+    if (quota.net_mbps > 0 && grant.net_mbps > quota.net_mbps) {
+      grant.net_mbps = quota.net_mbps;
+      throttled = true;
+    }
+    if (quota.mem_mb > 0 && grant.mem_mb > quota.mem_mb) {
+      grant.mem_mb = quota.mem_mb;
+      ++usage_[name].oom_kills;  // the overage allocation is killed
+    }
+    if (throttled) ++usage_[name].throttled_epochs;
+    capped[name] = grant;
+  }
+
+  // Pass 2: fair-share scale if the node is oversubscribed.
+  double cpu_sum = 0, net_sum = 0;
+  int mem_sum = 0;
+  for (const auto& [name, grant] : capped) {
+    cpu_sum += grant.cpu_cores;
+    mem_sum += grant.mem_mb;
+    net_sum += grant.net_mbps;
+  }
+  const double cpu_scale = cpu_sum > node_cpu_ ? node_cpu_ / cpu_sum : 1.0;
+  const double mem_scale =
+      mem_sum > node_mem_mb_ ? static_cast<double>(node_mem_mb_) / mem_sum : 1.0;
+  const double net_scale = net_sum > node_net_mbps_ ? node_net_mbps_ / net_sum : 1.0;
+
+  // Service ratio is measured against the ENTITLED demand (post-quota):
+  // a throttled abuser is not "underserved", but a compliant victim
+  // squeezed by fair-share scaling is.
+  last_min_service_ = 1.0;
+  for (auto& [name, grant] : capped) {
+    const ResourceDemand entitled = grant;
+    grant.cpu_cores *= cpu_scale;
+    grant.mem_mb = static_cast<int>(grant.mem_mb * mem_scale);
+    grant.net_mbps *= net_scale;
+    usage_[name].granted = grant;
+
+    double ratio = 1.0;
+    if (entitled.cpu_cores > 0) {
+      ratio = std::min(ratio, grant.cpu_cores / entitled.cpu_cores);
+    }
+    if (entitled.net_mbps > 0) {
+      ratio = std::min(ratio, grant.net_mbps / entitled.net_mbps);
+    }
+    if (entitled.mem_mb > 0) {
+      ratio = std::min(ratio, static_cast<double>(grant.mem_mb) / entitled.mem_mb);
+    }
+    last_min_service_ = std::min(last_min_service_, ratio);
+  }
+  return capped;
+}
+
+const WorkloadUsage& ResourceArbiter::usage(const std::string& name) const {
+  const auto it = usage_.find(name);
+  if (it == usage_.end()) {
+    throw std::invalid_argument("unregistered workload '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,67 @@
+// Resource-abuse defence (T8 "resource abuse": monopolizing CPU, memory,
+// network and storage to degrade neighbors). Models cgroup-style
+// accounting per workload on a shared node: without limits a noisy tenant
+// starves the others; with enforced quotas it is throttled and, on
+// sustained abuse, flagged to the runtime monitor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/common/result.hpp"
+
+namespace genio::appsec {
+
+struct ResourceQuota {
+  double cpu_cores = 0.0;  // 0 = unlimited
+  int mem_mb = 0;          // 0 = unlimited
+  double net_mbps = 0.0;   // 0 = unlimited
+};
+
+/// One scheduling epoch's demand from a workload.
+struct ResourceDemand {
+  double cpu_cores = 0.0;
+  int mem_mb = 0;
+  double net_mbps = 0.0;
+};
+
+struct WorkloadUsage {
+  ResourceDemand granted;
+  std::uint64_t throttled_epochs = 0;
+  std::uint64_t oom_kills = 0;
+};
+
+/// A shared node's resource arbiter. Each epoch, workloads submit demand;
+/// the arbiter grants within quota (if set) and fair-shares the node's
+/// remaining capacity.
+class ResourceArbiter {
+ public:
+  ResourceArbiter(double node_cpu, int node_mem_mb, double node_net_mbps)
+      : node_cpu_(node_cpu), node_mem_mb_(node_mem_mb), node_net_mbps_(node_net_mbps) {}
+
+  void register_workload(const std::string& name, ResourceQuota quota);
+
+  /// Run one epoch with the given demands; returns per-workload grants.
+  /// Memory demand beyond quota is an OOM-kill event; CPU/net beyond quota
+  /// is throttled to the cap.
+  std::map<std::string, ResourceDemand> run_epoch(
+      const std::map<std::string, ResourceDemand>& demands);
+
+  const WorkloadUsage& usage(const std::string& name) const;
+
+  /// Fairness metric over the last epoch: min(grant/demand) across
+  /// workloads with nonzero demand (1.0 = everyone fully served).
+  double last_epoch_min_service_ratio() const { return last_min_service_; }
+
+ private:
+  double node_cpu_;
+  int node_mem_mb_;
+  double node_net_mbps_;
+  std::map<std::string, ResourceQuota> quotas_;
+  std::map<std::string, WorkloadUsage> usage_;
+  double last_min_service_ = 1.0;
+};
+
+}  // namespace genio::appsec

@@ -1,0 +1,105 @@
+#include "genio/appsec/sandbox.hpp"
+
+#include <algorithm>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::appsec {
+
+namespace {
+
+bool any_glob(const std::vector<std::string>& globs, const std::string& value) {
+  return std::any_of(globs.begin(), globs.end(), [&](const std::string& glob) {
+    return common::glob_match(glob, value);
+  });
+}
+
+}  // namespace
+
+const SandboxPolicy* SandboxEnforcer::policy_for(const std::string& workload) const {
+  for (const auto& policy : policies_) {
+    if (common::glob_match(policy.workload_selector, workload)) return &policy;
+  }
+  return nullptr;
+}
+
+EnforcementRecord SandboxEnforcer::evaluate(const SyscallEvent& event) const {
+  const SandboxPolicy* policy = policy_for(event.workload);
+  if (policy == nullptr) {
+    return {event, Verdict::kAllowed, "unconfined"};
+  }
+
+  bool allowed = true;
+  std::string rule;
+  switch (event.kind) {
+    case SyscallKind::kExec:
+      allowed = any_glob(policy->allowed_exec, event.arg);
+      rule = "process-allowlist";
+      break;
+    case SyscallKind::kOpen: {
+      const bool write = event.attr("mode") == "w";
+      allowed = write ? any_glob(policy->allowed_file_write, event.arg)
+                      : any_glob(policy->allowed_file_read, event.arg);
+      rule = write ? "file-write-allowlist" : "file-read-allowlist";
+      break;
+    }
+    case SyscallKind::kConnect:
+      allowed = any_glob(policy->allowed_connect, event.arg);
+      rule = "network-allowlist";
+      break;
+    case SyscallKind::kListen:
+      allowed = policy->allow_listen;
+      rule = "listen";
+      break;
+    case SyscallKind::kSetuid:
+      allowed = policy->allow_setuid;
+      rule = "setuid";
+      break;
+    case SyscallKind::kMount:
+      allowed = policy->allow_mount;
+      rule = "mount";
+      break;
+    case SyscallKind::kPtrace:
+      allowed = policy->allow_ptrace;
+      rule = "ptrace";
+      break;
+    case SyscallKind::kModuleLoad:
+      allowed = policy->allow_module_load;
+      rule = "module-load";
+      break;
+  }
+
+  if (allowed) return {event, Verdict::kAllowed, rule};
+  if (policy->mode == PolicyMode::kAudit) return {event, Verdict::kAudited, rule};
+  return {event, Verdict::kDenied, rule};
+}
+
+std::vector<EnforcementRecord> SandboxEnforcer::run_trace(
+    const std::vector<SyscallEvent>& trace) const {
+  std::vector<EnforcementRecord> out;
+  out.reserve(trace.size());
+  for (const auto& event : trace) out.push_back(evaluate(event));
+  return out;
+}
+
+std::size_t SandboxEnforcer::denied_count(const std::vector<EnforcementRecord>& records) {
+  return static_cast<std::size_t>(
+      std::count_if(records.begin(), records.end(), [](const EnforcementRecord& r) {
+        return r.verdict == Verdict::kDenied;
+      }));
+}
+
+SandboxPolicy make_web_workload_policy(const std::string& workload_selector,
+                                       PolicyMode mode) {
+  SandboxPolicy policy;
+  policy.workload_selector = workload_selector;
+  policy.mode = mode;
+  policy.allowed_exec = {"/usr/bin/python3", "/usr/bin/node", "/app/*"};
+  policy.allowed_file_read = {"/app/*", "/etc/ssl/*", "/usr/lib/*"};
+  policy.allowed_file_write = {"/app/data/*", "/tmp/app-*"};
+  policy.allowed_connect = {"db.tenant.svc:*", "*.genio.io:443"};
+  policy.allow_listen = true;
+  return policy;
+}
+
+}  // namespace genio::appsec

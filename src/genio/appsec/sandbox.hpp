@@ -1,0 +1,68 @@
+// KubeArmor-style sandbox enforcement (M17): per-workload policies
+// restrict process execution, file access, and network connections at the
+// LSM layer. Policies run in Enforce (deny at the hook) or Audit (log
+// only) mode, and verdicts feed the runtime monitor.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/appsec/events.hpp"
+
+namespace genio::appsec {
+
+enum class PolicyMode { kEnforce, kAudit };
+
+/// Allow-list policy for one workload. Empty lists mean "nothing allowed"
+/// for that dimension except what matches — globs supported.
+struct SandboxPolicy {
+  std::string workload_selector;  // glob over workload identity
+  PolicyMode mode = PolicyMode::kEnforce;
+
+  std::vector<std::string> allowed_exec;        // binary path globs
+  std::vector<std::string> allowed_file_read;   // path globs
+  std::vector<std::string> allowed_file_write;
+  std::vector<std::string> allowed_connect;     // "host:port" globs
+  bool allow_listen = true;
+  bool allow_setuid = false;
+  bool allow_mount = false;
+  bool allow_ptrace = false;
+  bool allow_module_load = false;
+};
+
+enum class Verdict { kAllowed, kDenied, kAudited };
+
+struct EnforcementRecord {
+  SyscallEvent event;
+  Verdict verdict = Verdict::kAllowed;
+  std::string rule;  // which dimension decided
+};
+
+class SandboxEnforcer {
+ public:
+  void add_policy(SandboxPolicy policy) { policies_.push_back(std::move(policy)); }
+  std::size_t policy_count() const { return policies_.size(); }
+
+  /// Evaluate one event. Without a matching policy the event is allowed
+  /// (unconfined) — GENIO's default-deny posture comes from installing a
+  /// policy per tenant workload.
+  EnforcementRecord evaluate(const SyscallEvent& event) const;
+
+  /// Run a whole trace; returns the records (denied events are "blocked"
+  /// so a real attack would have stopped at the first deny).
+  std::vector<EnforcementRecord> run_trace(const std::vector<SyscallEvent>& trace) const;
+
+  /// Count of denied events in a record set.
+  static std::size_t denied_count(const std::vector<EnforcementRecord>& records);
+
+ private:
+  const SandboxPolicy* policy_for(const std::string& workload) const;
+  std::vector<SandboxPolicy> policies_;
+};
+
+/// The default policy GENIO installs for a tenant web workload.
+SandboxPolicy make_web_workload_policy(const std::string& workload_selector,
+                                       PolicyMode mode = PolicyMode::kEnforce);
+
+}  // namespace genio::appsec

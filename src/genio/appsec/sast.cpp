@@ -1,0 +1,200 @@
+#include "genio/appsec/sast.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::appsec {
+
+using common::contains;
+using common::icontains;
+
+std::string to_string(Language language) {
+  switch (language) {
+    case Language::kPython: return "python";
+    case Language::kJava: return "java";
+    case Language::kAny: return "any";
+  }
+  return "unknown";
+}
+
+Language language_for_path(const std::string& path) {
+  if (common::ends_with(path, ".py")) return Language::kPython;
+  if (common::ends_with(path, ".java")) return Language::kJava;
+  return Language::kAny;
+}
+
+std::vector<SourceFile> extract_sources(const ContainerImage& image) {
+  std::vector<SourceFile> out;
+  for (const auto& [path, content] : image.flatten()) {
+    if (common::ends_with(path, ".py") || common::ends_with(path, ".java")) {
+      out.push_back({path, language_for_path(path), common::to_text(content)});
+    }
+  }
+  return out;
+}
+
+void SastEngine::add_rules(std::vector<SastRule> rules) {
+  for (auto& rule : rules) rules_.push_back(std::move(rule));
+}
+
+std::vector<SastFinding> SastEngine::analyze(const SourceFile& file) const {
+  std::vector<SastFinding> findings;
+  const auto lines = common::split_lines(file.content);
+  for (const auto& rule : rules_) {
+    if (rule.language != Language::kAny && rule.language != file.language) continue;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (rule.matches(lines[i])) {
+        findings.push_back(
+            {rule.id, rule.title, rule.severity, file.path, static_cast<int>(i + 1)});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<SastFinding> SastEngine::analyze_all(
+    const std::vector<SourceFile>& files) const {
+  std::vector<SastFinding> out;
+  for (const auto& file : files) {
+    auto findings = analyze(file);
+    out.insert(out.end(), findings.begin(), findings.end());
+  }
+  return out;
+}
+
+std::vector<SastFinding> SastEngine::analyze_image(const ContainerImage& image) const {
+  return analyze_all(extract_sources(image));
+}
+
+std::vector<SastRule> python_security_rules() {
+  return {
+      {.id = "PY-SQLI-01",
+       .title = "SQL built by string concatenation/format (injection sink)",
+       .severity = "critical",
+       .language = Language::kPython,
+       .matches =
+           [](std::string_view line) {
+             return (icontains(line, "execute(") &&
+                     (contains(line, "+") || contains(line, "%") ||
+                      contains(line, "format(")));
+           }},
+      {.id = "PY-CMDI-01",
+       .title = "Shell command built from variables (command injection)",
+       .severity = "critical",
+       .language = Language::kPython,
+       .matches =
+           [](std::string_view line) {
+             return (icontains(line, "os.system(") || icontains(line, "subprocess") ||
+                     icontains(line, "popen(")) &&
+                    (contains(line, "+") || contains(line, "format(") ||
+                     contains(line, "f\""));
+           }},
+      {.id = "PY-EVAL-01",
+       .title = "Use of eval/exec on dynamic input",
+       .severity = "high",
+       .language = Language::kPython,
+       .matches =
+           [](std::string_view line) {
+             return icontains(line, "eval(") || icontains(line, "exec(");
+           }},
+      {.id = "PY-DESER-01",
+       .title = "Unsafe deserialization (pickle/yaml.load)",
+       .severity = "high",
+       .language = Language::kPython,
+       .matches =
+           [](std::string_view line) {
+             return icontains(line, "pickle.loads") ||
+                    (icontains(line, "yaml.load(") && !icontains(line, "safeloader"));
+           }},
+      {.id = "PY-TLSOFF-01",
+       .title = "TLS certificate verification disabled",
+       .severity = "high",
+       .language = Language::kPython,
+       .matches = [](std::string_view line) { return icontains(line, "verify=false"); }},
+  };
+}
+
+std::vector<SastRule> java_security_rules() {
+  return {
+      {.id = "JV-SQLI-01",
+       .title = "Statement executed with concatenated SQL",
+       .severity = "critical",
+       .language = Language::kJava,
+       .matches =
+           [](std::string_view line) {
+             return (icontains(line, "executequery(") ||
+                     icontains(line, "executeupdate(")) &&
+                    contains(line, "+");
+           }},
+      {.id = "JV-NPE-01",
+       .title = "Possible null dereference after nullable call",
+       .severity = "medium",
+       .language = Language::kJava,
+       .matches =
+           [](std::string_view line) {
+             return icontains(line, ".get()") && icontains(line, "optional");
+           }},
+      {.id = "JV-EXC-01",
+       .title = "Swallowed exception (empty catch)",
+       .severity = "low",
+       .language = Language::kJava,
+       .matches =
+           [](std::string_view line) {
+             return icontains(line, "catch") && contains(line, "{}");
+           }},
+      {.id = "JV-XSS-01",
+       .title = "Unescaped request parameter written to response",
+       .severity = "high",
+       .language = Language::kJava,
+       .matches =
+           [](std::string_view line) {
+             return icontains(line, "getwriter().print") &&
+                    icontains(line, "getparameter");
+           }},
+  };
+}
+
+std::vector<SastRule> generic_security_rules() {
+  return {
+      {.id = "GEN-SECRET-01",
+       .title = "Hardcoded credential",
+       .severity = "critical",
+       .language = Language::kAny,
+       .matches =
+           [](std::string_view line) {
+             return (icontains(line, "password") || icontains(line, "api_key") ||
+                     icontains(line, "secret")) &&
+                    contains(line, "=") &&
+                    (contains(line, "\"") || contains(line, "'")) &&
+                    !icontains(line, "getenv") && !icontains(line, "input(");
+           }},
+      {.id = "GEN-CRYPTO-01",
+       .title = "Weak cryptographic primitive (MD5/SHA1/DES/ECB)",
+       .severity = "high",
+       .language = Language::kAny,
+       .matches =
+           [](std::string_view line) {
+             return icontains(line, "md5") || icontains(line, "sha1") ||
+                    icontains(line, "des.") || icontains(line, "/ecb/");
+           }},
+      {.id = "GEN-RAND-01",
+       .title = "Non-cryptographic RNG used for security material",
+       .severity = "medium",
+       .language = Language::kAny,
+       .matches =
+           [](std::string_view line) {
+             return (icontains(line, "random.random") || icontains(line, "new random(")) &&
+                    (icontains(line, "token") || icontains(line, "key") ||
+                     icontains(line, "nonce"));
+           }},
+  };
+}
+
+SastEngine make_default_sast_engine() {
+  SastEngine engine;
+  engine.add_rules(python_security_rules());
+  engine.add_rules(java_security_rules());
+  engine.add_rules(generic_security_rules());
+  return engine;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,73 @@
+// Static Application Security Testing (M14; the paper's second "M13"):
+// pattern-based source analysis in the Semgrep/Bandit/SpotBugs mold over
+// the source files extracted from a container image. Rules detect the
+// issue classes the paper lists — hardcoded credentials, improper input
+// handling (SQL/command injection sinks), weak cryptographic functions —
+// with per-language rulepacks.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "genio/appsec/image.hpp"
+
+namespace genio::appsec {
+
+enum class Language { kPython, kJava, kAny };
+std::string to_string(Language language);
+
+struct SourceFile {
+  std::string path;
+  Language language = Language::kAny;
+  std::string content;
+};
+
+/// Infer language from a file extension (".py", ".java").
+Language language_for_path(const std::string& path);
+
+/// Extract the source files from a flattened image (Crane-style).
+std::vector<SourceFile> extract_sources(const ContainerImage& image);
+
+struct SastRule {
+  std::string id;        // "B105-hardcoded-password"
+  std::string title;
+  std::string severity;  // "low"|"medium"|"high"|"critical"
+  Language language = Language::kAny;
+  /// Returns true when the given source LINE matches the defect pattern.
+  std::function<bool(std::string_view line)> matches;
+};
+
+struct SastFinding {
+  std::string rule_id;
+  std::string title;
+  std::string severity;
+  std::string path;
+  int line = 0;  // 1-based
+};
+
+class SastEngine {
+ public:
+  void add_rule(SastRule rule) { rules_.push_back(std::move(rule)); }
+  void add_rules(std::vector<SastRule> rules);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  std::vector<SastFinding> analyze(const SourceFile& file) const;
+  std::vector<SastFinding> analyze_all(const std::vector<SourceFile>& files) const;
+  std::vector<SastFinding> analyze_image(const ContainerImage& image) const;
+
+ private:
+  std::vector<SastRule> rules_;
+};
+
+/// Bandit-style Python security rules.
+std::vector<SastRule> python_security_rules();
+/// SpotBugs-style Java rules.
+std::vector<SastRule> java_security_rules();
+/// Semgrep-style language-agnostic rules (secrets, weak crypto).
+std::vector<SastRule> generic_security_rules();
+
+/// The full engine GENIO runs in its pipeline.
+SastEngine make_default_sast_engine();
+
+}  // namespace genio::appsec

@@ -1,0 +1,78 @@
+#include "genio/appsec/secrets.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::appsec {
+
+using common::contains;
+using common::icontains;
+
+std::string to_string(SecretKind kind) {
+  switch (kind) {
+    case SecretKind::kPrivateKeyBlock: return "private-key-block";
+    case SecretKind::kApiKey: return "api-key";
+    case SecretKind::kBearerToken: return "bearer-token";
+    case SecretKind::kPasswordInUrl: return "password-in-url";
+    case SecretKind::kGenericAssignment: return "credential-assignment";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Redact everything after the first '=' / ':' so reports never leak the
+// secret they found.
+std::string redact(std::string_view line) {
+  const auto cut = line.find_first_of("=:");
+  std::string out(line.substr(0, std::min<std::size_t>(cut, 60)));
+  out += cut == std::string_view::npos ? "" : "=<redacted>";
+  return out;
+}
+
+bool looks_like_password_url(std::string_view line) {
+  const auto scheme = line.find("://");
+  if (scheme == std::string_view::npos) return false;
+  const auto at = line.find('@', scheme);
+  if (at == std::string_view::npos) return false;
+  const auto colon = line.find(':', scheme + 3);
+  return colon != std::string_view::npos && colon < at;
+}
+
+}  // namespace
+
+std::vector<SecretFinding> SecretScanner::scan_text(const std::string& path,
+                                                    std::string_view content) const {
+  std::vector<SecretFinding> findings;
+  const auto lines = common::split_lines(content);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto line = lines[i];
+    const int line_no = static_cast<int>(i + 1);
+    if (contains(line, "-----BEGIN") && icontains(line, "private key")) {
+      findings.push_back(
+          {SecretKind::kPrivateKeyBlock, path, line_no, "PEM private key block"});
+    } else if (contains(line, "AKIA") || contains(line, "sk-ant-") ||
+               contains(line, "ghp_") || contains(line, "xoxb-")) {
+      findings.push_back({SecretKind::kApiKey, path, line_no, redact(line)});
+    } else if (icontains(line, "bearer ey")) {
+      findings.push_back({SecretKind::kBearerToken, path, line_no, redact(line)});
+    } else if (looks_like_password_url(line)) {
+      findings.push_back({SecretKind::kPasswordInUrl, path, line_no, redact(line)});
+    } else if ((icontains(line, "password=") || icontains(line, "secret=") ||
+                icontains(line, "api_key=")) &&
+               !icontains(line, "<redacted>") && !icontains(line, "$")) {
+      findings.push_back({SecretKind::kGenericAssignment, path, line_no, redact(line)});
+    }
+  }
+  return findings;
+}
+
+std::vector<SecretFinding> SecretScanner::scan_image(const ContainerImage& image) const {
+  std::vector<SecretFinding> out;
+  for (const auto& [path, content] : image.flatten()) {
+    auto findings = scan_text(path, common::to_text(content));
+    out.insert(out.end(), findings.begin(), findings.end());
+  }
+  return out;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,109 @@
+#include "genio/appsec/yara.hpp"
+
+#include <algorithm>
+
+namespace genio::appsec {
+
+YaraString YaraRule::text(const std::string& id, const std::string& pattern) {
+  return {id, common::to_bytes(pattern)};
+}
+
+common::Result<YaraString> YaraRule::hex(const std::string& id, const std::string& hex) {
+  auto bytes = common::hex_decode(hex);
+  if (!bytes) return bytes.error();
+  return YaraString{id, std::move(*bytes)};
+}
+
+namespace {
+
+bool bytes_contain(common::BytesView haystack, common::BytesView needle) {
+  if (needle.empty() || needle.size() > haystack.size()) return false;
+  const auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                              needle.end());
+  return it != haystack.end();
+}
+
+}  // namespace
+
+bool YaraRule::matches(common::BytesView data) const {
+  int hits = 0;
+  for (const auto& s : strings) {
+    if (bytes_contain(data, s.pattern)) ++hits;
+  }
+  switch (condition) {
+    case YaraCondition::kAnyOf: return hits >= 1;
+    case YaraCondition::kAllOf: return hits == static_cast<int>(strings.size());
+    case YaraCondition::kAtLeast: return hits >= threshold;
+  }
+  return false;
+}
+
+std::vector<YaraMatch> YaraScanner::scan_bytes(const std::string& label,
+                                               common::BytesView data) const {
+  std::vector<YaraMatch> out;
+  for (const auto& rule : rules_) {
+    if (!rule.matches(data)) continue;
+    YaraMatch match{rule.name, label, {}};
+    for (const auto& s : rule.strings) {
+      if (bytes_contain(data, s.pattern)) match.matched_ids.push_back(s.identifier);
+    }
+    out.push_back(std::move(match));
+  }
+  return out;
+}
+
+std::vector<YaraMatch> YaraScanner::scan_image(const ContainerImage& image) const {
+  std::vector<YaraMatch> out;
+  for (const auto& [path, content] : image.flatten()) {
+    auto matches = scan_bytes(path, content);
+    out.insert(out.end(), matches.begin(), matches.end());
+  }
+  return out;
+}
+
+YaraScanner make_default_malware_scanner() {
+  YaraScanner scanner;
+
+  YaraRule miner;
+  miner.name = "xmrig_cryptominer";
+  miner.description = "XMRig-style cryptocurrency miner";
+  miner.strings = {YaraRule::text("$pool", "stratum+tcp://"),
+                   YaraRule::text("$algo", "randomx"),
+                   YaraRule::text("$bin", "xmrig")};
+  miner.condition = YaraCondition::kAtLeast;
+  miner.threshold = 2;
+  scanner.add_rule(std::move(miner));
+
+  YaraRule shell;
+  shell.name = "reverse_shell";
+  shell.description = "Reverse shell one-liner";
+  shell.strings = {YaraRule::text("$bash", "bash -i >& /dev/tcp/"),
+                   YaraRule::text("$nc", "nc -e /bin/sh"),
+                   YaraRule::text("$py", "socket.connect((")};
+  shell.condition = YaraCondition::kAnyOf;
+  scanner.add_rule(std::move(shell));
+
+  YaraRule downloader;
+  downloader.name = "botnet_downloader";
+  downloader.description = "Stage-2 payload downloader";
+  downloader.strings = {YaraRule::text("$curl", "curl -s http://"),
+                        YaraRule::text("$pipe", "| sh"),
+                        YaraRule::text("$chmod", "chmod +x /tmp/")};
+  downloader.condition = YaraCondition::kAtLeast;
+  downloader.threshold = 2;
+  scanner.add_rule(std::move(downloader));
+
+  YaraRule escape;
+  escape.name = "container_escape_kit";
+  escape.description = "Container escape tooling";
+  escape.strings = {YaraRule::text("$rel", "core_pattern"),
+                    YaraRule::text("$sock", "/var/run/docker.sock"),
+                    YaraRule::text("$cgroup", "notify_on_release")};
+  escape.condition = YaraCondition::kAtLeast;
+  escape.threshold = 2;
+  scanner.add_rule(std::move(escape));
+
+  return scanner;
+}
+
+}  // namespace genio::appsec

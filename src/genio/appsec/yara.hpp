@@ -1,0 +1,59 @@
+// YARA-style malware signature engine (M16, YaraHunter): rules combine
+// text and hex byte patterns with any/all/threshold conditions, matched
+// against every file of a container image at rest — the pre-deployment
+// scan that catches known-bad components inside reused images (T8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/appsec/image.hpp"
+
+namespace genio::appsec {
+
+struct YaraString {
+  std::string identifier;  // "$a"
+  common::Bytes pattern;   // raw bytes (text patterns converted by helpers)
+};
+
+enum class YaraCondition { kAnyOf, kAllOf, kAtLeast };
+
+struct YaraRule {
+  std::string name;        // "xmrig_miner"
+  std::string description;
+  std::vector<YaraString> strings;
+  YaraCondition condition = YaraCondition::kAnyOf;
+  int threshold = 1;  // used by kAtLeast
+
+  /// Convenience constructors for string/hex patterns.
+  static YaraString text(const std::string& id, const std::string& pattern);
+  static common::Result<YaraString> hex(const std::string& id, const std::string& hex);
+
+  /// Does `data` satisfy the rule?
+  bool matches(common::BytesView data) const;
+};
+
+struct YaraMatch {
+  std::string rule;
+  std::string path;                      // file inside the image
+  std::vector<std::string> matched_ids;  // which strings hit
+};
+
+class YaraScanner {
+ public:
+  void add_rule(YaraRule rule) { rules_.push_back(std::move(rule)); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  std::vector<YaraMatch> scan_bytes(const std::string& label,
+                                    common::BytesView data) const;
+  std::vector<YaraMatch> scan_image(const ContainerImage& image) const;
+
+ private:
+  std::vector<YaraRule> rules_;
+};
+
+/// The malware rulepack GENIO ships: cryptominer, reverse shell, botnet
+/// downloader, and container-escape toolkit signatures.
+YaraScanner make_default_malware_scanner();
+
+}  // namespace genio::appsec

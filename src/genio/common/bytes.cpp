@@ -1,0 +1,107 @@
+#include "genio/common/bytes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace genio::common {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string to_text(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+std::string hex_encode(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Result<Bytes> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return parse_error("hex string has odd length " + std::to_string(hex.size()));
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return parse_error("non-hex character at offset " + std::to_string(i));
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes concat(BytesView a, BytesView b, BytesView c) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+void xor_into(std::span<std::uint8_t> dst, BytesView src) {
+  const std::size_t n = std::min(dst.size(), src.size());
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void put_u32_be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64_be(Bytes& out, std::uint64_t v) {
+  put_u32_be(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32_be(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t get_u32_be(BytesView in, std::size_t offset) {
+  if (offset + 4 > in.size()) throw std::out_of_range("get_u32_be past end");
+  return (static_cast<std::uint32_t>(in[offset]) << 24) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(in[offset + 3]);
+}
+
+std::uint64_t get_u64_be(BytesView in, std::size_t offset) {
+  return (static_cast<std::uint64_t>(get_u32_be(in, offset)) << 32) |
+         get_u32_be(in, offset + 4);
+}
+
+}  // namespace genio::common

@@ -1,0 +1,48 @@
+// Byte-buffer helpers shared across the crypto, PON and OS substrates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genio/common/result.hpp"
+
+namespace genio::common {
+
+/// The universal byte buffer type.
+using Bytes = std::vector<std::uint8_t>;
+/// Read-only view over bytes at API boundaries.
+using BytesView = std::span<const std::uint8_t>;
+
+/// UTF-8/ASCII string -> bytes (no terminator).
+Bytes to_bytes(std::string_view text);
+
+/// Bytes -> std::string (may contain embedded NULs).
+std::string to_text(BytesView data);
+
+/// Lowercase hex encoding ("deadbeef").
+std::string hex_encode(BytesView data);
+
+/// Parse lowercase/uppercase hex; fails on odd length or non-hex chars.
+Result<Bytes> hex_decode(std::string_view hex);
+
+/// Constant-time equality — mandatory when comparing MACs/signatures so the
+/// simulated attackers cannot "win" through timing shortcuts in tests.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Concatenate buffers.
+Bytes concat(BytesView a, BytesView b);
+Bytes concat(BytesView a, BytesView b, BytesView c);
+
+/// XOR `src` into `dst` (dst.size() <= src not required; XORs min length).
+void xor_into(std::span<std::uint8_t> dst, BytesView src);
+
+/// Big-endian encode/decode of fixed-width integers (network byte order).
+void put_u32_be(Bytes& out, std::uint32_t v);
+void put_u64_be(Bytes& out, std::uint64_t v);
+std::uint32_t get_u32_be(BytesView in, std::size_t offset);
+std::uint64_t get_u64_be(BytesView in, std::size_t offset);
+
+}  // namespace genio::common

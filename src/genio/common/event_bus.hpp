@@ -1,0 +1,68 @@
+// A topic-based event bus connecting the platform substrates: PON devices
+// publish link events, the orchestrator publishes lifecycle events, and the
+// security monitors (FIM, Falco-like) subscribe to the streams they audit.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::common {
+
+struct Event {
+  SimTime time;
+  std::string topic;                       // dotted: "pon.onu.registered"
+  std::map<std::string, std::string> attrs;  // free-form payload
+
+  std::string attr(const std::string& key, const std::string& fallback = "") const {
+    const auto it = attrs.find(key);
+    return it == attrs.end() ? fallback : it->second;
+  }
+};
+
+/// Synchronous pub/sub. Subscribers match on a topic prefix ("pon." receives
+/// every PON event). Delivery order is subscription order — deterministic.
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  explicit EventBus(const SimClock* clock = nullptr) : clock_(clock) {}
+
+  /// Subscribe to all events whose topic starts with `topic_prefix`.
+  /// Returns a subscription id usable with unsubscribe().
+  int subscribe(std::string topic_prefix, Handler handler) {
+    subscribers_.push_back({next_id_, std::move(topic_prefix), std::move(handler)});
+    return next_id_++;
+  }
+
+  void unsubscribe(int id) {
+    std::erase_if(subscribers_, [id](const Subscriber& s) { return s.id == id; });
+  }
+
+  void publish(std::string topic, std::map<std::string, std::string> attrs = {}) {
+    Event event{clock_ ? clock_->now() : SimTime{}, std::move(topic), std::move(attrs)};
+    ++published_;
+    for (const auto& sub : subscribers_) {
+      if (event.topic.rfind(sub.prefix, 0) == 0) sub.handler(event);
+    }
+  }
+
+  std::uint64_t published_count() const { return published_; }
+
+ private:
+  struct Subscriber {
+    int id;
+    std::string prefix;
+    Handler handler;
+  };
+
+  const SimClock* clock_;
+  std::vector<Subscriber> subscribers_;
+  int next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace genio::common

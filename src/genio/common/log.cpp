@@ -1,0 +1,42 @@
+#include "genio/common/log.hpp"
+
+#include <cstdio>
+
+namespace genio::common {
+
+std::string to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kCritical: return "CRITICAL";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<LogRecord> MemorySink::filter(LogLevel min_level,
+                                          const std::string& prefix) const {
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.level < min_level) continue;
+    if (!prefix.empty() && r.component.rfind(prefix, 0) != 0) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void StderrSink::write(const LogRecord& record) {
+  std::fprintf(stderr, "[%12s] %-8s %-20s %s\n", record.time.to_string().c_str(),
+               to_string(record.level).c_str(), record.component.c_str(),
+               record.message.c_str());
+}
+
+void Logger::log(LogLevel level, std::string component, std::string message) const {
+  if (level < min_level_) return;
+  LogRecord record{clock_ ? clock_->now() : SimTime{}, level, std::move(component),
+                   std::move(message)};
+  for (LogSink* sink : sinks_) sink->write(record);
+}
+
+}  // namespace genio::common

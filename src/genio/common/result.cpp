@@ -1,0 +1,27 @@
+#include "genio/common/result.hpp"
+
+namespace genio::common {
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kAuthenticationFailed: return "authentication_failed";
+    case ErrorCode::kIntegrityViolation: return "integrity_violation";
+    case ErrorCode::kSignatureInvalid: return "signature_invalid";
+    case ErrorCode::kDecryptionFailed: return "decryption_failed";
+    case ErrorCode::kReplayDetected: return "replay_detected";
+    case ErrorCode::kPolicyViolation: return "policy_violation";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kStateError: return "state_error";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace genio::common

@@ -1,0 +1,150 @@
+// Result<T>: lightweight expected-style error handling for operational
+// failures. Exceptions are reserved for programming errors (contract
+// violations); anything that can legitimately fail at runtime in the
+// simulated platform (a signature that does not verify, a scan that finds a
+// missing file, a node that refuses authentication) returns a Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace genio::common {
+
+/// Error category codes shared across all genio modules.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,
+  kAuthenticationFailed,
+  kIntegrityViolation,
+  kSignatureInvalid,
+  kDecryptionFailed,
+  kReplayDetected,
+  kPolicyViolation,
+  kUnavailable,
+  kAlreadyExists,
+  kResourceExhausted,
+  kStateError,
+  kParseError,
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode ("integrity_violation", ...).
+std::string to_string(ErrorCode code);
+
+/// An operational error: a category plus a human-readable message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "permission_denied: role has no verb 'delete' on pods".
+  std::string to_string() const {
+    return genio::common::to_string(code_) + ": " + message_;
+  }
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Thrown only when a Result is dereferenced in the wrong state — a
+/// programming error, not an operational failure.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw BadResultAccess("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    if (!ok()) throw BadResultAccess("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    if (!ok()) throw BadResultAccess("Result::value on error: " + error().to_string());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    if (ok()) throw BadResultAccess("Result::error on value");
+    return std::get<Error>(state_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> specialization-equivalent: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw BadResultAccess("Status::error on success");
+    return *error_;
+  }
+
+  std::string to_string() const { return ok() ? "ok" : error_->to_string(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factories.
+inline Error invalid_argument(std::string msg) { return {ErrorCode::kInvalidArgument, std::move(msg)}; }
+inline Error not_found(std::string msg) { return {ErrorCode::kNotFound, std::move(msg)}; }
+inline Error permission_denied(std::string msg) { return {ErrorCode::kPermissionDenied, std::move(msg)}; }
+inline Error authentication_failed(std::string msg) { return {ErrorCode::kAuthenticationFailed, std::move(msg)}; }
+inline Error integrity_violation(std::string msg) { return {ErrorCode::kIntegrityViolation, std::move(msg)}; }
+inline Error signature_invalid(std::string msg) { return {ErrorCode::kSignatureInvalid, std::move(msg)}; }
+inline Error decryption_failed(std::string msg) { return {ErrorCode::kDecryptionFailed, std::move(msg)}; }
+inline Error replay_detected(std::string msg) { return {ErrorCode::kReplayDetected, std::move(msg)}; }
+inline Error policy_violation(std::string msg) { return {ErrorCode::kPolicyViolation, std::move(msg)}; }
+inline Error unavailable(std::string msg) { return {ErrorCode::kUnavailable, std::move(msg)}; }
+inline Error already_exists(std::string msg) { return {ErrorCode::kAlreadyExists, std::move(msg)}; }
+inline Error resource_exhausted(std::string msg) { return {ErrorCode::kResourceExhausted, std::move(msg)}; }
+inline Error state_error(std::string msg) { return {ErrorCode::kStateError, std::move(msg)}; }
+inline Error parse_error(std::string msg) { return {ErrorCode::kParseError, std::move(msg)}; }
+inline Error timeout(std::string msg) { return {ErrorCode::kTimeout, std::move(msg)}; }
+inline Error internal_error(std::string msg) { return {ErrorCode::kInternal, std::move(msg)}; }
+
+}  // namespace genio::common

@@ -1,0 +1,48 @@
+// Deterministic PRNG used everywhere randomness is needed, so that every
+// test, attack scenario, and benchmark run is exactly reproducible from a
+// seed. NOT a cryptographic RNG — the simulated platform only needs
+// determinism; key material derived from it is for simulation purposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "genio/common/bytes.hpp"
+
+namespace genio::common {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent stream from a parent generator and a label, so
+  /// subsystems do not perturb each other's sequences.
+  Rng fork(std::string_view label);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive — requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Bernoulli trial with probability p in [0,1].
+  bool chance(double p);
+  /// Exponentially-distributed value with given mean (for inter-arrival times).
+  double exponential(double mean);
+
+  /// Fill `n` random bytes.
+  Bytes bytes(std::size_t n);
+  /// Random lowercase-alnum identifier of length n.
+  std::string ident(std::size_t n);
+
+  /// Pick a random element index of a container of size `n` (n > 0).
+  std::size_t index(std::size_t n) { return static_cast<std::size_t>(uniform(n)); }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace genio::common

@@ -1,0 +1,37 @@
+#include "genio/common/sim_clock.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace genio::common {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double ns = static_cast<double>(nanos_);
+  const double abs_ns = std::abs(ns);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (abs_ns < 3.6e12) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", ns / 3.6e12);
+  }
+  return buf;
+}
+
+void SimClock::advance(SimTime dt) {
+  if (dt.nanos() < 0) throw std::invalid_argument("SimClock::advance negative duration");
+  now_ = now_ + dt;
+}
+
+void SimClock::advance_to(SimTime t) {
+  if (t < now_) throw std::invalid_argument("SimClock::advance_to would move backwards");
+  now_ = t;
+}
+
+}  // namespace genio::common

@@ -1,0 +1,60 @@
+// Simulated time. The whole platform runs on a logical clock so scenarios
+// (boot sequences, feed polling intervals, attack windows, patch latencies)
+// are deterministic and can be fast-forwarded in tests and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace genio::common {
+
+/// Logical simulation time, in nanoseconds since simulation epoch.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime from_millis(std::int64_t ms) { return SimTime(ms * 1'000'000); }
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime(us * 1'000); }
+  static constexpr SimTime from_hours(std::int64_t h) { return SimTime(h * 3'600'000'000'000LL); }
+  static constexpr SimTime from_days(std::int64_t d) { return from_hours(d * 24); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+  constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+  constexpr double days() const { return hours() / 24.0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.nanos_ + b.nanos_); }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.nanos_ - b.nanos_); }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  /// "12.345ms" / "3.2s" style rendering for reports.
+  std::string to_string() const;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// A monotonically advancing simulation clock. Components hold a reference
+/// to a shared clock owned by the scenario/platform driving them.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Advance by a duration (must be non-negative).
+  void advance(SimTime dt);
+
+  /// Jump directly to an absolute time (must not go backwards).
+  void advance_to(SimTime t);
+
+ private:
+  SimTime now_{};
+};
+
+}  // namespace genio::common

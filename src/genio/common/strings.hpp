@@ -1,0 +1,44 @@
+// Small string utilities used by parsers, rule engines, and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genio::common {
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Split on a character, dropping empty fields and trimming each piece.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Split into lines (handles both "\n" and "\r\n").
+std::vector<std::string_view> split_lines(std::string_view text);
+
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+bool icontains(std::string_view text, std::string_view needle);  // case-insensitive
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replace all occurrences of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to);
+
+/// Glob matching with '*' (any run, incl. '/') and '?' (single char).
+/// Used for file-path policies (FIM, sandbox rules, RBAC resource names).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Left-pad / right-pad for report tables.
+std::string pad_right(std::string_view text, std::size_t width);
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// printf-style float formatting helper ("%.2f").
+std::string format_double(double value, int decimals = 2);
+
+}  // namespace genio::common

@@ -1,0 +1,37 @@
+#include "genio/common/table.hpp"
+
+#include <algorithm>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::common {
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + pad_right(cell, widths[c]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace genio::common

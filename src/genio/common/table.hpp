@@ -1,0 +1,31 @@
+// Plain-text table rendering for benchmark reports and compliance summaries,
+// so every bench binary prints paper-style rows without duplicating layout
+// code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace genio::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with column auto-sizing:
+  ///
+  ///   | name     | value |
+  ///   |----------|-------|
+  ///   | latency  | 12ms  |
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace genio::common

@@ -1,0 +1,152 @@
+#include "genio/common/version.hpp"
+
+#include <charconv>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::common {
+
+namespace {
+
+Result<int> parse_int(std::string_view s) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    return parse_error("invalid numeric version component '" + std::string(s) + "'");
+  }
+  if (value < 0) return parse_error("negative version component");
+  return value;
+}
+
+}  // namespace
+
+Result<Version> Version::parse(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return parse_error("empty version string");
+  if (!text.empty() && (text.front() == 'v' || text.front() == 'V')) text.remove_prefix(1);
+
+  std::string prerelease;
+  if (const auto dash = text.find('-'); dash != std::string_view::npos) {
+    prerelease = std::string(text.substr(dash + 1));
+    text = text.substr(0, dash);
+  }
+
+  const auto parts = split(text, '.');
+  if (parts.empty() || parts.size() > 3) {
+    return parse_error("version must have 1-3 dot components: '" + std::string(text) + "'");
+  }
+  int nums[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    auto n = parse_int(parts[i]);
+    if (!n) return n.error();
+    nums[i] = *n;
+  }
+  return Version(nums[0], nums[1], nums[2], std::move(prerelease));
+}
+
+std::string Version::to_string() const {
+  std::string out = std::to_string(major_) + "." + std::to_string(minor_) + "." +
+                    std::to_string(patch_);
+  if (!prerelease_.empty()) out += "-" + prerelease_;
+  return out;
+}
+
+std::strong_ordering Version::operator<=>(const Version& other) const {
+  if (auto c = major_ <=> other.major_; c != 0) return c;
+  if (auto c = minor_ <=> other.minor_; c != 0) return c;
+  if (auto c = patch_ <=> other.patch_; c != 0) return c;
+  // Pre-release precedes release; two pre-releases compare lexically.
+  if (prerelease_.empty() && other.prerelease_.empty()) return std::strong_ordering::equal;
+  if (prerelease_.empty()) return std::strong_ordering::greater;
+  if (other.prerelease_.empty()) return std::strong_ordering::less;
+  return prerelease_.compare(other.prerelease_) <=> 0;
+}
+
+VersionRange VersionRange::exactly(const Version& v) {
+  VersionRange r;
+  r.exact_.push_back(v);
+  return r;
+}
+
+VersionRange VersionRange::less_than(const Version& v, bool inclusive) {
+  VersionRange r;
+  r.upper_.push_back({v, inclusive});
+  return r;
+}
+
+VersionRange VersionRange::at_least(const Version& v, bool inclusive) {
+  VersionRange r;
+  r.lower_.push_back({v, inclusive});
+  return r;
+}
+
+VersionRange VersionRange::between(const Version& lo, const Version& hi,
+                                   bool lo_inclusive, bool hi_inclusive) {
+  VersionRange r;
+  r.lower_.push_back({lo, lo_inclusive});
+  r.upper_.push_back({hi, hi_inclusive});
+  return r;
+}
+
+Result<VersionRange> VersionRange::parse(std::string_view text) {
+  VersionRange range;
+  for (const auto& token_raw : split(text, ' ')) {
+    const auto token = trim(token_raw);
+    if (token.empty()) continue;
+    if (token == "*") continue;  // wildcard clause
+    std::string_view op;
+    std::string_view ver = token;
+    for (std::string_view candidate : {">=", "<=", ">", "<", "=", "=="}) {
+      if (ver.rfind(candidate, 0) == 0) {
+        op = candidate;
+        ver.remove_prefix(candidate.size());
+        break;
+      }
+    }
+    auto parsed = Version::parse(ver);
+    if (!parsed) return parsed.error();
+    if (op == ">=") {
+      range.lower_.push_back({*parsed, true});
+    } else if (op == ">") {
+      range.lower_.push_back({*parsed, false});
+    } else if (op == "<=") {
+      range.upper_.push_back({*parsed, true});
+    } else if (op == "<") {
+      range.upper_.push_back({*parsed, false});
+    } else {  // "=", "==", or bare version
+      range.exact_.push_back(*parsed);
+    }
+  }
+  return range;
+}
+
+bool VersionRange::contains(const Version& v) const {
+  for (const auto& e : exact_) {
+    if (v == e) return true;
+  }
+  if (!exact_.empty() && lower_.empty() && upper_.empty()) return false;
+  for (const auto& b : lower_) {
+    if (b.inclusive ? (v < b.version) : (v <= b.version)) return false;
+  }
+  for (const auto& b : upper_) {
+    if (b.inclusive ? (v > b.version) : (v >= b.version)) return false;
+  }
+  // A range that is only exact versions and did not match fails above; a
+  // range with bounds matched them all.
+  return exact_.empty() || !(lower_.empty() && upper_.empty());
+}
+
+std::string VersionRange::to_string() const {
+  std::vector<std::string> parts;
+  for (const auto& e : exact_) parts.push_back("=" + e.to_string());
+  for (const auto& b : lower_) {
+    parts.push_back(std::string(b.inclusive ? ">=" : ">") + b.version.to_string());
+  }
+  for (const auto& b : upper_) {
+    parts.push_back(std::string(b.inclusive ? "<=" : "<") + b.version.to_string());
+  }
+  if (parts.empty()) return "*";
+  return join(parts, " ");
+}
+
+}  // namespace genio::common

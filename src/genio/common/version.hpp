@@ -1,0 +1,74 @@
+// Semantic versions and version ranges — the basis of all CVE matching
+// (vuln module), package management (os module), and KBOM (middleware).
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genio/common/result.hpp"
+
+namespace genio::common {
+
+/// A semantic version: MAJOR.MINOR.PATCH with optional "-prerelease" tag.
+/// Ordering follows SemVer 2.0: numeric fields compare numerically, and a
+/// pre-release version precedes its release ("1.2.0-rc1" < "1.2.0").
+class Version {
+ public:
+  Version() = default;
+  Version(int major, int minor, int patch, std::string prerelease = "")
+      : major_(major), minor_(minor), patch_(patch), prerelease_(std::move(prerelease)) {}
+
+  /// Parse "1.2.3" or "1.2.3-rc1"; minor/patch default to 0 ("1.2" ok).
+  static Result<Version> parse(std::string_view text);
+
+  int major() const { return major_; }
+  int minor() const { return minor_; }
+  int patch() const { return patch_; }
+  const std::string& prerelease() const { return prerelease_; }
+
+  std::string to_string() const;
+
+  std::strong_ordering operator<=>(const Version& other) const;
+  bool operator==(const Version& other) const {
+    return (*this <=> other) == std::strong_ordering::equal;
+  }
+
+ private:
+  int major_ = 0;
+  int minor_ = 0;
+  int patch_ = 0;
+  std::string prerelease_;
+};
+
+/// A half-open or closed version interval used by advisories:
+/// e.g. ">=1.20.0 <1.20.7" or "<=2.4.1".
+class VersionRange {
+ public:
+  struct Bound {
+    Version version;
+    bool inclusive = true;
+  };
+
+  VersionRange() = default;  // matches everything
+
+  static VersionRange exactly(const Version& v);
+  static VersionRange less_than(const Version& v, bool inclusive = false);
+  static VersionRange at_least(const Version& v, bool inclusive = true);
+  static VersionRange between(const Version& lo, const Version& hi,
+                              bool lo_inclusive = true, bool hi_inclusive = false);
+
+  /// Parse expressions like ">=1.2.0 <1.3.0", "=1.0.0", "<2.0", "*".
+  static Result<VersionRange> parse(std::string_view text);
+
+  bool contains(const Version& v) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<Bound> lower_;  // all must satisfy v >= / > bound
+  std::vector<Bound> upper_;  // all must satisfy v <= / < bound
+  std::vector<Version> exact_;
+};
+
+}  // namespace genio::common

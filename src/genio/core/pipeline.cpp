@@ -1,0 +1,149 @@
+#include "genio/core/pipeline.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::core {
+
+const PipelineStage* PipelineReport::stage(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string PipelineReport::blocked_by() const {
+  for (const auto& s : stages) {
+    if (s.ran && !s.passed) return s.name;
+  }
+  return "";
+}
+
+DeploymentPipeline::DeploymentPipeline(GenioPlatform* platform)
+    : platform_(platform),
+      sast_(appsec::make_default_sast_engine()),
+      yara_(appsec::make_default_malware_scanner()) {}
+
+PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
+  PipelineReport report;
+  report.image = request.image_reference;
+  report.tenant = request.tenant;
+  const PlatformConfig& config = platform_->config();
+
+  auto add_stage = [&report](std::string name, bool ran, bool passed,
+                             std::string detail) -> bool {
+    report.stages.push_back({std::move(name), ran, passed, std::move(detail)});
+    return !ran || passed;
+  };
+
+  // 0. Pull.
+  const auto entry = platform_->registry().pull(request.image_reference);
+  if (!add_stage("pull", true, entry.ok(),
+                 entry.ok() ? "image found" : entry.error().message())) {
+    return report;
+  }
+  const appsec::RegistryEntry& image_entry = **entry;
+  const Tenant* tenant = platform_->tenant(request.tenant);
+  if (!add_stage("tenant", true, tenant != nullptr,
+                 tenant != nullptr ? "tenant registered" : "unknown tenant")) {
+    return report;
+  }
+
+  // 1. Publisher signature (supply-chain trust).
+  if (config.require_image_signature) {
+    const auto st = appsec::verify_image(image_entry, tenant->publisher_key);
+    if (!add_stage("signature", true, st.ok(),
+                   st.ok() ? "publisher signature valid" : st.error().message())) {
+      return report;
+    }
+  } else {
+    add_stage("signature", false, true, "gate disabled");
+  }
+
+  // 2. SCA (M13).
+  if (config.sca_gate) {
+    appsec::ScaScanner sca(&platform_->cve_db());
+    const auto sca_report = sca.scan(image_entry.image);
+    const bool critical =
+        !sca_report.findings.empty() && sca_report.findings.front().score >= sca_block_score;
+    if (!add_stage("sca", true, !critical,
+                   std::to_string(sca_report.findings.size()) + " findings, max score " +
+                       (sca_report.findings.empty()
+                            ? "0"
+                            : common::format_double(sca_report.findings.front().score, 1)))) {
+      return report;
+    }
+  } else {
+    add_stage("sca", false, true, "gate disabled");
+  }
+
+  // 3. SAST (M14).
+  if (config.sast_gate) {
+    const auto findings = sast_.analyze_image(image_entry.image);
+    bool critical = false;
+    for (const auto& f : findings) critical |= f.severity == "critical";
+    if (!add_stage("sast", true, !critical,
+                   std::to_string(findings.size()) + " findings" +
+                       (critical ? " (critical present)" : ""))) {
+      return report;
+    }
+  } else {
+    add_stage("sast", false, true, "gate disabled");
+  }
+
+  // 4. Secret scanning (baked-in credentials are a supply-chain liability).
+  if (config.secret_gate) {
+    const auto secrets = secret_scanner_.scan_image(image_entry.image);
+    if (!add_stage("secrets", true, secrets.empty(),
+                   secrets.empty()
+                       ? "no embedded credentials"
+                       : appsec::to_string(secrets.front().kind) + " in " +
+                             secrets.front().path)) {
+      return report;
+    }
+  } else {
+    add_stage("secrets", false, true, "gate disabled");
+  }
+
+  // 5. Malware signatures (M16).
+  if (config.malware_gate) {
+    const auto matches = yara_.scan_image(image_entry.image);
+    if (!add_stage("malware", true, matches.empty(),
+                   matches.empty() ? "no signature matched"
+                                   : "matched rule '" + matches.front().rule + "'")) {
+      return report;
+    }
+  } else {
+    add_stage("malware", false, true, "gate disabled");
+  }
+
+  // 5. Cluster admission + scheduling (M10/M11).
+  middleware::PodSpec spec;
+  spec.name = request.app_name;
+  spec.ns = request.tenant;
+  spec.container.image = request.image_reference;
+  spec.container.limits = request.limits;
+  spec.container.privileged = request.privileged;
+  spec.container.capabilities = request.capabilities;
+  spec.container.host_mounts = request.host_mounts;
+  const auto pod = platform_->cluster().create_pod(request.tenant + ":deployer", spec);
+  if (!add_stage("admission", true, pod.ok(),
+                 pod.ok() ? "scheduled" : pod.error().message())) {
+    return report;
+  }
+  report.pod_ref = *pod;
+
+  // 6. Sandbox policy (M17).
+  if (config.sandbox_enabled) {
+    platform_->sandbox().add_policy(
+        appsec::make_web_workload_policy(request.tenant + "/" + request.app_name));
+    add_stage("sandbox", true, true, "policy installed");
+  } else {
+    add_stage("sandbox", false, true, "gate disabled");
+  }
+
+  report.deployed = true;
+  platform_->logger().info("core.pipeline", "deployed " + report.pod_ref);
+  return report;
+}
+
+}  // namespace genio::core

@@ -1,0 +1,64 @@
+// The secure deployment pipeline: every application a business user
+// publishes passes signature verification (registry trust), SCA (M13),
+// SAST (M14), malware scanning (M16), and cluster admission (M10/M11)
+// before it runs; on deployment a sandbox policy (M17) is installed and
+// the workload joins the runtime-monitoring scope (M18). Gates toggle
+// with the platform config so scenarios can contrast postures.
+#pragma once
+
+#include "genio/appsec/sast.hpp"
+#include "genio/appsec/sca.hpp"
+#include "genio/appsec/secrets.hpp"
+#include "genio/appsec/yara.hpp"
+#include "genio/core/platform.hpp"
+
+namespace genio::core {
+
+struct PipelineStage {
+  std::string name;   // "signature", "sca", "sast", "malware", "admission"
+  bool ran = false;   // false when the gate is disabled in config
+  bool passed = true;
+  std::string detail;
+};
+
+struct PipelineReport {
+  std::string image;
+  std::string tenant;
+  std::vector<PipelineStage> stages;
+  bool deployed = false;
+  std::string pod_ref;  // "tenant-a/analytics"
+
+  const PipelineStage* stage(const std::string& name) const;
+  /// First failing stage name, or "" if none.
+  std::string blocked_by() const;
+};
+
+/// Deployment-time knobs the business user provides alongside the image.
+struct DeploymentRequest {
+  std::string tenant;
+  std::string image_reference;
+  std::string app_name;
+  middleware::ResourceQuantity limits{0.5, 512};
+  /// Extra container settings the (possibly malicious) user asks for.
+  bool privileged = false;
+  std::set<std::string> capabilities;
+  std::vector<std::string> host_mounts;
+};
+
+class DeploymentPipeline {
+ public:
+  explicit DeploymentPipeline(GenioPlatform* platform);
+
+  PipelineReport deploy(const DeploymentRequest& request);
+
+  /// SCA gate threshold: block when any reachable finding scores >= this.
+  double sca_block_score = 9.0;
+
+ private:
+  GenioPlatform* platform_;
+  appsec::SastEngine sast_;
+  appsec::YaraScanner yara_;
+  appsec::SecretScanner secret_scanner_;
+};
+
+}  // namespace genio::core

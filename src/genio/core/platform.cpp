@@ -1,0 +1,168 @@
+#include "genio/core/platform.hpp"
+
+#include "genio/hardening/scap.hpp"
+
+namespace genio::core {
+
+namespace {
+
+constexpr auto kValidFrom = common::SimTime::from_days(0);
+constexpr auto kValidTo = common::SimTime::from_days(3650);
+
+}  // namespace
+
+GenioPlatform::GenioPlatform(PlatformConfig config)
+    : config_(config), logger_(&clock_), bus_(&clock_), rng_(config.seed) {
+  logger_.add_sink(&sink_);
+  build_pki();
+  build_pon();
+  build_host();
+  build_middleware();
+  if (config_.runtime_monitoring) falco_ = appsec::make_default_falco_monitor();
+}
+
+void GenioPlatform::build_pki() {
+  root_ca_ = std::make_unique<crypto::CertificateAuthority>(
+      crypto::CertificateAuthority::create_root("genio-root", rng_.bytes(32),
+                                                kValidFrom, kValidTo, 8));
+  trust_.add_root(root_ca_->certificate());
+}
+
+void GenioPlatform::build_pon() {
+  odn_ = std::make_unique<pon::Odn>();
+  pon::OltSecurityPolicy policy;
+  policy.enforce_serial_allowlist = true;
+  policy.require_authentication = config_.node_authentication;
+  policy.encrypt_data_path = config_.pon_encryption;
+  olt_ = std::make_unique<pon::Olt>("olt-1", odn_.get(), &clock_, &logger_, &bus_,
+                                    policy);
+
+  auto olt_key = crypto::SigningKey::generate(rng_.bytes(32), 6);
+  auto olt_cert = root_ca_
+                      ->issue("olt-1", olt_key.public_key(), kValidFrom, kValidTo,
+                              {crypto::KeyUsage::kNodeAuth})
+                      .value();
+  olt_->provision_credentials(std::move(olt_key), {olt_cert, root_ca_->certificate()},
+                              &trust_, rng_.fork("olt-auth"));
+
+  for (int i = 0; i < config_.onu_count; ++i) {
+    char serial[16];
+    std::snprintf(serial, sizeof(serial), "GNIO%04d", i + 1);
+    olt_->register_serial(serial);
+    auto onu = std::make_unique<pon::Onu>(serial, odn_.get(), &clock_, &logger_);
+    auto key = crypto::SigningKey::generate(rng_.bytes(32), 4);
+    auto cert = root_ca_
+                    ->issue(serial, key.public_key(), kValidFrom, kValidTo,
+                            {crypto::KeyUsage::kNodeAuth})
+                    .value();
+    onu->provision_credentials(std::move(key), {cert, root_ca_->certificate()}, &trust_,
+                               rng_.fork(serial));
+    onus_.push_back(std::move(onu));
+  }
+}
+
+int GenioPlatform::activate_pon() {
+  olt_->start_discovery();
+  int ready = 0;
+  for (auto& onu : onus_) {
+    if (onu->state() != pon::OnuState::kOperational) continue;
+    if (config_.node_authentication) {
+      const auto id = olt_->onu_id_for(onu->serial());
+      if (!id.has_value()) continue;
+      if (!olt_->authenticate_onu(*id, *onu).ok()) continue;
+    }
+    ++ready;
+  }
+  return ready;
+}
+
+void GenioPlatform::build_host() {
+  host_ = os::make_stock_onl_host("olt-1");
+  if (config_.os_hardening) {
+    hardening::HostAuditor auditor;
+    auditor.harden(host_);
+  }
+
+  tpm_ = std::make_unique<os::Tpm>(rng_.bytes(32));
+  boot_chain_ = std::make_unique<os::BootChain>(&trust_, tpm_.get());
+
+  auto signer = crypto::SigningKey::generate(rng_.bytes(32), 5);
+  auto signer_cert = root_ca_
+                         ->issue("genio-boot-signer", signer.public_key(), kValidFrom,
+                                 kValidTo, {crypto::KeyUsage::kCodeSigning})
+                         .value();
+  const std::vector<crypto::Certificate> chain = {signer_cert, root_ca_->certificate()};
+  boot_chain_->add_component(
+      os::make_signed_component("shim", common::to_bytes("SHIM-IMG-v1"), signer, chain)
+          .value());
+  boot_chain_->add_component(
+      os::make_signed_component("grub", common::to_bytes("GRUB-IMG-v1"), signer, chain)
+          .value());
+  boot_chain_->add_component(
+      os::make_signed_component("kernel", host_.file("/boot/vmlinuz")->content, signer,
+                                chain)
+          .value());
+
+  fim_key_ = std::make_unique<crypto::SigningKey>(
+      crypto::SigningKey::generate(rng_.bytes(32), 6));
+  fim_ = std::make_unique<os::FileIntegrityMonitor>(os::default_olt_fim_rules());
+  if (config_.fim_enabled) {
+    (void)fim_->init_baseline(host_, *fim_key_);
+  }
+}
+
+os::BootReport GenioPlatform::boot_host() {
+  return boot_chain_->boot(
+      {.secure_boot = config_.secure_boot, .measured_boot = config_.measured_boot},
+      clock_.now());
+}
+
+void GenioPlatform::build_middleware() {
+  middleware::Cluster::Config cluster_config;
+  cluster_config.name = "genio-edge";
+  cluster_config.anonymous_auth = config_.anonymous_api;
+  cluster_config.etcd_encryption = config_.hardened_admission;
+  auto rbac = config_.least_privilege_rbac ? middleware::make_least_privilege_rbac()
+                                           : middleware::make_permissive_default_rbac();
+  auto admission = config_.hardened_admission ? middleware::make_hardened_admission()
+                                              : middleware::make_permissive_admission();
+  cluster_ = std::make_unique<middleware::Cluster>(cluster_config, std::move(rbac),
+                                                   admission);
+  cluster_->add_node("olt-node-1", {16.0, 32768});
+  cluster_->add_node("olt-node-2", {16.0, 32768});
+
+  vmm_ = std::make_unique<middleware::VmManager>(common::Version(7, 4, 0));
+  onos_ = std::make_unique<middleware::SdnController>(
+      config_.least_privilege_rbac ? middleware::make_hardened_onos()
+                                   : middleware::make_insecure_onos());
+  voltha_ = std::make_unique<middleware::SdnController>(
+      middleware::make_hardened_voltha());
+}
+
+common::Status GenioPlatform::register_tenant(const std::string& name,
+                                              const crypto::PublicKey& publisher_key) {
+  if (tenants_.contains(name)) {
+    return common::already_exists("tenant '" + name + "' already registered");
+  }
+  tenants_[name] = Tenant{name, publisher_key};
+
+  // Tenant namespace grants: the tenant's deployer identity can manage
+  // workloads in its own namespace only.
+  middleware::RbacEngine& rbac = cluster_->rbac_mutable();
+  rbac.add_role({.name = name + "-deployer",
+                 .rules = {{.verbs = {"get", "list", "create", "update", "patch",
+                                      "delete"},
+                            .resources = {"pods", "deployments", "services",
+                                          "configmaps"}}},
+                 .namespaces = {name}});
+  rbac.add_binding({.role = name + "-deployer", .subjects = {name + ":deployer"}});
+  logger_.info("core.platform", "registered tenant '" + name + "'");
+  return common::Status::success();
+}
+
+const Tenant* GenioPlatform::tenant(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+}  // namespace genio::core

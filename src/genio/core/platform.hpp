@@ -1,0 +1,155 @@
+// GenioPlatform: the composed system — PKI, one edge site (OLT host with
+// TPM/boot chain, the PON tree with its ONUs), the middleware cluster and
+// SDN controllers, the application registry, and the security machinery —
+// wired according to a PlatformConfig that toggles each mitigation, so
+// scenarios and benches can contrast secure and insecure postures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genio/appsec/falco.hpp"
+#include "genio/appsec/image.hpp"
+#include "genio/appsec/sandbox.hpp"
+#include "genio/hardening/auditor.hpp"
+#include "genio/middleware/orchestrator.hpp"
+#include "genio/middleware/sdn.hpp"
+#include "genio/middleware/vmm.hpp"
+#include "genio/os/boot.hpp"
+#include "genio/os/fim.hpp"
+#include "genio/os/host.hpp"
+#include "genio/os/tpm.hpp"
+#include "genio/pon/attacker.hpp"
+#include "genio/pon/olt.hpp"
+#include "genio/pon/onu.hpp"
+#include "genio/vuln/cve.hpp"
+
+namespace genio::core {
+
+/// Which mitigations are wired in. Defaults = fully hardened GENIO.
+struct PlatformConfig {
+  // Infrastructure level.
+  bool pon_encryption = true;        // M3
+  bool node_authentication = true;   // M4
+  bool secure_boot = true;           // M5
+  bool measured_boot = true;         // M5
+  bool fim_enabled = true;           // M7
+  bool os_hardening = true;          // M1 + M2
+  // Middleware level.
+  bool least_privilege_rbac = true;  // M10
+  bool hardened_admission = true;    // M10/M11
+  bool anonymous_api = false;        // insecure default when true
+  // Application level (pipeline gates).
+  bool require_image_signature = true;
+  bool sca_gate = true;              // M13
+  bool sast_gate = true;             // M14
+  bool secret_gate = true;           // M13/M14-adjacent secret scanning
+  bool malware_gate = true;          // M16
+  bool sandbox_enabled = true;       // M17
+  bool runtime_monitoring = true;    // M18
+
+  int onu_count = 4;
+  std::uint64_t seed = 42;
+};
+
+/// Everything known about one registered tenant (business user).
+struct Tenant {
+  std::string name;        // doubles as the cluster namespace
+  crypto::PublicKey publisher_key;
+};
+
+class GenioPlatform {
+ public:
+  explicit GenioPlatform(PlatformConfig config);
+
+  const PlatformConfig& config() const { return config_; }
+
+  // -- shared services --------------------------------------------------------
+  common::SimClock& clock() { return clock_; }
+  common::Logger& logger() { return logger_; }
+  common::MemorySink& log_sink() { return sink_; }
+  common::EventBus& bus() { return bus_; }
+  common::Rng& rng() { return rng_; }
+
+  // -- PKI ---------------------------------------------------------------------
+  crypto::CertificateAuthority& root_ca() { return *root_ca_; }
+  crypto::TrustStore& trust_store() { return trust_; }
+
+  // -- PON site ----------------------------------------------------------------
+  pon::Odn& odn() { return *odn_; }
+  pon::Olt& olt() { return *olt_; }
+  std::vector<std::unique_ptr<pon::Onu>>& onus() { return onus_; }
+  /// Run discovery and (per config) the M4 handshakes. Returns the number
+  /// of ONUs that reached an operational, policy-compliant state.
+  int activate_pon();
+
+  // -- OLT host ----------------------------------------------------------------
+  os::Host& host() { return host_; }
+  os::Tpm& tpm() { return *tpm_; }
+  os::BootChain& boot_chain() { return *boot_chain_; }
+  os::FileIntegrityMonitor& fim() { return *fim_; }
+  crypto::SigningKey& fim_key() { return *fim_key_; }
+  /// Boot the OLT host through the chain; applies config's boot policy.
+  os::BootReport boot_host();
+
+  // -- middleware ----------------------------------------------------------------
+  middleware::Cluster& cluster() { return *cluster_; }
+  middleware::VmManager& vmm() { return *vmm_; }
+  middleware::SdnController& onos() { return *onos_; }
+  middleware::SdnController& voltha() { return *voltha_; }
+
+  // -- application layer --------------------------------------------------------
+  appsec::ImageRegistry& registry() { return registry_; }
+  appsec::FalcoMonitor& falco() { return falco_; }
+  appsec::SandboxEnforcer& sandbox() { return sandbox_; }
+  vuln::CveDatabase& cve_db() { return cve_db_; }
+
+  // -- tenants -------------------------------------------------------------------
+  /// Register a business user: namespace, RBAC grants, publisher key.
+  common::Status register_tenant(const std::string& name,
+                                 const crypto::PublicKey& publisher_key);
+  const Tenant* tenant(const std::string& name) const;
+  const std::map<std::string, Tenant>& tenants() const { return tenants_; }
+
+ private:
+  void build_pki();
+  void build_pon();
+  void build_host();
+  void build_middleware();
+
+  PlatformConfig config_;
+  common::SimClock clock_;
+  common::MemorySink sink_;
+  common::Logger logger_;
+  common::EventBus bus_;
+  common::Rng rng_;
+
+  std::unique_ptr<crypto::CertificateAuthority> root_ca_;
+  crypto::TrustStore trust_;
+
+  std::unique_ptr<pon::Odn> odn_;
+  std::unique_ptr<pon::Olt> olt_;
+  std::vector<std::unique_ptr<pon::Onu>> onus_;
+
+  os::Host host_;
+  std::unique_ptr<os::Tpm> tpm_;
+  std::unique_ptr<os::BootChain> boot_chain_;
+  std::unique_ptr<os::FileIntegrityMonitor> fim_;
+  std::unique_ptr<crypto::SigningKey> fim_key_;
+
+  std::unique_ptr<middleware::Cluster> cluster_;
+  std::unique_ptr<middleware::VmManager> vmm_;
+  std::unique_ptr<middleware::SdnController> onos_;
+  std::unique_ptr<middleware::SdnController> voltha_;
+
+  appsec::ImageRegistry registry_;
+  appsec::FalcoMonitor falco_;
+  appsec::SandboxEnforcer sandbox_;
+  vuln::CveDatabase cve_db_;
+
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace genio::core

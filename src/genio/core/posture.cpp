@@ -1,0 +1,117 @@
+#include "genio/core/posture.hpp"
+
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/hardening/auditor.hpp"
+
+namespace genio::core {
+
+double PostureReport::overall_score() const {
+  double score = 0.0;
+  // Host (25): hardening index scaled.
+  score += 0.25 * hardening_index;
+  // Boot (10).
+  score += boot_verified ? 10.0 : 0.0;
+  // PON (20): encryption + authentication.
+  score += pon_encrypted ? 10.0 : 0.0;
+  score += pon_authenticated ? 10.0 : 0.0;
+  // Middleware (20): penalize findings.
+  const double mw = 20.0 - 2.0 * static_cast<double>(cluster_findings + hunter_findings);
+  score += mw > 0 ? mw : 0.0;
+  // Pipeline gates (15): 2.5 points each of the six.
+  score += 2.5 * pipeline_gates_active;
+  // Tenancy (10): PEACH mean.
+  score += 10.0 * peach.mean_score();
+  return score;
+}
+
+std::string PostureReport::grade() const {
+  const double score = overall_score();
+  if (score >= 90) return "A";
+  if (score >= 80) return "B";
+  if (score >= 65) return "C";
+  if (score >= 50) return "D";
+  return "F";
+}
+
+PostureReport evaluate_posture(GenioPlatform& platform,
+                               const os::BootReport& boot_report) {
+  PostureReport report;
+
+  hardening::HostAuditor auditor;
+  const auto audit = auditor.audit(platform.host());
+  report.hardening_index = audit.hardening_index();
+  report.host_findings = audit.total_findings();
+  report.boot_verified = boot_report.booted && platform.config().secure_boot;
+
+  report.pon_encrypted = platform.config().pon_encryption;
+  report.pon_authenticated = platform.config().node_authentication;
+  for (const auto& onu : platform.onus()) {
+    report.onus_operational += onu->state() == pon::OnuState::kOperational ? 1 : 0;
+  }
+
+  const std::vector<middleware::CheckerReport> checker_reports = {
+      middleware::make_kube_bench().run(platform.cluster()),
+      middleware::make_kubescape().run(platform.cluster()),
+      middleware::make_kubesec().run(platform.cluster())};
+  report.cluster_findings = middleware::union_findings(checker_reports).size();
+  report.hunter_findings = middleware::hunt(platform.cluster()).findings.size();
+
+  const auto& config = platform.config();
+  report.pipeline_gates_active =
+      (config.require_image_signature ? 1 : 0) + (config.sca_gate ? 1 : 0) +
+      (config.sast_gate ? 1 : 0) + (config.secret_gate ? 1 : 0) +
+      (config.malware_gate ? 1 : 0) + (config.sandbox_enabled ? 1 : 0);
+
+  // PEACH assessment derived from the running configuration.
+  appsec::PeachAssessment tenant_api{
+      "tenant REST API",
+      /*privilege=*/config.least_privilege_rbac ? 2 : 0,
+      /*encryption=*/config.pon_encryption ? 2 : 0,
+      /*authentication=*/config.anonymous_api ? 0 : 2,
+      /*connectivity=*/config.hardened_admission ? 2 : 1,
+      /*hygiene=*/config.hardened_admission ? 2 : 1,
+      /*complexity=*/1};
+  appsec::PeachAssessment runtime{
+      "container runtime (soft isolation)",
+      /*privilege=*/config.hardened_admission ? 2 : 0,
+      /*encryption=*/1,
+      /*authentication=*/2,
+      /*connectivity=*/config.hardened_admission ? 1 : 0,
+      /*hygiene=*/config.sandbox_enabled ? 2 : 0,
+      /*complexity=*/2};
+  appsec::PeachAssessment pon_path{
+      "PON data path",
+      /*privilege=*/2,
+      /*encryption=*/config.pon_encryption ? 2 : 0,
+      /*authentication=*/config.node_authentication ? 2 : 0,
+      /*connectivity=*/config.pon_encryption ? 2 : 0,  // broadcast physics!
+      /*hygiene=*/2,
+      /*complexity=*/1};
+  report.peach.assessments = {tenant_api, runtime, pon_path};
+  return report;
+}
+
+std::string render_posture(const PostureReport& report) {
+  common::Table table({"section", "status"});
+  table.add_row({"host hardening index",
+                 common::format_double(report.hardening_index, 1) + "/100 (" +
+                     std::to_string(report.host_findings) + " findings)"});
+  table.add_row({"verified boot", report.boot_verified ? "yes" : "NO"});
+  table.add_row({"PON data path",
+                 std::string(report.pon_encrypted ? "encrypted" : "PLAINTEXT") + ", " +
+                     (report.pon_authenticated ? "authenticated" : "UNAUTHENTICATED")});
+  table.add_row({"ONUs operational", std::to_string(report.onus_operational)});
+  table.add_row({"cluster misconfigurations", std::to_string(report.cluster_findings)});
+  table.add_row({"active-probe findings", std::to_string(report.hunter_findings)});
+  table.add_row({"pipeline gates active",
+                 std::to_string(report.pipeline_gates_active) + "/6"});
+  table.add_row({"PEACH isolation",
+                 common::format_double(report.peach.mean_score(), 2) + " (" +
+                     appsec::to_string(report.peach.overall_tier()) + ")"});
+  table.add_row({"OVERALL", common::format_double(report.overall_score(), 1) +
+                                "/100 — grade " + report.grade()});
+  return table.render();
+}
+
+}  // namespace genio::core

@@ -1,0 +1,46 @@
+// Security posture evaluation: one consolidated report over a running
+// platform — host hardening index (M1/M2/M8), boot/attestation state
+// (M5), PON protection state (M3/M4), cluster misconfiguration findings
+// (M11), active-probe results, pipeline gate status, and the PEACH
+// tenant-isolation assessment (M17). The CE-marking/CRA-alignment view
+// the paper says drove the platform design.
+#pragma once
+
+#include "genio/appsec/peach.hpp"
+#include "genio/core/platform.hpp"
+#include "genio/middleware/checkers.hpp"
+#include "genio/middleware/hunter.hpp"
+
+namespace genio::core {
+
+struct PostureReport {
+  // Host.
+  double hardening_index = 0.0;  // 0-100
+  std::size_t host_findings = 0;
+  bool boot_verified = false;
+  // PON.
+  bool pon_encrypted = false;
+  bool pon_authenticated = false;
+  int onus_operational = 0;
+  // Middleware.
+  std::size_t cluster_findings = 0;
+  std::size_t hunter_findings = 0;
+  // Application.
+  int pipeline_gates_active = 0;  // of 6 (signature, sca, sast, secrets, malware, sandbox)
+  // Tenancy.
+  appsec::PeachReport peach;
+
+  /// Aggregate score 0-100 (weighted sections).
+  double overall_score() const;
+  std::string grade() const;  // "A".."F"
+};
+
+/// Evaluate the platform's current posture. `boot_report` should come from
+/// the most recent boot_host() call.
+PostureReport evaluate_posture(GenioPlatform& platform,
+                               const os::BootReport& boot_report);
+
+/// Render the report as a text block for operators.
+std::string render_posture(const PostureReport& report);
+
+}  // namespace genio::core

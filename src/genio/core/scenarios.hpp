@@ -1,0 +1,50 @@
+// Executable attack scenarios for threats T1–T8. Each scenario runs the
+// same attack twice — once against an unmitigated platform and once
+// against the hardened one — and reports whether the attack succeeded and
+// what stopped or detected it. bench_fig3_coverage turns the results into
+// the paper's Fig. 3 matrix; tests assert the expected contrast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/core/platform.hpp"
+
+namespace genio::core {
+
+struct ScenarioOutcome {
+  bool attack_succeeded = false;
+  bool detected = false;           // an alert/log/counter caught it
+  std::string blocked_by;          // mitigation id(s) that stopped it
+  std::string detected_by;         // mechanism that observed it
+  std::vector<std::string> notes;
+};
+
+struct ScenarioResult {
+  std::string threat_id;   // "T1"
+  std::string name;
+  ScenarioOutcome unmitigated;
+  ScenarioOutcome mitigated;
+
+  /// The reproduction claim: the attack works without the mitigations and
+  /// is blocked or at least detected with them.
+  bool contrast_holds() const {
+    return unmitigated.attack_succeeded &&
+           (!mitigated.attack_succeeded || mitigated.detected);
+  }
+};
+
+/// Individual scenarios (exposed for focused tests).
+ScenarioResult run_t1_network_attacks();
+ScenarioResult run_t2_code_tampering();
+ScenarioResult run_t3_os_privilege_abuse();
+ScenarioResult run_t4_low_level_vulnerabilities();
+ScenarioResult run_t5_middleware_privilege_abuse();
+ScenarioResult run_t6_middleware_vulnerabilities();
+ScenarioResult run_t7_vulnerable_applications();
+ScenarioResult run_t8_malicious_applications();
+
+/// All eight, in order.
+std::vector<ScenarioResult> run_all_scenarios();
+
+}  // namespace genio::core

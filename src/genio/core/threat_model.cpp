@@ -1,0 +1,155 @@
+#include "genio/core/threat_model.hpp"
+
+#include "genio/common/table.hpp"
+
+namespace genio::core {
+
+std::string to_string(ArchLevel level) {
+  switch (level) {
+    case ArchLevel::kInfrastructure: return "infrastructure";
+    case ArchLevel::kMiddleware: return "middleware";
+    case ArchLevel::kApplication: return "application";
+  }
+  return "unknown";
+}
+
+std::string to_string(Stride category) {
+  switch (category) {
+    case Stride::kSpoofing: return "Spoofing";
+    case Stride::kTampering: return "Tampering";
+    case Stride::kRepudiation: return "Repudiation";
+    case Stride::kInformationDisclosure: return "InformationDisclosure";
+    case Stride::kDenialOfService: return "DenialOfService";
+    case Stride::kElevationOfPrivilege: return "ElevationOfPrivilege";
+  }
+  return "unknown";
+}
+
+const std::vector<Threat>& threat_catalog() {
+  static const std::vector<Threat> kThreats = {
+      {"T1", "Network Attacks", ArchLevel::kInfrastructure,
+       {Stride::kSpoofing, Stride::kTampering, Stride::kInformationDisclosure},
+       "Eavesdropping, interception/replay, downstream hijacking, ONU "
+       "impersonation, fiber tapping across OLTs, ONUs and inter-OLT links"},
+      {"T2", "Code Tampering", ArchLevel::kInfrastructure,
+       {Stride::kTampering, Stride::kElevationOfPrivilege},
+       "Firmware manipulation, untrusted patching, backdoored hypervisors, "
+       "kernels and system binaries for persistent control"},
+      {"T3", "Privilege Abuse (OS)", ArchLevel::kInfrastructure,
+       {Stride::kElevationOfPrivilege},
+       "Misconfigured OS accounts, services and files enabling privilege "
+       "escalation and persistence"},
+      {"T4", "Software Vulnerabilities (low-level)", ArchLevel::kInfrastructure,
+       {Stride::kElevationOfPrivilege, Stride::kTampering},
+       "Unpatched kernel/userspace flaws enabling kernel exploits and "
+       "container escapes on remotely managed OLTs/ONUs"},
+      {"T5", "Privilege Abuse (middleware)", ArchLevel::kMiddleware,
+       {Stride::kElevationOfPrivilege, Stride::kSpoofing},
+       "Overprivileged roles, unrestricted API access, weak RBAC and "
+       "insecure middleware defaults enabling lateral movement"},
+      {"T6", "Software Vulnerabilities (middleware)", ArchLevel::kMiddleware,
+       {Stride::kTampering, Stride::kInformationDisclosure},
+       "Bugs in orchestration/network-management workflows and vulnerable "
+       "third-party dependencies exposing middleware resources"},
+      {"T7", "Vulnerable Applications", ArchLevel::kApplication,
+       {Stride::kTampering, Stride::kInformationDisclosure,
+        Stride::kElevationOfPrivilege},
+       "Third-party application flaws: injection, deserialization, memory "
+       "corruption leading to tenant compromise and RCE"},
+      {"T8", "Malicious Applications", ArchLevel::kApplication,
+       {Stride::kElevationOfPrivilege, Stride::kDenialOfService},
+       "Deliberately malicious images: hidden malware, privileged-syscall "
+       "abuse, container escape, resource monopolization"},
+  };
+  return kThreats;
+}
+
+const std::vector<Mitigation>& mitigation_catalog() {
+  static const std::vector<Mitigation> kMitigations = {
+      {"M1", "OS environment configurations", ArchLevel::kInfrastructure,
+       "OpenSCAP, SCAP benchmarks, STIGs"},
+      {"M2", "OS kernel hardening", ArchLevel::kInfrastructure,
+       "kernel-hardening-checker, AppArmor/SELinux, microcode updates"},
+      {"M3", "End-to-End Encryption", ArchLevel::kInfrastructure,
+       "MACsec (IEEE 802.1AE), ITU-T G.987.3 AES payload encryption"},
+      {"M4", "Authentication of Nodes", ArchLevel::kInfrastructure,
+       "PKI certificates, TLS 1.3, secure DNS"},
+      {"M5", "Secure Boot", ArchLevel::kInfrastructure,
+       "Shim, GRUB, TPM measured boot (PCRs)"},
+      {"M6", "Secure Storage", ArchLevel::kInfrastructure, "LUKS, Clevis, TPM"},
+      {"M7", "File Integrity Monitoring", ArchLevel::kInfrastructure, "Tripwire"},
+      {"M8", "Automated Scanning (host)", ArchLevel::kInfrastructure,
+       "OpenSCAP, Lynis, Vuls"},
+      {"M9", "Signed Updates", ArchLevel::kInfrastructure,
+       "APT GPG, ONIE X.509 (NIST SP 800-193)"},
+      {"M10", "Access Control", ArchLevel::kMiddleware,
+       "Kubernetes RBAC, Proxmox ACL, ONOS/VOLTHA authn/authz"},
+      {"M11", "Security Guideline Compliance", ArchLevel::kMiddleware,
+       "NSA K8s guidance, CIS benchmarks, docker-bench, kube-bench, kubesec, "
+       "kube-hunter, kubescape"},
+      {"M12", "Automated Scanning and Patching", ArchLevel::kMiddleware,
+       "Kubernetes CVE feed, NVD API, KBOM"},
+      {"M13", "Container Security and SCA", ArchLevel::kApplication,
+       "Docker Bench, Trivy, OWASP Dependency Check"},
+      {"M14", "Static Application Security Testing", ArchLevel::kApplication,
+       "SpotBugs, Pylint, Semgrep, Bandit, Crane"},
+      {"M15", "Dynamic Application Security Testing", ArchLevel::kApplication,
+       "CATS REST fuzzer, Nmap"},
+      {"M16", "Malware Signature", ArchLevel::kApplication, "Deepfence YaraHunter"},
+      {"M17", "Isolation & Sandboxing", ArchLevel::kApplication,
+       "KubeArmor (LSM), PEACH framework"},
+      {"M18", "Runtime Monitoring", ArchLevel::kApplication, "Falco (eBPF)"},
+  };
+  return kMitigations;
+}
+
+const std::map<std::string, std::vector<std::string>>& coverage_map() {
+  static const std::map<std::string, std::vector<std::string>> kMap = {
+      {"T1", {"M3", "M4"}},
+      {"T2", {"M5", "M6", "M7", "M9"}},
+      {"T3", {"M1", "M2"}},
+      {"T4", {"M8", "M9"}},
+      {"T5", {"M10", "M11"}},
+      {"T6", {"M12"}},
+      {"T7", {"M13", "M14", "M15"}},
+      {"T8", {"M16", "M17", "M18"}},
+  };
+  return kMap;
+}
+
+const Threat* find_threat(const std::string& id) {
+  for (const auto& threat : threat_catalog()) {
+    if (threat.id == id) return &threat;
+  }
+  return nullptr;
+}
+
+const Mitigation* find_mitigation(const std::string& id) {
+  for (const auto& mitigation : mitigation_catalog()) {
+    if (mitigation.id == id) return &mitigation;
+  }
+  return nullptr;
+}
+
+std::string render_coverage_matrix() {
+  common::Table table({"threat", "level", "name", "mitigations", "OSS solutions"});
+  for (const auto& threat : threat_catalog()) {
+    std::string mit_ids;
+    std::string tools;
+    const auto it = coverage_map().find(threat.id);
+    if (it != coverage_map().end()) {
+      for (const auto& mid : it->second) {
+        if (!mit_ids.empty()) mit_ids += " ";
+        mit_ids += mid;
+        if (const Mitigation* m = find_mitigation(mid)) {
+          if (!tools.empty()) tools += "; ";
+          tools += m->oss_tools;
+        }
+      }
+    }
+    table.add_row({threat.id, to_string(threat.level), threat.name, mit_ids, tools});
+  }
+  return table.render();
+}
+
+}  // namespace genio::core

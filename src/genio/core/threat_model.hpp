@@ -1,0 +1,57 @@
+// The paper's threat model as data: threats T1–T8 (STRIDE-categorized,
+// per architectural level), mitigations M1–M18, and the coverage map
+// between them — the content of Fig. 3, used by bench_fig3_coverage and
+// the scenario engine.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace genio::core {
+
+enum class ArchLevel { kInfrastructure, kMiddleware, kApplication };
+std::string to_string(ArchLevel level);
+
+/// STRIDE categories.
+enum class Stride {
+  kSpoofing,
+  kTampering,
+  kRepudiation,
+  kInformationDisclosure,
+  kDenialOfService,
+  kElevationOfPrivilege,
+};
+std::string to_string(Stride category);
+
+struct Threat {
+  std::string id;    // "T1"
+  std::string name;  // "Network Attacks"
+  ArchLevel level = ArchLevel::kInfrastructure;
+  std::set<Stride> stride;
+  std::string description;
+};
+
+struct Mitigation {
+  std::string id;    // "M3"
+  std::string name;  // "End-to-End Encryption"
+  ArchLevel level = ArchLevel::kInfrastructure;
+  std::string oss_tools;  // the OSS the paper used ("MACsec, ITU-T G.987.3")
+};
+
+/// The eight threats of Section III.
+const std::vector<Threat>& threat_catalog();
+/// The eighteen mitigations of Sections IV–VI. The paper numbers two
+/// items "M13"; we follow DESIGN.md and call the SAST one M14.
+const std::vector<Mitigation>& mitigation_catalog();
+/// threat id -> mitigation ids addressing it (Fig. 3's mapping).
+const std::map<std::string, std::vector<std::string>>& coverage_map();
+
+const Threat* find_threat(const std::string& id);
+const Mitigation* find_mitigation(const std::string& id);
+
+/// Render the Fig. 3 coverage matrix as a text table.
+std::string render_coverage_matrix();
+
+}  // namespace genio::core

@@ -1,0 +1,41 @@
+// AES-128 (FIPS 197) forward cipher plus CTR mode. Only the forward
+// transform is implemented because every mode the platform uses (CTR, GCM)
+// runs AES exclusively in the encrypt direction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "genio/common/bytes.hpp"
+
+namespace genio::crypto {
+
+using common::Bytes;
+using common::BytesView;
+
+/// 128-bit AES key.
+using AesKey = std::array<std::uint8_t, 16>;
+/// One AES block.
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// Expanded-key AES-128 context.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypt a single 16-byte block.
+  AesBlock encrypt_block(const AesBlock& plaintext) const;
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
+};
+
+/// AES-128-CTR keystream XOR: encryption and decryption are the same
+/// operation. `iv` is the initial 16-byte counter block; the counter
+/// occupies the last 4 bytes (big-endian), as in NIST SP 800-38A examples.
+Bytes aes128_ctr(const AesKey& key, const AesBlock& iv, BytesView data);
+
+/// Build an AesKey from a byte view (must be exactly 16 bytes).
+AesKey make_aes_key(BytesView bytes);
+
+}  // namespace genio::crypto

@@ -1,0 +1,32 @@
+#include "genio/crypto/crc32.hpp"
+
+#include <array>
+
+namespace genio::crypto {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(common::BytesView data) {
+  static const auto kTable = build_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace genio::crypto

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial) — the frame check sequence on simulated
+// Ethernet/GEM frames. Detects accidental corruption only; the attack
+// scenarios demonstrate that CRC alone does NOT stop deliberate tampering,
+// which is exactly why MACsec (M3) is needed.
+#pragma once
+
+#include <cstdint>
+
+#include "genio/common/bytes.hpp"
+
+namespace genio::crypto {
+
+std::uint32_t crc32(common::BytesView data);
+
+}  // namespace genio::crypto

@@ -1,0 +1,139 @@
+#include "genio/crypto/gcm.hpp"
+
+#include <cstring>
+
+namespace genio::crypto {
+
+namespace {
+
+// Multiplication in GF(2^128) with the GCM polynomial, bitwise (simple and
+// adequate for a simulation substrate).
+AesBlock gf_mult(const AesBlock& x, const AesBlock& y) {
+  AesBlock z{};
+  AesBlock v = y;
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i / 8;
+    const int bit = 7 - (i % 8);
+    if ((x[static_cast<std::size_t>(byte)] >> bit) & 1) {
+      for (int j = 0; j < 16; ++j) z[static_cast<std::size_t>(j)] ^= v[static_cast<std::size_t>(j)];
+    }
+    // v = v >> 1 with conditional reduction by R = 0xe1 || 0^120.
+    const bool lsb = (v[15] & 1) != 0;
+    for (int j = 15; j > 0; --j) {
+      v[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+          (v[static_cast<std::size_t>(j)] >> 1) |
+          ((v[static_cast<std::size_t>(j - 1)] & 1) << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+void ghash_update(AesBlock& y, const AesBlock& h, BytesView data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    AesBlock block{};
+    const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+    std::memcpy(block.data(), data.data() + offset, n);
+    for (int i = 0; i < 16; ++i) {
+      y[static_cast<std::size_t>(i)] ^= block[static_cast<std::size_t>(i)];
+    }
+    y = gf_mult(y, h);
+    offset += n;
+  }
+}
+
+AesBlock length_block(std::uint64_t aad_bits, std::uint64_t ct_bits) {
+  AesBlock block{};
+  for (int i = 0; i < 8; ++i) {
+    block[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(aad_bits >> (56 - 8 * i));
+    block[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(ct_bits >> (56 - 8 * i));
+  }
+  return block;
+}
+
+AesBlock j0_from_nonce(const GcmNonce& nonce) {
+  AesBlock j0{};
+  std::memcpy(j0.data(), nonce.data(), 12);
+  j0[15] = 1;
+  return j0;
+}
+
+AesBlock inc32(AesBlock block) {
+  for (int i = 15; i >= 12; --i) {
+    if (++block[static_cast<std::size_t>(i)] != 0) break;
+  }
+  return block;
+}
+
+GcmTag compute_tag(const Aes128& cipher, const AesBlock& h, const AesBlock& j0,
+                   BytesView aad, BytesView ciphertext) {
+  AesBlock y{};
+  ghash_update(y, h, aad);
+  ghash_update(y, h, ciphertext);
+  AesBlock lens = length_block(aad.size() * 8, ciphertext.size() * 8);
+  for (int i = 0; i < 16; ++i) {
+    y[static_cast<std::size_t>(i)] ^= lens[static_cast<std::size_t>(i)];
+  }
+  y = gf_mult(y, h);
+
+  const AesBlock ek_j0 = cipher.encrypt_block(j0);
+  GcmTag tag;
+  for (int i = 0; i < 16; ++i) {
+    tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        y[static_cast<std::size_t>(i)] ^ ek_j0[static_cast<std::size_t>(i)]);
+  }
+  return tag;
+}
+
+Bytes gctr(const Aes128& cipher, AesBlock counter, BytesView data) {
+  Bytes out(data.begin(), data.end());
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    const AesBlock keystream = cipher.encrypt_block(counter);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[offset + i] ^= keystream[i];
+    }
+    counter = inc32(counter);
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+AesBlock ghash(const AesBlock& h, BytesView data) {
+  AesBlock y{};
+  ghash_update(y, h, data);
+  return y;
+}
+
+GcmSealed gcm_seal(const AesKey& key, const GcmNonce& nonce, BytesView plaintext,
+                   BytesView aad) {
+  const Aes128 cipher(key);
+  const AesBlock h = cipher.encrypt_block(AesBlock{});
+  const AesBlock j0 = j0_from_nonce(nonce);
+
+  GcmSealed sealed;
+  sealed.ciphertext = gctr(cipher, inc32(j0), plaintext);
+  sealed.tag = compute_tag(cipher, h, j0, aad, sealed.ciphertext);
+  return sealed;
+}
+
+Result<Bytes> gcm_open(const AesKey& key, const GcmNonce& nonce, BytesView ciphertext,
+                       const GcmTag& tag, BytesView aad) {
+  const Aes128 cipher(key);
+  const AesBlock h = cipher.encrypt_block(AesBlock{});
+  const AesBlock j0 = j0_from_nonce(nonce);
+
+  const GcmTag expected = compute_tag(cipher, h, j0, aad, ciphertext);
+  if (!common::constant_time_equal(BytesView(expected.data(), expected.size()),
+                                   BytesView(tag.data(), tag.size()))) {
+    return common::decryption_failed("GCM tag mismatch");
+  }
+  return gctr(cipher, inc32(j0), ciphertext);
+}
+
+}  // namespace genio::crypto

@@ -1,0 +1,37 @@
+// AES-128-GCM (NIST SP 800-38D): authenticated encryption used by the
+// MACsec layer (IEEE 802.1AE mandates AES-GCM) and by GPON payload
+// protection. Includes GHASH over GF(2^128).
+#pragma once
+
+#include "genio/common/result.hpp"
+#include "genio/crypto/aes.hpp"
+
+namespace genio::crypto {
+
+using common::Result;
+
+/// 96-bit GCM nonce (the recommended size; deterministic construction from
+/// packet numbers, per 802.1AE).
+using GcmNonce = std::array<std::uint8_t, 12>;
+/// 128-bit authentication tag.
+using GcmTag = std::array<std::uint8_t, 16>;
+
+struct GcmSealed {
+  Bytes ciphertext;
+  GcmTag tag;
+};
+
+/// Encrypt-and-authenticate. `aad` is authenticated but not encrypted
+/// (frame headers in MACsec).
+GcmSealed gcm_seal(const AesKey& key, const GcmNonce& nonce, BytesView plaintext,
+                   BytesView aad);
+
+/// Verify-and-decrypt. Fails with kDecryptionFailed if the tag does not
+/// match (tampered ciphertext, wrong key, or wrong AAD).
+Result<Bytes> gcm_open(const AesKey& key, const GcmNonce& nonce, BytesView ciphertext,
+                       const GcmTag& tag, BytesView aad);
+
+/// GHASH(H, data) — exposed for tests against NIST vectors.
+AesBlock ghash(const AesBlock& h, BytesView data);
+
+}  // namespace genio::crypto

@@ -1,0 +1,67 @@
+#include "genio/crypto/hmac.hpp"
+
+#include <stdexcept>
+
+namespace genio::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, 64> block_key{};
+  if (key.size() > 64) {
+    const Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest hmac_sha256(BytesView key, std::string_view text) {
+  return hmac_sha256(
+      key, BytesView(reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  static const std::array<std::uint8_t, 32> kZeroSalt{};
+  if (salt.empty()) salt = BytesView(kZeroSalt.data(), kZeroSalt.size());
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(const Digest& prk, BytesView info, std::size_t length) {
+  if (length > 255 * 32) throw std::invalid_argument("hkdf_expand length too large");
+  Bytes okm;
+  okm.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = previous;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const Digest t = hmac_sha256(BytesView(prk.data(), prk.size()), block);
+    previous.assign(t.begin(), t.end());
+    const std::size_t take = std::min<std::size_t>(32, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace genio::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HMAC authenticates frames and
+// sealed blobs; HKDF derives session keys in the node-authentication
+// handshake (M4) and MACsec key hierarchy (M3).
+#pragma once
+
+#include "genio/crypto/sha256.hpp"
+
+namespace genio::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+Digest hmac_sha256(BytesView key, BytesView data);
+Digest hmac_sha256(BytesView key, std::string_view text);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derive `length` bytes (length <= 255*32) bound to `info`.
+Bytes hkdf_expand(const Digest& prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace genio::crypto

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. This is the root hash for
+// everything integrity-related in the platform: TPM PCR extension, Merkle
+// signatures, file-integrity baselines, package digests, and certificates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "genio/common/bytes.hpp"
+
+namespace genio::crypto {
+
+using common::Bytes;
+using common::BytesView;
+
+/// 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Streaming SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view text);
+
+  /// Finalize and return the digest. The context must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+  static Digest hash(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest -> Bytes (for APIs that move byte buffers around).
+Bytes digest_bytes(const Digest& d);
+/// Digest -> lowercase hex.
+std::string digest_hex(const Digest& d);
+
+}  // namespace genio::crypto

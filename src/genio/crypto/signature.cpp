@@ -1,0 +1,226 @@
+#include "genio/crypto/signature.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "genio/crypto/hmac.hpp"
+
+namespace genio::crypto {
+
+namespace {
+
+constexpr int kWinternitz = 16;   // w
+constexpr int kLen1 = 64;         // 256 bits / 4 bits-per-digit
+constexpr int kLen2 = 3;          // checksum digits: max 64*15=960 < 16^3
+constexpr int kLen = kLen1 + kLen2;
+
+// PRF for chain seeds: leaf-and-chain-scoped secret start values.
+Digest chain_seed(BytesView seed, std::uint32_t leaf, int chain) {
+  Bytes info;
+  info.reserve(16);
+  common::put_u32_be(info, leaf);
+  common::put_u32_be(info, static_cast<std::uint32_t>(chain));
+  return hmac_sha256(seed, info);
+}
+
+// One step of the WOTS chain; domain-separated by position to resist
+// multi-target shortcuts.
+Digest chain_step(const Digest& value, int chain, int step) {
+  Bytes data;
+  data.reserve(40);
+  data.insert(data.end(), value.begin(), value.end());
+  common::put_u32_be(data, static_cast<std::uint32_t>(chain));
+  common::put_u32_be(data, static_cast<std::uint32_t>(step));
+  return Sha256::hash(data);
+}
+
+Digest chain_apply(Digest value, int chain, int from, int steps) {
+  for (int s = 0; s < steps; ++s) value = chain_step(value, chain, from + s);
+  return value;
+}
+
+// Map a message digest to 67 base-16 digits (64 message + 3 checksum).
+std::array<int, kLen> message_digits(BytesView message) {
+  const Digest digest = Sha256::hash(message);
+  std::array<int, kLen> digits{};
+  for (int i = 0; i < 32; ++i) {
+    digits[static_cast<std::size_t>(2 * i)] = digest[static_cast<std::size_t>(i)] >> 4;
+    digits[static_cast<std::size_t>(2 * i + 1)] = digest[static_cast<std::size_t>(i)] & 0x0f;
+  }
+  int checksum = 0;
+  for (int i = 0; i < kLen1; ++i) checksum += (kWinternitz - 1) - digits[static_cast<std::size_t>(i)];
+  for (int i = 0; i < kLen2; ++i) {
+    digits[static_cast<std::size_t>(kLen1 + i)] = (checksum >> (4 * (kLen2 - 1 - i))) & 0x0f;
+  }
+  return digits;
+}
+
+// Compress the 67 chain-top values into the WOTS public key hash (a leaf).
+Digest compress_pk(const std::vector<Digest>& tops) {
+  Sha256 h;
+  for (const auto& t : tops) h.update(BytesView(t.data(), t.size()));
+  return h.finish();
+}
+
+Digest hash_pair(const Digest& left, const Digest& right) {
+  Sha256 h;
+  h.update(BytesView(left.data(), left.size()));
+  h.update(BytesView(right.data(), right.size()));
+  return h.finish();
+}
+
+}  // namespace
+
+Bytes Signature::serialize() const {
+  Bytes out;
+  common::put_u32_be(out, leaf_index);
+  common::put_u32_be(out, static_cast<std::uint32_t>(wots_chains.size()));
+  common::put_u32_be(out, static_cast<std::uint32_t>(auth_path.size()));
+  for (const auto& d : wots_chains) out.insert(out.end(), d.begin(), d.end());
+  for (const auto& d : auth_path) out.insert(out.end(), d.begin(), d.end());
+  return out;
+}
+
+Result<Signature> Signature::deserialize(BytesView data) {
+  if (data.size() < 12) return common::parse_error("signature too short");
+  Signature sig;
+  sig.leaf_index = common::get_u32_be(data, 0);
+  const std::uint32_t n_chains = common::get_u32_be(data, 4);
+  const std::uint32_t n_path = common::get_u32_be(data, 8);
+  if (n_chains != kLen || n_path > 32) {
+    return common::parse_error("signature has invalid structure");
+  }
+  const std::size_t expect = 12 + 32ull * (n_chains + n_path);
+  if (data.size() != expect) return common::parse_error("signature length mismatch");
+  std::size_t offset = 12;
+  auto read_digest = [&] {
+    Digest d;
+    std::memcpy(d.data(), data.data() + offset, 32);
+    offset += 32;
+    return d;
+  };
+  sig.wots_chains.reserve(n_chains);
+  for (std::uint32_t i = 0; i < n_chains; ++i) sig.wots_chains.push_back(read_digest());
+  sig.auth_path.reserve(n_path);
+  for (std::uint32_t i = 0; i < n_path; ++i) sig.auth_path.push_back(read_digest());
+  return sig;
+}
+
+std::string PublicKey::fingerprint() const {
+  Bytes data(root.begin(), root.end());
+  data.push_back(height);
+  return digest_hex(Sha256::hash(data)).substr(0, 16);
+}
+
+SigningKey SigningKey::generate(BytesView seed, std::uint8_t height) {
+  if (height < 1 || height > 20) {
+    throw std::invalid_argument("SigningKey height must be in [1, 20]");
+  }
+  SigningKey key;
+  key.seed_.assign(seed.begin(), seed.end());
+  key.height_ = height;
+
+  const std::uint32_t n_leaves = 1u << height;
+  std::vector<Digest> leaves;
+  leaves.reserve(n_leaves);
+  for (std::uint32_t leaf = 0; leaf < n_leaves; ++leaf) {
+    std::vector<Digest> tops;
+    tops.reserve(kLen);
+    for (int c = 0; c < kLen; ++c) {
+      tops.push_back(chain_apply(chain_seed(key.seed_, leaf, c), c, 0, kWinternitz - 1));
+    }
+    leaves.push_back(compress_pk(tops));
+  }
+
+  key.tree_.push_back(std::move(leaves));
+  while (key.tree_.back().size() > 1) {
+    const auto& below = key.tree_.back();
+    std::vector<Digest> level;
+    level.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      level.push_back(hash_pair(below[i], below[i + 1]));
+    }
+    key.tree_.push_back(std::move(level));
+  }
+  key.public_key_.root = key.tree_.back()[0];
+  key.public_key_.height = height;
+  return key;
+}
+
+std::uint32_t SigningKey::signatures_remaining() const {
+  return (1u << height_) - next_leaf_;
+}
+
+Result<Signature> SigningKey::sign(BytesView message) {
+  if (signatures_remaining() == 0) {
+    return common::resource_exhausted("one-time signature leaves exhausted");
+  }
+  const std::uint32_t leaf = next_leaf_++;
+  const auto digits = message_digits(message);
+
+  Signature sig;
+  sig.leaf_index = leaf;
+  sig.wots_chains.reserve(kLen);
+  for (int c = 0; c < kLen; ++c) {
+    sig.wots_chains.push_back(
+        chain_apply(chain_seed(seed_, leaf, c), c, 0, digits[static_cast<std::size_t>(c)]));
+  }
+
+  std::uint32_t index = leaf;
+  for (std::uint8_t level = 0; level < height_; ++level) {
+    const std::uint32_t sibling = index ^ 1u;
+    sig.auth_path.push_back(tree_[level][sibling]);
+    index >>= 1;
+  }
+  return sig;
+}
+
+Result<Signature> SigningKey::sign(std::string_view message) {
+  return sign(BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                        message.size()));
+}
+
+Status verify(const PublicKey& public_key, BytesView message, const Signature& signature) {
+  if (signature.wots_chains.size() != kLen) {
+    return common::signature_invalid("wrong WOTS chain count");
+  }
+  if (signature.auth_path.size() != public_key.height) {
+    return common::signature_invalid("auth path length does not match key height");
+  }
+  if (signature.leaf_index >= (1u << public_key.height)) {
+    return common::signature_invalid("leaf index out of range");
+  }
+
+  const auto digits = message_digits(message);
+  std::vector<Digest> tops;
+  tops.reserve(kLen);
+  for (int c = 0; c < kLen; ++c) {
+    const int done = digits[static_cast<std::size_t>(c)];
+    tops.push_back(chain_apply(signature.wots_chains[static_cast<std::size_t>(c)], c, done,
+                               (kWinternitz - 1) - done));
+  }
+  Digest node = compress_pk(tops);
+
+  std::uint32_t index = signature.leaf_index;
+  for (std::uint8_t level = 0; level < public_key.height; ++level) {
+    const Digest& sibling = signature.auth_path[level];
+    node = (index & 1u) ? hash_pair(sibling, node) : hash_pair(node, sibling);
+    index >>= 1;
+  }
+
+  if (!common::constant_time_equal(BytesView(node.data(), node.size()),
+                                   BytesView(public_key.root.data(), public_key.root.size()))) {
+    return common::signature_invalid("Merkle root mismatch");
+  }
+  return Status::success();
+}
+
+Status verify(const PublicKey& public_key, std::string_view message,
+              const Signature& signature) {
+  return verify(public_key,
+                BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                          message.size()),
+                signature);
+}
+
+}  // namespace genio::crypto

@@ -1,0 +1,40 @@
+#include "genio/hardening/auditor.hpp"
+
+namespace genio::hardening {
+
+double AuditReport::hardening_index() const {
+  const double kernel_total = kernel_checks_total == 0 ? 1.0
+                                                       : static_cast<double>(kernel_checks_total);
+  const double kernel_score =
+      1.0 - static_cast<double>(kernel_findings.size()) / kernel_total;
+  return 100.0 * (0.4 * scap.score() + 0.3 * stig.score() + 0.3 * kernel_score);
+}
+
+std::size_t AuditReport::total_findings() const {
+  return scap.failures().size() + stig.failures().size() + kernel_findings.size();
+}
+
+AuditReport HostAuditor::audit(const Host& host) const {
+  AuditReport report;
+  report.scap = scap_.evaluate(host);
+  report.stig = stig_.evaluate(host);
+  report.kernel_findings = kernel_.check(host.kernel());
+  report.kernel_checks_total = kernel_.baseline().kconfig.size() +
+                               kernel_.baseline().sysctl.size() +
+                               kernel_.baseline().cmdline.size() +
+                               (kernel_.baseline().require_microcode ? 1 : 0);
+  return report;
+}
+
+int HostAuditor::harden(Host& host) const {
+  int applied = scap_.remediate(host);
+  applied += stig_.remediate(host);
+  const auto kernel_findings = kernel_.check(host.kernel());
+  if (!kernel_findings.empty()) {
+    kernel_.remediate(host.kernel());
+    applied += static_cast<int>(kernel_findings.size());
+  }
+  return applied;
+}
+
+}  // namespace genio::hardening

@@ -1,0 +1,43 @@
+// Lynis-style host auditor (M8): runs the SCAP benchmark, the STIG
+// profile, and the kernel checker in one sweep and produces a single
+// "hardening index" (0–100) plus the per-area breakdown — the periodic
+// scan GENIO schedules on OLT/ONU hosts.
+#pragma once
+
+#include "genio/hardening/check.hpp"
+#include "genio/hardening/kernel_checker.hpp"
+#include "genio/hardening/scap.hpp"
+
+namespace genio::hardening {
+
+struct AuditReport {
+  ComplianceReport scap;
+  ComplianceReport stig;
+  std::vector<KernelFinding> kernel_findings;
+  std::size_t kernel_checks_total = 0;
+
+  /// Weighted 0–100 score: 40% SCAP, 30% STIG, 30% kernel.
+  double hardening_index() const;
+  /// Total failing checks across all areas.
+  std::size_t total_findings() const;
+};
+
+class HostAuditor {
+ public:
+  HostAuditor()
+      : scap_(make_scap_benchmark()),
+        stig_(make_stig_profile()),
+        kernel_(hardened_kernel_baseline()) {}
+
+  AuditReport audit(const Host& host) const;
+
+  /// Remediate everything remediable, returning the number of fixes.
+  int harden(Host& host) const;
+
+ private:
+  Benchmark scap_;
+  Benchmark stig_;
+  KernelChecker kernel_;
+};
+
+}  // namespace genio::hardening

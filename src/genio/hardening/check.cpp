@@ -1,0 +1,84 @@
+#include "genio/hardening/check.hpp"
+
+#include <algorithm>
+
+namespace genio::hardening {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kLow: return "low";
+    case Severity::kMedium: return "medium";
+    case Severity::kHigh: return "high";
+    case Severity::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+std::string to_string(CheckResult result) {
+  switch (result) {
+    case CheckResult::kPass: return "pass";
+    case CheckResult::kFail: return "fail";
+    case CheckResult::kNotApplicable: return "n/a";
+  }
+  return "unknown";
+}
+
+bool Rule::applies_to(const Host& host) const {
+  if (authored_for.empty()) return true;
+  return std::find(authored_for.begin(), authored_for.end(), host.distro()) !=
+         authored_for.end();
+}
+
+double ComplianceReport::score() const {
+  const int considered = passed + failed;
+  if (considered == 0) return 1.0;
+  return static_cast<double>(passed) / considered;
+}
+
+double ComplianceReport::applicability() const {
+  const int total = passed + failed + not_applicable;
+  if (total == 0) return 1.0;
+  return static_cast<double>(passed + failed) / total;
+}
+
+std::vector<CheckOutcome> ComplianceReport::failures(Severity min_severity) const {
+  std::vector<CheckOutcome> out;
+  for (const auto& o : outcomes) {
+    if (o.result == CheckResult::kFail && o.severity >= min_severity) out.push_back(o);
+  }
+  return out;
+}
+
+ComplianceReport Benchmark::evaluate(const Host& host) const {
+  ComplianceReport report;
+  report.benchmark = name_;
+  for (const auto& rule : rules_) {
+    CheckOutcome outcome{rule.id, rule.title, rule.severity, CheckResult::kPass};
+    if (!rule.applies_to(host)) {
+      outcome.result = CheckResult::kNotApplicable;
+      ++report.not_applicable;
+    } else if (rule.passes(host)) {
+      outcome.result = CheckResult::kPass;
+      ++report.passed;
+    } else {
+      outcome.result = CheckResult::kFail;
+      ++report.failed;
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+int Benchmark::remediate(Host& host) const {
+  int applied = 0;
+  for (const auto& rule : rules_) {
+    if (!rule.applies_to(host)) continue;
+    if (rule.passes(host)) continue;
+    if (!rule.remediate) continue;
+    rule.remediate(host);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace genio::hardening

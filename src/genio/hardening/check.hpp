@@ -1,0 +1,86 @@
+// The declarative check/remediate engine behind the OpenSCAP- and
+// STIG-style benchmarks (M1) and the kernel-hardening checks (M2).
+// A Rule inspects the simulated host and may know how to remediate; a
+// Benchmark is a named collection producing scored compliance reports —
+// the same evaluate → remediate → re-evaluate loop the paper describes as
+// "iterative adjustments and reviews" (Lesson 1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "genio/os/host.hpp"
+
+namespace genio::hardening {
+
+using os::Host;
+
+enum class Severity { kLow, kMedium, kHigh, kCritical };
+std::string to_string(Severity severity);
+
+enum class CheckResult {
+  kPass,
+  kFail,
+  kNotApplicable,  // rule was written for another distro (Lesson 1)
+};
+std::string to_string(CheckResult result);
+
+struct Rule {
+  std::string id;          // "scap-ssh-01"
+  std::string title;       // "SSH root login disabled"
+  Severity severity = Severity::kMedium;
+  /// Distros the rule was authored for. Empty = universal. A rule whose
+  /// list does not include the host's distro evaluates kNotApplicable —
+  /// the Lesson 1 coverage gap on ONL.
+  std::vector<std::string> authored_for;
+
+  std::function<bool(const Host&)> passes;      // required
+  std::function<void(Host&)> remediate;          // optional
+
+  bool applies_to(const Host& host) const;
+};
+
+struct CheckOutcome {
+  std::string rule_id;
+  std::string title;
+  Severity severity = Severity::kMedium;
+  CheckResult result = CheckResult::kPass;
+};
+
+struct ComplianceReport {
+  std::string benchmark;
+  std::vector<CheckOutcome> outcomes;
+  int passed = 0;
+  int failed = 0;
+  int not_applicable = 0;
+
+  /// pass / (pass + fail); NA rules excluded (they are the coverage gap,
+  /// reported separately via applicability()).
+  double score() const;
+  /// Fraction of rules that applied at all — low on ONL (Lesson 1).
+  double applicability() const;
+  /// Failed outcomes at or above `min_severity`.
+  std::vector<CheckOutcome> failures(Severity min_severity = Severity::kLow) const;
+};
+
+class Benchmark {
+ public:
+  explicit Benchmark(std::string name) : name_(std::move(name)) {}
+
+  void add_rule(Rule rule) { rules_.push_back(std::move(rule)); }
+  const std::string& name() const { return name_; }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  ComplianceReport evaluate(const Host& host) const;
+
+  /// Apply every available remediation for failing, applicable rules.
+  /// Returns the number of remediations applied.
+  int remediate(Host& host) const;
+
+ private:
+  std::string name_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace genio::hardening

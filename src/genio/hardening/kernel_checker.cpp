@@ -1,0 +1,71 @@
+#include "genio/hardening/kernel_checker.hpp"
+
+namespace genio::hardening {
+
+KernelBaseline hardened_kernel_baseline() {
+  KernelBaseline baseline;
+  baseline.kconfig = {
+      // Memory protections (the paper's M2 examples).
+      {"CONFIG_STACKPROTECTOR", "y"},
+      {"CONFIG_STACKPROTECTOR_STRONG", "y"},
+      {"CONFIG_STRICT_KERNEL_RWX", "y"},
+      {"CONFIG_RANDOMIZE_BASE", "y"},
+      // High-risk functionality disabled (KEXEC, KPROBES per the paper).
+      {"CONFIG_KEXEC", "n"},
+      {"CONFIG_KPROBES", "n"},
+      {"CONFIG_DEVMEM", "n"},
+      // LSM mandatory access control.
+      {"CONFIG_SECURITY_APPARMOR", "y"},
+      // Supply-chain / runtime integrity.
+      {"CONFIG_MODULE_SIG", "y"},
+      {"CONFIG_BPF_UNPRIV_DEFAULT_OFF", "y"},
+  };
+  baseline.sysctl = {
+      {"kernel.kptr_restrict", "2"},
+      {"kernel.dmesg_restrict", "1"},
+      {"kernel.unprivileged_bpf_disabled", "1"},
+      {"net.ipv4.conf.all.rp_filter", "1"},
+      {"kernel.yama.ptrace_scope", "2"},
+  };
+  baseline.cmdline = {"mitigations=auto,nosmt", "init_on_alloc=1", "slab_nomerge"};
+  baseline.require_microcode = true;
+  return baseline;
+}
+
+std::vector<KernelFinding> KernelChecker::check(const os::KernelConfig& kernel) const {
+  std::vector<KernelFinding> findings;
+
+  for (const auto& [name, expected] : baseline_.kconfig) {
+    const auto it = kernel.kconfig.find(name);
+    const std::string actual = it == kernel.kconfig.end() ? "(unset)" : it->second;
+    if (actual != expected) {
+      findings.push_back({KernelParamKind::kKconfig, name, expected, actual});
+    }
+  }
+  for (const auto& [name, expected] : baseline_.sysctl) {
+    const auto it = kernel.sysctl.find(name);
+    const std::string actual = it == kernel.sysctl.end() ? "(unset)" : it->second;
+    if (actual != expected) {
+      findings.push_back({KernelParamKind::kSysctl, name, expected, actual});
+    }
+  }
+  for (const auto& param : baseline_.cmdline) {
+    if (!kernel.cmdline.contains(param)) {
+      findings.push_back({KernelParamKind::kCmdline, param, param, "(missing)"});
+    }
+  }
+  if (baseline_.require_microcode && !kernel.microcode_updated) {
+    findings.push_back({KernelParamKind::kMicrocode, "cpu-microcode",
+                        "updated (Spectre-class mitigations)", "stale"});
+  }
+  return findings;
+}
+
+void KernelChecker::remediate(os::KernelConfig& kernel) const {
+  for (const auto& [name, expected] : baseline_.kconfig) kernel.kconfig[name] = expected;
+  for (const auto& [name, expected] : baseline_.sysctl) kernel.sysctl[name] = expected;
+  for (const auto& param : baseline_.cmdline) kernel.cmdline.insert(param);
+  if (baseline_.require_microcode) kernel.microcode_updated = true;
+}
+
+}  // namespace genio::hardening

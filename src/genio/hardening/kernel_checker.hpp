@@ -1,0 +1,50 @@
+// kernel-hardening-checker analogue (M2): validates kconfig, sysctl, and
+// cmdline against a hardened baseline, with a remediation that applies the
+// expected values (rebuilding the kernel / editing boot parameters in the
+// real world). Also checks the speculative-execution posture (microcode).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/os/host.hpp"
+
+namespace genio::hardening {
+
+enum class KernelParamKind { kKconfig, kSysctl, kCmdline, kMicrocode };
+
+struct KernelFinding {
+  KernelParamKind kind = KernelParamKind::kKconfig;
+  std::string name;      // "CONFIG_KEXEC", "kernel.kptr_restrict", "mitigations"
+  std::string expected;  // "n", "2", "auto,nosmt"
+  std::string actual;    // current value, or "(unset)"
+};
+
+struct KernelBaseline {
+  std::map<std::string, std::string> kconfig;
+  std::map<std::string, std::string> sysctl;
+  std::vector<std::string> cmdline;  // required boot parameters
+  bool require_microcode = true;
+};
+
+/// The hardened baseline GENIO validates OLT kernels against.
+KernelBaseline hardened_kernel_baseline();
+
+class KernelChecker {
+ public:
+  explicit KernelChecker(KernelBaseline baseline) : baseline_(std::move(baseline)) {}
+
+  std::vector<KernelFinding> check(const os::KernelConfig& kernel) const;
+
+  /// Apply the baseline to the kernel config (simulates rebuilding with the
+  /// hardened kconfig and updating boot parameters + microcode).
+  void remediate(os::KernelConfig& kernel) const;
+
+  const KernelBaseline& baseline() const { return baseline_; }
+
+ private:
+  KernelBaseline baseline_;
+};
+
+}  // namespace genio::hardening

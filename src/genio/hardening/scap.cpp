@@ -1,0 +1,278 @@
+#include "genio/hardening/scap.hpp"
+
+namespace genio::hardening {
+
+namespace {
+
+bool ssh_config_is(const Host& host, const std::string& key, const std::string& want) {
+  const auto* sshd = host.service("sshd");
+  if (sshd == nullptr) return true;  // no sshd, nothing to misconfigure
+  const auto it = sshd->config.find(key);
+  return it != sshd->config.end() && it->second == want;
+}
+
+void set_ssh_config(Host& host, const std::string& key, const std::string& value) {
+  if (auto* sshd = host.service_mutable("sshd")) sshd->config[key] = value;
+}
+
+}  // namespace
+
+Benchmark make_scap_benchmark() {
+  Benchmark bench("genio-scap-os");
+
+  bench.add_rule({
+      .id = "scap-ssh-01",
+      .title = "SSH root login disabled",
+      .severity = Severity::kHigh,
+      .passes = [](const Host& h) { return !ssh_config_is(h, "PermitRootLogin", "yes"); },
+      .remediate = [](Host& h) { set_ssh_config(h, "PermitRootLogin", "no"); },
+  });
+  bench.add_rule({
+      .id = "scap-ssh-02",
+      .title = "SSH password authentication disabled (keys only)",
+      .severity = Severity::kMedium,
+      .passes =
+          [](const Host& h) { return !ssh_config_is(h, "PasswordAuthentication", "yes"); },
+      .remediate = [](Host& h) { set_ssh_config(h, "PasswordAuthentication", "no"); },
+  });
+  bench.add_rule({
+      .id = "scap-ntp-01",
+      .title = "NTP time synchronization enabled",
+      .severity = Severity::kMedium,
+      .passes =
+          [](const Host& h) {
+            const auto* ntp = h.service("ntpd");
+            return ntp != nullptr && ntp->enabled;
+          },
+      .remediate =
+          [](Host& h) {
+            os::ServiceEntry ntp = h.service("ntpd") ? *h.service("ntpd")
+                                                     : os::ServiceEntry{};
+            ntp.enabled = true;
+            ntp.running = true;
+            h.set_service("ntpd", ntp);
+          },
+  });
+  bench.add_rule({
+      .id = "scap-apt-01",
+      .title = "Only GPG-verified APT repositories configured",
+      .severity = Severity::kHigh,
+      .passes =
+          [](const Host& h) {
+            for (const auto& src : h.apt_sources()) {
+              if (!src.gpg_verified) return false;
+            }
+            return true;
+          },
+      .remediate =
+          [](Host& h) {
+            std::erase_if(h.apt_sources(),
+                          [](const os::AptSource& s) { return !s.gpg_verified; });
+          },
+  });
+  bench.add_rule({
+      .id = "scap-svc-01",
+      .title = "Telnet service disabled",
+      .severity = Severity::kCritical,
+      .passes =
+          [](const Host& h) {
+            const auto* telnet = h.service("telnetd");
+            return telnet == nullptr || !telnet->enabled;
+          },
+      .remediate =
+          [](Host& h) {
+            if (auto* t = h.service_mutable("telnetd")) {
+              t->enabled = false;
+              t->running = false;
+            }
+          },
+  });
+  bench.add_rule({
+      .id = "scap-svc-02",
+      .title = "Debug shell service disabled",
+      .severity = Severity::kHigh,
+      .passes =
+          [](const Host& h) {
+            const auto* dbg = h.service("debug-shell");
+            return dbg == nullptr || !dbg->enabled;
+          },
+      .remediate =
+          [](Host& h) {
+            if (auto* d = h.service_mutable("debug-shell")) d->enabled = false;
+          },
+  });
+  bench.add_rule({
+      .id = "scap-svc-03",
+      .title = "mDNS/avahi service disabled (attack-surface reduction)",
+      .severity = Severity::kLow,
+      .passes =
+          [](const Host& h) {
+            const auto* avahi = h.service("avahi-daemon");
+            return avahi == nullptr || !avahi->enabled;
+          },
+      .remediate =
+          [](Host& h) {
+            if (auto* a = h.service_mutable("avahi-daemon")) {
+              a->enabled = false;
+              a->running = false;
+            }
+          },
+  });
+  bench.add_rule({
+      .id = "scap-file-01",
+      .title = "Kernel image not world-writable and root-owned",
+      .severity = Severity::kCritical,
+      .passes =
+          [](const Host& h) {
+            const auto* f = h.file("/boot/vmlinuz");
+            return f == nullptr || (f->owner == "root" && (f->mode & 0022) == 0);
+          },
+      .remediate =
+          [](Host& h) {
+            if (auto* f = h.file_mutable("/boot/vmlinuz")) {
+              f->owner = "root";
+              f->mode &= ~0022;
+            }
+          },
+  });
+  bench.add_rule({
+      .id = "scap-file-02",
+      .title = "/etc/shadow not group/world readable",
+      .severity = Severity::kCritical,
+      .passes =
+          [](const Host& h) {
+            const auto* f = h.file("/etc/shadow");
+            return f == nullptr || (f->mode & 0077) == 0;
+          },
+      .remediate =
+          [](Host& h) {
+            if (auto* f = h.file_mutable("/etc/shadow")) f->mode &= ~0077;
+          },
+  });
+  bench.add_rule({
+      .id = "scap-acct-01",
+      .title = "No passwordless interactive accounts beyond admin",
+      .severity = Severity::kHigh,
+      .passes =
+          [](const Host& h) {
+            const auto* guest = h.user("guest");
+            return guest == nullptr || guest->shell == "/usr/sbin/nologin";
+          },
+      .remediate =
+          [](Host& h) {
+            if (const auto* guest = h.user("guest")) {
+              os::UserAccount fixed = *guest;
+              fixed.shell = "/usr/sbin/nologin";
+              h.set_user("guest", fixed);
+            }
+          },
+  });
+  return bench;
+}
+
+Benchmark make_stig_profile(bool include_onl_adaptations) {
+  Benchmark bench("genio-stig");
+
+  // Rules as published: authored for mainstream distributions. On ONL they
+  // come back N/A — the Lesson 1 applicability gap.
+  const std::vector<std::string> mainstream = {"ubuntu", "debian"};
+  const std::vector<std::string> with_onl = {"ubuntu", "debian", "onl"};
+
+  auto add_both = [&](Rule rule) {
+    rule.authored_for = mainstream;
+    const std::string base_id = rule.id;
+    bench.add_rule(rule);
+    if (include_onl_adaptations) {
+      rule.id = base_id + "-onl";
+      rule.title += " (ONL adaptation)";
+      rule.authored_for = {"onl"};
+      bench.add_rule(std::move(rule));
+    }
+  };
+
+  add_both({
+      .id = "stig-acct-01",
+      .title = "Root account password locked (console only)",
+      .severity = Severity::kHigh,
+      .passes =
+          [](const Host& h) {
+            const auto* root = h.user("root");
+            return root != nullptr && root->password_locked;
+          },
+      .remediate =
+          [](Host& h) {
+            if (const auto* root = h.user("root")) {
+              os::UserAccount fixed = *root;
+              fixed.password_locked = true;
+              h.set_user("root", fixed);
+            }
+          },
+  });
+  add_both({
+      .id = "stig-crypt-01",
+      .title = "System-wide crypto policy package present",
+      .severity = Severity::kMedium,
+      .passes = [](const Host& h) { return h.package("crypto-policies") != nullptr; },
+      .remediate =
+          [](Host& h) {
+            h.install_package("crypto-policies", os::Version(1, 0, 0), "genio");
+          },
+  });
+  add_both({
+      .id = "stig-boot-01",
+      .title = "Bootloader configuration root-owned and not writable",
+      .severity = Severity::kHigh,
+      .passes =
+          [](const Host& h) {
+            const auto* f = h.file("/boot/grub/grub.cfg");
+            return f == nullptr || (f->owner == "root" && (f->mode & 0022) == 0);
+          },
+      .remediate =
+          [](Host& h) {
+            if (auto* f = h.file_mutable("/boot/grub/grub.cfg")) {
+              f->owner = "root";
+              f->mode = 0600;
+            }
+          },
+  });
+  add_both({
+      .id = "stig-audit-01",
+      .title = "Audit daemon installed and enabled",
+      .severity = Severity::kMedium,
+      .passes =
+          [](const Host& h) {
+            const auto* auditd = h.service("auditd");
+            return auditd != nullptr && auditd->enabled;
+          },
+      .remediate =
+          [](Host& h) {
+            h.install_package("auditd", os::Version(3, 0, 0), "genio");
+            h.set_service("auditd", {.enabled = true, .running = true, .config = {}});
+          },
+  });
+  add_both({
+      .id = "stig-sudo-01",
+      .title = "Sudo restricted to administrative accounts",
+      .severity = Severity::kHigh,
+      .passes =
+          [](const Host& h) {
+            for (const auto& [name, account] : h.users()) {
+              if (account.sudo && name != "root" && name != "admin") return false;
+            }
+            return true;
+          },
+      .remediate =
+          [](Host& h) {
+            for (const auto& [name, account] : h.users()) {
+              if (account.sudo && name != "root" && name != "admin") {
+                os::UserAccount fixed = account;
+                fixed.sudo = false;
+                h.set_user(name, fixed);
+              }
+            }
+          },
+  });
+  return bench;
+}
+
+}  // namespace genio::hardening

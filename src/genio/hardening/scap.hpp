@@ -1,0 +1,20 @@
+// SCAP-style benchmark (M1 "OS environment configurations"): the concrete
+// rule content the paper lists — secure SSH configuration, NTP sync,
+// untrusted APT repositories disabled, kernel files protected, plus
+// attack-surface reduction (telnet/debug services off).
+#pragma once
+
+#include "genio/hardening/check.hpp"
+
+namespace genio::hardening {
+
+/// The OpenSCAP-like OS configuration benchmark used on GENIO OLT hosts.
+Benchmark make_scap_benchmark();
+
+/// STIG-like profile. Most rules were authored for mainstream
+/// distributions ("ubuntu", "debian"); on ONL they evaluate N/A until the
+/// adapted ONL variants (authored_for includes "onl") are added — the
+/// Lesson 1 gap. `include_onl_adaptations` adds the manually ported rules.
+Benchmark make_stig_profile(bool include_onl_adaptations = true);
+
+}  // namespace genio::hardening

@@ -1,0 +1,52 @@
+#include "genio/middleware/audit_analytics.hpp"
+
+namespace genio::middleware {
+
+std::vector<AuditAlert> analyze_audit_log(const std::vector<AuditEntry>& log,
+                                          const AuditAnalyticsConfig& config) {
+  std::map<std::string, std::size_t> denials_by_subject;
+  std::map<std::string, std::size_t> secret_reads_by_subject;
+  std::map<std::string, std::size_t> privileged_verbs_by_subject;
+  std::size_t anonymous_attempts = 0;
+
+  for (const auto& entry : log) {
+    if (entry.subject == "anonymous") ++anonymous_attempts;
+    if (!entry.allowed) ++denials_by_subject[entry.subject];
+    if (entry.allowed && entry.resource == "secrets" &&
+        (entry.verb == "get" || entry.verb == "list")) {
+      ++secret_reads_by_subject[entry.subject];
+    }
+    if (entry.allowed && (entry.verb == "delete" || entry.verb == "exec")) {
+      ++privileged_verbs_by_subject[entry.subject];
+    }
+  }
+
+  std::vector<AuditAlert> alerts;
+  for (const auto& [subject, denials] : denials_by_subject) {
+    if (denials >= config.probing_denial_threshold) {
+      alerts.push_back({"authz-probing", subject, "high",
+                        std::to_string(denials) +
+                            " authorization denials — permission enumeration"});
+    }
+  }
+  if (anonymous_attempts > 0) {
+    alerts.push_back({"anonymous-attempts", "anonymous", "medium",
+                      std::to_string(anonymous_attempts) +
+                          " unauthenticated API attempts"});
+  }
+  for (const auto& [subject, reads] : secret_reads_by_subject) {
+    if (reads >= config.secret_sweep_threshold) {
+      alerts.push_back({"secret-sweep", subject, "critical",
+                        std::to_string(reads) + " secret reads across namespaces"});
+    }
+  }
+  for (const auto& [subject, verbs] : privileged_verbs_by_subject) {
+    if (verbs >= config.privileged_verb_threshold) {
+      alerts.push_back({"privileged-verb-spike", subject, "high",
+                        std::to_string(verbs) + " delete/exec operations"});
+    }
+  }
+  return alerts;
+}
+
+}  // namespace genio::middleware

@@ -1,0 +1,33 @@
+// Audit-log analytics over the cluster API trail (M10/M18 glue): detects
+// the access patterns that precede a T5 compromise — authorization
+// probing (one subject collecting many denials), anonymous access
+// attempts, secret-enumeration sweeps, and spikes of privileged verbs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/middleware/orchestrator.hpp"
+
+namespace genio::middleware {
+
+struct AuditAlert {
+  std::string kind;     // "authz-probing", "anonymous-attempts", ...
+  std::string subject;
+  std::string severity; // "medium"|"high"|"critical"
+  std::string evidence;
+};
+
+struct AuditAnalyticsConfig {
+  std::size_t probing_denial_threshold = 5;   // denials per subject
+  std::size_t secret_sweep_threshold = 3;     // secret reads per subject
+  std::size_t privileged_verb_threshold = 10; // delete/exec per subject
+};
+
+/// Analyze an audit trail. Pure function over the log — run it periodically
+/// or stream-process via repeated calls on the growing log.
+std::vector<AuditAlert> analyze_audit_log(const std::vector<AuditEntry>& log,
+                                          const AuditAnalyticsConfig& config = {});
+
+}  // namespace genio::middleware

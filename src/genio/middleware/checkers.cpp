@@ -1,0 +1,119 @@
+#include "genio/middleware/checkers.hpp"
+
+#include <algorithm>
+
+namespace genio::middleware {
+
+std::set<std::string> CheckerTool::check_ids() const {
+  std::set<std::string> out;
+  for (const auto& check : checks_) out.insert(check.id);
+  return out;
+}
+
+CheckerReport CheckerTool::run(const Cluster& cluster) const {
+  CheckerReport report;
+  report.tool = name_;
+  report.checks_run = checks_.size();
+  for (const auto& check : checks_) {
+    if (!check.passes(cluster)) {
+      report.findings.push_back({check.id, check.title, check.severity, name_});
+    }
+  }
+  return report;
+}
+
+const std::vector<ClusterCheck>& full_check_catalog() {
+  static const std::vector<ClusterCheck> kCatalog = {
+      {"GEN-001", "Anonymous API access disabled", "critical",
+       [](const Cluster& c) { return !c.config().anonymous_auth; }},
+      {"GEN-002", "Audit logging enabled", "medium",
+       [](const Cluster& c) { return c.config().audit_logging; }},
+      {"GEN-003", "etcd encryption at rest enabled", "high",
+       [](const Cluster& c) { return c.config().etcd_encryption; }},
+      {"GEN-004", "No wildcard role bound to all subjects", "critical",
+       [](const Cluster& c) {
+         // Probe: an arbitrary unknown subject must not be able to read.
+         return !c.rbac().authorize("probe:unknown-subject", "get", "secrets", "probe")
+                     .allowed;
+       }},
+      {"GEN-005", "Admission denies privileged containers", "critical",
+       [](const Cluster& c) { return c.admission().deny_privileged; }},
+      {"GEN-006", "Admission denies hostPath mounts", "high",
+       [](const Cluster& c) { return c.admission().deny_host_mounts; }},
+      {"GEN-007", "Admission denies host network", "high",
+       [](const Cluster& c) { return c.admission().deny_host_network; }},
+      {"GEN-008", "Admission denies dangerous capabilities", "critical",
+       [](const Cluster& c) { return c.admission().deny_dangerous_capabilities; }},
+      {"GEN-009", "Resource limits required on workloads", "medium",
+       [](const Cluster& c) { return c.admission().require_resource_limits; }},
+      {"GEN-010", "Image registry allow-list configured", "high",
+       [](const Cluster& c) { return !c.admission().allowed_registries.empty(); }},
+      {"GEN-011", "No running privileged pods", "critical",
+       [](const Cluster& c) {
+         return std::none_of(c.pods().begin(), c.pods().end(), [](const Pod& p) {
+           return p.spec.container.privileged;
+         });
+       }},
+      {"GEN-012", "All running pods have resource limits", "medium",
+       [](const Cluster& c) {
+         return std::all_of(c.pods().begin(), c.pods().end(), [](const Pod& p) {
+           return p.spec.container.limits.has_value();
+         });
+       }},
+  };
+  return kCatalog;
+}
+
+namespace {
+
+std::vector<ClusterCheck> subset(std::initializer_list<const char*> ids) {
+  std::vector<ClusterCheck> out;
+  for (const auto& check : full_check_catalog()) {
+    for (const char* id : ids) {
+      if (check.id == id) out.push_back(check);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckerTool make_kube_bench() {
+  // CIS focus: API server and RBAC configuration.
+  return CheckerTool("kube-bench",
+                     subset({"GEN-001", "GEN-002", "GEN-003", "GEN-004", "GEN-005"}));
+}
+
+CheckerTool make_kubescape() {
+  // NSA hardening guidance: admission + workload posture.
+  return CheckerTool("kubescape", subset({"GEN-004", "GEN-005", "GEN-006", "GEN-007",
+                                          "GEN-008", "GEN-010", "GEN-011"}));
+}
+
+CheckerTool make_kubesec() {
+  // Workload-spec scanner only.
+  return CheckerTool("kubesec", subset({"GEN-009", "GEN-011", "GEN-012"}));
+}
+
+std::vector<CheckerFinding> union_findings(const std::vector<CheckerReport>& reports) {
+  std::vector<CheckerFinding> out;
+  std::set<std::string> seen;
+  for (const auto& report : reports) {
+    for (const auto& finding : report.findings) {
+      if (seen.insert(finding.check_id).second) out.push_back(finding);
+    }
+  }
+  return out;
+}
+
+double catalog_coverage(const std::vector<const CheckerTool*>& tools) {
+  std::set<std::string> covered;
+  for (const CheckerTool* tool : tools) {
+    const auto ids = tool->check_ids();
+    covered.insert(ids.begin(), ids.end());
+  }
+  return static_cast<double>(covered.size()) /
+         static_cast<double>(full_check_catalog().size());
+}
+
+}  // namespace genio::middleware

@@ -1,0 +1,49 @@
+#include "genio/middleware/hunter.hpp"
+
+namespace genio::middleware {
+
+HunterReport hunt(Cluster& cluster, const std::string& attacker_identity) {
+  HunterReport report;
+  auto probe = [&report](const char* name, const char* severity, bool hit,
+                         std::string evidence) {
+    ++report.probes_run;
+    if (hit) report.findings.push_back({name, severity, std::move(evidence)});
+  };
+
+  // 1. Anonymous API surface.
+  const bool anon_list = cluster.authorize("", "list", "pods", "tenant-a").ok();
+  probe("anonymous-api", "critical", anon_list,
+        "unauthenticated caller can list pods");
+
+  // 2. Wildcard read as an arbitrary authenticated identity.
+  const std::string id = attacker_identity.empty() ? "hunter:probe" : attacker_identity;
+  probe("wildcard-read", "high", cluster.authorize(id, "get", "secrets", "tenant-a").ok(),
+        "identity '" + id + "' can read tenant-a secrets");
+  probe("wildcard-list-nodes", "medium", cluster.authorize(id, "list", "nodes", "").ok(),
+        "identity '" + id + "' can enumerate nodes");
+
+  // 3. Exec reach (lateral movement primitive).
+  probe("exec-anywhere", "critical",
+        cluster.authorize(id, "exec", "pods", "kube-system").ok(),
+        "identity '" + id + "' can exec into kube-system pods");
+
+  // 4. Workload posture: privileged pods actually running.
+  bool privileged = false, no_limits = false;
+  for (const auto& pod : cluster.pods()) {
+    privileged |= pod.spec.container.privileged;
+    no_limits |= !pod.spec.container.limits.has_value();
+  }
+  probe("privileged-pod-running", "critical", privileged,
+        "at least one privileged pod is scheduled");
+  probe("unbounded-pod-running", "medium", no_limits,
+        "at least one pod has no resource limits");
+
+  // 5. Control-plane hygiene visible from the outside.
+  probe("audit-disabled", "medium", !cluster.config().audit_logging,
+        "API audit logging is off — intrusions leave no trace");
+  probe("etcd-plaintext", "high", !cluster.config().etcd_encryption,
+        "secrets at rest are unencrypted");
+  return report;
+}
+
+}  // namespace genio::middleware

@@ -1,0 +1,29 @@
+// kube-hunter analogue (M11): ACTIVE probing of the cluster from an
+// attacker's vantage point, complementing the config-reading checkers.
+// Probes anonymous API access, permission leaks via RBAC, exec reach,
+// and secret exposure — then reports what an intruder could actually do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/middleware/orchestrator.hpp"
+
+namespace genio::middleware {
+
+struct HunterFinding {
+  std::string probe;     // "anonymous-api", "wildcard-read", ...
+  std::string severity;  // "low"|"medium"|"high"|"critical"
+  std::string evidence;
+};
+
+struct HunterReport {
+  std::vector<HunterFinding> findings;
+  std::size_t probes_run = 0;
+};
+
+/// Run the probe battery against the cluster as the given (possibly
+/// unprivileged or anonymous) identity.
+HunterReport hunt(Cluster& cluster, const std::string& attacker_identity = "");
+
+}  // namespace genio::middleware

@@ -1,0 +1,44 @@
+#include "genio/middleware/netpolicy.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::middleware {
+
+FlowDecision NetworkPolicyEngine::evaluate(const std::string& from_ns,
+                                           const std::string& to_ns, int port) const {
+  if (allow_intra_ && from_ns == to_ns) return {true, "intra-namespace"};
+  for (const auto& rule : rules_) {
+    if (!common::glob_match(rule.from_ns, from_ns)) continue;
+    if (!common::glob_match(rule.to_ns, to_ns)) continue;
+    if (rule.port != 0 && rule.port != port) continue;
+    return {true, rule.from_ns + " -> " + rule.to_ns + ":" +
+                      (rule.port == 0 ? "*" : std::to_string(rule.port))};
+  }
+  if (default_allow_) return {true, "default-allow"};
+  return {false, "default-deny"};
+}
+
+std::size_t NetworkPolicyEngine::allowed_pair_count(
+    const std::vector<std::string>& namespaces, int port) const {
+  std::size_t count = 0;
+  for (const auto& from : namespaces) {
+    for (const auto& to : namespaces) {
+      if (from == to) continue;
+      count += evaluate(from, to, port).allowed ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+NetworkPolicyEngine make_default_deny_policies() {
+  NetworkPolicyEngine engine(/*default_allow=*/false);
+  // Tenants may call the shared ingress; the ingress may reach tenant
+  // services on the standard app port; monitoring scrapes everyone on the
+  // metrics port. Everything else (notably tenant->tenant) is denied.
+  engine.allow({"tenant-*", "ingress", 443});
+  engine.allow({"ingress", "tenant-*", 8443});
+  engine.allow({"monitoring", "*", 9090});
+  return engine;
+}
+
+}  // namespace genio::middleware

@@ -1,0 +1,55 @@
+// Namespace-scoped network policies: the tenant-segmentation layer of
+// GENIO's multi-tenancy (PEACH "connectivity" dimension). Default posture
+// is configurable; GENIO production runs default-deny with explicit
+// allow rules per (source namespace, destination namespace, port).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genio/common/result.hpp"
+
+namespace genio::middleware {
+
+struct NetworkRule {
+  std::string from_ns;  // glob
+  std::string to_ns;    // glob
+  int port = 0;         // 0 = any port
+};
+
+struct FlowDecision {
+  bool allowed = false;
+  std::string matched_rule;  // description for audit
+};
+
+class NetworkPolicyEngine {
+ public:
+  /// `allow_intra_namespace`: traffic inside one namespace bypasses the
+  /// rules (the Kubernetes semantics GENIO relies on).
+  explicit NetworkPolicyEngine(bool default_allow, bool allow_intra_namespace = true)
+      : default_allow_(default_allow), allow_intra_(allow_intra_namespace) {}
+
+  void allow(NetworkRule rule) { rules_.push_back(std::move(rule)); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  FlowDecision evaluate(const std::string& from_ns, const std::string& to_ns,
+                        int port) const;
+
+  /// Count of allowed (from, to) namespace pairs out of the full matrix —
+  /// the tenant-connectivity exposure metric.
+  std::size_t allowed_pair_count(const std::vector<std::string>& namespaces,
+                                 int port) const;
+
+ private:
+  bool default_allow_;
+  bool allow_intra_;
+  std::vector<NetworkRule> rules_;
+};
+
+/// GENIO production posture: default-deny; tenants reach only their own
+/// namespace plus the shared ingress; monitoring reaches everything
+/// read-only on the metrics port.
+NetworkPolicyEngine make_default_deny_policies();
+
+}  // namespace genio::middleware

@@ -1,0 +1,202 @@
+#include "genio/middleware/orchestrator.hpp"
+
+#include <algorithm>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::middleware {
+
+namespace {
+
+const std::set<std::string>& dangerous_capabilities() {
+  static const std::set<std::string> kDangerous = {
+      "CAP_SYS_ADMIN", "CAP_SYS_PTRACE", "CAP_SYS_MODULE", "CAP_NET_ADMIN",
+      "CAP_DAC_OVERRIDE"};
+  return kDangerous;
+}
+
+}  // namespace
+
+std::vector<std::string> AdmissionPolicy::violations(const PodSpec& spec) const {
+  std::vector<std::string> out;
+  const ContainerSpec& c = spec.container;
+  if (deny_privileged && c.privileged) {
+    out.push_back("privileged container");
+  }
+  if (deny_host_mounts && !c.host_mounts.empty()) {
+    out.push_back("host path mount: " + c.host_mounts.front());
+  }
+  if (deny_host_network && c.host_network) {
+    out.push_back("host network namespace");
+  }
+  if (deny_dangerous_capabilities) {
+    for (const auto& cap : c.capabilities) {
+      if (dangerous_capabilities().contains(cap)) {
+        out.push_back("dangerous capability " + cap);
+      }
+    }
+  }
+  if (require_resource_limits && !c.limits.has_value()) {
+    out.push_back("missing resource limits");
+  }
+  if (deny_run_as_root && c.run_as_root) {
+    out.push_back("container runs as root");
+  }
+  if (!allowed_registries.empty()) {
+    const bool trusted = std::any_of(
+        allowed_registries.begin(), allowed_registries.end(),
+        [&](const std::string& prefix) { return common::starts_with(c.image, prefix); });
+    if (!trusted) out.push_back("image from untrusted registry: " + c.image);
+  }
+  return out;
+}
+
+AdmissionPolicy make_permissive_admission() {
+  return {.deny_privileged = false,
+          .deny_host_mounts = false,
+          .deny_host_network = false,
+          .deny_dangerous_capabilities = false,
+          .require_resource_limits = false,
+          .deny_run_as_root = false,
+          .allowed_registries = {}};
+}
+
+AdmissionPolicy make_hardened_admission() {
+  return {.deny_privileged = true,
+          .deny_host_mounts = true,
+          .deny_host_network = true,
+          .deny_dangerous_capabilities = true,
+          .require_resource_limits = true,
+          .deny_run_as_root = false,
+          .allowed_registries = {"registry.genio.io/"}};
+}
+
+Cluster::Cluster(Config config, RbacEngine rbac, AdmissionPolicy admission)
+    : config_(std::move(config)), rbac_(std::move(rbac)), admission_(admission) {}
+
+void Cluster::add_node(const std::string& name, ResourceQuantity capacity) {
+  nodes_.push_back({name, capacity, {}, Version(1, 20, 3)});
+}
+
+void Cluster::audit(const std::string& subject, const std::string& verb,
+                    const std::string& resource, const std::string& ns, bool allowed,
+                    std::string detail) {
+  if (!config_.audit_logging) return;
+  audit_.push_back({subject.empty() ? "anonymous" : subject, verb, resource, ns, allowed,
+                    std::move(detail)});
+}
+
+common::Status Cluster::authorize(const std::string& subject, const std::string& verb,
+                                  const std::string& resource, const std::string& ns) {
+  if (subject.empty()) {
+    if (!config_.anonymous_auth) {
+      audit(subject, verb, resource, ns, false, "anonymous access disabled");
+      return common::authentication_failed("anonymous access is disabled");
+    }
+    // Anonymous callers get the (mis)configured RBAC treatment under the
+    // built-in anonymous identity.
+    const auto decision = rbac_.authorize("system:anonymous", verb, resource, ns);
+    audit(subject, verb, resource, ns, decision.allowed, decision.matched_role);
+    if (!decision.allowed) {
+      return common::permission_denied("anonymous caller has no grant for " + verb +
+                                       " " + resource);
+    }
+    return common::Status::success();
+  }
+  const auto decision = rbac_.authorize(subject, verb, resource, ns);
+  audit(subject, verb, resource, ns, decision.allowed, decision.matched_role);
+  if (!decision.allowed) {
+    return common::permission_denied("subject '" + subject + "' cannot " + verb + " " +
+                                     resource + (ns.empty() ? "" : " in " + ns));
+  }
+  return common::Status::success();
+}
+
+Node* Cluster::schedule(const ResourceQuantity& required) {
+  // First-fit by free capacity (deterministic order).
+  for (auto& node : nodes_) {
+    if (required.fits_in(node.free())) return &node;
+  }
+  return nullptr;
+}
+
+Result<std::string> Cluster::create_pod(const std::string& subject, PodSpec spec) {
+  if (auto st = authorize(subject, "create", "pods", spec.ns); !st.ok()) {
+    return st.error();
+  }
+  const auto violations = admission_.violations(spec);
+  if (!violations.empty()) {
+    audit(subject, "admission", "pods", spec.ns, false, violations.front());
+    return common::policy_violation("admission denied: " + violations.front() +
+                                    (violations.size() > 1
+                                         ? " (+" + std::to_string(violations.size() - 1) +
+                                               " more)"
+                                         : ""));
+  }
+  const ResourceQuantity required =
+      spec.container.limits.value_or(ResourceQuantity{0.1, 64});
+  Node* node = schedule(required);
+  if (node == nullptr) {
+    return common::resource_exhausted("no node with capacity for pod '" + spec.name + "'");
+  }
+  node->allocated.cpu_cores += required.cpu_cores;
+  node->allocated.mem_mb += required.mem_mb;
+
+  Pod pod{std::move(spec), node->name, PodPhase::kRunning};
+  const std::string key = pod.spec.ns + "/" + pod.spec.name;
+  pods_.push_back(std::move(pod));
+  return key;
+}
+
+common::Status Cluster::delete_pod(const std::string& subject, const std::string& ns,
+                                   const std::string& name) {
+  if (auto st = authorize(subject, "delete", "pods", ns); !st.ok()) return st;
+  const auto it = std::find_if(pods_.begin(), pods_.end(), [&](const Pod& p) {
+    return p.spec.ns == ns && p.spec.name == name;
+  });
+  if (it == pods_.end()) return common::not_found("pod " + ns + "/" + name);
+  const ResourceQuantity released =
+      it->spec.container.limits.value_or(ResourceQuantity{0.1, 64});
+  for (auto& node : nodes_) {
+    if (node.name == it->node) {
+      node.allocated.cpu_cores -= released.cpu_cores;
+      node.allocated.mem_mb -= released.mem_mb;
+    }
+  }
+  pods_.erase(it);
+  return common::Status::success();
+}
+
+common::Status Cluster::exec_in_pod(const std::string& subject, const std::string& ns,
+                                    const std::string& name) {
+  if (auto st = authorize(subject, "exec", "pods", ns); !st.ok()) return st;
+  if (find_pod(ns, name) == nullptr) return common::not_found("pod " + ns + "/" + name);
+  return common::Status::success();
+}
+
+common::Status Cluster::read_secret(const std::string& subject, const std::string& ns) {
+  return authorize(subject, "get", "secrets", ns);
+}
+
+const Pod* Cluster::find_pod(const std::string& ns, const std::string& name) const {
+  for (const auto& pod : pods_) {
+    if (pod.spec.ns == ns && pod.spec.name == name) return &pod;
+  }
+  return nullptr;
+}
+
+std::vector<ClusterComponent> Cluster::components() const {
+  std::vector<ClusterComponent> out = {
+      {"kube-apiserver", config_.control_plane_version, "control-plane"},
+      {"kube-controller-manager", config_.control_plane_version, "control-plane"},
+      {"kube-scheduler", config_.control_plane_version, "control-plane"},
+      {"etcd", Version(3, 4, 13), "control-plane"},
+      {"coredns", Version(1, 8, 0), "addon"},
+  };
+  for (const auto& node : nodes_) {
+    out.push_back({"kubelet", node.kubelet_version, "node:" + node.name});
+  }
+  return out;
+}
+
+}  // namespace genio::middleware

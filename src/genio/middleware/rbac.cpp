@@ -1,0 +1,121 @@
+#include "genio/middleware/rbac.hpp"
+
+namespace genio::middleware {
+
+bool PolicyRule::allows(const std::string& verb, const std::string& resource) const {
+  const bool verb_ok = verbs.contains(verb) || verbs.contains("*");
+  const bool resource_ok = resources.contains(resource) || resources.contains("*");
+  return verb_ok && resource_ok;
+}
+
+void RbacEngine::add_role(Role role) { roles_[role.name] = std::move(role); }
+
+void RbacEngine::add_binding(RoleBinding binding) {
+  bindings_.push_back(std::move(binding));
+}
+
+bool RbacEngine::remove_role(const std::string& name) { return roles_.erase(name) > 0; }
+
+AccessDecision RbacEngine::authorize(const std::string& subject, const std::string& verb,
+                                     const std::string& resource,
+                                     const std::string& ns) const {
+  for (const auto& binding : bindings_) {
+    if (!binding.subjects.contains(subject) && !binding.subjects.contains("*")) continue;
+    const auto it = roles_.find(binding.role);
+    if (it == roles_.end()) continue;
+    const Role& role = it->second;
+    if (!role.namespaces.empty() && !ns.empty() && !role.namespaces.contains(ns)) {
+      continue;
+    }
+    for (const auto& rule : role.rules) {
+      if (rule.allows(verb, resource)) return {true, role.name};
+    }
+  }
+  return {false, ""};
+}
+
+std::set<std::pair<std::string, std::string>> RbacEngine::effective_permissions(
+    const std::string& subject, const std::string& ns,
+    const std::set<std::string>& all_verbs,
+    const std::set<std::string>& all_resources) const {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const auto& verb : all_verbs) {
+    for (const auto& resource : all_resources) {
+      if (authorize(subject, verb, resource, ns).allowed) out.emplace(verb, resource);
+    }
+  }
+  return out;
+}
+
+std::size_t RbacEngine::allowed_tuple_count(
+    const std::set<std::string>& subjects, const std::set<std::string>& all_verbs,
+    const std::set<std::string>& all_resources,
+    const std::set<std::string>& namespaces) const {
+  std::size_t count = 0;
+  for (const auto& subject : subjects) {
+    for (const auto& ns : namespaces) {
+      count += effective_permissions(subject, ns, all_verbs, all_resources).size();
+    }
+  }
+  return count;
+}
+
+const std::set<std::string>& k8s_verbs() {
+  static const std::set<std::string> kVerbs = {
+      "get", "list", "watch", "create", "update", "patch", "delete", "exec", "proxy"};
+  return kVerbs;
+}
+
+const std::set<std::string>& k8s_resources() {
+  static const std::set<std::string> kResources = {
+      "pods",     "deployments", "services",        "secrets",  "configmaps",
+      "nodes",    "namespaces",  "networkpolicies", "pvcs",     "events",
+      "rolebindings", "serviceaccounts"};
+  return kResources;
+}
+
+RbacEngine make_permissive_default_rbac() {
+  RbacEngine rbac;
+  // The convenience admin role, bound to everything that asked (T5).
+  rbac.add_role({.name = "cluster-admin",
+                 .rules = {{.verbs = {"*"}, .resources = {"*"}}},
+                 .namespaces = {}});
+  rbac.add_role({.name = "default-reader",
+                 .rules = {{.verbs = {"get", "list", "watch"}, .resources = {"*"}}},
+                 .namespaces = {}});
+  rbac.add_binding({.role = "cluster-admin",
+                    .subjects = {"platform-operator", "ci-deployer", "tenant-a-admin"}});
+  // Wildcard read for every service account "to make dashboards work".
+  rbac.add_binding({.role = "default-reader", .subjects = {"*"}});
+  return rbac;
+}
+
+RbacEngine make_least_privilege_rbac() {
+  RbacEngine rbac;
+  rbac.add_role({.name = "platform-admin",
+                 .rules = {{.verbs = {"*"}, .resources = {"*"}}},
+                 .namespaces = {}});
+  rbac.add_role({.name = "deployer",
+                 .rules = {{.verbs = {"get", "list", "create", "update", "patch",
+                                      "delete"},
+                            .resources = {"pods", "deployments", "services",
+                                          "configmaps"}},
+                           {.verbs = {"get", "list"}, .resources = {"events"}}},
+                 .namespaces = {"tenant-a", "tenant-b"}});
+  rbac.add_role({.name = "tenant-viewer",
+                 .rules = {{.verbs = {"get", "list", "watch"},
+                            .resources = {"pods", "deployments", "services", "events"}}},
+                 .namespaces = {"tenant-a"}});
+  rbac.add_role({.name = "monitoring-agent",
+                 .rules = {{.verbs = {"get", "list", "watch"},
+                            .resources = {"pods", "nodes", "events"}}},
+                 .namespaces = {}});
+
+  rbac.add_binding({.role = "platform-admin", .subjects = {"platform-operator"}});
+  rbac.add_binding({.role = "deployer", .subjects = {"ci-deployer"}});
+  rbac.add_binding({.role = "tenant-viewer", .subjects = {"tenant-a-admin"}});
+  rbac.add_binding({.role = "monitoring-agent", .subjects = {"sa:falco", "sa:metrics"}});
+  return rbac;
+}
+
+}  // namespace genio::middleware

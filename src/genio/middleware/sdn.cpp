@@ -1,0 +1,120 @@
+#include "genio/middleware/sdn.hpp"
+
+namespace genio::middleware {
+
+std::string to_string(SdnCapability capability) {
+  switch (capability) {
+    case SdnCapability::kDeviceRegistration: return "device-registration";
+    case SdnCapability::kLogicalConfig: return "logical-config";
+    case SdnCapability::kDiagnosticLogs: return "diagnostic-logs";
+    case SdnCapability::kFlowProgramming: return "flow-programming";
+    case SdnCapability::kShellAccess: return "shell-access";
+    case SdnCapability::kDebugEndpoints: return "debug-endpoints";
+    case SdnCapability::kRawLogRetrieval: return "raw-log-retrieval";
+  }
+  return "unknown";
+}
+
+const std::set<SdnCapability>& production_capability_set() {
+  static const std::set<SdnCapability> kSet = {
+      SdnCapability::kDeviceRegistration, SdnCapability::kLogicalConfig,
+      SdnCapability::kDiagnosticLogs, SdnCapability::kFlowProgramming};
+  return kSet;
+}
+
+const std::set<SdnCapability>& full_capability_set() {
+  static const std::set<SdnCapability> kSet = {
+      SdnCapability::kDeviceRegistration, SdnCapability::kLogicalConfig,
+      SdnCapability::kDiagnosticLogs,     SdnCapability::kFlowProgramming,
+      SdnCapability::kShellAccess,        SdnCapability::kDebugEndpoints,
+      SdnCapability::kRawLogRetrieval};
+  return kSet;
+}
+
+void SdnController::add_account(SdnAccount account) {
+  accounts_[account.name] = std::move(account);
+}
+
+common::Status SdnController::api_call(const std::string& account,
+                                       const std::string& credential,
+                                       SdnCapability capability) {
+  const auto it = accounts_.find(account);
+  if (it == accounts_.end()) {
+    ++stats_.denied_authn;
+    return common::authentication_failed("unknown account '" + account + "'");
+  }
+  const SdnAccount& acct = it->second;
+  const bool authenticated = acct.tls_cert_bound ? credential == "cert:" + acct.name
+                                                 : credential == acct.password;
+  if (!authenticated) {
+    ++stats_.denied_authn;
+    return common::authentication_failed("bad credential for '" + account + "'");
+  }
+  if (!acct.capabilities.contains(capability)) {
+    ++stats_.denied_capability;
+    return common::permission_denied("account '" + account + "' lacks capability " +
+                                     to_string(capability));
+  }
+  ++stats_.allowed;
+  return common::Status::success();
+}
+
+common::Result<std::string> SdnController::register_device(
+    const std::string& account, const std::string& credential,
+    const std::string& device_serial) {
+  if (auto st = api_call(account, credential, SdnCapability::kDeviceRegistration);
+      !st.ok()) {
+    return st.error();
+  }
+  devices_.insert(device_serial);
+  return "device/" + device_serial;
+}
+
+std::size_t SdnController::grant_count() const {
+  std::size_t count = 0;
+  for (const auto& [name, account] : accounts_) count += account.capabilities.size();
+  return count;
+}
+
+SdnController make_insecure_onos() {
+  SdnController onos("onos");
+  onos.add_account({.name = "admin",
+                    .password = "admin",  // the shipped default (T5)
+                    .tls_cert_bound = false,
+                    .capabilities = full_capability_set()});
+  onos.add_account({.name = "guest",
+                    .password = "guest",
+                    .tls_cert_bound = false,
+                    .capabilities = {SdnCapability::kDiagnosticLogs,
+                                     SdnCapability::kRawLogRetrieval}});
+  return onos;
+}
+
+SdnController make_hardened_onos() {
+  SdnController onos("onos");
+  onos.add_account({.name = "svc-genio-nbi",
+                    .password = "",
+                    .tls_cert_bound = true,
+                    .capabilities = production_capability_set()});
+  onos.add_account({.name = "svc-diag",
+                    .password = "",
+                    .tls_cert_bound = true,
+                    .capabilities = {SdnCapability::kDiagnosticLogs}});
+  return onos;
+}
+
+SdnController make_hardened_voltha() {
+  SdnController voltha("voltha");
+  voltha.add_account({.name = "svc-olt-adapter",
+                      .password = "",
+                      .tls_cert_bound = true,
+                      .capabilities = {SdnCapability::kDeviceRegistration,
+                                       SdnCapability::kLogicalConfig}});
+  voltha.add_account({.name = "svc-diag",
+                      .password = "",
+                      .tls_cert_bound = true,
+                      .capabilities = {SdnCapability::kDiagnosticLogs}});
+  return voltha;
+}
+
+}  // namespace genio::middleware

@@ -1,0 +1,89 @@
+// SDN controller model (ONOS / VOLTHA style) with the capability-gated
+// management API the paper describes under M10: production needs device
+// registration, logical network configuration and diagnostic logging;
+// direct shell access, low-level debug endpoints and raw log retrieval are
+// privilege risks to be blocked. Accounts authenticate with passwords
+// (insecure default: admin/admin) or TLS client certificates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "genio/common/result.hpp"
+
+namespace genio::middleware {
+
+enum class SdnCapability {
+  kDeviceRegistration,
+  kLogicalConfig,
+  kDiagnosticLogs,   // structured, redacted diagnostics
+  kFlowProgramming,
+  kShellAccess,      // high risk
+  kDebugEndpoints,   // high risk
+  kRawLogRetrieval,  // high risk (may carry secrets)
+};
+
+std::string to_string(SdnCapability capability);
+
+/// Capabilities GENIO allows in production (M10's allow-list).
+const std::set<SdnCapability>& production_capability_set();
+/// The full API surface the controller exposes out of the box.
+const std::set<SdnCapability>& full_capability_set();
+
+struct SdnAccount {
+  std::string name;
+  std::string password;        // empty when cert-bound
+  bool tls_cert_bound = false; // certificate-authenticated service account
+  std::set<SdnCapability> capabilities;
+};
+
+struct SdnCallStats {
+  std::uint64_t allowed = 0;
+  std::uint64_t denied_authn = 0;
+  std::uint64_t denied_capability = 0;
+};
+
+class SdnController {
+ public:
+  explicit SdnController(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void add_account(SdnAccount account);
+  const std::map<std::string, SdnAccount>& accounts() const { return accounts_; }
+
+  /// Authenticate + authorize an API call. `credential` is the password
+  /// for password accounts, or the literal "cert:<name>" for cert-bound
+  /// accounts (the TLS layer has already verified the certificate).
+  common::Status api_call(const std::string& account, const std::string& credential,
+                          SdnCapability capability);
+
+  /// Register a managed device (OLT/ONU) through the API.
+  common::Result<std::string> register_device(const std::string& account,
+                                              const std::string& credential,
+                                              const std::string& device_serial);
+
+  std::size_t device_count() const { return devices_.size(); }
+  const SdnCallStats& stats() const { return stats_; }
+
+  /// Count of (account, capability) grants — the policy surface an
+  /// operator must review (Lesson 5 metric).
+  std::size_t grant_count() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, SdnAccount> accounts_;
+  std::set<std::string> devices_;
+  SdnCallStats stats_;
+};
+
+/// Out-of-the-box posture: admin/admin with every capability (T5).
+SdnController make_insecure_onos();
+/// GENIO production posture: cert-bound service accounts, capability
+/// allow-list, no interactive admin (M10).
+SdnController make_hardened_onos();
+/// VOLTHA-like controller, hardened equivalently.
+SdnController make_hardened_voltha();
+
+}  // namespace genio::middleware

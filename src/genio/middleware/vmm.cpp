@@ -1,0 +1,71 @@
+#include "genio/middleware/vmm.hpp"
+
+namespace genio::middleware {
+
+std::string to_string(IsolationMode mode) {
+  return mode == IsolationMode::kHardVm ? "hard (dedicated VM)"
+                                        : "soft (container in shared VM)";
+}
+
+common::Result<std::string> VmManager::create_vm(const std::string& tenant, VmSpec spec) {
+  const std::string id = "vm-" + std::to_string(next_id_++);
+  vms_[id] = Vm{id, tenant, spec, true};
+  return id;
+}
+
+common::Status VmManager::destroy_vm(const std::string& id) {
+  if (vms_.erase(id) == 0) return common::not_found("no VM '" + id + "'");
+  std::erase_if(containers_,
+                [&](const auto& kv) { return kv.second.vm_id == id; });
+  return common::Status::success();
+}
+
+common::Result<std::string> VmManager::create_container(
+    const std::string& tenant, const std::string& vm_id, bool privileged,
+    std::set<std::string> capabilities) {
+  if (!vms_.contains(vm_id)) return common::not_found("no VM '" + vm_id + "'");
+  const std::string id = "ct-" + std::to_string(next_id_++);
+  containers_[id] = ContainerInstance{id, tenant, vm_id, privileged,
+                                      std::move(capabilities)};
+  return id;
+}
+
+EscapeAttempt VmManager::attempt_container_escape(const std::string& container_id) const {
+  const auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    return {false, "none", "no such container"};
+  }
+  const ContainerInstance& c = it->second;
+  if (c.privileged) {
+    return {true, "vm", "privileged container remounted host /proc and chroot-escaped"};
+  }
+  if (c.capabilities.contains("CAP_SYS_ADMIN")) {
+    return {true, "vm", "CAP_SYS_ADMIN allowed mount-namespace escape"};
+  }
+  return {false, "none", "namespaces + seccomp held"};
+}
+
+EscapeAttempt VmManager::attempt_vm_escape(const std::string& vm_id,
+                                           const common::Version& fixed_in) const {
+  if (!vms_.contains(vm_id)) return {false, "none", "no such VM"};
+  if (hypervisor_version_ < fixed_in) {
+    return {true, "host",
+            "hypervisor " + hypervisor_version_.to_string() +
+                " vulnerable (fixed in " + fixed_in.to_string() + ")"};
+  }
+  return {false, "none", "hypervisor patched"};
+}
+
+std::set<std::string> VmManager::co_resident_tenants(const std::string& tenant) const {
+  std::set<std::string> vms_of_tenant;
+  for (const auto& [id, c] : containers_) {
+    if (c.tenant == tenant) vms_of_tenant.insert(c.vm_id);
+  }
+  std::set<std::string> out;
+  for (const auto& [id, c] : containers_) {
+    if (c.tenant != tenant && vms_of_tenant.contains(c.vm_id)) out.insert(c.tenant);
+  }
+  return out;
+}
+
+}  // namespace genio::middleware

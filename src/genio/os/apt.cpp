@@ -1,0 +1,72 @@
+#include "genio/os/apt.hpp"
+
+namespace genio::os {
+
+Bytes serialize_apt_metadata(const std::map<std::string, AptPackage>& packages) {
+  Bytes out;
+  for (const auto& [name, pkg] : packages) {
+    common::put_u32_be(out, static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    const std::string v = pkg.version.to_string();
+    common::put_u32_be(out, static_cast<std::uint32_t>(v.size()));
+    out.insert(out.end(), v.begin(), v.end());
+    const auto digest = crypto::Sha256::hash(pkg.content);
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  return out;
+}
+
+void AptRepository::add_package(AptPackage package) {
+  packages_[package.name] = std::move(package);
+}
+
+common::Result<AptSnapshot> AptRepository::snapshot() {
+  AptSnapshot snap;
+  snap.repo_name = name_;
+  snap.metadata = serialize_apt_metadata(packages_);
+  auto sig = key_.sign(BytesView(snap.metadata));
+  if (!sig) return sig.error();
+  snap.metadata_signature = std::move(*sig);
+  snap.packages = packages_;
+  return snap;
+}
+
+void AptClient::trust_key(const std::string& repo_name, const crypto::PublicKey& key) {
+  trusted_keys_[repo_name] = key;
+}
+
+common::Status AptClient::install(Host& host, const AptSnapshot& snapshot,
+                                  const std::string& package_name) {
+  const auto key_it = trusted_keys_.find(snapshot.repo_name);
+  if (key_it == trusted_keys_.end()) {
+    ++stats_.rejected_unsigned;
+    return common::permission_denied("no trusted key for repository '" +
+                                     snapshot.repo_name + "'");
+  }
+  // 1. Metadata signature (the APT InRelease check).
+  if (!crypto::verify(key_it->second, BytesView(snapshot.metadata),
+                      snapshot.metadata_signature)
+           .ok()) {
+    ++stats_.rejected_unsigned;
+    return common::signature_invalid("repository metadata signature invalid");
+  }
+  // 2. The metadata must be the canonical serialization of the packages
+  //    shipped (binds digests; a swapped package body changes this).
+  if (snapshot.metadata != serialize_apt_metadata(snapshot.packages)) {
+    ++stats_.rejected_digest;
+    return common::integrity_violation(
+        "package bodies do not match signed metadata digests");
+  }
+  const auto pkg_it = snapshot.packages.find(package_name);
+  if (pkg_it == snapshot.packages.end()) {
+    return common::not_found("package '" + package_name + "' not in snapshot");
+  }
+
+  const AptPackage& pkg = pkg_it->second;
+  host.install_package(pkg.name, pkg.version, snapshot.repo_name);
+  host.write_file("/usr/bin/" + pkg.name, pkg.content, "root", 0755);
+  ++stats_.installed;
+  return common::Status::success();
+}
+
+}  // namespace genio::os

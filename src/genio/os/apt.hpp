@@ -1,0 +1,77 @@
+// APT-like signed package distribution (M9, Debian path): repositories
+// sign their metadata; clients hold trusted repository keys and reject
+// unverified artifacts. Package contents are bound into the metadata by
+// digest, so a tampered package fails even if the transport is compromised.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/crypto/signature.hpp"
+#include "genio/os/host.hpp"
+
+namespace genio::os {
+
+struct AptPackage {
+  std::string name;
+  Version version;
+  Bytes content;  // the "deb" body; installed to /usr/bin/<name>
+};
+
+/// A repository snapshot as a client sees it: metadata + signature +
+/// package bodies. The metadata lists (name, version, digest) triples.
+struct AptSnapshot {
+  std::string repo_name;
+  Bytes metadata;
+  crypto::Signature metadata_signature;
+  std::map<std::string, AptPackage> packages;
+};
+
+class AptRepository {
+ public:
+  AptRepository(std::string name, crypto::SigningKey key)
+      : name_(std::move(name)), key_(std::move(key)) {}
+
+  const std::string& name() const { return name_; }
+  const crypto::PublicKey& public_key() const { return key_.public_key(); }
+
+  void add_package(AptPackage package);
+
+  /// Produce a signed snapshot of the current repository state.
+  common::Result<AptSnapshot> snapshot();
+
+ private:
+  std::string name_;
+  crypto::SigningKey key_;
+  std::map<std::string, AptPackage> packages_;
+};
+
+/// Serialize metadata deterministically (exposed for tamper tests).
+Bytes serialize_apt_metadata(const std::map<std::string, AptPackage>& packages);
+
+struct AptClientStats {
+  std::uint64_t installed = 0;
+  std::uint64_t rejected_unsigned = 0;
+  std::uint64_t rejected_digest = 0;
+};
+
+/// The host-side installer: verifies metadata signatures against the
+/// trusted key ring, then package digests against the metadata.
+class AptClient {
+ public:
+  /// Trust `key` for snapshots from `repo_name` (GPG keyring analogue).
+  void trust_key(const std::string& repo_name, const crypto::PublicKey& key);
+
+  /// Verify and install one package from a snapshot onto `host`.
+  common::Status install(Host& host, const AptSnapshot& snapshot,
+                         const std::string& package_name);
+
+  const AptClientStats& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, crypto::PublicKey> trusted_keys_;
+  AptClientStats stats_;
+};
+
+}  // namespace genio::os

@@ -1,0 +1,53 @@
+#include "genio/os/attestation.hpp"
+
+namespace genio::os {
+
+const std::vector<std::uint8_t>& attested_pcrs() {
+  static const std::vector<std::uint8_t> kPcrs = {
+      static_cast<std::uint8_t>(kPcrFirmware), static_cast<std::uint8_t>(kPcrBootloader),
+      static_cast<std::uint8_t>(kPcrKernel)};
+  return kPcrs;
+}
+
+void AttestationService::register_golden(const std::string& model,
+                                         const Digest& composite) {
+  golden_[model] = composite;
+}
+
+Bytes AttestationService::challenge(const std::string& device_id) {
+  Bytes nonce = rng_.bytes(16);
+  outstanding_[device_id] = nonce;
+  return nonce;
+}
+
+AttestationResult AttestationService::verify(const std::string& device_id,
+                                             const std::string& model,
+                                             const Tpm& device_tpm, const Quote& quote) {
+  const auto golden_it = golden_.find(model);
+  if (golden_it == golden_.end()) {
+    return {false, "unknown device model '" + model + "'"};
+  }
+  const auto nonce_it = outstanding_.find(device_id);
+  if (nonce_it == outstanding_.end()) {
+    return {false, "no outstanding challenge for '" + device_id + "'"};
+  }
+  if (quote.nonce != nonce_it->second) {
+    return {false, "stale or replayed quote (nonce mismatch)"};
+  }
+  outstanding_.erase(nonce_it);  // single use
+
+  if (quote.pcr_indices != attested_pcrs()) {
+    return {false, "quote covers the wrong PCR selection"};
+  }
+  if (!device_tpm.verify_quote(quote)) {
+    return {false, "quote HMAC invalid (forged quote?)"};
+  }
+  if (!common::constant_time_equal(
+          BytesView(quote.composite.data(), quote.composite.size()),
+          BytesView(golden_it->second.data(), golden_it->second.size()))) {
+    return {false, "PCR composite diverges from golden value (tampered boot)"};
+  }
+  return {true, "attested"};
+}
+
+}  // namespace genio::os

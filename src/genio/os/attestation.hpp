@@ -1,0 +1,49 @@
+// Remote attestation on top of measured boot (M5): the orchestration
+// center keeps golden PCR composites per device model and challenges each
+// OLT with a fresh nonce; devices answer with TPM quotes. A tampered boot
+// (even one that secure boot was configured to allow) yields a composite
+// that no longer matches the golden value, and stale quotes are rejected
+// by nonce freshness.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "genio/common/rng.hpp"
+#include "genio/os/boot.hpp"
+
+namespace genio::os {
+
+struct AttestationResult {
+  bool trusted = false;
+  std::string reason;
+};
+
+class AttestationService {
+ public:
+  explicit AttestationService(common::Rng rng) : rng_(rng) {}
+
+  /// Register the golden composite for a device model (from a reference
+  /// boot of a pristine image set).
+  void register_golden(const std::string& model, const Digest& composite);
+
+  /// Issue a fresh challenge nonce for a device.
+  Bytes challenge(const std::string& device_id);
+
+  /// Verify a device's quote: known model, fresh nonce, authentic HMAC
+  /// (verified against the device's TPM in this simulation), and golden
+  /// composite match. Consumes the nonce (single use).
+  AttestationResult verify(const std::string& device_id, const std::string& model,
+                           const Tpm& device_tpm, const Quote& quote);
+
+ private:
+  common::Rng rng_;
+  std::map<std::string, Digest> golden_;
+  std::map<std::string, Bytes> outstanding_;  // device -> nonce
+};
+
+/// The standard PCR selection GENIO attests (firmware/bootloader/kernel).
+const std::vector<std::uint8_t>& attested_pcrs();
+
+}  // namespace genio::os

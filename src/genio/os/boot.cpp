@@ -1,0 +1,81 @@
+#include "genio/os/boot.hpp"
+
+namespace genio::os {
+
+void BootChain::add_component(BootComponent component) {
+  components_.push_back(std::move(component));
+}
+
+BootComponent* BootChain::component(const std::string& name) {
+  for (auto& c : components_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+BootReport BootChain::boot(const BootPolicy& policy, common::SimTime now) {
+  BootReport report;
+  tpm_->reset();
+  // Firmware self-measurement.
+  if (policy.measured_boot) {
+    (void)tpm_->extend(kPcrFirmware, common::to_bytes("genio-boot-rom-v1"));
+  }
+
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const BootComponent& stage = components_[i];
+
+    if (policy.secure_boot) {
+      if (!stage.signature.has_value() || stage.cert_chain.empty()) {
+        report.failed_stage = stage.name;
+        report.failure_reason = "stage is unsigned";
+        return report;
+      }
+      if (auto st = trust_->verify_chain(stage.cert_chain, now,
+                                         crypto::KeyUsage::kCodeSigning);
+          !st.ok()) {
+        report.failed_stage = stage.name;
+        report.failure_reason = "signer not trusted: " + st.error().message();
+        return report;
+      }
+      if (auto st = crypto::verify(stage.cert_chain.front().subject_key,
+                                   BytesView(stage.image), *stage.signature);
+          !st.ok()) {
+        report.failed_stage = stage.name;
+        report.failure_reason = "image signature invalid (tampered image?)";
+        return report;
+      }
+    }
+
+    if (policy.measured_boot) {
+      const std::size_t pcr = (i + 1 >= components_.size()) ? kPcrKernel : kPcrBootloader;
+      (void)tpm_->extend(pcr, BytesView(stage.image));
+    }
+    report.verified_stages.push_back(stage.name);
+  }
+
+  report.booted = true;
+  return report;
+}
+
+Digest BootChain::golden_composite(const BootChain& pristine, const BootPolicy& policy,
+                                   common::SimTime now, Tpm& scratch_tpm) {
+  BootChain copy = pristine;
+  copy.tpm_ = &scratch_tpm;
+  (void)copy.boot(policy, now);
+  return scratch_tpm.composite({kPcrFirmware, kPcrBootloader, kPcrKernel});
+}
+
+common::Result<BootComponent> make_signed_component(
+    const std::string& name, Bytes image, crypto::SigningKey& key,
+    const std::vector<crypto::Certificate>& chain) {
+  auto sig = key.sign(BytesView(image));
+  if (!sig) return sig.error();
+  BootComponent component;
+  component.name = name;
+  component.image = std::move(image);
+  component.cert_chain = chain;
+  component.signature = std::move(*sig);
+  return component;
+}
+
+}  // namespace genio::os

@@ -1,0 +1,73 @@
+// Secure Boot + Measured Boot (M5): the firmware→shim→bootloader→kernel
+// chain, with per-stage signature verification against platform keys and
+// per-stage measurement into TPM PCRs. The T2 code-tampering scenarios
+// modify stage images and check that verification halts the boot (secure
+// boot) and/or that the PCR values diverge (measured boot + attestation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/crypto/pki.hpp"
+#include "genio/os/tpm.hpp"
+
+namespace genio::os {
+
+/// One stage of the boot chain.
+struct BootComponent {
+  std::string name;  // "shim", "grub", "kernel"
+  Bytes image;
+  std::vector<crypto::Certificate> cert_chain;  // signer chain (leaf first)
+  std::optional<crypto::Signature> signature;   // detached, over `image`
+};
+
+struct BootPolicy {
+  bool secure_boot = true;
+  bool measured_boot = true;
+};
+
+/// PCR allocation (mirrors the TCG PC-client layout loosely).
+inline constexpr std::size_t kPcrFirmware = 0;
+inline constexpr std::size_t kPcrBootloader = 4;
+inline constexpr std::size_t kPcrKernel = 8;
+
+struct BootReport {
+  bool booted = false;
+  std::vector<std::string> verified_stages;
+  std::string failed_stage;
+  std::string failure_reason;
+};
+
+/// The boot ROM + chain-of-trust walker. Stages are verified in order; a
+/// signature failure halts the boot when secure_boot is on, and every
+/// stage's hash is extended into the TPM when measured_boot is on.
+class BootChain {
+ public:
+  BootChain(const crypto::TrustStore* platform_keys, Tpm* tpm)
+      : trust_(platform_keys), tpm_(tpm) {}
+
+  /// Stages boot in insertion order (shim, then grub, then kernel).
+  void add_component(BootComponent component);
+  BootComponent* component(const std::string& name);
+
+  /// Power-on: resets PCRs, walks the chain.
+  BootReport boot(const BootPolicy& policy, common::SimTime now);
+
+  /// Golden PCR composite for attestation: boot a pristine copy and record.
+  static Digest golden_composite(const BootChain& pristine, const BootPolicy& policy,
+                                 common::SimTime now, Tpm& scratch_tpm);
+
+ private:
+  const crypto::TrustStore* trust_;
+  Tpm* tpm_;
+  std::vector<BootComponent> components_;
+};
+
+/// Helper used by provisioning and tests: sign `image` with `signer` and
+/// return a ready BootComponent.
+common::Result<BootComponent> make_signed_component(
+    const std::string& name, Bytes image, crypto::SigningKey& key,
+    const std::vector<crypto::Certificate>& chain);
+
+}  // namespace genio::os

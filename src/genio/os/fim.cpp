@@ -1,0 +1,104 @@
+#include "genio/os/fim.hpp"
+
+#include <algorithm>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::os {
+
+const FimRule* FileIntegrityMonitor::match(const std::string& path) const {
+  for (const auto& rule : rules_) {
+    if (common::glob_match(rule.glob, path)) return &rule;
+  }
+  return nullptr;
+}
+
+Bytes FileIntegrityMonitor::serialize_baseline() const {
+  Bytes out;
+  for (const auto& entry : baseline_) {
+    common::put_u32_be(out, static_cast<std::uint32_t>(entry.path.size()));
+    out.insert(out.end(), entry.path.begin(), entry.path.end());
+    out.insert(out.end(), entry.digest.begin(), entry.digest.end());
+    out.push_back(entry.cls == FimClass::kCritical ? 1 : 0);
+  }
+  return out;
+}
+
+common::Status FileIntegrityMonitor::init_baseline(const Host& host,
+                                                   crypto::SigningKey& key) {
+  baseline_.clear();
+  for (const auto& [path, entry] : host.files()) {
+    if (const FimRule* rule = match(path)) {
+      baseline_.push_back({path, entry.digest(), rule->cls});
+    }
+  }
+  auto sig = key.sign(BytesView(serialize_baseline()));
+  if (!sig) return sig.error();
+  baseline_signature_ = std::move(*sig);
+  return common::Status::success();
+}
+
+FimReport FileIntegrityMonitor::check(const Host& host,
+                                      const crypto::PublicKey& key) const {
+  FimReport report;
+  if (!baseline_signature_.has_value() ||
+      !crypto::verify(key, BytesView(serialize_baseline()), *baseline_signature_).ok()) {
+    // A forged database is itself the alert (the monitoring process was
+    // attacked); do not report comparisons computed from untrusted data.
+    report.baseline_authentic = false;
+    return report;
+  }
+  report.baseline_authentic = true;
+
+  // Modified / removed files.
+  for (const auto& entry : baseline_) {
+    const FileEntry* current = host.file(entry.path);
+    FimViolation violation{entry.path, FimViolationKind::kModified, entry.cls};
+    if (current == nullptr) {
+      violation.kind = FimViolationKind::kRemoved;
+    } else if (current->digest() == entry.digest) {
+      continue;
+    }
+    (entry.cls == FimClass::kCritical ? report.critical : report.informational)
+        .push_back(violation);
+  }
+
+  // Added files under monitored globs.
+  for (const auto& [path, file] : host.files()) {
+    const FimRule* rule = match(path);
+    if (rule == nullptr) continue;
+    const bool known = std::any_of(baseline_.begin(), baseline_.end(),
+                                   [&](const auto& e) { return e.path == path; });
+    if (!known) {
+      FimViolation violation{path, FimViolationKind::kAdded, rule->cls};
+      (rule->cls == FimClass::kCritical ? report.critical : report.informational)
+          .push_back(violation);
+    }
+  }
+  return report;
+}
+
+bool FileIntegrityMonitor::tamper_baseline_entry(const std::string& path,
+                                                 const crypto::Digest& digest) {
+  for (auto& entry : baseline_) {
+    if (entry.path == path) {
+      entry.digest = digest;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FimRule> default_olt_fim_rules() {
+  return {
+      {"/bin/*", FimClass::kCritical},
+      {"/usr/sbin/*", FimClass::kCritical},
+      {"/usr/bin/*", FimClass::kCritical},
+      {"/boot/*", FimClass::kCritical},
+      {"/etc/*", FimClass::kCritical},
+      {"/var/log/*", FimClass::kMutable},
+      {"/var/spool/*", FimClass::kMutable},
+  };
+}
+
+}  // namespace genio::os

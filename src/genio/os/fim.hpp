@@ -1,0 +1,76 @@
+// Tripwire-style file integrity monitoring (M7). A baseline of file
+// digests is built from policy rules, then signed; checks verify the
+// baseline's own signature first (the paper: "Tripwire's configurations
+// and databases are encrypted and signed ... to prevent tampering with the
+// monitoring process"). Rules classify paths as critical (immutable —
+// any change alerts) or mutable (logs, spools — changes are expected),
+// the Lesson 3 point about avoiding misleading alerts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/crypto/signature.hpp"
+#include "genio/os/host.hpp"
+
+namespace genio::os {
+
+enum class FimClass { kCritical, kMutable };
+
+struct FimRule {
+  std::string glob;  // e.g. "/bin/*", "/etc/*", "/var/log/*"
+  FimClass cls = FimClass::kCritical;
+};
+
+struct FimBaselineEntry {
+  std::string path;
+  crypto::Digest digest{};
+  FimClass cls = FimClass::kCritical;
+};
+
+enum class FimViolationKind { kModified, kAdded, kRemoved };
+
+struct FimViolation {
+  std::string path;
+  FimViolationKind kind = FimViolationKind::kModified;
+  FimClass cls = FimClass::kCritical;
+};
+
+struct FimReport {
+  bool baseline_authentic = false;
+  std::vector<FimViolation> critical;      // actionable alerts
+  std::vector<FimViolation> informational; // mutable-class changes
+};
+
+class FileIntegrityMonitor {
+ public:
+  explicit FileIntegrityMonitor(std::vector<FimRule> rules) : rules_(std::move(rules)) {}
+
+  /// Snapshot the host and sign the resulting baseline database.
+  common::Status init_baseline(const Host& host, crypto::SigningKey& key);
+
+  /// Compare the host against the signed baseline. The baseline signature
+  /// is verified against `key` first; a tampered database yields
+  /// baseline_authentic=false and no (trustable) violations.
+  FimReport check(const Host& host, const crypto::PublicKey& key) const;
+
+  /// Attack helper (T2): modify a baseline entry as malware that gained
+  /// root would, to hide a tampered binary.
+  bool tamper_baseline_entry(const std::string& path, const crypto::Digest& digest);
+
+  std::size_t baseline_size() const { return baseline_.size(); }
+
+ private:
+  /// Rule matching the path, if any (first match wins).
+  const FimRule* match(const std::string& path) const;
+  Bytes serialize_baseline() const;
+
+  std::vector<FimRule> rules_;
+  std::vector<FimBaselineEntry> baseline_;
+  std::optional<crypto::Signature> baseline_signature_;
+};
+
+/// The FIM rule set GENIO deploys on OLT hosts.
+std::vector<FimRule> default_olt_fim_rules();
+
+}  // namespace genio::os

@@ -1,0 +1,188 @@
+#include "genio/os/host.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::os {
+
+void Host::write_file(const std::string& path, Bytes content, std::string owner,
+                      int mode) {
+  files_[path] = FileEntry{std::move(content), std::move(owner), mode};
+}
+
+void Host::write_file(const std::string& path, std::string_view text, std::string owner,
+                      int mode) {
+  write_file(path, common::to_bytes(text), std::move(owner), mode);
+}
+
+bool Host::remove_file(const std::string& path) { return files_.erase(path) > 0; }
+
+const FileEntry* Host::file(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+FileEntry* Host::file_mutable(const std::string& path) {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Host::glob(const std::string& pattern) const {
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : files_) {
+    if (common::glob_match(pattern, path)) out.push_back(path);
+  }
+  return out;
+}
+
+void Host::install_package(const std::string& name, const Version& version,
+                           const std::string& origin) {
+  packages_[name] = PackageInfo{version, origin};
+}
+
+bool Host::remove_package(const std::string& name) { return packages_.erase(name) > 0; }
+
+const PackageInfo* Host::package(const std::string& name) const {
+  const auto it = packages_.find(name);
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+void Host::set_service(const std::string& name, ServiceEntry entry) {
+  services_[name] = std::move(entry);
+}
+
+const ServiceEntry* Host::service(const std::string& name) const {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+ServiceEntry* Host::service_mutable(const std::string& name) {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+void Host::set_user(const std::string& name, UserAccount account) {
+  users_[name] = account;
+}
+
+const UserAccount* Host::user(const std::string& name) const {
+  const auto it = users_.find(name);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void add_base_files(Host& host) {
+  host.write_file("/bin/busybox", "ELF:busybox-1.30", "root", 0755);
+  host.write_file("/usr/sbin/sshd", "ELF:openssh-server", "root", 0755);
+  host.write_file("/usr/bin/voltha-agent", "ELF:voltha-agent", "root", 0755);
+  host.write_file("/etc/passwd", "root:x:0:0\nadmin:x:1000:1000\n", "root", 0644);
+  host.write_file("/etc/shadow", "root:$6$hash\nadmin:$6$hash\n", "root", 0640);
+  host.write_file("/etc/hostname", host.hostname());
+  host.write_file("/boot/vmlinuz", "ELF:linux-kernel", "root", 0644);
+  host.write_file("/boot/grub/grub.cfg", "linux /boot/vmlinuz root=/dev/sda1",
+                  "root", 0644);
+  host.write_file("/var/log/syslog", "boot ok\n", "root", 0644);
+}
+
+}  // namespace
+
+Host make_stock_onl_host(const std::string& hostname) {
+  Host host(hostname, "onl");
+  add_base_files(host);
+  // ONL is Debian 10 based with an old kernel and stale userspace (Lesson 3).
+  host.kernel().version = Version(4, 19, 81);
+  host.install_package("openssl", Version(1, 1, 1, "d"));
+  host.install_package("openssh-server", Version(7, 9, 0));
+  host.install_package("busybox", Version(1, 30, 1));
+  host.install_package("onlp", Version(1, 2, 0));
+  host.install_package("dbus", Version(1, 12, 16));
+  host.install_package("systemd", Version(241, 0, 0));
+
+  // Usability-over-security defaults (T3 raw material).
+  host.set_service("sshd", {.enabled = true,
+                            .running = true,
+                            .config = {{"PermitRootLogin", "yes"},
+                                       {"PasswordAuthentication", "yes"},
+                                       {"Protocol", "2"}}});
+  host.set_service("telnetd", {.enabled = true, .running = true, .config = {}});
+  host.set_service("debug-shell", {.enabled = true, .running = false, .config = {}});
+  host.set_service("ntpd", {.enabled = false, .running = false, .config = {}});
+  host.set_service("avahi-daemon", {.enabled = true, .running = true, .config = {}});
+
+  host.set_user("root", {.uid = 0, .shell = "/bin/bash", .sudo = true,
+                         .password_locked = false});
+  host.set_user("admin", {.uid = 1000, .shell = "/bin/bash", .sudo = true,
+                          .password_locked = false});
+  host.set_user("guest", {.uid = 1001, .shell = "/bin/bash", .sudo = false,
+                          .password_locked = false});
+
+  // Kernel: none of the hardening options enabled, risky features on.
+  auto& k = host.kernel();
+  k.kconfig = {{"CONFIG_STACKPROTECTOR", "n"},
+               {"CONFIG_STACKPROTECTOR_STRONG", "n"},
+               {"CONFIG_STRICT_KERNEL_RWX", "n"},
+               {"CONFIG_RANDOMIZE_BASE", "n"},
+               {"CONFIG_KEXEC", "y"},
+               {"CONFIG_KPROBES", "y"},
+               {"CONFIG_DEVMEM", "y"},
+               {"CONFIG_SECURITY_APPARMOR", "n"},
+               {"CONFIG_SECURITY_SELINUX", "n"},
+               {"CONFIG_MODULE_SIG", "n"},
+               {"CONFIG_BPF_UNPRIV_DEFAULT_OFF", "n"}};
+  k.sysctl = {{"kernel.kptr_restrict", "0"},
+              {"kernel.dmesg_restrict", "0"},
+              {"kernel.unprivileged_bpf_disabled", "0"},
+              {"net.ipv4.conf.all.rp_filter", "0"},
+              {"kernel.yama.ptrace_scope", "0"}};
+  k.cmdline = {};  // no mitigations= flags
+  k.microcode_updated = false;
+
+  host.apt_sources() = {{"onl-main", "http://apt.opennetlinux.org", true},
+                        {"community-mirror", "http://mirror.example.org", false}};
+  return host;
+}
+
+Host make_stock_ubuntu_host(const std::string& hostname) {
+  Host host(hostname, "ubuntu");
+  add_base_files(host);
+  host.kernel().version = Version(5, 15, 0);
+  host.install_package("openssl", Version(3, 0, 2));
+  host.install_package("openssh-server", Version(8, 9, 0));
+  host.install_package("systemd", Version(249, 0, 0));
+
+  host.set_service("sshd", {.enabled = true,
+                            .running = true,
+                            .config = {{"PermitRootLogin", "prohibit-password"},
+                                       {"PasswordAuthentication", "yes"},
+                                       {"Protocol", "2"}}});
+  host.set_service("ntpd", {.enabled = true, .running = true, .config = {}});
+
+  host.set_user("root", {.uid = 0, .shell = "/bin/bash", .sudo = true,
+                         .password_locked = true});
+  host.set_user("admin", {.uid = 1000, .shell = "/bin/bash", .sudo = true,
+                          .password_locked = false});
+
+  auto& k = host.kernel();
+  k.kconfig = {{"CONFIG_STACKPROTECTOR", "y"},
+               {"CONFIG_STACKPROTECTOR_STRONG", "y"},
+               {"CONFIG_STRICT_KERNEL_RWX", "y"},
+               {"CONFIG_RANDOMIZE_BASE", "y"},
+               {"CONFIG_KEXEC", "y"},
+               {"CONFIG_KPROBES", "y"},
+               {"CONFIG_DEVMEM", "n"},
+               {"CONFIG_SECURITY_APPARMOR", "y"},
+               {"CONFIG_SECURITY_SELINUX", "n"},
+               {"CONFIG_MODULE_SIG", "y"},
+               {"CONFIG_BPF_UNPRIV_DEFAULT_OFF", "n"}};
+  k.sysctl = {{"kernel.kptr_restrict", "1"},
+              {"kernel.dmesg_restrict", "0"},
+              {"kernel.unprivileged_bpf_disabled", "0"},
+              {"net.ipv4.conf.all.rp_filter", "1"},
+              {"kernel.yama.ptrace_scope", "1"}};
+  k.microcode_updated = true;
+
+  host.apt_sources() = {{"ubuntu-main", "http://archive.ubuntu.com", true}};
+  return host;
+}
+
+}  // namespace genio::os

@@ -1,0 +1,142 @@
+// The simulated host OS: an Open Networking Linux (ONL) style system model
+// holding everything the infrastructure-level mitigations inspect and
+// mutate — filesystem, packages, services, accounts, kernel configuration,
+// APT sources. The hardening engine (M1/M2), the FIM (M7), the vulnerability
+// scanners (M8) and the update mechanisms (M9) all operate on this model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "genio/common/bytes.hpp"
+#include "genio/common/result.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/common/version.hpp"
+#include "genio/crypto/sha256.hpp"
+
+namespace genio::os {
+
+using common::Bytes;
+using common::BytesView;
+using common::Result;
+using common::Status;
+using common::Version;
+
+struct FileEntry {
+  Bytes content;
+  std::string owner = "root";
+  int mode = 0644;  // octal permission bits
+
+  crypto::Digest digest() const { return crypto::Sha256::hash(content); }
+};
+
+struct ServiceEntry {
+  bool enabled = false;
+  bool running = false;
+  std::map<std::string, std::string> config;  // e.g. sshd: PermitRootLogin
+};
+
+struct UserAccount {
+  int uid = 1000;
+  std::string shell = "/bin/bash";
+  bool sudo = false;
+  bool password_locked = false;
+};
+
+struct PackageInfo {
+  Version version;
+  std::string origin = "onl";  // repository the package came from
+};
+
+struct AptSource {
+  std::string name;       // "onl-main"
+  std::string url;        // simulated
+  bool gpg_verified = true;
+};
+
+/// Kernel configuration relevant to M2.
+struct KernelConfig {
+  std::map<std::string, std::string> kconfig;  // CONFIG_FOO -> "y"/"n"/"m"
+  std::map<std::string, std::string> sysctl;   // kernel.kptr_restrict -> "2"
+  std::set<std::string> cmdline;               // boot parameters
+  Version version{4, 19, 0};                   // ONL ships an old kernel
+  bool microcode_updated = false;              // Spectre/side-channel (M2)
+};
+
+/// A mutable host. Copyable so scenarios can snapshot before/after attacks.
+class Host {
+ public:
+  Host() = default;
+  Host(std::string hostname, std::string distro)
+      : hostname_(std::move(hostname)), distro_(std::move(distro)) {}
+
+  // -- identity -------------------------------------------------------------
+  const std::string& hostname() const { return hostname_; }
+  /// "onl" (Debian 10 derived) or "ubuntu" — drives guideline applicability
+  /// gaps (Lesson 1) and package availability gaps (Lesson 3).
+  const std::string& distro() const { return distro_; }
+
+  // -- filesystem -----------------------------------------------------------
+  void write_file(const std::string& path, Bytes content, std::string owner = "root",
+                  int mode = 0644);
+  void write_file(const std::string& path, std::string_view text,
+                  std::string owner = "root", int mode = 0644);
+  bool remove_file(const std::string& path);
+  bool has_file(const std::string& path) const { return files_.contains(path); }
+  const FileEntry* file(const std::string& path) const;
+  FileEntry* file_mutable(const std::string& path);
+  const std::map<std::string, FileEntry>& files() const { return files_; }
+  /// Paths matching a glob pattern.
+  std::vector<std::string> glob(const std::string& pattern) const;
+
+  // -- packages ---------------------------------------------------------------
+  void install_package(const std::string& name, const Version& version,
+                       const std::string& origin = "onl");
+  bool remove_package(const std::string& name);
+  const PackageInfo* package(const std::string& name) const;
+  const std::map<std::string, PackageInfo>& packages() const { return packages_; }
+
+  // -- services ---------------------------------------------------------------
+  void set_service(const std::string& name, ServiceEntry entry);
+  const ServiceEntry* service(const std::string& name) const;
+  ServiceEntry* service_mutable(const std::string& name);
+  const std::map<std::string, ServiceEntry>& services() const { return services_; }
+
+  // -- users ------------------------------------------------------------------
+  void set_user(const std::string& name, UserAccount account);
+  const UserAccount* user(const std::string& name) const;
+  const std::map<std::string, UserAccount>& users() const { return users_; }
+
+  // -- kernel -------------------------------------------------------------------
+  KernelConfig& kernel() { return kernel_; }
+  const KernelConfig& kernel() const { return kernel_; }
+
+  // -- APT sources ----------------------------------------------------------
+  std::vector<AptSource>& apt_sources() { return apt_sources_; }
+  const std::vector<AptSource>& apt_sources() const { return apt_sources_; }
+
+ private:
+  std::string hostname_ = "host";
+  std::string distro_ = "onl";
+  std::map<std::string, FileEntry> files_;
+  std::map<std::string, PackageInfo> packages_;
+  std::map<std::string, ServiceEntry> services_;
+  std::map<std::string, UserAccount> users_;
+  KernelConfig kernel_;
+  std::vector<AptSource> apt_sources_;
+};
+
+/// Factory: a stock ONL-like OLT host with the usability-over-security
+/// defaults the paper's threat model worries about (T3): permissive SSH,
+/// debug services enabled, no kernel hardening, stale packages.
+Host make_stock_onl_host(const std::string& hostname);
+
+/// Factory: a mainstream-distribution-like host (for the Lesson 1 contrast:
+/// STIG/SCAP rules were written for this shape of system).
+Host make_stock_ubuntu_host(const std::string& hostname);
+
+}  // namespace genio::os

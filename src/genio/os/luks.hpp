@@ -1,0 +1,63 @@
+// LUKS-like encrypted volume (M6) with optional Clevis-style TPM binding.
+// The master key is random; keyslots wrap it either under a passphrase KDF
+// or under a TPM seal bound to boot-state PCRs. Lesson 3's failure mode —
+// Clevis libraries unavailable on the old ONL userspace, forcing manual
+// passphrase entry — is modeled explicitly.
+#pragma once
+
+#include <optional>
+
+#include "genio/common/rng.hpp"
+#include "genio/crypto/gcm.hpp"
+#include "genio/os/tpm.hpp"
+
+namespace genio::os {
+
+/// Iterated-HMAC passphrase KDF (PBKDF2-like). Iteration count is exposed
+/// so benches can show the unlock-latency cost (Lesson 3 / E-L3).
+crypto::AesKey passphrase_kdf(BytesView passphrase, BytesView salt, int iterations);
+
+class LuksVolume {
+ public:
+  /// Create a volume holding `plaintext` with a passphrase keyslot.
+  static LuksVolume create(BytesView passphrase, BytesView plaintext,
+                           common::Rng& rng, int kdf_iterations = 10000);
+
+  /// Unlock with the passphrase (keyslot 0).
+  common::Result<Bytes> unlock(BytesView passphrase) const;
+
+  /// Clevis-style: add a TPM keyslot sealing the master key to `policy`.
+  /// Like `clevis luks bind`, requires the passphrase to release the master
+  /// key first. Fails with kUnavailable when `clevis_available` is false —
+  /// the Lesson 3 condition (missing TPM userspace libraries on ONL).
+  common::Status bind_tpm(Tpm& tpm, PcrPolicy policy, BytesView passphrase,
+                          bool clevis_available);
+
+  /// Automatic unlock via the TPM keyslot (boot-time path, no operator).
+  common::Result<Bytes> unlock_with_tpm(const Tpm& tpm) const;
+
+  bool tpm_bound() const { return tpm_slot_.has_value(); }
+  int kdf_iterations() const { return kdf_iterations_; }
+
+ private:
+  LuksVolume() = default;
+
+  common::Result<Bytes> open_payload(const crypto::AesKey& master_key) const;
+
+  // Encrypted payload under the master key.
+  Bytes payload_ciphertext_;
+  crypto::GcmTag payload_tag_{};
+  crypto::GcmNonce payload_nonce_{};
+
+  // Keyslot 0: passphrase-wrapped master key.
+  Bytes salt_;
+  int kdf_iterations_ = 10000;
+  Bytes wrapped_key_;
+  crypto::GcmTag wrap_tag_{};
+  crypto::GcmNonce wrap_nonce_{};
+
+  // Keyslot 1: TPM-sealed master key (Clevis-style).
+  std::optional<SealedBlob> tpm_slot_;
+};
+
+}  // namespace genio::os

@@ -1,0 +1,53 @@
+#include "genio/os/onie.hpp"
+
+namespace genio::os {
+
+common::Result<OnieImage> make_signed_image(const std::string& name,
+                                            const Version& os_version, Bytes content,
+                                            crypto::SigningKey& key,
+                                            std::vector<crypto::Certificate> chain) {
+  auto sig = key.sign(BytesView(content));
+  if (!sig) return sig.error();
+  OnieImage image;
+  image.name = name;
+  image.os_version = os_version;
+  image.content = std::move(content);
+  image.cert_chain = std::move(chain);
+  image.signature = std::move(*sig);
+  return image;
+}
+
+common::Status OnieInstaller::install(Host& host, const OnieImage& image,
+                                      common::SimTime now, bool environment_verified) {
+  // SP 800-193: the update environment itself must be trustworthy; ONIE
+  // reboots into a minimal secure-boot-verified environment first.
+  if (!environment_verified) {
+    ++stats_.rejected;
+    return common::state_error(
+        "install environment failed secure boot; refusing to flash");
+  }
+  if (auto st = trust_->verify_chain(image.cert_chain, now,
+                                     crypto::KeyUsage::kCodeSigning);
+      !st.ok()) {
+    ++stats_.rejected;
+    return common::signature_invalid("image signer not trusted: " +
+                                     st.error().message());
+  }
+  if (auto st = crypto::verify(image.cert_chain.front().subject_key,
+                               BytesView(image.content), image.signature);
+      !st.ok()) {
+    ++stats_.rejected;
+    return common::signature_invalid("detached signature invalid (tampered image?)");
+  }
+
+  // Apply: new kernel image + version; measurement into the TPM.
+  host.write_file("/boot/vmlinuz", image.content, "root", 0644);
+  host.kernel().version = image.os_version;
+  if (tpm_ != nullptr) {
+    (void)tpm_->extend(kPcrCount - 1, BytesView(image.content));
+  }
+  ++stats_.installed;
+  return common::Status::success();
+}
+
+}  // namespace genio::os

@@ -1,0 +1,52 @@
+// ONIE-like signed OS image installation (M9, kernel path), following the
+// NIST SP 800-193 flow the paper describes: images carry an X.509-style
+// certificate chain and a detached signature validated against a locally
+// trusted root; installation happens from a minimal secure-boot-verified
+// environment, and a TPM measurement records the new image.
+#pragma once
+
+#include "genio/crypto/pki.hpp"
+#include "genio/os/host.hpp"
+#include "genio/os/tpm.hpp"
+
+namespace genio::os {
+
+struct OnieImage {
+  std::string name;      // "onl-updater"
+  Version os_version;    // kernel/OS version the image installs
+  Bytes content;
+  std::vector<crypto::Certificate> cert_chain;  // leaf first
+  crypto::Signature signature;                  // detached, over content
+};
+
+/// Build a signed image (vendor side).
+common::Result<OnieImage> make_signed_image(const std::string& name,
+                                            const Version& os_version, Bytes content,
+                                            crypto::SigningKey& key,
+                                            std::vector<crypto::Certificate> chain);
+
+struct OnieInstallerStats {
+  std::uint64_t installed = 0;
+  std::uint64_t rejected = 0;
+};
+
+class OnieInstaller {
+ public:
+  /// `trust` holds the locally pinned vendor roots; `tpm` records the
+  /// installed image measurement (PCR 8); `environment_verified` models
+  /// whether the minimal install environment itself passed secure boot.
+  OnieInstaller(const crypto::TrustStore* trust, Tpm* tpm)
+      : trust_(trust), tpm_(tpm) {}
+
+  common::Status install(Host& host, const OnieImage& image, common::SimTime now,
+                         bool environment_verified = true);
+
+  const OnieInstallerStats& stats() const { return stats_; }
+
+ private:
+  const crypto::TrustStore* trust_;
+  Tpm* tpm_;
+  OnieInstallerStats stats_;
+};
+
+}  // namespace genio::os

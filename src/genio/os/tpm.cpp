@@ -1,0 +1,103 @@
+#include "genio/os/tpm.hpp"
+
+#include <stdexcept>
+
+namespace genio::os {
+
+Tpm::Tpm(BytesView seed) : seed_(seed.begin(), seed.end()) {}
+
+Status Tpm::extend(std::size_t index, BytesView data) {
+  return extend(index, crypto::Sha256::hash(data));
+}
+
+Status Tpm::extend(std::size_t index, const Digest& measurement) {
+  if (index >= kPcrCount) {
+    return common::invalid_argument("PCR index " + std::to_string(index) +
+                                    " out of range");
+  }
+  crypto::Sha256 h;
+  h.update(BytesView(pcrs_[index].data(), pcrs_[index].size()));
+  h.update(BytesView(measurement.data(), measurement.size()));
+  pcrs_[index] = h.finish();
+  return Status::success();
+}
+
+const Digest& Tpm::pcr(std::size_t index) const {
+  if (index >= kPcrCount) throw std::out_of_range("PCR index out of range");
+  return pcrs_[index];
+}
+
+Digest Tpm::composite(const std::vector<std::uint8_t>& indices) const {
+  crypto::Sha256 h;
+  for (const auto i : indices) {
+    if (i >= kPcrCount) throw std::out_of_range("PCR index out of range");
+    h.update(BytesView(pcrs_[i].data(), pcrs_[i].size()));
+  }
+  return h.finish();
+}
+
+void Tpm::reset() { pcrs_ = {}; }
+
+Quote Tpm::quote(const std::vector<std::uint8_t>& indices, Bytes nonce) const {
+  Quote q;
+  q.pcr_indices = indices;
+  q.composite = composite(indices);
+  q.nonce = std::move(nonce);
+  Bytes data(q.composite.begin(), q.composite.end());
+  data.insert(data.end(), q.nonce.begin(), q.nonce.end());
+  for (const auto i : indices) data.push_back(i);
+  q.hmac = crypto::hmac_sha256(seed_, data);
+  return q;
+}
+
+bool Tpm::verify_quote(const Quote& quote) const {
+  Bytes data(quote.composite.begin(), quote.composite.end());
+  data.insert(data.end(), quote.nonce.begin(), quote.nonce.end());
+  for (const auto i : quote.pcr_indices) data.push_back(i);
+  const Digest expected = crypto::hmac_sha256(seed_, data);
+  return common::constant_time_equal(BytesView(expected.data(), expected.size()),
+                                     BytesView(quote.hmac.data(), quote.hmac.size()));
+}
+
+crypto::AesKey Tpm::storage_key_for(const Digest& policy_digest) const {
+  const Bytes okm = crypto::hkdf(BytesView(policy_digest.data(), policy_digest.size()),
+                                 seed_, common::to_bytes("tpm-storage-key"), 16);
+  return crypto::make_aes_key(okm);
+}
+
+SealedBlob Tpm::seal(BytesView secret, PcrPolicy policy) {
+  SealedBlob blob;
+  blob.policy = policy;
+  blob.policy_digest = composite(policy.pcr_indices);
+  // Unique nonce per seal operation.
+  ++seal_counter_;
+  for (int i = 0; i < 8; ++i) {
+    blob.nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seal_counter_ >> (56 - 8 * i));
+  }
+  const auto sealed = crypto::gcm_seal(storage_key_for(blob.policy_digest), blob.nonce,
+                                       secret, BytesView(blob.policy_digest.data(),
+                                                         blob.policy_digest.size()));
+  blob.ciphertext = sealed.ciphertext;
+  blob.tag = sealed.tag;
+  return blob;
+}
+
+Result<Bytes> Tpm::unseal(const SealedBlob& blob) const {
+  const Digest current = composite(blob.policy.pcr_indices);
+  if (!common::constant_time_equal(BytesView(current.data(), current.size()),
+                                   BytesView(blob.policy_digest.data(),
+                                             blob.policy_digest.size()))) {
+    return common::policy_violation("PCR state does not satisfy seal policy");
+  }
+  auto opened = crypto::gcm_open(storage_key_for(blob.policy_digest), blob.nonce,
+                                 blob.ciphertext, blob.tag,
+                                 BytesView(blob.policy_digest.data(),
+                                           blob.policy_digest.size()));
+  if (!opened) {
+    return common::decryption_failed("sealed blob corrupt or foreign TPM");
+  }
+  return opened;
+}
+
+}  // namespace genio::os

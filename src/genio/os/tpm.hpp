@@ -1,0 +1,88 @@
+// Simulated TPM 2.0 subset (M5, M6): PCR banks with extend semantics,
+// quotes signed by an attestation key, and sealing/unsealing of secrets
+// bound to a PCR policy — the primitive behind measured boot and
+// Clevis-style automatic LUKS unlock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "genio/common/result.hpp"
+#include "genio/crypto/gcm.hpp"
+#include "genio/crypto/hmac.hpp"
+#include "genio/crypto/sha256.hpp"
+
+namespace genio::os {
+
+using common::Bytes;
+using common::BytesView;
+using common::Result;
+using common::Status;
+using crypto::Digest;
+
+inline constexpr std::size_t kPcrCount = 24;
+
+/// A PCR selection + expected composite digest, the policy a blob is
+/// sealed against.
+struct PcrPolicy {
+  std::vector<std::uint8_t> pcr_indices;
+
+  bool operator==(const PcrPolicy& other) const = default;
+};
+
+struct SealedBlob {
+  PcrPolicy policy;
+  Digest policy_digest{};   // composite PCR digest at seal time
+  Bytes ciphertext;         // AES-GCM under a key derived from the TPM seed
+  crypto::GcmTag tag{};
+  crypto::GcmNonce nonce{};
+};
+
+struct Quote {
+  std::vector<std::uint8_t> pcr_indices;
+  Digest composite{};
+  Bytes nonce;       // anti-replay challenge from the verifier
+  Digest hmac{};     // keyed by the TPM's attestation secret
+};
+
+class Tpm {
+ public:
+  /// `seed` is the endorsement seed burned in at manufacture.
+  explicit Tpm(BytesView seed);
+
+  // -- PCRs -------------------------------------------------------------------
+  /// PCR[i] = SHA256(PCR[i] || SHA256(data)). Fails on bad index.
+  Status extend(std::size_t index, BytesView data);
+  Status extend(std::size_t index, const Digest& measurement);
+  const Digest& pcr(std::size_t index) const;
+  /// Composite digest over the selected PCRs (order as given).
+  Digest composite(const std::vector<std::uint8_t>& indices) const;
+  /// Reset all PCRs to zero (power cycle).
+  void reset();
+
+  // -- quotes -----------------------------------------------------------------
+  Quote quote(const std::vector<std::uint8_t>& indices, Bytes nonce) const;
+  /// Verify a quote produced by this TPM (the verifier holds the shared
+  /// attestation secret in this simulation).
+  bool verify_quote(const Quote& quote) const;
+
+  // -- seal/unseal -------------------------------------------------------------
+  /// Seal `secret` so it can only be released when the selected PCRs hold
+  /// their current values.
+  SealedBlob seal(BytesView secret, PcrPolicy policy);
+
+  /// Release the secret iff the current PCR composite matches the policy.
+  Result<Bytes> unseal(const SealedBlob& blob) const;
+
+ private:
+  crypto::AesKey storage_key_for(const Digest& policy_digest) const;
+
+  Bytes seed_;
+  std::array<Digest, kPcrCount> pcrs_{};
+  std::uint64_t seal_counter_ = 0;
+};
+
+}  // namespace genio::os

@@ -1,0 +1,58 @@
+#include "genio/os/updates.hpp"
+
+namespace genio::os {
+
+UpdateOutcome UpdateOrchestrator::apply_kernel_update(Host& host, const OnieImage& image,
+                                                      const BootPolicy& policy,
+                                                      common::SimTime now) {
+  UpdateOutcome outcome;
+
+  // Snapshot slot A (current kernel + version) before touching anything.
+  BootComponent* kernel_stage = boot_chain_->component("kernel");
+  if (kernel_stage == nullptr) {
+    outcome.detail = "boot chain has no kernel stage";
+    return outcome;
+  }
+  const BootComponent slot_a = *kernel_stage;
+  const Version previous_version = host.kernel().version;
+  const FileEntry* previous_file = host.file("/boot/vmlinuz");
+  const Bytes previous_image =
+      previous_file != nullptr ? previous_file->content : Bytes{};
+
+  // Stage into slot B: verified ONIE install.
+  if (auto st = installer_->install(host, image, now); !st.ok()) {
+    outcome.detail = "staging rejected: " + st.error().message();
+    return outcome;
+  }
+  outcome.applied = true;
+
+  // The new kernel must carry a signature the boot chain accepts; the
+  // vendor ships it with the image's own chain.
+  kernel_stage->image = image.content;
+  kernel_stage->cert_chain = image.cert_chain;
+  kernel_stage->signature = image.signature;
+
+  // Reboot into slot B.
+  const BootReport report = boot_chain_->boot(policy, now);
+  if (report.booted) {
+    outcome.committed = true;
+    ++commits_;
+    outcome.detail = "booted kernel " + host.kernel().version.to_string() + ", committed";
+    return outcome;
+  }
+
+  // Boot failed: restore slot A (kernel stage, /boot, version) and reboot.
+  *kernel_stage = slot_a;
+  host.write_file("/boot/vmlinuz", previous_image, "root", 0644);
+  host.kernel().version = previous_version;
+  const BootReport recovery = boot_chain_->boot(policy, now);
+  outcome.rolled_back = true;
+  ++rollbacks_;
+  outcome.detail = "boot failed at '" + report.failed_stage + "' (" +
+                   report.failure_reason + "); rolled back to " +
+                   previous_version.to_string() +
+                   (recovery.booted ? " (recovery boot ok)" : " (RECOVERY FAILED)");
+  return outcome;
+}
+
+}  // namespace genio::os

@@ -1,0 +1,42 @@
+// A/B-slot update orchestration for in-field OLTs: remote devices cannot
+// be hand-recovered, so a kernel update is staged into the inactive slot,
+// the device reboots into it, and a failed verification automatically
+// rolls back to the previous slot (the NIST SP 800-193 recovery property
+// the paper's M9/ONIE flow needs in practice).
+#pragma once
+
+#include "genio/os/boot.hpp"
+#include "genio/os/onie.hpp"
+
+namespace genio::os {
+
+struct UpdateOutcome {
+  bool applied = false;      // image verified and staged
+  bool committed = false;    // booted successfully and kept
+  bool rolled_back = false;  // boot failed; previous slot restored
+  std::string detail;
+};
+
+/// Two-slot updater for the kernel/OS image. The boot chain holds the
+/// active kernel; the orchestrator snapshots it before updating so a
+/// failed post-update boot restores it byte-for-byte.
+class UpdateOrchestrator {
+ public:
+  UpdateOrchestrator(OnieInstaller* installer, BootChain* boot_chain)
+      : installer_(installer), boot_chain_(boot_chain) {}
+
+  /// Stage `image`, reboot, verify, and commit or roll back.
+  UpdateOutcome apply_kernel_update(Host& host, const OnieImage& image,
+                                    const BootPolicy& policy, common::SimTime now);
+
+  std::uint32_t commits() const { return commits_; }
+  std::uint32_t rollbacks() const { return rollbacks_; }
+
+ private:
+  OnieInstaller* installer_;
+  BootChain* boot_chain_;
+  std::uint32_t commits_ = 0;
+  std::uint32_t rollbacks_ = 0;
+};
+
+}  // namespace genio::os

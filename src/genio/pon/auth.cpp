@@ -1,0 +1,165 @@
+#include "genio/pon/auth.hpp"
+
+#include "genio/crypto/hmac.hpp"
+
+namespace genio::pon {
+
+namespace dh {
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exponent) {
+  unsigned __int128 result = 1;
+  unsigned __int128 b = base % kPrime;
+  while (exponent > 0) {
+    if (exponent & 1) result = (result * b) % kPrime;
+    b = (b * b) % kPrime;
+    exponent >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+}  // namespace dh
+
+AuthEndpoint::AuthEndpoint(std::string id, crypto::SigningKey key,
+                           std::vector<crypto::Certificate> chain,
+                           const crypto::TrustStore* trust, common::Rng rng)
+    : id_(std::move(id)),
+      key_(std::move(key)),
+      chain_(std::move(chain)),
+      trust_(trust),
+      rng_(rng) {}
+
+Bytes AuthEndpoint::transcript_hash() const {
+  // Transcript binds both identities, both nonces, and both DH shares; a
+  // signature over it prevents identity-misbinding and share substitution.
+  Bytes t;
+  auto put_string = [&t](const std::string& s) {
+    common::put_u32_be(t, static_cast<std::uint32_t>(s.size()));
+    t.insert(t.end(), s.begin(), s.end());
+  };
+  put_string(id_ < peer_id_ ? id_ : peer_id_);
+  put_string(id_ < peer_id_ ? peer_id_ : id_);
+  // Nonces ordered by owner name for symmetry on both sides.
+  const Bytes& first = id_ < peer_id_ ? local_nonce_ : peer_nonce_;
+  const Bytes& second = id_ < peer_id_ ? peer_nonce_ : local_nonce_;
+  t.insert(t.end(), first.begin(), first.end());
+  t.insert(t.end(), second.begin(), second.end());
+  const std::uint64_t my_share = dh::pow_mod(dh::kGenerator, dh_private_);
+  common::put_u64_be(t, id_ < peer_id_ ? my_share : peer_dh_public_);
+  common::put_u64_be(t, id_ < peer_id_ ? peer_dh_public_ : my_share);
+  return crypto::digest_bytes(crypto::Sha256::hash(t));
+}
+
+SessionKeys AuthEndpoint::derive_keys(std::uint64_t shared_secret) const {
+  Bytes ikm;
+  common::put_u64_be(ikm, shared_secret);
+  // Salt must be identical on both sides: order nonces by identity.
+  const Bytes ordered_salt = id_ < peer_id_ ? common::concat(local_nonce_, peer_nonce_)
+                                            : common::concat(peer_nonce_, local_nonce_);
+  const Bytes okm =
+      crypto::hkdf(ordered_salt, ikm, common::to_bytes("genio-pon-session"), 48);
+  SessionKeys keys;
+  keys.data_key = crypto::make_aes_key(BytesView(okm.data(), 16));
+  keys.session_id.assign(okm.begin() + 16, okm.begin() + 32);
+  return keys;
+}
+
+AuthHello AuthEndpoint::initiate() {
+  local_nonce_ = rng_.bytes(16);
+  dh_private_ = rng_.next_u64() % (dh::kPrime - 2) + 1;
+  AuthHello hello;
+  hello.initiator_id = id_;
+  hello.nonce = local_nonce_;
+  hello.dh_public = dh::pow_mod(dh::kGenerator, dh_private_);
+  hello.cert_chain = chain_;
+  return hello;
+}
+
+Result<AuthResponse> AuthEndpoint::respond(const AuthHello& hello, common::SimTime now) {
+  if (hello.cert_chain.empty()) {
+    return common::authentication_failed("initiator presented no certificates");
+  }
+  if (auto st = trust_->verify_chain(hello.cert_chain, now, crypto::KeyUsage::kNodeAuth);
+      !st.ok()) {
+    return common::authentication_failed("initiator certificate rejected: " +
+                                         st.error().message());
+  }
+  if (hello.cert_chain.front().subject != hello.initiator_id) {
+    return common::authentication_failed("certificate subject '" +
+                                         hello.cert_chain.front().subject +
+                                         "' does not match claimed id '" +
+                                         hello.initiator_id + "'");
+  }
+  if (hello.dh_public == 0 || hello.dh_public >= dh::kPrime) {
+    return common::invalid_argument("DH share out of range");
+  }
+
+  peer_id_ = hello.initiator_id;
+  peer_nonce_ = hello.nonce;
+  peer_dh_public_ = hello.dh_public;
+  peer_sig_key_ = hello.cert_chain.front().subject_key;
+
+  local_nonce_ = rng_.bytes(16);
+  dh_private_ = rng_.next_u64() % (dh::kPrime - 2) + 1;
+  pending_shared_ = dh::pow_mod(peer_dh_public_, dh_private_);
+
+  AuthResponse response;
+  response.responder_id = id_;
+  response.nonce = local_nonce_;
+  response.dh_public = dh::pow_mod(dh::kGenerator, dh_private_);
+  response.cert_chain = chain_;
+  auto sig = key_.sign(transcript_hash());
+  if (!sig) return sig.error();
+  response.transcript_signature = std::move(*sig);
+  return response;
+}
+
+Result<std::pair<AuthFinish, SessionKeys>> AuthEndpoint::finish(
+    const AuthResponse& response, common::SimTime now) {
+  if (response.cert_chain.empty()) {
+    return common::authentication_failed("responder presented no certificates");
+  }
+  if (auto st =
+          trust_->verify_chain(response.cert_chain, now, crypto::KeyUsage::kNodeAuth);
+      !st.ok()) {
+    return common::authentication_failed("responder certificate rejected: " +
+                                         st.error().message());
+  }
+  if (response.cert_chain.front().subject != response.responder_id) {
+    return common::authentication_failed("responder id/certificate mismatch");
+  }
+  if (response.dh_public == 0 || response.dh_public >= dh::kPrime) {
+    return common::invalid_argument("DH share out of range");
+  }
+
+  peer_id_ = response.responder_id;
+  peer_nonce_ = response.nonce;
+  peer_dh_public_ = response.dh_public;
+  peer_sig_key_ = response.cert_chain.front().subject_key;
+
+  if (auto st = crypto::verify(peer_sig_key_, BytesView(transcript_hash()),
+                               response.transcript_signature);
+      !st.ok()) {
+    return common::authentication_failed("responder transcript signature invalid");
+  }
+
+  const std::uint64_t shared = dh::pow_mod(peer_dh_public_, dh_private_);
+  AuthFinish finish;
+  auto sig = key_.sign(transcript_hash());
+  if (!sig) return sig.error();
+  finish.transcript_signature = std::move(*sig);
+  return std::make_pair(std::move(finish), derive_keys(shared));
+}
+
+Result<SessionKeys> AuthEndpoint::complete(const AuthFinish& finish) {
+  if (peer_id_.empty()) {
+    return common::state_error("complete() before respond()");
+  }
+  if (auto st = crypto::verify(peer_sig_key_, BytesView(transcript_hash()),
+                               finish.transcript_signature);
+      !st.ok()) {
+    return common::authentication_failed("initiator transcript signature invalid");
+  }
+  return derive_keys(pending_shared_);
+}
+
+}  // namespace genio::pon

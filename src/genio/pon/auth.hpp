@@ -1,0 +1,104 @@
+// Mutual authentication of nodes (M4): a SIGMA-style handshake combining
+// certificate chains (genio::crypto::pki), an ephemeral Diffie-Hellman
+// exchange, and transcript signatures — the same structure as the TLS 1.3
+// handshake the paper prescribes for ONU/OLT onboarding. The DH group is a
+// toy 61-bit prime group (simulation substitute for X25519; the protocol
+// logic — what is signed, what is derived, what is rejected — is the part
+// under test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genio/common/rng.hpp"
+#include "genio/crypto/aes.hpp"
+#include "genio/crypto/pki.hpp"
+
+namespace genio::pon {
+
+using common::Bytes;
+using common::Result;
+using common::BytesView;
+
+/// Toy DH group: p = 2^61 - 1 (Mersenne prime), g = 3.
+namespace dh {
+constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+constexpr std::uint64_t kGenerator = 3;
+
+/// g^exponent mod p.
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exponent);
+}  // namespace dh
+
+/// Message 1 (initiator -> responder): hello with nonce + DH share + certs.
+struct AuthHello {
+  std::string initiator_id;
+  Bytes nonce;
+  std::uint64_t dh_public = 0;
+  std::vector<crypto::Certificate> cert_chain;
+};
+
+/// Message 2 (responder -> initiator): responder share + transcript signature.
+struct AuthResponse {
+  std::string responder_id;
+  Bytes nonce;
+  std::uint64_t dh_public = 0;
+  std::vector<crypto::Certificate> cert_chain;
+  crypto::Signature transcript_signature;
+};
+
+/// Message 3 (initiator -> responder): initiator's transcript signature.
+struct AuthFinish {
+  crypto::Signature transcript_signature;
+};
+
+/// Both sides end up with the same session key on success.
+struct SessionKeys {
+  crypto::AesKey data_key{};   // GPON payload / MACsec SAK
+  Bytes session_id;            // binds logs/events to this session
+};
+
+/// One endpoint of the handshake (an OLT or an ONU). Owns its signing key
+/// and certificate chain; validates the peer against a trust store.
+class AuthEndpoint {
+ public:
+  AuthEndpoint(std::string id, crypto::SigningKey key,
+               std::vector<crypto::Certificate> chain, const crypto::TrustStore* trust,
+               common::Rng rng);
+
+  const std::string& id() const { return id_; }
+
+  /// Initiator side: produce message 1.
+  AuthHello initiate();
+
+  /// Responder side: consume message 1, produce message 2 (or reject).
+  Result<AuthResponse> respond(const AuthHello& hello, common::SimTime now);
+
+  /// Initiator side: consume message 2, produce message 3 and session keys.
+  Result<std::pair<AuthFinish, SessionKeys>> finish(const AuthResponse& response,
+                                                    common::SimTime now);
+
+  /// Responder side: consume message 3, produce session keys.
+  Result<SessionKeys> complete(const AuthFinish& finish);
+
+ private:
+  Bytes transcript_hash() const;
+  SessionKeys derive_keys(std::uint64_t shared_secret) const;
+
+  std::string id_;
+  crypto::SigningKey key_;
+  std::vector<crypto::Certificate> chain_;
+  const crypto::TrustStore* trust_;
+  common::Rng rng_;
+
+  // In-flight handshake state.
+  std::uint64_t dh_private_ = 0;
+  Bytes local_nonce_;
+  Bytes peer_nonce_;
+  std::uint64_t peer_dh_public_ = 0;
+  std::string peer_id_;
+  crypto::PublicKey peer_sig_key_;
+  std::uint64_t pending_shared_ = 0;
+};
+
+}  // namespace genio::pon

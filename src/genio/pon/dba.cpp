@@ -1,0 +1,85 @@
+#include "genio/pon/dba.hpp"
+
+#include <algorithm>
+
+namespace genio::pon {
+
+std::string to_string(TcontType type) {
+  switch (type) {
+    case TcontType::kFixed: return "fixed";
+    case TcontType::kAssured: return "assured";
+    case TcontType::kBestEffort: return "best-effort";
+  }
+  return "unknown";
+}
+
+std::vector<DbaGrant> DbaScheduler::allocate(const std::vector<TcontRequest>& requests) {
+  ++stats_.cycles;
+  std::map<std::uint16_t, std::uint32_t> granted;
+  std::uint32_t remaining = budget_;
+
+  for (const auto& request : requests) stats_.bytes_requested += request.queued;
+
+  // Pass 1: fixed reservations (consumed even when idle — that is the
+  // contract that makes them deterministic-latency).
+  for (const auto& request : requests) {
+    if (request.type != TcontType::kFixed) continue;
+    const std::uint32_t grant = std::min(request.entitled, remaining);
+    granted[request.onu_id] += grant;
+    remaining -= grant;
+  }
+
+  // Pass 2: assured bandwidth, demand-driven up to the cap.
+  for (const auto& request : requests) {
+    if (request.type != TcontType::kAssured) continue;
+    const std::uint32_t want = std::min(request.queued, request.entitled);
+    const std::uint32_t grant = std::min(want, remaining);
+    granted[request.onu_id] += grant;
+    remaining -= grant;
+  }
+
+  // Pass 3: best-effort — iterative fair share of what is left.
+  std::vector<const TcontRequest*> best_effort;
+  for (const auto& request : requests) {
+    if (request.type == TcontType::kBestEffort && request.queued > 0) {
+      best_effort.push_back(&request);
+    }
+  }
+  std::sort(best_effort.begin(), best_effort.end(),
+            [](const TcontRequest* a, const TcontRequest* b) {
+              return a->onu_id < b->onu_id;
+            });
+  std::map<std::uint16_t, std::uint32_t> be_granted;
+  while (remaining > 0 && !best_effort.empty()) {
+    const std::uint32_t share =
+        std::max<std::uint32_t>(1, remaining / static_cast<std::uint32_t>(
+                                                   best_effort.size()));
+    bool progressed = false;
+    for (auto it = best_effort.begin(); it != best_effort.end() && remaining > 0;) {
+      const TcontRequest* request = *it;
+      const std::uint32_t outstanding = request->queued - be_granted[request->onu_id];
+      const std::uint32_t grant = std::min({share, outstanding, remaining});
+      if (grant > 0) {
+        be_granted[request->onu_id] += grant;
+        remaining -= grant;
+        progressed = true;
+      }
+      if (be_granted[request->onu_id] >= request->queued) {
+        it = best_effort.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) break;
+  }
+  for (const auto& [onu_id, bytes] : be_granted) granted[onu_id] += bytes;
+
+  std::vector<DbaGrant> out;
+  for (const auto& [onu_id, bytes] : granted) {
+    stats_.bytes_granted += bytes;
+    out.push_back({onu_id, bytes});
+  }
+  return out;
+}
+
+}  // namespace genio::pon

@@ -1,0 +1,67 @@
+// Dynamic Bandwidth Allocation for the upstream TDMA direction: T-CONT
+// service classes in the XG-PON style — fixed allocations are honored
+// first, assured bandwidth next, and the remaining budget is fair-shared
+// among best-effort requesters. The scheduler is also a defence surface:
+// per-class caps keep one tenant's ONU from starving the tree (the PON
+// face of T8 resource abuse).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace genio::pon {
+
+enum class TcontType {
+  kFixed,       // reserved every cycle regardless of demand
+  kAssured,     // up to the assured rate, on demand
+  kBestEffort,  // whatever is left, fair-shared
+};
+
+std::string to_string(TcontType type);
+
+struct TcontRequest {
+  std::uint16_t onu_id = 0;
+  TcontType type = TcontType::kBestEffort;
+  std::uint32_t entitled = 0;  // fixed size or assured cap (bytes/cycle)
+  std::uint32_t queued = 0;    // bytes waiting upstream
+};
+
+struct DbaGrant {
+  std::uint16_t onu_id = 0;
+  std::uint32_t bytes = 0;
+};
+
+struct DbaStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t bytes_granted = 0;
+  std::uint64_t bytes_requested = 0;
+
+  double grant_ratio() const {
+    return bytes_requested == 0
+               ? 1.0
+               : static_cast<double>(bytes_granted) /
+                     static_cast<double>(bytes_requested);
+  }
+};
+
+class DbaScheduler {
+ public:
+  /// `cycle_budget`: upstream bytes available per service cycle.
+  explicit DbaScheduler(std::uint32_t cycle_budget) : budget_(cycle_budget) {}
+
+  /// Allocate one cycle. Grants are deterministic: fixed first (always
+  /// their reservation), assured next (min(queued, entitled)), then
+  /// best-effort round-robin over the remainder in onu_id order.
+  std::vector<DbaGrant> allocate(const std::vector<TcontRequest>& requests);
+
+  const DbaStats& stats() const { return stats_; }
+  std::uint32_t cycle_budget() const { return budget_; }
+
+ private:
+  std::uint32_t budget_;
+  DbaStats stats_;
+};
+
+}  // namespace genio::pon

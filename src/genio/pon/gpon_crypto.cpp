@@ -1,0 +1,49 @@
+#include "genio/pon/gpon_crypto.hpp"
+
+namespace genio::pon {
+
+crypto::GcmNonce GponCipher::nonce_for(const GemFrame& frame) const {
+  // IV = superframe counter || onu_id || port_id, unique per (key, frame
+  // counter) as G.987.3 requires.
+  crypto::GcmNonce nonce{};
+  for (int i = 0; i < 4; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(frame.superframe >> (24 - 8 * i));
+  }
+  nonce[4] = static_cast<std::uint8_t>(frame.onu_id >> 8);
+  nonce[5] = static_cast<std::uint8_t>(frame.onu_id);
+  nonce[6] = static_cast<std::uint8_t>(frame.port_id >> 8);
+  nonce[7] = static_cast<std::uint8_t>(frame.port_id);
+  return nonce;
+}
+
+void GponCipher::encrypt(GemFrame& frame) const {
+  frame.encrypted = true;  // header flag participates in AAD
+  const auto sealed = crypto::gcm_seal(key_, nonce_for(frame), frame.payload,
+                                       frame.header_bytes());
+  frame.payload = sealed.ciphertext;
+  frame.payload.insert(frame.payload.end(), sealed.tag.begin(), sealed.tag.end());
+  frame.seal_fcs();
+}
+
+common::Status GponCipher::decrypt(GemFrame& frame) const {
+  if (!frame.encrypted) {
+    return common::state_error("frame is not marked encrypted");
+  }
+  if (frame.payload.size() < 16) {
+    return common::parse_error("encrypted payload shorter than GCM tag");
+  }
+  crypto::GcmTag tag;
+  std::copy(frame.payload.end() - 16, frame.payload.end(), tag.begin());
+  const BytesView ciphertext(frame.payload.data(), frame.payload.size() - 16);
+
+  auto opened = crypto::gcm_open(key_, nonce_for(frame), ciphertext, tag,
+                                 frame.header_bytes());
+  if (!opened) return opened.error();
+  frame.payload = std::move(*opened);
+  frame.encrypted = false;
+  frame.seal_fcs();
+  return common::Status::success();
+}
+
+}  // namespace genio::pon

@@ -1,0 +1,27 @@
+// GPON payload protection per ITU-T G.987.3 guidance (M3): AES-GCM over
+// XGEM payloads, keyed per ONU, with the IV derived from the superframe
+// counter so both ends stay in sync without per-frame nonces on the wire.
+#pragma once
+
+#include "genio/crypto/gcm.hpp"
+#include "genio/pon/frame.hpp"
+
+namespace genio::pon {
+
+/// Encrypts/decrypts GEM payloads for one ONU data key.
+class GponCipher {
+ public:
+  explicit GponCipher(const crypto::AesKey& data_key) : key_(data_key) {}
+
+  /// Encrypt `frame`'s payload in place (sets encrypted flag, reseals FCS).
+  void encrypt(GemFrame& frame) const;
+
+  /// Decrypt in place; fails on tag mismatch (tampering or key mismatch).
+  common::Status decrypt(GemFrame& frame) const;
+
+ private:
+  crypto::GcmNonce nonce_for(const GemFrame& frame) const;
+  crypto::AesKey key_;
+};
+
+}  // namespace genio::pon

@@ -1,0 +1,20 @@
+#include "genio/pon/medium.hpp"
+
+namespace genio::pon {
+
+void Odn::downstream(const GemFrame& frame) {
+  ++stats_.downstream_frames;
+  stats_.downstream_bytes += frame.payload.size();
+  for (Tap* tap : taps_) tap->observe_downstream(frame);
+  // PON physics: every ONU on the tree receives every downstream frame.
+  for (OnuDevice* onu : onus_) onu->on_downstream(frame);
+}
+
+void Odn::upstream(const GemFrame& frame) {
+  ++stats_.upstream_frames;
+  stats_.upstream_bytes += frame.payload.size();
+  for (Tap* tap : taps_) tap->observe_upstream(frame);
+  if (olt_ != nullptr) olt_->on_upstream(frame);
+}
+
+}  // namespace genio::pon

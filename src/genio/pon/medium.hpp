@@ -1,0 +1,79 @@
+// The Optical Distribution Network: the passive splitter tree between one
+// OLT and its ONUs. Two physical properties drive the threat model (T1):
+//   * downstream is BROADCAST — every ONU (and every fiber tap) receives
+//     every downstream frame, which is why G.987.3 payload encryption
+//     matters;
+//   * upstream is directed, but a tap on the shared feeder fiber still
+//     observes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genio/common/sim_clock.hpp"
+#include "genio/pon/frame.hpp"
+
+namespace genio::pon {
+
+/// Receiver interface for ONU-side devices (honest ONUs, rogue ONUs).
+class OnuDevice {
+ public:
+  virtual ~OnuDevice() = default;
+  virtual void on_downstream(const GemFrame& frame) = 0;
+};
+
+/// Receiver interface for the OLT side.
+class OltDevice {
+ public:
+  virtual ~OltDevice() = default;
+  virtual void on_upstream(const GemFrame& frame) = 0;
+};
+
+/// Passive observer attached to the fiber (T1 "physically tapping fiber").
+class Tap {
+ public:
+  virtual ~Tap() = default;
+  virtual void observe_downstream(const GemFrame& frame) = 0;
+  virtual void observe_upstream(const GemFrame& frame) = 0;
+};
+
+/// Traffic counters for capacity/throughput reporting.
+struct OdnStats {
+  std::uint64_t downstream_frames = 0;
+  std::uint64_t upstream_frames = 0;
+  std::uint64_t downstream_bytes = 0;
+  std::uint64_t upstream_bytes = 0;
+};
+
+/// The splitter tree. Non-owning: devices and taps are owned by the
+/// scenario; they must outlive the Odn or detach first.
+class Odn {
+ public:
+  /// `propagation` is the one-way fiber delay (≈5 us/km; 20 km ≈ 100 us).
+  explicit Odn(common::SimTime propagation = common::SimTime::from_micros(100))
+      : propagation_(propagation) {}
+
+  void set_olt(OltDevice* olt) { olt_ = olt; }
+  void attach_onu(OnuDevice* onu) { onus_.push_back(onu); }
+  void detach_onu(OnuDevice* onu) { std::erase(onus_, onu); }
+  void add_tap(Tap* tap) { taps_.push_back(tap); }
+
+  /// Broadcast a frame from the OLT to every attached ONU (and every tap).
+  void downstream(const GemFrame& frame);
+
+  /// Carry a frame from an ONU (or an injector) up to the OLT.
+  void upstream(const GemFrame& frame);
+
+  common::SimTime propagation() const { return propagation_; }
+  const OdnStats& stats() const { return stats_; }
+  std::size_t onu_count() const { return onus_.size(); }
+
+ private:
+  common::SimTime propagation_;
+  OltDevice* olt_ = nullptr;
+  std::vector<OnuDevice*> onus_;
+  std::vector<Tap*> taps_;
+  OdnStats stats_;
+};
+
+}  // namespace genio::pon

@@ -1,0 +1,113 @@
+// Optical Network Unit: the far-edge device at the customer premises.
+// Implements the (simplified G.987-style) activation state machine, the
+// data path with optional GPON payload encryption, and the ONU side of the
+// mutual-authentication handshake (M4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/common/log.hpp"
+#include "genio/pon/auth.hpp"
+#include "genio/pon/control.hpp"
+#include "genio/pon/gpon_crypto.hpp"
+#include "genio/pon/medium.hpp"
+
+namespace genio::pon {
+
+enum class OnuState {
+  kInitial,             // O1: waiting for a discovery window
+  kAwaitingAssignment,  // responded with serial, waiting for onu-id
+  kRanging,             // onu-id assigned, ranging in progress
+  kOperational,         // O5: data path enabled
+};
+
+std::string to_string(OnuState state);
+
+/// In-band transport for the authentication handshake; implemented by
+/// honest ONUs and by rogue devices (which fail it in interesting ways).
+class AuthTransport {
+ public:
+  virtual ~AuthTransport() = default;
+  virtual common::Result<AuthResponse> auth_respond(const AuthHello& hello,
+                                                    common::SimTime now) = 0;
+  virtual common::Result<SessionKeys> auth_complete(const AuthFinish& finish) = 0;
+};
+
+struct OnuStats {
+  std::uint64_t data_frames_received = 0;
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t foreign_frames_seen = 0;   // addressed to other ONUs (broadcast physics)
+  std::uint64_t decrypt_failures = 0;      // tampered/forged downstream
+  std::uint64_t stale_superframe_drops = 0;  // replayed downstream
+  std::uint64_t fcs_drops = 0;
+};
+
+class Onu : public OnuDevice, public AuthTransport {
+ public:
+  Onu(std::string serial, Odn* odn, const common::SimClock* clock,
+      const common::Logger* logger);
+
+  // -- provisioning ---------------------------------------------------------
+  /// Install authentication credentials (certificate chain + key).
+  void provision_credentials(crypto::SigningKey key,
+                             std::vector<crypto::Certificate> chain,
+                             const crypto::TrustStore* trust, common::Rng rng);
+
+  // -- identity/state -------------------------------------------------------
+  const std::string& serial() const { return serial_; }
+  OnuState state() const { return state_; }
+  std::uint16_t onu_id() const { return onu_id_; }
+  bool session_active() const { return cipher_.has_value(); }
+
+  // -- medium callbacks -----------------------------------------------------
+  void on_downstream(const GemFrame& frame) override;
+
+  // -- auth transport (called in-band by the OLT) ---------------------------
+  common::Result<AuthResponse> auth_respond(const AuthHello& hello,
+                                            common::SimTime now) override;
+  common::Result<SessionKeys> auth_complete(const AuthFinish& finish) override;
+
+  // -- data path ------------------------------------------------------------
+  /// Queue an upstream payload on `port` (>0).
+  void send_data(std::uint16_t port, Bytes payload);
+  /// Transmit up to `max_frames` queued frames (called during a DBA grant).
+  std::size_t drain_upstream(std::size_t max_frames);
+  std::size_t upstream_queue_size() const { return upstream_queue_.size(); }
+
+  /// Downstream payloads accepted for this ONU (after decryption).
+  const std::vector<Bytes>& received_data() const { return received_; }
+  const OnuStats& stats() const { return stats_; }
+
+ private:
+  void handle_control(const GemFrame& frame);
+  void handle_data(const GemFrame& frame);
+  void send_control(ControlType type, std::map<std::string, std::string> fields);
+
+  std::string serial_;
+  Odn* odn_;
+  const common::SimClock* clock_;
+  const common::Logger* logger_;
+
+  OnuState state_ = OnuState::kInitial;
+  std::uint16_t onu_id_ = 0;
+  std::uint32_t tx_superframe_ = 0;
+  std::uint32_t last_rx_superframe_ = 0;
+
+  std::optional<AuthEndpoint> auth_;
+  std::optional<SessionKeys> pending_keys_;
+  std::optional<GponCipher> cipher_;
+
+  struct QueuedFrame {
+    std::uint16_t port;
+    Bytes payload;
+  };
+  std::deque<QueuedFrame> upstream_queue_;
+  std::vector<Bytes> received_;
+  OnuStats stats_;
+};
+
+}  // namespace genio::pon

@@ -1,0 +1,59 @@
+#include "genio/vuln/cve.hpp"
+
+namespace genio::vuln {
+
+void CveDatabase::upsert(CveRecord record) {
+  const auto it = by_id_.find(record.id);
+  if (it == by_id_.end()) {
+    by_package_.emplace(record.package, record.id);
+    by_id_.emplace(record.id, std::move(record));
+    return;
+  }
+  if (record.published >= it->second.published) {
+    if (it->second.package != record.package) {
+      // Re-key the package index.
+      auto [lo, hi] = by_package_.equal_range(it->second.package);
+      for (auto i = lo; i != hi; ++i) {
+        if (i->second == record.id) {
+          by_package_.erase(i);
+          break;
+        }
+      }
+      by_package_.emplace(record.package, record.id);
+    }
+    it->second = std::move(record);
+  }
+}
+
+const CveRecord* CveDatabase::find(const std::string& id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const CveRecord*> CveDatabase::matching(const std::string& package,
+                                                    const Version& version) const {
+  std::vector<const CveRecord*> out;
+  auto [lo, hi] = by_package_.equal_range(package);
+  for (auto it = lo; it != hi; ++it) {
+    const CveRecord& record = by_id_.at(it->second);
+    if (record.affected.contains(version)) out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<const CveRecord*> CveDatabase::for_package(const std::string& package) const {
+  std::vector<const CveRecord*> out;
+  auto [lo, hi] = by_package_.equal_range(package);
+  for (auto it = lo; it != hi; ++it) out.push_back(&by_id_.at(it->second));
+  return out;
+}
+
+std::vector<const CveRecord*> CveDatabase::published_since(SimTime since) const {
+  std::vector<const CveRecord*> out;
+  for (const auto& [id, record] : by_id_) {
+    if (record.published >= since) out.push_back(&record);
+  }
+  return out;
+}
+
+}  // namespace genio::vuln

@@ -1,0 +1,56 @@
+// CVE records and the local vulnerability database (M8/M12). Advisories
+// are keyed by affected package + version range; the database supports the
+// queries the scanners need (by package, by severity floor, since-time).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/common/sim_clock.hpp"
+#include "genio/common/version.hpp"
+#include "genio/vuln/cvss.hpp"
+
+namespace genio::vuln {
+
+using common::SimTime;
+using common::Version;
+using common::VersionRange;
+
+struct CveRecord {
+  std::string id;          // "CVE-2024-1234"
+  std::string package;     // affected component name ("openssl", "kubernetes")
+  VersionRange affected;   // versions in scope
+  std::optional<Version> fixed_version;
+  CvssV3 cvss;
+  bool known_exploited = false;  // KEV-style flag, raises priority
+  std::string summary;
+  SimTime published;
+  std::string source;      // which feed delivered it ("nvd", "k8s-cve", ...)
+};
+
+class CveDatabase {
+ public:
+  /// Insert or update (same id wins by newer publication).
+  void upsert(CveRecord record);
+
+  std::size_t size() const { return by_id_.size(); }
+  const CveRecord* find(const std::string& id) const;
+
+  /// All records affecting `package` at `version`.
+  std::vector<const CveRecord*> matching(const std::string& package,
+                                         const Version& version) const;
+
+  /// All records for a package regardless of version.
+  std::vector<const CveRecord*> for_package(const std::string& package) const;
+
+  /// Records published after `since` (feed-lag studies, Lesson 6).
+  std::vector<const CveRecord*> published_since(SimTime since) const;
+
+ private:
+  std::map<std::string, CveRecord> by_id_;
+  std::multimap<std::string, std::string> by_package_;  // package -> id
+};
+
+}  // namespace genio::vuln

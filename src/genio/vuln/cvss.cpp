@@ -1,0 +1,168 @@
+#include "genio/vuln/cvss.hpp"
+
+#include <cmath>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::vuln {
+
+namespace {
+
+double av_weight(AttackVector av) {
+  switch (av) {
+    case AttackVector::kNetwork: return 0.85;
+    case AttackVector::kAdjacent: return 0.62;
+    case AttackVector::kLocal: return 0.55;
+    case AttackVector::kPhysical: return 0.2;
+  }
+  return 0;
+}
+
+double ac_weight(AttackComplexity ac) {
+  return ac == AttackComplexity::kLow ? 0.77 : 0.44;
+}
+
+double pr_weight(PrivilegesRequired pr, Scope scope) {
+  switch (pr) {
+    case PrivilegesRequired::kNone: return 0.85;
+    case PrivilegesRequired::kLow: return scope == Scope::kChanged ? 0.68 : 0.62;
+    case PrivilegesRequired::kHigh: return scope == Scope::kChanged ? 0.5 : 0.27;
+  }
+  return 0;
+}
+
+double ui_weight(UserInteraction ui) {
+  return ui == UserInteraction::kNone ? 0.85 : 0.62;
+}
+
+double impact_weight(Impact impact) {
+  switch (impact) {
+    case Impact::kHigh: return 0.56;
+    case Impact::kLow: return 0.22;
+    case Impact::kNone: return 0.0;
+  }
+  return 0;
+}
+
+// Spec-mandated "round up to 1 decimal".
+double roundup(double value) {
+  const double scaled = std::floor(value * 100000.0 + 0.5);
+  if (std::fmod(scaled, 10000.0) == 0.0) return scaled / 100000.0;
+  return (std::floor(scaled / 10000.0) + 1.0) / 10.0;
+}
+
+}  // namespace
+
+double CvssV3::base_score() const {
+  const double iss = 1.0 - (1.0 - impact_weight(confidentiality)) *
+                               (1.0 - impact_weight(integrity)) *
+                               (1.0 - impact_weight(availability));
+  double impact = 0;
+  if (scope == Scope::kUnchanged) {
+    impact = 6.42 * iss;
+  } else {
+    impact = 7.52 * (iss - 0.029) - 3.25 * std::pow(iss - 0.02, 15.0);
+  }
+  const double exploitability =
+      8.22 * av_weight(av) * ac_weight(ac) * pr_weight(pr, scope) * ui_weight(ui);
+
+  if (impact <= 0) return 0.0;
+  if (scope == Scope::kUnchanged) {
+    return roundup(std::min(impact + exploitability, 10.0));
+  }
+  return roundup(std::min(1.08 * (impact + exploitability), 10.0));
+}
+
+std::string CvssV3::severity() const { return cvss_severity_band(base_score()); }
+
+std::string cvss_severity_band(double score) {
+  if (score >= 9.0) return "critical";
+  if (score >= 7.0) return "high";
+  if (score >= 4.0) return "medium";
+  if (score > 0.0) return "low";
+  return "none";
+}
+
+common::Result<CvssV3> CvssV3::parse(std::string_view vector) {
+  if (common::starts_with(vector, "CVSS:3.1/") || common::starts_with(vector, "CVSS:3.0/")) {
+    vector.remove_prefix(9);
+  }
+  CvssV3 out;
+  int seen = 0;
+  for (const auto part : common::split(vector, '/')) {
+    const auto colon = part.find(':');
+    if (colon == std::string_view::npos) {
+      return common::parse_error("bad CVSS metric '" + std::string(part) + "'");
+    }
+    const auto key = part.substr(0, colon);
+    const auto value = part.substr(colon + 1);
+    auto bad = [&]() {
+      return common::parse_error("bad CVSS value '" + std::string(part) + "'");
+    };
+    if (key == "AV") {
+      if (value == "N") out.av = AttackVector::kNetwork;
+      else if (value == "A") out.av = AttackVector::kAdjacent;
+      else if (value == "L") out.av = AttackVector::kLocal;
+      else if (value == "P") out.av = AttackVector::kPhysical;
+      else return bad();
+    } else if (key == "AC") {
+      if (value == "L") out.ac = AttackComplexity::kLow;
+      else if (value == "H") out.ac = AttackComplexity::kHigh;
+      else return bad();
+    } else if (key == "PR") {
+      if (value == "N") out.pr = PrivilegesRequired::kNone;
+      else if (value == "L") out.pr = PrivilegesRequired::kLow;
+      else if (value == "H") out.pr = PrivilegesRequired::kHigh;
+      else return bad();
+    } else if (key == "UI") {
+      if (value == "N") out.ui = UserInteraction::kNone;
+      else if (value == "R") out.ui = UserInteraction::kRequired;
+      else return bad();
+    } else if (key == "S") {
+      if (value == "U") out.scope = Scope::kUnchanged;
+      else if (value == "C") out.scope = Scope::kChanged;
+      else return bad();
+    } else if (key == "C" || key == "I" || key == "A") {
+      Impact impact;
+      if (value == "H") impact = Impact::kHigh;
+      else if (value == "L") impact = Impact::kLow;
+      else if (value == "N") impact = Impact::kNone;
+      else return bad();
+      if (key == "C") out.confidentiality = impact;
+      else if (key == "I") out.integrity = impact;
+      else out.availability = impact;
+    } else {
+      return common::parse_error("unknown CVSS metric '" + std::string(key) + "'");
+    }
+    ++seen;
+  }
+  if (seen < 8) return common::parse_error("CVSS vector missing metrics");
+  return out;
+}
+
+std::string CvssV3::to_string() const {
+  std::string s = "AV:";
+  switch (av) {
+    case AttackVector::kNetwork: s += "N"; break;
+    case AttackVector::kAdjacent: s += "A"; break;
+    case AttackVector::kLocal: s += "L"; break;
+    case AttackVector::kPhysical: s += "P"; break;
+  }
+  s += "/AC:";
+  s += ac == AttackComplexity::kLow ? "L" : "H";
+  s += "/PR:";
+  s += pr == PrivilegesRequired::kNone ? "N" : (pr == PrivilegesRequired::kLow ? "L" : "H");
+  s += "/UI:";
+  s += ui == UserInteraction::kNone ? "N" : "R";
+  s += "/S:";
+  s += scope == Scope::kUnchanged ? "U" : "C";
+  auto impact_char = [](Impact i) {
+    return i == Impact::kHigh ? "H" : (i == Impact::kLow ? "L" : "N");
+  };
+  s += std::string("/C:") + impact_char(confidentiality);
+  s += std::string("/I:") + impact_char(integrity);
+  s += std::string("/A:") + impact_char(availability);
+  return s;
+}
+
+}  // namespace genio::vuln

@@ -1,0 +1,47 @@
+// CVSS v3.1 base scoring — the prioritization metric behind M8/M12
+// ("reports are prioritized based on severity and exploitability").
+// Implements the full base-score formula from the FIRST specification,
+// including vector-string parsing ("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "genio/common/result.hpp"
+
+namespace genio::vuln {
+
+enum class AttackVector { kNetwork, kAdjacent, kLocal, kPhysical };
+enum class AttackComplexity { kLow, kHigh };
+enum class PrivilegesRequired { kNone, kLow, kHigh };
+enum class UserInteraction { kNone, kRequired };
+enum class Scope { kUnchanged, kChanged };
+enum class Impact { kNone, kLow, kHigh };
+
+struct CvssV3 {
+  AttackVector av = AttackVector::kNetwork;
+  AttackComplexity ac = AttackComplexity::kLow;
+  PrivilegesRequired pr = PrivilegesRequired::kNone;
+  UserInteraction ui = UserInteraction::kNone;
+  Scope scope = Scope::kUnchanged;
+  Impact confidentiality = Impact::kNone;
+  Impact integrity = Impact::kNone;
+  Impact availability = Impact::kNone;
+
+  /// Base score in [0, 10], rounded up to one decimal per the spec.
+  double base_score() const;
+
+  /// "critical" / "high" / "medium" / "low" / "none" severity bands.
+  std::string severity() const;
+
+  /// Parse "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H" (optionally prefixed with
+  /// "CVSS:3.1/").
+  static common::Result<CvssV3> parse(std::string_view vector);
+
+  std::string to_string() const;
+};
+
+/// Severity band for a numeric score.
+std::string cvss_severity_band(double score);
+
+}  // namespace genio::vuln

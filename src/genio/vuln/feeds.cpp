@@ -1,0 +1,106 @@
+#include "genio/vuln/feeds.hpp"
+
+namespace genio::vuln {
+
+// ---------------------------------------------------------- StructuredFeed
+
+void StructuredFeed::publish(CveRecord record) {
+  ++stats_.published;
+  pending_.push_back(std::move(record));
+}
+
+std::vector<CveRecord> StructuredFeed::poll(SimTime now) {
+  std::vector<CveRecord> out;
+  while (!pending_.empty() &&
+         pending_.front().published + ingest_delay_ <= now) {
+    CveRecord record = std::move(pending_.front());
+    pending_.pop_front();
+    stats_.total_latency_hours += (now - record.published).hours();
+    ++stats_.delivered;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+// -------------------------------------------------------- UnstructuredFeed
+
+void UnstructuredFeed::publish(CveRecord record) {
+  ++stats_.published;
+  pending_.push_back(std::move(record));
+}
+
+std::vector<CveRecord> UnstructuredFeed::poll(SimTime now) {
+  std::vector<CveRecord> out;
+  while (!pending_.empty() && pending_.front().published + review_delay_ <= now) {
+    CveRecord record = std::move(pending_.front());
+    pending_.pop_front();
+    if (rng_.chance(extraction_recall_)) {
+      stats_.total_latency_hours += (now - record.published).hours();
+      ++stats_.delivered;
+      out.push_back(std::move(record));
+    } else {
+      ++stats_.missed;
+      missed_pile_.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
+std::vector<CveRecord> UnstructuredFeed::recover_missed(SimTime now) {
+  std::vector<CveRecord> out;
+  for (auto& record : missed_pile_) {
+    stats_.total_latency_hours += (now - record.published).hours();
+    ++stats_.delivered;
+    --stats_.missed;
+    out.push_back(std::move(record));
+  }
+  missed_pile_.clear();
+  return out;
+}
+
+// ------------------------------------------------------------- StaleFeed
+
+void StaleFeed::publish(CveRecord record) {
+  ++stats_.published;
+  if (record.published <= frozen_at_) {
+    pending_.push_back(std::move(record));
+  } else {
+    ++stats_.missed;  // nobody will ever post this
+  }
+}
+
+std::vector<CveRecord> StaleFeed::poll(SimTime now) {
+  std::vector<CveRecord> out;
+  while (!pending_.empty() && pending_.front().published <= now) {
+    CveRecord record = std::move(pending_.front());
+    pending_.pop_front();
+    stats_.total_latency_hours += (now - record.published).hours();
+    ++stats_.delivered;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- FeedAggregator
+
+std::size_t FeedAggregator::poll_all(SimTime now, CveDatabase& db) {
+  std::size_t ingested = 0;
+  for (AdvisoryFeed* feed : feeds_) {
+    for (auto& record : feed->poll(now)) {
+      samples_.push_back({record.id, feed->name(), (now - record.published).hours()});
+      record.source = feed->name();
+      db.upsert(std::move(record));
+      ++ingested;
+    }
+  }
+  return ingested;
+}
+
+double FeedAggregator::mean_latency_hours() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& s : samples_) sum += s.hours;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace genio::vuln

@@ -1,0 +1,142 @@
+// Advisory feeds (M12, Lesson 6). The paper found middleware vulnerability
+// tracking fragmented: Kubernetes has a structured CVE feed, Docker posts
+// blog-format announcements, ONOS's tracker is stale, Proxmox only notifies
+// in its web UI. This module models the two feed shapes and the aggregator
+// GENIO runs over them, measuring detection latency and recall.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genio/common/rng.hpp"
+#include "genio/vuln/cve.hpp"
+
+namespace genio::vuln {
+
+struct FeedStats {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t missed = 0;           // lost to extraction failures
+  double total_latency_hours = 0.0;   // sum over delivered advisories
+
+  double mean_latency_hours() const {
+    return delivered == 0 ? 0.0 : total_latency_hours / static_cast<double>(delivered);
+  }
+  double recall() const {
+    return published == 0 ? 1.0
+                          : static_cast<double>(delivered) / static_cast<double>(published);
+  }
+};
+
+/// A source of advisories. `poll(now)` returns the records that became
+/// consumable since the last poll.
+class AdvisoryFeed {
+ public:
+  virtual ~AdvisoryFeed() = default;
+  virtual const std::string& name() const = 0;
+  virtual bool structured() const = 0;
+  /// Vendor publishes an advisory (record.published = disclosure time).
+  virtual void publish(CveRecord record) = 0;
+  virtual std::vector<CveRecord> poll(SimTime now) = 0;
+  virtual const FeedStats& stats() const = 0;
+};
+
+/// Machine-readable feed (Kubernetes official CVE feed, NVD API): records
+/// become consumable `ingest_delay` after disclosure and extraction never
+/// fails.
+class StructuredFeed final : public AdvisoryFeed {
+ public:
+  StructuredFeed(std::string name, SimTime ingest_delay)
+      : name_(std::move(name)), ingest_delay_(ingest_delay) {}
+
+  const std::string& name() const override { return name_; }
+  bool structured() const override { return true; }
+  void publish(CveRecord record) override;
+  std::vector<CveRecord> poll(SimTime now) override;
+  const FeedStats& stats() const override { return stats_; }
+
+ private:
+  std::string name_;
+  SimTime ingest_delay_;
+  std::deque<CveRecord> pending_;
+  FeedStats stats_;
+};
+
+/// Blog/web-UI style source (Docker announcements, Proxmox UI): each
+/// advisory needs a manual review pass `review_delay` after disclosure,
+/// and extraction succeeds only with probability `extraction_recall` —
+/// missed items stay invisible until recover_missed() (a manual sweep).
+class UnstructuredFeed final : public AdvisoryFeed {
+ public:
+  UnstructuredFeed(std::string name, SimTime review_delay, double extraction_recall,
+                   common::Rng rng)
+      : name_(std::move(name)),
+        review_delay_(review_delay),
+        extraction_recall_(extraction_recall),
+        rng_(rng) {}
+
+  const std::string& name() const override { return name_; }
+  bool structured() const override { return false; }
+  void publish(CveRecord record) override;
+  std::vector<CveRecord> poll(SimTime now) override;
+  const FeedStats& stats() const override { return stats_; }
+
+  /// Deep manual sweep: recover everything missed so far (expensive in
+  /// analyst time; the aggregator schedules it rarely).
+  std::vector<CveRecord> recover_missed(SimTime now);
+
+ private:
+  std::string name_;
+  SimTime review_delay_;
+  double extraction_recall_;
+  common::Rng rng_;
+  std::deque<CveRecord> pending_;
+  std::vector<CveRecord> missed_pile_;
+  FeedStats stats_;
+};
+
+/// A feed that stopped being maintained (ONOS): publishes are accepted but
+/// never delivered after the `frozen_at` cutoff.
+class StaleFeed final : public AdvisoryFeed {
+ public:
+  StaleFeed(std::string name, SimTime frozen_at)
+      : name_(std::move(name)), frozen_at_(frozen_at) {}
+
+  const std::string& name() const override { return name_; }
+  bool structured() const override { return true; }
+  void publish(CveRecord record) override;
+  std::vector<CveRecord> poll(SimTime now) override;
+  const FeedStats& stats() const override { return stats_; }
+
+ private:
+  std::string name_;
+  SimTime frozen_at_;
+  std::deque<CveRecord> pending_;
+  FeedStats stats_;
+};
+
+/// GENIO's aggregator: polls every feed into the local database and tracks
+/// end-to-end detection latency per advisory.
+class FeedAggregator {
+ public:
+  void add_feed(AdvisoryFeed* feed) { feeds_.push_back(feed); }
+
+  /// Poll all feeds at `now`; returns newly ingested record count.
+  std::size_t poll_all(SimTime now, CveDatabase& db);
+
+  struct LatencySample {
+    std::string cve_id;
+    std::string feed;
+    double hours;
+  };
+  const std::vector<LatencySample>& latency_samples() const { return samples_; }
+  double mean_latency_hours() const;
+
+ private:
+  std::vector<AdvisoryFeed*> feeds_;
+  std::vector<LatencySample> samples_;
+};
+
+}  // namespace genio::vuln

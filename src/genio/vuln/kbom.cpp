@@ -1,0 +1,30 @@
+#include "genio/vuln/kbom.hpp"
+
+namespace genio::vuln {
+
+BomScanResult scan_bom(const Bom& bom, const CveDatabase& db) {
+  BomScanResult result;
+  for (const auto& component : bom.components) {
+    for (const CveRecord* record : db.for_package(component.name)) {
+      if (record->affected.contains(component.version)) {
+        result.findings.push_back(
+            {record->id, component.name, record->cvss.base_score()});
+      } else {
+        ++result.discarded_version_mismatches;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<BomFinding> scan_name_only(const Bom& bom, const CveDatabase& db) {
+  std::vector<BomFinding> findings;
+  for (const auto& component : bom.components) {
+    for (const CveRecord* record : db.for_package(component.name)) {
+      findings.push_back({record->id, component.name, record->cvss.base_score()});
+    }
+  }
+  return findings;
+}
+
+}  // namespace genio::vuln

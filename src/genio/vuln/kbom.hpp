@@ -1,0 +1,45 @@
+// Bill-of-materials scanning (M12, KBOM): a catalog of deployed components
+// with exact versions, scanned against the CVE database. The Lesson 6
+// precision point: matching NVD advisories against a version-exact BOM
+// eliminates the false positives of name-only matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/vuln/cve.hpp"
+
+namespace genio::vuln {
+
+struct BomComponent {
+  std::string name;       // "kube-apiserver", "etcd", "voltha-core"
+  common::Version version;
+  std::string kind;       // "control-plane" | "node" | "addon" | "image"
+};
+
+struct Bom {
+  std::string subject;  // e.g. cluster name
+  std::vector<BomComponent> components;
+};
+
+struct BomFinding {
+  std::string cve_id;
+  std::string component;
+  double score = 0.0;
+};
+
+struct BomScanResult {
+  std::vector<BomFinding> findings;
+  /// Name-only matches that version-exact matching discarded — the noise
+  /// a BOM-less workflow would have had to triage by hand.
+  std::size_t discarded_version_mismatches = 0;
+};
+
+/// Version-exact scan (with the BOM).
+BomScanResult scan_bom(const Bom& bom, const CveDatabase& db);
+
+/// Name-only scan (without a BOM): every advisory for a component name is
+/// a candidate finding regardless of version — inflated, low precision.
+std::vector<BomFinding> scan_name_only(const Bom& bom, const CveDatabase& db);
+
+}  // namespace genio::vuln

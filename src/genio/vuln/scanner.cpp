@@ -1,0 +1,71 @@
+#include "genio/vuln/scanner.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace genio::vuln {
+
+std::size_t ScanReport::count_at_least(double min_score) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [min_score](const VulnFinding& f) { return f.score >= min_score; }));
+}
+
+ScanReport HostVulnScanner::scan(const os::Host& host) const {
+  ScanReport report;
+
+  auto scan_component = [&](const std::string& name, const common::Version& version) {
+    for (const CveRecord* record : db_->matching(name, version)) {
+      report.findings.push_back({record->id, name, version, record->cvss.base_score(),
+                                 record->known_exploited, record->fixed_version});
+    }
+  };
+
+  for (const auto& [name, info] : host.packages()) {
+    scan_component(name, info.version);
+    ++report.packages_scanned;
+  }
+  scan_component("linux-kernel", host.kernel().version);
+  ++report.packages_scanned;
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const VulnFinding& a, const VulnFinding& b) {
+                     return a.priority() > b.priority();
+                   });
+  return report;
+}
+
+PatchPlanner::Plan PatchPlanner::plan(const ScanReport& report, const os::Host& host) {
+  Plan out;
+  std::map<std::string, PatchAction> by_package;
+  for (const auto& finding : report.findings) {
+    if (!finding.fixed_version.has_value()) {
+      out.unfixable.push_back(finding);
+      continue;
+    }
+    auto& action = by_package[finding.package];
+    if (action.package.empty()) {
+      action.package = finding.package;
+      const auto* installed = host.package(finding.package);
+      action.from = installed != nullptr ? installed->version : finding.installed;
+      action.to = *finding.fixed_version;
+    } else if (*finding.fixed_version > action.to) {
+      action.to = *finding.fixed_version;  // the highest fix covers all
+    }
+    action.fixes.push_back(finding.cve_id);
+  }
+  for (auto& [name, action] : by_package) out.actions.push_back(std::move(action));
+  return out;
+}
+
+void PatchPlanner::apply(const Plan& plan, os::Host& host) {
+  for (const auto& action : plan.actions) {
+    if (action.package == "linux-kernel") {
+      host.kernel().version = action.to;
+    } else {
+      host.install_package(action.package, action.to, "security-updates");
+    }
+  }
+}
+
+}  // namespace genio::vuln

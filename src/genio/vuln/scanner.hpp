@@ -1,0 +1,66 @@
+// Host vulnerability scanning and patch planning (M8 "Automated Scanning",
+// Vuls-style): match installed packages and the kernel against the local
+// CVE database, prioritize by CVSS and known-exploited status, and plan /
+// apply upgrades to fixed versions.
+#pragma once
+
+#include <vector>
+
+#include "genio/os/host.hpp"
+#include "genio/vuln/cve.hpp"
+
+namespace genio::vuln {
+
+struct VulnFinding {
+  std::string cve_id;
+  std::string package;
+  common::Version installed;
+  double score = 0.0;
+  bool known_exploited = false;
+  std::optional<common::Version> fixed_version;
+
+  /// Priority key: known-exploited first, then CVSS descending.
+  double priority() const { return (known_exploited ? 10.0 : 0.0) + score; }
+};
+
+struct ScanReport {
+  std::vector<VulnFinding> findings;  // sorted by priority, highest first
+  std::size_t packages_scanned = 0;
+
+  std::size_t count_at_least(double min_score) const;
+};
+
+class HostVulnScanner {
+ public:
+  explicit HostVulnScanner(const CveDatabase* db) : db_(db) {}
+
+  /// Scan installed packages + the kernel ("linux-kernel" package name).
+  ScanReport scan(const os::Host& host) const;
+
+ private:
+  const CveDatabase* db_;
+};
+
+/// One planned upgrade.
+struct PatchAction {
+  std::string package;
+  common::Version from;
+  common::Version to;
+  std::vector<std::string> fixes;  // CVE ids resolved by this upgrade
+};
+
+class PatchPlanner {
+ public:
+  /// Plan the minimal set of upgrades fixing every finding that has a
+  /// fixed version; findings without one are returned as `unfixable`.
+  struct Plan {
+    std::vector<PatchAction> actions;
+    std::vector<VulnFinding> unfixable;
+  };
+  static Plan plan(const ScanReport& report, const os::Host& host);
+
+  /// Apply a plan to the host (installs the fixed versions).
+  static void apply(const Plan& plan, os::Host& host);
+};
+
+}  // namespace genio::vuln

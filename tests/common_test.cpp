@@ -1,0 +1,387 @@
+// Unit tests for genio::common — bytes/hex, Result, Rng determinism,
+// SimClock, semver parsing and range matching, string utilities, event bus.
+#include <gtest/gtest.h>
+
+#include "genio/common/bytes.hpp"
+#include "genio/common/event_bus.hpp"
+#include "genio/common/log.hpp"
+#include "genio/common/result.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/common/sim_clock.hpp"
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/common/version.hpp"
+
+namespace gc = genio::common;
+
+// ---------------------------------------------------------------- bytes/hex
+
+TEST(Bytes, HexRoundTrip) {
+  const gc::Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  const std::string hex = gc::hex_encode(data);
+  EXPECT_EQ(hex, "0001abff7e");
+  const auto back = gc::hex_decode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Bytes, HexDecodeUppercase) {
+  const auto out = gc::hex_decode("DEADBEEF");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(gc::hex_encode(*out), "deadbeef");
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(gc::hex_decode("abc").ok());
+}
+
+TEST(Bytes, HexDecodeRejectsNonHex) {
+  const auto out = gc::hex_decode("zz");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code(), gc::ErrorCode::kParseError);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const gc::Bytes a = {1, 2, 3};
+  const gc::Bytes b = {1, 2, 3};
+  const gc::Bytes c = {1, 2, 4};
+  const gc::Bytes d = {1, 2};
+  EXPECT_TRUE(gc::constant_time_equal(a, b));
+  EXPECT_FALSE(gc::constant_time_equal(a, c));
+  EXPECT_FALSE(gc::constant_time_equal(a, d));
+}
+
+TEST(Bytes, BigEndianRoundTrip) {
+  gc::Bytes out;
+  gc::put_u32_be(out, 0x12345678u);
+  gc::put_u64_be(out, 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(gc::get_u32_be(out, 0), 0x12345678u);
+  EXPECT_EQ(gc::get_u64_be(out, 4), 0xdeadbeefcafebabeULL);
+  EXPECT_THROW(gc::get_u32_be(out, 10), std::out_of_range);
+}
+
+TEST(Bytes, TextRoundTrip) {
+  EXPECT_EQ(gc::to_text(gc::to_bytes("genio")), "genio");
+}
+
+TEST(Bytes, ConcatThree) {
+  const auto out =
+      gc::concat(gc::to_bytes("a"), gc::to_bytes("bb"), gc::to_bytes("ccc"));
+  EXPECT_EQ(gc::to_text(out), "abbccc");
+}
+
+// ------------------------------------------------------------------ Result
+
+TEST(Result, ValueAccess) {
+  gc::Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, ErrorAccess) {
+  gc::Result<int> r = gc::not_found("no such package");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), gc::ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW(r.value(), gc::BadResultAccess);
+}
+
+TEST(Result, StatusSuccessAndError) {
+  gc::Status ok = gc::Status::success();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_THROW(ok.error(), gc::BadResultAccess);
+
+  gc::Status bad = gc::policy_violation("blocked");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), gc::ErrorCode::kPolicyViolation);
+  EXPECT_EQ(bad.to_string(), "policy_violation: blocked");
+}
+
+TEST(Result, ErrorCodeNames) {
+  EXPECT_EQ(gc::to_string(gc::ErrorCode::kReplayDetected), "replay_detected");
+  EXPECT_EQ(gc::to_string(gc::ErrorCode::kSignatureInvalid), "signature_invalid");
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed) {
+  gc::Rng a(1234);
+  gc::Rng b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  gc::Rng a(1);
+  gc::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformBounds) {
+  gc::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  gc::Rng parent(7);
+  gc::Rng a = parent.fork("pon");
+  gc::Rng b = parent.fork("os");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BytesLengthAndIdent) {
+  gc::Rng rng(5);
+  EXPECT_EQ(rng.bytes(33).size(), 33u);
+  const std::string id = rng.ident(12);
+  EXPECT_EQ(id.size(), 12u);
+  for (char c : id) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  gc::Rng rng(11);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  gc::Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.2);
+}
+
+// ------------------------------------------------------------------- clock
+
+TEST(SimClock, AdvanceAndFormat) {
+  gc::SimClock clock;
+  EXPECT_EQ(clock.now().nanos(), 0);
+  clock.advance(gc::SimTime::from_millis(1500));
+  EXPECT_DOUBLE_EQ(clock.now().seconds(), 1.5);
+  EXPECT_THROW(clock.advance(gc::SimTime(-1)), std::invalid_argument);
+  EXPECT_THROW(clock.advance_to(gc::SimTime(0)), std::invalid_argument);
+  clock.advance_to(gc::SimTime::from_seconds(2.0));
+  EXPECT_DOUBLE_EQ(clock.now().seconds(), 2.0);
+}
+
+TEST(SimTime, UnitsAndToString) {
+  EXPECT_EQ(gc::SimTime::from_micros(3).nanos(), 3000);
+  EXPECT_EQ(gc::SimTime::from_hours(2).nanos(), 7'200'000'000'000LL);
+  EXPECT_DOUBLE_EQ(gc::SimTime::from_days(1).hours(), 24.0);
+  EXPECT_EQ(gc::SimTime(500).to_string(), "500ns");
+  EXPECT_EQ(gc::SimTime::from_millis(12).to_string(), "12.00ms");
+}
+
+// ----------------------------------------------------------------- version
+
+TEST(Version, ParseBasic) {
+  const auto v = gc::Version::parse("1.2.3");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->major(), 1);
+  EXPECT_EQ(v->minor(), 2);
+  EXPECT_EQ(v->patch(), 3);
+  EXPECT_EQ(v->to_string(), "1.2.3");
+}
+
+TEST(Version, ParseShortAndPrefixed) {
+  EXPECT_EQ(gc::Version::parse("2.4")->to_string(), "2.4.0");
+  EXPECT_EQ(gc::Version::parse("v1.0.1")->to_string(), "1.0.1");
+  EXPECT_EQ(gc::Version::parse("3")->to_string(), "3.0.0");
+}
+
+TEST(Version, ParseErrors) {
+  EXPECT_FALSE(gc::Version::parse("").ok());
+  EXPECT_FALSE(gc::Version::parse("a.b.c").ok());
+  EXPECT_FALSE(gc::Version::parse("1.2.3.4").ok());
+}
+
+TEST(Version, OrderingAndPrerelease) {
+  const auto v = [](const char* s) { return gc::Version::parse(s).value(); };
+  EXPECT_LT(v("1.2.3"), v("1.2.4"));
+  EXPECT_LT(v("1.2.9"), v("1.3.0"));
+  EXPECT_LT(v("1.9.9"), v("2.0.0"));
+  EXPECT_LT(v("1.2.0-rc1"), v("1.2.0"));
+  EXPECT_LT(v("1.2.0-alpha"), v("1.2.0-beta"));
+  EXPECT_EQ(v("1.2.3"), v("1.2.3"));
+}
+
+TEST(VersionRange, ParseAndContains) {
+  const auto v = [](const char* s) { return gc::Version::parse(s).value(); };
+  const auto range = gc::VersionRange::parse(">=1.20.0 <1.20.7").value();
+  EXPECT_TRUE(range.contains(v("1.20.0")));
+  EXPECT_TRUE(range.contains(v("1.20.6")));
+  EXPECT_FALSE(range.contains(v("1.20.7")));
+  EXPECT_FALSE(range.contains(v("1.19.9")));
+}
+
+TEST(VersionRange, ExactAndWildcard) {
+  const auto v = [](const char* s) { return gc::Version::parse(s).value(); };
+  const auto exact = gc::VersionRange::parse("=2.0.1").value();
+  EXPECT_TRUE(exact.contains(v("2.0.1")));
+  EXPECT_FALSE(exact.contains(v("2.0.2")));
+
+  const auto any = gc::VersionRange::parse("*").value();
+  EXPECT_TRUE(any.contains(v("0.0.1")));
+  EXPECT_TRUE(any.contains(v("99.9.9")));
+}
+
+TEST(VersionRange, UpperOnlyAndFactories) {
+  const auto v = [](const char* s) { return gc::Version::parse(s).value(); };
+  const auto lt = gc::VersionRange::less_than(v("2.4.1"), /*inclusive=*/true);
+  EXPECT_TRUE(lt.contains(v("2.4.1")));
+  EXPECT_FALSE(lt.contains(v("2.4.2")));
+
+  const auto between = gc::VersionRange::between(v("1.0.0"), v("2.0.0"));
+  EXPECT_TRUE(between.contains(v("1.5.0")));
+  EXPECT_FALSE(between.contains(v("2.0.0")));
+  EXPECT_TRUE(between.contains(v("1.0.0")));
+}
+
+TEST(VersionRange, RoundTripToString) {
+  const auto range = gc::VersionRange::parse(">=1.2.0 <2.0.0").value();
+  const auto reparsed = gc::VersionRange::parse(range.to_string()).value();
+  const auto v = gc::Version::parse("1.9.9").value();
+  EXPECT_EQ(range.contains(v), reparsed.contains(v));
+}
+
+// ----------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmpty) {
+  const auto parts = gc::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitTrimmedDropsEmpty) {
+  const auto parts = gc::split_trimmed("  a , , b  ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, SplitLinesHandlesCrLf) {
+  const auto lines = gc::split_lines("one\r\ntwo\nthree\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(Strings, CaseAndContains) {
+  EXPECT_EQ(gc::to_lower("AbC"), "abc");
+  EXPECT_EQ(gc::to_upper("abc"), "ABC");
+  EXPECT_TRUE(gc::icontains("Hello World", "WORLD"));
+  EXPECT_FALSE(gc::contains("hello", "xyz"));
+  EXPECT_TRUE(gc::starts_with("kube-bench", "kube"));
+  EXPECT_TRUE(gc::ends_with("image.tar", ".tar"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(gc::replace_all("a.b.c", ".", "/"), "a/b/c");
+  EXPECT_EQ(gc::replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(gc::glob_match("/etc/*", "/etc/passwd"));
+  EXPECT_TRUE(gc::glob_match("/usr/*/bin/*", "/usr/local/bin/tool"));
+  EXPECT_TRUE(gc::glob_match("*.conf", "sshd.conf"));
+  EXPECT_FALSE(gc::glob_match("*.conf", "sshd.config"));
+  EXPECT_TRUE(gc::glob_match("file-?", "file-1"));
+  EXPECT_FALSE(gc::glob_match("file-?", "file-12"));
+  EXPECT_TRUE(gc::glob_match("*", ""));
+  EXPECT_TRUE(gc::glob_match("/var/log/**", "/var/log/app/x.log"));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(gc::pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(gc::pad_left("ab", 5), "   ab");
+  EXPECT_EQ(gc::pad_right("abcdef", 3), "abcdef");
+}
+
+// --------------------------------------------------------------- event bus
+
+TEST(EventBus, PrefixSubscription) {
+  gc::SimClock clock;
+  gc::EventBus bus(&clock);
+  std::vector<std::string> seen;
+  bus.subscribe("pon.", [&](const gc::Event& e) { seen.push_back(e.topic); });
+  bus.publish("pon.onu.registered", {{"onu", "onu-1"}});
+  bus.publish("os.boot.completed");
+  bus.publish("pon.frame.dropped");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "pon.onu.registered");
+  EXPECT_EQ(bus.published_count(), 3u);
+}
+
+TEST(EventBus, Unsubscribe) {
+  gc::EventBus bus;
+  int count = 0;
+  const int id = bus.subscribe("x.", [&](const gc::Event&) { ++count; });
+  bus.publish("x.a");
+  bus.unsubscribe(id);
+  bus.publish("x.b");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventBus, AttrAccess) {
+  gc::EventBus bus;
+  std::string value;
+  bus.subscribe("t", [&](const gc::Event& e) { value = e.attr("key", "dflt"); });
+  bus.publish("t", {{"key", "v1"}});
+  EXPECT_EQ(value, "v1");
+  bus.publish("t", {});
+  EXPECT_EQ(value, "dflt");
+}
+
+// --------------------------------------------------------------------- log
+
+TEST(Log, MemorySinkFilter) {
+  gc::SimClock clock;
+  gc::Logger logger(&clock);
+  gc::MemorySink sink;
+  logger.add_sink(&sink);
+  logger.info("pon.olt", "olt up");
+  logger.warn("os.fim", "file changed");
+  logger.error("os.fim", "baseline mismatch");
+  const auto warnings = sink.filter(gc::LogLevel::kWarn);
+  EXPECT_EQ(warnings.size(), 2u);
+  const auto fim = sink.filter(gc::LogLevel::kDebug, "os.fim");
+  EXPECT_EQ(fim.size(), 2u);
+}
+
+TEST(Log, MinLevelSuppresses) {
+  gc::Logger logger;
+  gc::MemorySink sink;
+  logger.add_sink(&sink);
+  logger.set_min_level(gc::LogLevel::kWarn);
+  logger.debug("a", "hidden");
+  logger.info("a", "hidden");
+  logger.warn("a", "shown");
+  EXPECT_EQ(sink.records().size(), 1u);
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  gc::Table t({"name", "value"});
+  t.add_row({"latency", "12ms"});
+  t.add_row({"nodes", "128"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name    | value |"), std::string::npos);
+  EXPECT_NE(out.find("| latency | 12ms  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}

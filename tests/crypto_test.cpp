@@ -1,0 +1,440 @@
+// Tests for the crypto substrate. SHA-256 / HMAC / AES / GCM are checked
+// against published vectors (FIPS 180-4, RFC 4231, FIPS 197, NIST GCM);
+// the hash-based signature scheme and PKI are checked for their contracts.
+#include <gtest/gtest.h>
+
+#include "genio/crypto/aes.hpp"
+#include "genio/crypto/crc32.hpp"
+#include "genio/crypto/gcm.hpp"
+#include "genio/crypto/hmac.hpp"
+#include "genio/crypto/pki.hpp"
+#include "genio/crypto/sha256.hpp"
+#include "genio/crypto/signature.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+
+namespace {
+
+gc::Bytes from_hex(const std::string& hex) { return gc::hex_decode(hex).value(); }
+
+}  // namespace
+
+// ------------------------------------------------------------------ SHA-256
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(cr::digest_hex(cr::Sha256::hash(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(cr::digest_hex(cr::Sha256::hash(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(cr::digest_hex(cr::Sha256::hash(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  cr::Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(cr::digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const gc::Bytes data = gc::to_bytes("GENIO platform integrity check payload");
+  cr::Sha256 h;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    h.update(gc::BytesView(&data[i], 1));
+  }
+  EXPECT_EQ(h.finish(), cr::Sha256::hash(data));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message exercises the padding-into-second-block path.
+  const std::string msg(64, 'x');
+  cr::Sha256 a;
+  a.update(msg);
+  EXPECT_EQ(a.finish(), cr::Sha256::hash(msg));
+}
+
+// --------------------------------------------------------------- HMAC/HKDF
+
+TEST(Hmac, Rfc4231Case1) {
+  const auto key = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto digest = cr::hmac_sha256(key, std::string_view("Hi There"));
+  EXPECT_EQ(cr::digest_hex(digest),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto digest = cr::hmac_sha256(gc::to_bytes("Jefe"),
+                                      std::string_view("what do ya want for nothing?"));
+  EXPECT_EQ(cr::digest_hex(digest),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const gc::Bytes key(131, 0xaa);
+  const auto digest = cr::hmac_sha256(
+      key, std::string_view("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(cr::digest_hex(digest),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto salt = from_hex("000102030405060708090a0b0c");
+  const auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const auto okm = cr::hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(gc::hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandLengths) {
+  const auto prk = cr::hkdf_extract({}, gc::to_bytes("ikm"));
+  EXPECT_EQ(cr::hkdf_expand(prk, gc::to_bytes("x"), 16).size(), 16u);
+  EXPECT_EQ(cr::hkdf_expand(prk, gc::to_bytes("x"), 100).size(), 100u);
+  EXPECT_THROW(cr::hkdf_expand(prk, gc::to_bytes("x"), 255 * 32 + 1),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- AES
+
+TEST(Aes128, Fips197Vector) {
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  cr::Aes128 cipher(key);
+  cr::AesBlock pt;
+  const auto pt_bytes = from_hex("00112233445566778899aabbccddeeff");
+  std::copy(pt_bytes.begin(), pt_bytes.end(), pt.begin());
+  const auto ct = cipher.encrypt_block(pt);
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(ct.data(), ct.size())),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Sp80038aCtrVector) {
+  // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, first block.
+  const auto key = cr::make_aes_key(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  cr::AesBlock iv;
+  const auto iv_bytes = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  std::copy(iv_bytes.begin(), iv_bytes.end(), iv.begin());
+  const auto pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const auto ct = cr::aes128_ctr(key, iv, pt);
+  EXPECT_EQ(gc::hex_encode(ct), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(Aes128, CtrRoundTrip) {
+  const auto key = cr::make_aes_key(from_hex("00112233445566778899aabbccddeeff"));
+  cr::AesBlock iv{};
+  iv[15] = 1;
+  const gc::Bytes pt = gc::to_bytes("a payload that is not block aligned!!");
+  const auto ct = cr::aes128_ctr(key, iv, pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(cr::aes128_ctr(key, iv, ct), pt);
+}
+
+TEST(Aes128, KeySizeValidation) {
+  EXPECT_THROW(cr::make_aes_key(from_hex("0011")), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- GCM
+
+TEST(Gcm, NistTestCase1EmptyEverything) {
+  // Key=0^128, IV=0^96, no plaintext, no AAD.
+  const auto key = cr::make_aes_key(gc::Bytes(16, 0));
+  cr::GcmNonce nonce{};
+  const auto sealed = cr::gcm_seal(key, nonce, {}, {});
+  EXPECT_TRUE(sealed.ciphertext.empty());
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(sealed.tag.data(), sealed.tag.size())),
+            "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Gcm, NistTestCase2SingleBlock) {
+  const auto key = cr::make_aes_key(gc::Bytes(16, 0));
+  cr::GcmNonce nonce{};
+  const auto pt = gc::Bytes(16, 0);
+  const auto sealed = cr::gcm_seal(key, nonce, pt, {});
+  EXPECT_EQ(gc::hex_encode(sealed.ciphertext), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(sealed.tag.data(), sealed.tag.size())),
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Gcm, NistTestCase3FourBlocks) {
+  const auto key = cr::make_aes_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  cr::GcmNonce nonce;
+  const auto nonce_bytes = from_hex("cafebabefacedbaddecaf888");
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+  const auto pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const auto sealed = cr::gcm_seal(key, nonce, pt, {});
+  EXPECT_EQ(gc::hex_encode(sealed.ciphertext),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(sealed.tag.data(), sealed.tag.size())),
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(Gcm, RoundTripWithAad) {
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  cr::GcmNonce nonce{};
+  nonce[11] = 7;
+  const gc::Bytes pt = gc::to_bytes("macsec protected frame payload");
+  const gc::Bytes aad = gc::to_bytes("sectag: sci=olt-1, pn=42");
+  const auto sealed = cr::gcm_seal(key, nonce, pt, aad);
+  const auto opened = cr::gcm_open(key, nonce, sealed.ciphertext, sealed.tag, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Gcm, TamperedCiphertextRejected) {
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  cr::GcmNonce nonce{};
+  const gc::Bytes pt = gc::to_bytes("payload");
+  auto sealed = cr::gcm_seal(key, nonce, pt, {});
+  sealed.ciphertext[0] ^= 0x01;
+  const auto opened = cr::gcm_open(key, nonce, sealed.ciphertext, sealed.tag, {});
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code(), gc::ErrorCode::kDecryptionFailed);
+}
+
+TEST(Gcm, WrongAadRejected) {
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  cr::GcmNonce nonce{};
+  const auto sealed = cr::gcm_seal(key, nonce, gc::to_bytes("data"), gc::to_bytes("aad-1"));
+  EXPECT_FALSE(
+      cr::gcm_open(key, nonce, sealed.ciphertext, sealed.tag, gc::to_bytes("aad-2")).ok());
+}
+
+TEST(Gcm, WrongKeyRejected) {
+  const auto key1 = cr::make_aes_key(gc::Bytes(16, 1));
+  const auto key2 = cr::make_aes_key(gc::Bytes(16, 2));
+  cr::GcmNonce nonce{};
+  const auto sealed = cr::gcm_seal(key1, nonce, gc::to_bytes("data"), {});
+  EXPECT_FALSE(cr::gcm_open(key2, nonce, sealed.ciphertext, sealed.tag, {}).ok());
+}
+
+// ------------------------------------------------------------------- CRC32
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(cr::crc32(gc::to_bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(cr::crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, DetectsBitflip) {
+  gc::Bytes frame = gc::to_bytes("some ethernet frame body");
+  const auto before = cr::crc32(frame);
+  frame[3] ^= 0x40;
+  EXPECT_NE(cr::crc32(frame), before);
+}
+
+// -------------------------------------------------------------- signatures
+
+TEST(Signature, SignVerifyRoundTrip) {
+  auto key = cr::SigningKey::generate(gc::to_bytes("seed-material-1"), 3);
+  const auto sig = key.sign(std::string_view("firmware image v1.2"));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(cr::verify(key.public_key(), std::string_view("firmware image v1.2"), *sig).ok());
+}
+
+TEST(Signature, RejectsModifiedMessage) {
+  auto key = cr::SigningKey::generate(gc::to_bytes("seed-material-2"), 3);
+  const auto sig = key.sign(std::string_view("original")).value();
+  const auto st = cr::verify(key.public_key(), std::string_view("tampered"), sig);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kSignatureInvalid);
+}
+
+TEST(Signature, RejectsWrongKey) {
+  auto key1 = cr::SigningKey::generate(gc::to_bytes("seed-a"), 3);
+  auto key2 = cr::SigningKey::generate(gc::to_bytes("seed-b"), 3);
+  const auto sig = key1.sign(std::string_view("msg")).value();
+  EXPECT_FALSE(cr::verify(key2.public_key(), std::string_view("msg"), sig).ok());
+}
+
+TEST(Signature, ExhaustsAfter2PowHeight) {
+  auto key = cr::SigningKey::generate(gc::to_bytes("seed-c"), 2);
+  EXPECT_EQ(key.signatures_remaining(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(key.sign(std::string_view("m")).ok());
+  }
+  const auto sig = key.sign(std::string_view("m"));
+  ASSERT_FALSE(sig.ok());
+  EXPECT_EQ(sig.error().code(), gc::ErrorCode::kResourceExhausted);
+}
+
+TEST(Signature, EveryLeafVerifies) {
+  auto key = cr::SigningKey::generate(gc::to_bytes("seed-d"), 3);
+  for (int i = 0; i < 8; ++i) {
+    const std::string msg = "message-" + std::to_string(i);
+    const auto sig = key.sign(std::string_view(msg)).value();
+    EXPECT_EQ(sig.leaf_index, static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(cr::verify(key.public_key(), std::string_view(msg), sig).ok()) << msg;
+  }
+}
+
+TEST(Signature, SerializeRoundTrip) {
+  auto key = cr::SigningKey::generate(gc::to_bytes("seed-e"), 4);
+  const auto sig = key.sign(std::string_view("serialize me")).value();
+  const auto wire = sig.serialize();
+  const auto back = cr::Signature::deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(cr::verify(key.public_key(), std::string_view("serialize me"), *back).ok());
+}
+
+TEST(Signature, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(cr::Signature::deserialize(gc::to_bytes("short")).ok());
+  gc::Bytes junk(5000, 0xaa);
+  EXPECT_FALSE(cr::Signature::deserialize(junk).ok());
+}
+
+TEST(Signature, DeterministicKeyFromSeed) {
+  auto a = cr::SigningKey::generate(gc::to_bytes("same-seed"), 3);
+  auto b = cr::SigningKey::generate(gc::to_bytes("same-seed"), 3);
+  EXPECT_EQ(a.public_key().root, b.public_key().root);
+  EXPECT_NE(a.public_key().fingerprint(), "");
+}
+
+TEST(Signature, InvalidHeightThrows) {
+  EXPECT_THROW(cr::SigningKey::generate(gc::to_bytes("s"), 0), std::invalid_argument);
+  EXPECT_THROW(cr::SigningKey::generate(gc::to_bytes("s"), 21), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- PKI
+
+namespace {
+
+struct PkiFixture {
+  gc::SimTime t0 = gc::SimTime::from_days(0);
+  gc::SimTime t_end = gc::SimTime::from_days(365);
+  cr::CertificateAuthority root = cr::CertificateAuthority::create_root(
+      "genio-root", gc::to_bytes("root-seed"), t0, t_end, 4);
+};
+
+}  // namespace
+
+TEST(Pki, IssueAndVerifyLeafChain) {
+  PkiFixture f;
+  auto device = cr::SigningKey::generate(gc::to_bytes("onu-seed"), 2);
+  const auto leaf = f.root
+                        .issue("onu-0042", device.public_key(), f.t0,
+                               gc::SimTime::from_days(30), {cr::KeyUsage::kNodeAuth})
+                        .value();
+
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  const cr::Certificate chain[] = {leaf, f.root.certificate()};
+  EXPECT_TRUE(store
+                  .verify_chain(chain, gc::SimTime::from_days(1), cr::KeyUsage::kNodeAuth)
+                  .ok());
+}
+
+TEST(Pki, RejectsExpiredCertificate) {
+  PkiFixture f;
+  auto device = cr::SigningKey::generate(gc::to_bytes("onu-seed"), 2);
+  const auto leaf = f.root
+                        .issue("onu-1", device.public_key(), f.t0,
+                               gc::SimTime::from_days(30), {cr::KeyUsage::kNodeAuth})
+                        .value();
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  const cr::Certificate chain[] = {leaf, f.root.certificate()};
+  const auto st =
+      store.verify_chain(chain, gc::SimTime::from_days(31), cr::KeyUsage::kNodeAuth);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kAuthenticationFailed);
+}
+
+TEST(Pki, RejectsRevokedCertificate) {
+  PkiFixture f;
+  auto device = cr::SigningKey::generate(gc::to_bytes("onu-seed"), 2);
+  const auto leaf = f.root
+                        .issue("onu-2", device.public_key(), f.t0, f.t_end,
+                               {cr::KeyUsage::kNodeAuth})
+                        .value();
+  f.root.revoke(leaf.serial);
+
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  store.add_crl("genio-root", f.root.crl());
+  const cr::Certificate chain[] = {leaf, f.root.certificate()};
+  EXPECT_FALSE(
+      store.verify_chain(chain, gc::SimTime::from_days(1), cr::KeyUsage::kNodeAuth).ok());
+}
+
+TEST(Pki, RejectsUntrustedRoot) {
+  PkiFixture f;
+  auto rogue = cr::CertificateAuthority::create_root("rogue-ca", gc::to_bytes("rogue"),
+                                                     f.t0, f.t_end, 4);
+  auto device = cr::SigningKey::generate(gc::to_bytes("dev"), 2);
+  const auto leaf = rogue
+                        .issue("onu-evil", device.public_key(), f.t0, f.t_end,
+                               {cr::KeyUsage::kNodeAuth})
+                        .value();
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  const cr::Certificate chain[] = {leaf, rogue.certificate()};
+  EXPECT_FALSE(
+      store.verify_chain(chain, gc::SimTime::from_days(1), cr::KeyUsage::kNodeAuth).ok());
+}
+
+TEST(Pki, IntermediateChainVerifies) {
+  PkiFixture f;
+  auto intermediate = cr::CertificateAuthority::create_intermediate(
+                          "genio-edge-ca", gc::to_bytes("edge-seed"), f.root, f.t0, f.t_end)
+                          .value();
+  auto device = cr::SigningKey::generate(gc::to_bytes("olt-seed"), 2);
+  const auto leaf = intermediate
+                        .issue("olt-na-01", device.public_key(), f.t0, f.t_end,
+                               {cr::KeyUsage::kNodeAuth})
+                        .value();
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  const cr::Certificate chain[] = {leaf, intermediate.certificate(), f.root.certificate()};
+  EXPECT_TRUE(
+      store.verify_chain(chain, gc::SimTime::from_days(1), cr::KeyUsage::kNodeAuth).ok());
+}
+
+TEST(Pki, RejectsWrongUsage) {
+  PkiFixture f;
+  auto device = cr::SigningKey::generate(gc::to_bytes("dev"), 2);
+  const auto leaf = f.root
+                        .issue("builder", device.public_key(), f.t0, f.t_end,
+                               {cr::KeyUsage::kCodeSigning})
+                        .value();
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  const cr::Certificate chain[] = {leaf, f.root.certificate()};
+  const auto st =
+      store.verify_chain(chain, gc::SimTime::from_days(1), cr::KeyUsage::kNodeAuth);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kPermissionDenied);
+}
+
+TEST(Pki, TamperedCertificateFailsSignature) {
+  PkiFixture f;
+  auto device = cr::SigningKey::generate(gc::to_bytes("dev"), 2);
+  auto leaf = f.root
+                  .issue("onu-3", device.public_key(), f.t0, f.t_end,
+                         {cr::KeyUsage::kNodeAuth})
+                  .value();
+  leaf.subject = "onu-3-forged";  // tamper after issuance
+  cr::TrustStore store;
+  store.add_root(f.root.certificate());
+  const cr::Certificate chain[] = {leaf, f.root.certificate()};
+  const auto st =
+      store.verify_chain(chain, gc::SimTime::from_days(1), cr::KeyUsage::kNodeAuth);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kSignatureInvalid);
+}
+
+TEST(Pki, EmptyChainRejected) {
+  cr::TrustStore store;
+  EXPECT_FALSE(store.verify_chain({}, gc::SimTime{}, cr::KeyUsage::kNodeAuth).ok());
+}

@@ -1,0 +1,348 @@
+// Tests for the second extension wave: the DBA scheduler (upstream TDMA
+// with T-CONT classes), the A/B update orchestrator with rollback, the
+// patch-SLA exposure tracker (Lesson 6), and audit-log analytics (T5
+// detection).
+#include <gtest/gtest.h>
+
+#include "genio/middleware/audit_analytics.hpp"
+#include "genio/os/updates.hpp"
+#include "genio/pon/dba.hpp"
+#include "genio/vuln/sla.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace pon = genio::pon;
+namespace os = genio::os;
+namespace vn = genio::vuln;
+namespace mw = genio::middleware;
+
+// --------------------------------------------------------------------- DBA
+
+namespace {
+
+std::uint32_t granted_to(const std::vector<pon::DbaGrant>& grants, std::uint16_t onu) {
+  for (const auto& grant : grants) {
+    if (grant.onu_id == onu) return grant.bytes;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(Dba, FixedAllocationsAlwaysHonored) {
+  pon::DbaScheduler dba(1000);
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kFixed, 300, 0},        // idle but reserved
+      {2, pon::TcontType::kBestEffort, 0, 5000},  // hungry
+  });
+  EXPECT_EQ(granted_to(grants, 1), 300u);
+  EXPECT_EQ(granted_to(grants, 2), 700u);
+}
+
+TEST(Dba, AssuredCappedAtEntitlement) {
+  pon::DbaScheduler dba(1000);
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kAssured, 400, 10000},
+      {2, pon::TcontType::kAssured, 400, 100},
+  });
+  EXPECT_EQ(granted_to(grants, 1), 400u);  // capped at assured rate
+  EXPECT_EQ(granted_to(grants, 2), 100u);  // demand below cap
+}
+
+TEST(Dba, BestEffortFairShare) {
+  pon::DbaScheduler dba(900);
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kBestEffort, 0, 10000},
+      {2, pon::TcontType::kBestEffort, 0, 10000},
+      {3, pon::TcontType::kBestEffort, 0, 10000},
+  });
+  EXPECT_EQ(granted_to(grants, 1), 300u);
+  EXPECT_EQ(granted_to(grants, 2), 300u);
+  EXPECT_EQ(granted_to(grants, 3), 300u);
+}
+
+TEST(Dba, BestEffortResidualRedistributed) {
+  pon::DbaScheduler dba(900);
+  // ONU 1 only needs 100; its unused share flows to the others.
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kBestEffort, 0, 100},
+      {2, pon::TcontType::kBestEffort, 0, 10000},
+      {3, pon::TcontType::kBestEffort, 0, 10000},
+  });
+  EXPECT_EQ(granted_to(grants, 1), 100u);
+  EXPECT_EQ(granted_to(grants, 2) + granted_to(grants, 3), 800u);
+  EXPECT_EQ(granted_to(grants, 2), granted_to(grants, 3));
+}
+
+TEST(Dba, AttackT8GreedyOnuCannotStarveAssuredClasses) {
+  pon::DbaScheduler dba(1000);
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kAssured, 500, 500},       // victim: video feed
+      {2, pon::TcontType::kBestEffort, 0, 1000000},  // abuser floods the queue
+  });
+  EXPECT_EQ(granted_to(grants, 1), 500u);  // fully served despite the flood
+  EXPECT_EQ(granted_to(grants, 2), 500u);  // only the residue
+}
+
+TEST(Dba, OversubscribedFixedTruncatedAtBudget) {
+  pon::DbaScheduler dba(500);
+  const auto grants = dba.allocate({
+      {1, pon::TcontType::kFixed, 400, 0},
+      {2, pon::TcontType::kFixed, 400, 0},
+  });
+  EXPECT_EQ(granted_to(grants, 1), 400u);
+  EXPECT_EQ(granted_to(grants, 2), 100u);  // budget exhausted
+}
+
+TEST(Dba, StatsAccumulate) {
+  pon::DbaScheduler dba(100);
+  (void)dba.allocate({{1, pon::TcontType::kBestEffort, 0, 250}});
+  (void)dba.allocate({{1, pon::TcontType::kBestEffort, 0, 250}});
+  EXPECT_EQ(dba.stats().cycles, 2u);
+  EXPECT_EQ(dba.stats().bytes_granted, 200u);
+  EXPECT_EQ(dba.stats().bytes_requested, 500u);
+  EXPECT_DOUBLE_EQ(dba.stats().grant_ratio(), 0.4);
+}
+
+// ----------------------------------------------------------------- updates
+
+namespace {
+
+struct UpdateFixture {
+  gc::SimTime t0 = gc::SimTime::from_days(0);
+  gc::SimTime t_end = gc::SimTime::from_days(3650);
+  cr::CertificateAuthority vendor = cr::CertificateAuthority::create_root(
+      "genio-release", gc::to_bytes("rel"), t0, t_end, 6);
+  cr::TrustStore trust;
+  os::Tpm tpm{gc::to_bytes("tpm")};
+  cr::SigningKey builder = cr::SigningKey::generate(gc::to_bytes("builder"), 8);
+  std::vector<cr::Certificate> chain;
+  os::Host host = os::make_stock_onl_host("olt-1");
+  os::BootChain boot_chain{&trust, &tpm};
+  os::OnieInstaller installer{&trust, &tpm};
+
+  UpdateFixture() {
+    trust.add_root(vendor.certificate());
+    chain = {vendor
+                 .issue("onl-builder", builder.public_key(), t0, t_end,
+                        {cr::KeyUsage::kCodeSigning})
+                 .value(),
+             vendor.certificate()};
+    boot_chain.add_component(
+        os::make_signed_component("shim", gc::to_bytes("SHIM"), builder, chain).value());
+    boot_chain.add_component(
+        os::make_signed_component("kernel", host.file("/boot/vmlinuz")->content,
+                                  builder, chain)
+            .value());
+  }
+
+  os::OnieImage make_image(const gc::Version& version, const std::string& content) {
+    return os::make_signed_image("onl-update", version, gc::to_bytes(content), builder,
+                                 chain)
+        .value();
+  }
+};
+
+}  // namespace
+
+TEST(Updates, GoodUpdateCommits) {
+  UpdateFixture f;
+  os::UpdateOrchestrator updater(&f.installer, &f.boot_chain);
+  const auto image = f.make_image(gc::Version(4, 19, 200), "KERNEL-4.19.200");
+  const auto outcome = updater.apply_kernel_update(f.host, image, {}, f.t0);
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_TRUE(outcome.committed) << outcome.detail;
+  EXPECT_FALSE(outcome.rolled_back);
+  EXPECT_EQ(f.host.kernel().version.to_string(), "4.19.200");
+  EXPECT_EQ(updater.commits(), 1u);
+}
+
+TEST(Updates, TamperedImageNeverStages) {
+  UpdateFixture f;
+  os::UpdateOrchestrator updater(&f.installer, &f.boot_chain);
+  auto image = f.make_image(gc::Version(4, 19, 200), "KERNEL-CLEAN");
+  image.content = gc::to_bytes("KERNEL-EVIL");
+  const auto outcome = updater.apply_kernel_update(f.host, image, {}, f.t0);
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(f.host.kernel().version.to_string(), "4.19.81");  // untouched
+}
+
+TEST(Updates, BootFailureRollsBack) {
+  UpdateFixture f;
+  os::UpdateOrchestrator updater(&f.installer, &f.boot_chain);
+  // The image verifies at install time, but the vendor revokes the builder
+  // certificate before the post-update boot (e.g. key compromise found):
+  // secure boot then rejects the new kernel, and the device must recover.
+  const auto image = f.make_image(gc::Version(4, 19, 200), "KERNEL-4.19.200");
+  const gc::Bytes original_kernel = f.host.file("/boot/vmlinuz")->content;
+
+  // Stage + boot with a policy that rejects this image: simulate by
+  // tampering the staged signature after install via a bad chain copy.
+  auto broken = image;
+  auto other_key = cr::SigningKey::generate(gc::to_bytes("other"), 4);
+  broken.signature = other_key.sign(gc::BytesView(broken.content)).value();
+  // Signature no longer verifies at staging: never applied.
+  const auto early = updater.apply_kernel_update(f.host, broken, {}, f.t0);
+  EXPECT_FALSE(early.applied);
+
+  // Now a subtler failure: image installs, but its boot-time signature is
+  // damaged in flash (bit rot / deliberate corruption between install and
+  // reboot). Model: install the good image, then corrupt the staged stage.
+  auto outcome_good = updater.apply_kernel_update(f.host, image, {}, f.t0);
+  ASSERT_TRUE(outcome_good.committed);
+
+  auto corrupted = f.make_image(gc::Version(4, 19, 201), "KERNEL-4.19.201");
+  // Corrupt the signature that the boot chain will check (not the one the
+  // installer checks): flip a byte in a copy staged for boot.
+  os::UpdateOrchestrator updater2(&f.installer, &f.boot_chain);
+  // Apply manually in two steps to corrupt between install and boot:
+  ASSERT_TRUE(f.installer.install(f.host, corrupted, f.t0).ok());
+  auto* kernel_stage = f.boot_chain.component("kernel");
+  kernel_stage->image = corrupted.content;
+  kernel_stage->cert_chain = corrupted.cert_chain;
+  kernel_stage->signature = corrupted.signature;
+  kernel_stage->image.push_back(0xFF);  // flash corruption after staging
+  const auto report = f.boot_chain.boot({}, f.t0);
+  EXPECT_FALSE(report.booted);  // secure boot catches it (M5)
+
+  (void)original_kernel;
+}
+
+TEST(Updates, RollbackPathRestoresPreviousKernel) {
+  UpdateFixture f;
+  os::UpdateOrchestrator updater(&f.installer, &f.boot_chain);
+
+  // Make the post-update boot fail deterministically: revoke the builder
+  // after making the image, with a CRL that the boot-time trust store
+  // consults — staging (install) happens before the CRL lands.
+  const auto image = f.make_image(gc::Version(4, 19, 200), "KERNEL-4.19.200");
+  const gc::Version original = f.host.kernel().version;
+
+  // Install checks pass now...
+  // ...then the CRL arrives before reboot:
+  f.vendor.revoke(f.chain.front().serial);
+
+  // Rebuild a trust store with the CRL for boot-time (shared trust object).
+  f.trust.add_crl("genio-release", f.vendor.crl());
+
+  const auto outcome = updater.apply_kernel_update(f.host, image, {}, f.t0);
+  // Staging happens against the same store, so it is rejected outright OR
+  // (if it staged first) boot fails and we roll back. Either way the host
+  // must end on the original kernel and still boot.
+  if (outcome.applied) {
+    EXPECT_TRUE(outcome.rolled_back) << outcome.detail;
+    EXPECT_EQ(updater.rollbacks(), 1u);
+  }
+  if (!outcome.committed) {
+    EXPECT_EQ(f.host.kernel().version, original);
+  }
+}
+
+// --------------------------------------------------------------------- SLA
+
+TEST(Sla, TracksLifecycleAndWindows) {
+  vn::ExposureTracker tracker;
+  tracker.disclosed("CVE-1", "critical", gc::SimTime::from_days(0));
+  tracker.detected("CVE-1", gc::SimTime::from_days(1));
+  tracker.patched("CVE-1", gc::SimTime::from_days(3));
+
+  const auto* record = tracker.record("CVE-1");
+  ASSERT_NE(record, nullptr);
+  EXPECT_DOUBLE_EQ(record->detection_lag_hours().value(), 24.0);
+  EXPECT_DOUBLE_EQ(record->exposure_hours().value(), 72.0);
+}
+
+TEST(Sla, SummaryCountsBreaches) {
+  vn::ExposureTracker tracker;
+  // Patched within SLA (critical, 3 days < 7 days).
+  tracker.disclosed("CVE-OK", "critical", gc::SimTime::from_days(0));
+  tracker.detected("CVE-OK", gc::SimTime::from_days(1));
+  tracker.patched("CVE-OK", gc::SimTime::from_days(3));
+  // Patched late (critical, 20 days > 7 days).
+  tracker.disclosed("CVE-LATE", "critical", gc::SimTime::from_days(0));
+  tracker.detected("CVE-LATE", gc::SimTime::from_days(15));
+  tracker.patched("CVE-LATE", gc::SimTime::from_days(20));
+  // Unpatched past deadline.
+  tracker.disclosed("CVE-OPEN", "high", gc::SimTime::from_days(0));
+  // Unpatched but still within deadline (medium: 90 days).
+  tracker.disclosed("CVE-FRESH", "medium", gc::SimTime::from_days(50));
+
+  const auto summary = tracker.summarize({}, gc::SimTime::from_days(60));
+  EXPECT_EQ(summary.total, 4u);
+  EXPECT_EQ(summary.patched, 2u);
+  EXPECT_EQ(summary.within_sla, 1u);
+  EXPECT_EQ(summary.sla_breaches, 2u);  // CVE-LATE + CVE-OPEN
+  EXPECT_GT(summary.mean_detection_lag_hours, 0.0);
+}
+
+TEST(Sla, EventsForUnknownCveIgnored) {
+  vn::ExposureTracker tracker;
+  tracker.detected("CVE-GHOST", gc::SimTime::from_days(1));
+  tracker.patched("CVE-GHOST", gc::SimTime::from_days(2));
+  EXPECT_EQ(tracker.record("CVE-GHOST"), nullptr);
+}
+
+TEST(Sla, FirstEventWins) {
+  vn::ExposureTracker tracker;
+  tracker.disclosed("CVE-1", "high", gc::SimTime::from_days(0));
+  tracker.detected("CVE-1", gc::SimTime::from_days(2));
+  tracker.detected("CVE-1", gc::SimTime::from_days(9));  // duplicate feed hit
+  EXPECT_DOUBLE_EQ(tracker.record("CVE-1")->detection_lag_hours().value(), 48.0);
+}
+
+// ---------------------------------------------------------- audit analytics
+
+namespace {
+
+mw::AuditEntry entry(const std::string& subject, const std::string& verb,
+                     const std::string& resource, bool allowed) {
+  return {subject, verb, resource, "tenant-a", allowed, ""};
+}
+
+}  // namespace
+
+TEST(AuditAnalytics, DetectsAuthzProbing) {
+  std::vector<mw::AuditEntry> log;
+  for (int i = 0; i < 6; ++i) log.push_back(entry("intruder", "get", "secrets", false));
+  const auto alerts = mw::analyze_audit_log(log);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "authz-probing");
+  EXPECT_EQ(alerts[0].subject, "intruder");
+}
+
+TEST(AuditAnalytics, DetectsAnonymousAndSecretSweep) {
+  std::vector<mw::AuditEntry> log;
+  log.push_back(entry("anonymous", "list", "pods", false));
+  for (int i = 0; i < 3; ++i) log.push_back(entry("sa:ci", "get", "secrets", true));
+  const auto alerts = mw::analyze_audit_log(log);
+  bool anon = false, sweep = false;
+  for (const auto& alert : alerts) {
+    anon |= alert.kind == "anonymous-attempts";
+    sweep |= alert.kind == "secret-sweep";
+  }
+  EXPECT_TRUE(anon);
+  EXPECT_TRUE(sweep);
+}
+
+TEST(AuditAnalytics, QuietLogProducesNoAlerts) {
+  std::vector<mw::AuditEntry> log;
+  log.push_back(entry("ci-deployer", "create", "pods", true));
+  log.push_back(entry("ci-deployer", "get", "pods", true));
+  log.push_back(entry("tenant-a-admin", "list", "deployments", true));
+  EXPECT_TRUE(mw::analyze_audit_log(log).empty());
+}
+
+TEST(AuditAnalytics, ThresholdsAreConfigurable) {
+  std::vector<mw::AuditEntry> log;
+  for (int i = 0; i < 3; ++i) log.push_back(entry("x", "get", "pods", false));
+  EXPECT_TRUE(mw::analyze_audit_log(log, {.probing_denial_threshold = 5}).empty());
+  EXPECT_EQ(mw::analyze_audit_log(log, {.probing_denial_threshold = 3}).size(), 1u);
+}
+
+TEST(AuditAnalytics, PrivilegedVerbSpike) {
+  std::vector<mw::AuditEntry> log;
+  for (int i = 0; i < 12; ++i) log.push_back(entry("rogue-ci", "delete", "pods", true));
+  const auto alerts = mw::analyze_audit_log(log);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, "privileged-verb-spike");
+}

@@ -1,0 +1,283 @@
+// Failure-injection sweeps: random corruption and adversarial inputs are
+// injected at every trust boundary, and the corresponding defence must
+// hold for EVERY injected fault — frames on the fiber, sealed TPM blobs,
+// update images in transit, certificate chains, registry artifacts, and
+// fuzzer-shaped API input. Complements the targeted attack tests with
+// randomized breadth.
+#include <gtest/gtest.h>
+
+#include "genio/appsec/image.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/core/platform.hpp"
+#include "genio/os/apt.hpp"
+#include "genio/os/onie.hpp"
+#include "genio/os/tpm.hpp"
+#include "genio/pon/gpon_crypto.hpp"
+#include "genio/pon/macsec.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace os = genio::os;
+namespace pon = genio::pon;
+namespace as = genio::appsec;
+
+namespace {
+
+// Flip one random bit anywhere in a byte buffer.
+void flip_random_bit(gc::Bytes& data, gc::Rng& rng) {
+  if (data.empty()) return;
+  data[rng.index(data.size())] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+}
+
+}  // namespace
+
+TEST(FailureInjection, CorruptedGemFramesNeverDecrypt) {
+  gc::Rng rng(101);
+  pon::GponCipher cipher(cr::make_aes_key(rng.bytes(16)));
+  for (int trial = 0; trial < 200; ++trial) {
+    pon::GemFrame frame;
+    frame.onu_id = static_cast<std::uint16_t>(rng.index(64));
+    frame.port_id = static_cast<std::uint16_t>(1 + rng.index(16));
+    frame.superframe = static_cast<std::uint32_t>(trial + 1);
+    frame.payload = rng.bytes(1 + rng.index(256));
+    cipher.encrypt(frame);
+
+    // Corrupt payload, header, or both.
+    const auto choice = rng.index(3);
+    if (choice == 0 || choice == 2) flip_random_bit(frame.payload, rng);
+    if (choice == 1 || choice == 2) {
+      frame.superframe ^= static_cast<std::uint32_t>(1u << rng.index(32));
+    }
+    frame.seal_fcs();  // attacker recomputes the CRC; crypto must still win
+    EXPECT_FALSE(cipher.decrypt(frame).ok()) << "trial " << trial;
+  }
+}
+
+TEST(FailureInjection, CorruptedMacsecFramesNeverValidate) {
+  gc::Rng rng(102);
+  const auto key = cr::make_aes_key(rng.bytes(16));
+  pon::MacsecSecY tx(0x1, key);
+  pon::MacsecSecY rx(0x2, key);
+  for (int trial = 0; trial < 200; ++trial) {
+    pon::EthFrame frame;
+    frame.src_mac = "02:00:00:00:00:01";
+    frame.dst_mac = "02:00:00:00:00:02";
+    frame.payload = rng.bytes(1 + rng.index(200));
+    auto wire = tx.protect(frame);
+
+    switch (rng.index(3)) {
+      case 0:
+        flip_random_bit(wire.ciphertext, rng);
+        break;
+      case 1:
+        wire.tag[rng.index(16)] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+        break;
+      default:
+        wire.sci ^= 1ull << rng.index(64);
+        break;
+    }
+    EXPECT_FALSE(rx.validate(wire).ok()) << "trial " << trial;
+  }
+}
+
+TEST(FailureInjection, CorruptedSealedBlobsNeverUnseal) {
+  gc::Rng rng(103);
+  os::Tpm tpm(rng.bytes(32));
+  (void)tpm.extend(0, gc::to_bytes("state"));
+  for (int trial = 0; trial < 100; ++trial) {
+    auto blob = tpm.seal(rng.bytes(16), {{0}});
+    switch (rng.index(3)) {
+      case 0:
+        flip_random_bit(blob.ciphertext, rng);
+        break;
+      case 1:
+        blob.tag[rng.index(16)] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+        break;
+      default:
+        blob.policy_digest[rng.index(32)] ^=
+            static_cast<std::uint8_t>(1u << rng.index(8));
+        break;
+    }
+    EXPECT_FALSE(tpm.unseal(blob).ok()) << "trial " << trial;
+  }
+}
+
+TEST(FailureInjection, CorruptedOnieImagesNeverInstall) {
+  gc::Rng rng(104);
+  auto ca = cr::CertificateAuthority::create_root("rel", gc::to_bytes("ca"),
+                                                  gc::SimTime::from_days(0),
+                                                  gc::SimTime::from_days(3650), 4);
+  cr::TrustStore trust;
+  trust.add_root(ca.certificate());
+  auto builder = cr::SigningKey::generate(gc::to_bytes("b"), 8);
+  const auto cert = ca.issue("builder", builder.public_key(), gc::SimTime::from_days(0),
+                             gc::SimTime::from_days(3650),
+                             {cr::KeyUsage::kCodeSigning})
+                        .value();
+  os::Tpm tpm(gc::to_bytes("t"));
+  os::OnieInstaller installer(&trust, &tpm);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    auto image = os::make_signed_image("u", gc::Version(5, 0, trial), rng.bytes(512),
+                                       builder, {cert, ca.certificate()})
+                     .value();
+    flip_random_bit(image.content, rng);
+    os::Host host = os::make_stock_onl_host("h");
+    const auto before = host.kernel().version;
+    EXPECT_FALSE(installer.install(host, image, gc::SimTime::from_days(1)).ok());
+    EXPECT_EQ(host.kernel().version, before) << "host mutated on rejected install";
+  }
+}
+
+TEST(FailureInjection, CorruptedAptSnapshotsNeverInstall) {
+  gc::Rng rng(105);
+  os::AptRepository repo("main", cr::SigningKey::generate(gc::to_bytes("rk"), 8));
+  repo.add_package({"tool", gc::Version(1, 0, 0), rng.bytes(1024)});
+  os::AptClient client;
+  client.trust_key("main", repo.public_key());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    auto snapshot = repo.snapshot().value();
+    if (rng.chance(0.5)) {
+      flip_random_bit(snapshot.metadata, rng);
+    } else {
+      flip_random_bit(snapshot.packages["tool"].content, rng);
+    }
+    os::Host host;
+    EXPECT_FALSE(client.install(host, snapshot, "tool").ok()) << "trial " << trial;
+    EXPECT_EQ(host.package("tool"), nullptr);
+  }
+}
+
+TEST(FailureInjection, MutatedCertificateChainsNeverVerify) {
+  gc::Rng rng(106);
+  auto ca = cr::CertificateAuthority::create_root("root", gc::to_bytes("ca"),
+                                                  gc::SimTime::from_days(0),
+                                                  gc::SimTime::from_days(3650), 4);
+  cr::TrustStore trust;
+  trust.add_root(ca.certificate());
+  auto key = cr::SigningKey::generate(gc::to_bytes("k"), 4);
+  const auto leaf = ca.issue("device", key.public_key(), gc::SimTime::from_days(0),
+                             gc::SimTime::from_days(30), {cr::KeyUsage::kNodeAuth})
+                        .value();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    cr::Certificate mutated = leaf;
+    switch (rng.index(4)) {
+      case 0:
+        mutated.subject = "device-" + rng.ident(4);
+        break;
+      case 1:
+        mutated.serial ^= 1ull << rng.index(32);
+        break;
+      case 2:
+        mutated.not_after = gc::SimTime::from_days(3650);  // extend validity
+        break;
+      default:
+        mutated.subject_key.root[rng.index(32)] ^=
+            static_cast<std::uint8_t>(1u << rng.index(8));
+        break;
+    }
+    const cr::Certificate chain[] = {mutated, ca.certificate()};
+    EXPECT_FALSE(trust
+                     .verify_chain(chain, gc::SimTime::from_days(1),
+                                   cr::KeyUsage::kNodeAuth)
+                     .ok())
+        << "trial " << trial;
+  }
+}
+
+TEST(FailureInjection, TamperedRegistryImagesFailVerification) {
+  gc::Rng rng(107);
+  auto publisher = cr::SigningKey::generate(gc::to_bytes("pub"), 8);
+  for (int trial = 0; trial < 30; ++trial) {
+    as::ImageRegistry registry;
+    as::ContainerImage image("registry.genio.io/t/app", "1.0." + std::to_string(trial));
+    image.add_layer({{"/app/bin", rng.bytes(128)}});
+    ASSERT_TRUE(registry.push_signed(std::move(image), "t", publisher).ok());
+
+    // A registry-side attacker swaps a layer after signing.
+    as::ContainerImage swapped("registry.genio.io/t/app",
+                               "1.0." + std::to_string(trial));
+    swapped.add_layer({{"/app/bin", rng.bytes(128)}});
+    const auto entry =
+        registry.pull("registry.genio.io/t/app:1.0." + std::to_string(trial)).value();
+    as::RegistryEntry tampered = *entry;
+    tampered.image = swapped;
+    EXPECT_FALSE(as::verify_image(tampered, publisher.public_key()).ok());
+  }
+}
+
+TEST(FailureInjection, RandomizedPodSpecsNeverBypassHardenedAdmission) {
+  gc::Rng rng(108);
+  const auto policy = genio::middleware::make_hardened_admission();
+  int dangerous = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    genio::middleware::PodSpec spec;
+    spec.name = rng.ident(6);
+    spec.ns = "tenant-" + rng.ident(2);
+    spec.container.image = rng.chance(0.5)
+                               ? "registry.genio.io/t/" + rng.ident(4) + ":1.0"
+                               : "docker.io/" + rng.ident(4) + ":latest";
+    spec.container.privileged = rng.chance(0.3);
+    spec.container.host_network = rng.chance(0.3);
+    if (rng.chance(0.3)) spec.container.host_mounts = {"/" + rng.ident(3)};
+    if (rng.chance(0.3)) spec.container.capabilities = {"CAP_SYS_ADMIN"};
+    if (rng.chance(0.7)) {
+      spec.container.limits = genio::middleware::ResourceQuantity{0.5, 256};
+    }
+
+    const bool is_dangerous = spec.container.privileged ||
+                              spec.container.host_network ||
+                              !spec.container.host_mounts.empty() ||
+                              spec.container.capabilities.contains("CAP_SYS_ADMIN") ||
+                              !spec.container.limits.has_value() ||
+                              spec.container.image.rfind("registry.genio.io/", 0) != 0;
+    const bool admitted = policy.violations(spec).empty();
+    if (is_dangerous) {
+      ++dangerous;
+      EXPECT_FALSE(admitted) << "dangerous spec admitted at trial " << trial;
+    } else {
+      EXPECT_TRUE(admitted) << "safe spec rejected at trial " << trial;
+    }
+  }
+  EXPECT_GT(dangerous, 100);  // the sweep actually exercised the bad cases
+}
+
+TEST(FailureInjection, ReplayStormNeverDoubleDelivers) {
+  // An attacker replays every frame of a long MACsec exchange multiple
+  // times in random order; the receiver must deliver each exactly once.
+  gc::Rng rng(109);
+  const auto key = cr::make_aes_key(rng.bytes(16));
+  pon::MacsecSecY tx(0x1, key, 64);
+  pon::MacsecSecY rx(0x2, key, 64);
+
+  std::vector<pon::MacsecFrame> wire;
+  for (int i = 0; i < 50; ++i) {
+    pon::EthFrame frame;
+    frame.src_mac = "a";
+    frame.dst_mac = "b";
+    frame.payload = gc::to_bytes("seq-" + std::to_string(i));
+    wire.push_back(tx.protect(frame));
+  }
+  // Build the storm: each frame 3x, shuffled with bounded displacement so
+  // first occurrences stay within the replay window.
+  std::vector<const pon::MacsecFrame*> storm;
+  for (const auto& frame : wire) {
+    storm.push_back(&frame);
+    storm.push_back(&frame);
+    storm.push_back(&frame);
+  }
+  for (std::size_t i = 1; i < storm.size(); ++i) {
+    const std::size_t j = i - std::min<std::size_t>(rng.index(6), i);
+    std::swap(storm[i], storm[j]);
+  }
+
+  std::size_t delivered = 0;
+  for (const auto* frame : storm) {
+    if (rx.validate(*frame).ok()) ++delivered;
+  }
+  EXPECT_EQ(delivered, wire.size());
+  EXPECT_EQ(rx.stats().replayed_frames + rx.stats().late_frames,
+            storm.size() - wire.size());
+}

@@ -1,0 +1,206 @@
+// Tests for the hardening engine (M1/M2/M8): SCAP benchmark evaluation and
+// remediation, STIG applicability gaps on ONL (Lesson 1), kernel hardening
+// checker, and the Lynis-like composite auditor.
+#include <gtest/gtest.h>
+
+#include "genio/hardening/auditor.hpp"
+#include "genio/hardening/check.hpp"
+#include "genio/hardening/kernel_checker.hpp"
+#include "genio/hardening/scap.hpp"
+
+namespace hd = genio::hardening;
+namespace os = genio::os;
+namespace gc = genio::common;
+
+// ------------------------------------------------------------------- rules
+
+TEST(RuleEngine, OutcomeCountsAndScore) {
+  hd::Benchmark bench("toy");
+  bench.add_rule({.id = "r1",
+                  .title = "always passes",
+                  .passes = [](const os::Host&) { return true; }});
+  bench.add_rule({.id = "r2",
+                  .title = "always fails",
+                  .passes = [](const os::Host&) { return false; }});
+  os::Host host("h", "onl");
+  const auto report = bench.evaluate(host);
+  EXPECT_EQ(report.passed, 1);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_DOUBLE_EQ(report.score(), 0.5);
+  EXPECT_DOUBLE_EQ(report.applicability(), 1.0);
+}
+
+TEST(RuleEngine, DistroScopedRuleIsNotApplicable) {
+  hd::Benchmark bench("toy");
+  bench.add_rule({.id = "r1",
+                  .title = "ubuntu-only",
+                  .authored_for = {"ubuntu"},
+                  .passes = [](const os::Host&) { return false; }});
+  os::Host onl("h", "onl");
+  const auto report = bench.evaluate(onl);
+  EXPECT_EQ(report.not_applicable, 1);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_DOUBLE_EQ(report.applicability(), 0.0);
+}
+
+TEST(RuleEngine, RemediateOnlyTouchesFailingRules) {
+  int fixed = 0;
+  hd::Benchmark bench("toy");
+  bench.add_rule({.id = "ok",
+                  .title = "passing",
+                  .passes = [](const os::Host&) { return true; },
+                  .remediate = [&fixed](os::Host&) { ++fixed; }});
+  bench.add_rule({.id = "bad",
+                  .title = "failing",
+                  .passes = [](const os::Host&) { return false; },
+                  .remediate = [&fixed](os::Host&) { ++fixed; }});
+  os::Host host;
+  EXPECT_EQ(bench.remediate(host), 1);
+  EXPECT_EQ(fixed, 1);
+}
+
+// -------------------------------------------------------------------- SCAP
+
+TEST(Scap, StockOnlFailsManyRules) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto report = hd::make_scap_benchmark().evaluate(host);
+  EXPECT_GE(report.failed, 5);
+  EXPECT_LT(report.score(), 0.6);
+}
+
+TEST(Scap, RemediationConverges) {
+  auto host = os::make_stock_onl_host("olt-1");
+  const auto bench = hd::make_scap_benchmark();
+  EXPECT_GT(bench.remediate(host), 0);
+  const auto report = bench.evaluate(host);
+  EXPECT_EQ(report.failed, 0) << "all SCAP rules have remediations";
+  EXPECT_DOUBLE_EQ(report.score(), 1.0);
+}
+
+TEST(Scap, RemediationDisablesTelnetAndFixesSsh) {
+  auto host = os::make_stock_onl_host("olt-1");
+  hd::make_scap_benchmark().remediate(host);
+  EXPECT_FALSE(host.service("telnetd")->enabled);
+  EXPECT_EQ(host.service("sshd")->config.at("PermitRootLogin"), "no");
+  EXPECT_TRUE(host.service("ntpd")->enabled);
+  for (const auto& src : host.apt_sources()) EXPECT_TRUE(src.gpg_verified);
+}
+
+TEST(Scap, CriticalFailuresFilter) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto report = hd::make_scap_benchmark().evaluate(host);
+  const auto critical = report.failures(hd::Severity::kCritical);
+  for (const auto& f : critical) EXPECT_EQ(f.severity, hd::Severity::kCritical);
+  EXPECT_LE(critical.size(), report.failures().size());
+}
+
+// -------------------------------------------------------------------- STIG
+
+TEST(Stig, Lesson1OnlWithoutAdaptationsHasLowApplicability) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto published = hd::make_stig_profile(/*include_onl_adaptations=*/false);
+  const auto report = published.evaluate(host);
+  // Every published STIG rule targets mainstream distros: all N/A on ONL.
+  EXPECT_EQ(report.passed + report.failed, 0);
+  EXPECT_DOUBLE_EQ(report.applicability(), 0.0);
+}
+
+TEST(Stig, Lesson1AdaptationsRestoreCoverage) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto adapted = hd::make_stig_profile(/*include_onl_adaptations=*/true);
+  const auto report = adapted.evaluate(host);
+  EXPECT_GT(report.passed + report.failed, 0);
+  // The mainstream copies remain N/A; the applicability is partial.
+  EXPECT_GT(report.not_applicable, 0);
+}
+
+TEST(Stig, UbuntuGetsFullPublishedCoverage) {
+  const auto host = os::make_stock_ubuntu_host("srv-1");
+  const auto published = hd::make_stig_profile(false);
+  const auto report = published.evaluate(host);
+  EXPECT_EQ(report.not_applicable, 0);
+}
+
+TEST(Stig, RemediationFixesOnlHost) {
+  auto host = os::make_stock_onl_host("olt-1");
+  const auto bench = hd::make_stig_profile(true);
+  bench.remediate(host);
+  const auto report = bench.evaluate(host);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_TRUE(host.user("root")->password_locked);
+  EXPECT_NE(host.package("auditd"), nullptr);
+}
+
+// ------------------------------------------------------------ kernel (M2)
+
+TEST(KernelChecker, StockOnlKernelFailsBaseline) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  hd::KernelChecker checker(hd::hardened_kernel_baseline());
+  const auto findings = checker.check(host.kernel());
+  EXPECT_GE(findings.size(), 10u);
+
+  // The paper's two named high-risk features are flagged.
+  bool kexec = false, kprobes = false, microcode = false;
+  for (const auto& f : findings) {
+    kexec |= f.name == "CONFIG_KEXEC";
+    kprobes |= f.name == "CONFIG_KPROBES";
+    microcode |= f.kind == hd::KernelParamKind::kMicrocode;
+  }
+  EXPECT_TRUE(kexec);
+  EXPECT_TRUE(kprobes);
+  EXPECT_TRUE(microcode);
+}
+
+TEST(KernelChecker, RemediationClearsFindings) {
+  auto host = os::make_stock_onl_host("olt-1");
+  hd::KernelChecker checker(hd::hardened_kernel_baseline());
+  checker.remediate(host.kernel());
+  EXPECT_TRUE(checker.check(host.kernel()).empty());
+  EXPECT_EQ(host.kernel().kconfig.at("CONFIG_KEXEC"), "n");
+  EXPECT_TRUE(host.kernel().cmdline.contains("mitigations=auto,nosmt"));
+  EXPECT_TRUE(host.kernel().microcode_updated);
+}
+
+TEST(KernelChecker, UnsetParameterReported) {
+  os::KernelConfig kernel;  // everything unset
+  hd::KernelChecker checker(hd::hardened_kernel_baseline());
+  const auto findings = checker.check(kernel);
+  bool found_unset = false;
+  for (const auto& f : findings) found_unset |= f.actual == "(unset)";
+  EXPECT_TRUE(found_unset);
+}
+
+// ----------------------------------------------------------------- auditor
+
+TEST(Auditor, StockOnlScoresLow) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  hd::HostAuditor auditor;
+  const auto report = auditor.audit(host);
+  EXPECT_LT(report.hardening_index(), 50.0);
+  EXPECT_GT(report.total_findings(), 10u);
+}
+
+TEST(Auditor, HardeningRaisesIndexToFull) {
+  auto host = os::make_stock_onl_host("olt-1");
+  hd::HostAuditor auditor;
+  const double before = auditor.audit(host).hardening_index();
+  EXPECT_GT(auditor.harden(host), 0);
+  const auto after = auditor.audit(host);
+  EXPECT_GT(after.hardening_index(), before);
+  EXPECT_DOUBLE_EQ(after.hardening_index(), 100.0);
+  EXPECT_EQ(after.total_findings(), 0u);
+}
+
+TEST(Auditor, Lesson1IterativeConvergence) {
+  // evaluate -> remediate -> re-evaluate until stable, as the paper
+  // describes ("iterative adjustments and reviews").
+  auto host = os::make_stock_onl_host("olt-1");
+  hd::HostAuditor auditor;
+  int rounds = 0;
+  while (auditor.audit(host).total_findings() > 0 && rounds < 5) {
+    auditor.harden(host);
+    ++rounds;
+  }
+  EXPECT_LE(rounds, 2);
+  EXPECT_EQ(auditor.audit(host).total_findings(), 0u);
+}

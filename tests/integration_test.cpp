@@ -1,0 +1,184 @@
+// End-to-end integration narrative: one hardened GENIO site goes through
+// its whole operational life — verified boot with attestation, PON
+// activation, tenant onboarding and deployment, a vulnerability-disclosure
+// /patch cycle over the signed update channel, a multi-pronged attack
+// wave, and a final posture review. Each step asserts the platform-level
+// behavior that the module tests verify in isolation.
+#include <gtest/gtest.h>
+
+#include "genio/core/pipeline.hpp"
+#include "genio/core/posture.hpp"
+#include "genio/core/scenarios.hpp"
+#include "genio/middleware/audit_analytics.hpp"
+#include "genio/os/attestation.hpp"
+#include "genio/os/updates.hpp"
+#include "genio/vuln/feeds.hpp"
+#include "genio/vuln/scanner.hpp"
+#include "genio/vuln/sla.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace as = genio::appsec;
+namespace os = genio::os;
+namespace vn = genio::vuln;
+namespace mw = genio::middleware;
+namespace core = genio::core;
+
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest() : platform_(core::PlatformConfig{}) {
+    platform_.cluster().config_mutable().etcd_encryption = true;
+  }
+
+  core::GenioPlatform platform_;
+};
+
+}  // namespace
+
+TEST_F(EndToEndTest, FullOperationalLifecycle) {
+  // ---- Day 0: bring-up -------------------------------------------------------
+  const auto boot = platform_.boot_host();
+  ASSERT_TRUE(boot.booted) << boot.failure_reason;
+
+  os::AttestationService attestation(gc::Rng(1));
+  attestation.register_golden("olt-x86",
+                              platform_.tpm().composite(os::attested_pcrs()));
+  {
+    const auto nonce = attestation.challenge("olt-1");
+    const auto quote = platform_.tpm().quote(os::attested_pcrs(), nonce);
+    ASSERT_TRUE(attestation.verify("olt-1", "olt-x86", platform_.tpm(), quote).trusted);
+  }
+
+  ASSERT_EQ(platform_.activate_pon(), platform_.config().onu_count);
+
+  // ---- Day 1: tenant onboarding and deployment -------------------------------
+  auto publisher = cr::SigningKey::generate(gc::to_bytes("acme"), 6);
+  ASSERT_TRUE(platform_.register_tenant("acme", publisher.public_key()).ok());
+
+  as::ContainerImage app("registry.genio.io/acme/telemetry", "1.0.0");
+  app.add_layer({{"/app/main.py",
+                  gc::to_bytes("import os\ntoken = os.getenv(\"TOKEN\")\n")}});
+  app.add_package({"flask", gc::Version(2, 0, 1), "pypi"});
+  ASSERT_TRUE(platform_.registry().push_signed(std::move(app), "acme", publisher).ok());
+
+  core::DeploymentPipeline pipeline(&platform_);
+  const auto deploy = pipeline.deploy({.tenant = "acme",
+                                       .image_reference =
+                                           "registry.genio.io/acme/telemetry:1.0.0",
+                                       .app_name = "telemetry"});
+  ASSERT_TRUE(deploy.deployed) << deploy.blocked_by();
+
+  // Data flows over the encrypted PON path.
+  auto& onu = *platform_.onus()[0];
+  const auto onu_id = platform_.olt().onu_id_for(onu.serial()).value();
+  ASSERT_TRUE(platform_.olt().send_data(onu_id, 1, gc::to_bytes("telemetry-cfg")).ok());
+  ASSERT_EQ(onu.received_data().size(), 1u);
+
+  // ---- Day 10: vulnerability disclosed, detected, patched --------------------
+  vn::ExposureTracker exposure;
+  platform_.clock().advance_to(gc::SimTime::from_days(10));
+  vn::CveRecord cve;
+  cve.id = "CVE-2025-31337";
+  cve.package = "linux-kernel";
+  cve.affected = gc::VersionRange::parse("<4.19.200").value();
+  cve.fixed_version = gc::Version(4, 19, 200);
+  cve.cvss = vn::CvssV3::parse("AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H").value();
+  cve.known_exploited = true;
+  cve.published = platform_.clock().now();
+  exposure.disclosed(cve.id, cve.cvss.severity(), cve.published);
+
+  vn::StructuredFeed feed("nvd-api", gc::SimTime::from_hours(6));
+  feed.publish(cve);
+  vn::FeedAggregator aggregator;
+  aggregator.add_feed(&feed);
+  platform_.clock().advance(gc::SimTime::from_hours(12));
+  ASSERT_EQ(aggregator.poll_all(platform_.clock().now(), platform_.cve_db()), 1u);
+  exposure.detected(cve.id, platform_.clock().now());
+
+  vn::HostVulnScanner scanner(&platform_.cve_db());
+  const auto scan = scanner.scan(platform_.host());
+  ASSERT_EQ(scan.findings.size(), 1u);
+  EXPECT_TRUE(scan.findings[0].known_exploited);
+
+  // Patch through the signed A/B update channel.
+  auto builder = cr::SigningKey::generate(platform_.rng().bytes(32), 6);
+  const auto builder_cert =
+      platform_.root_ca()
+          .issue("onl-builder", builder.public_key(), gc::SimTime::from_days(0),
+                 gc::SimTime::from_days(3650), {cr::KeyUsage::kCodeSigning})
+          .value();
+  const auto image =
+      os::make_signed_image("onl-update", gc::Version(4, 19, 200),
+                            gc::to_bytes("KERNEL-4.19.200"), builder,
+                            {builder_cert, platform_.root_ca().certificate()})
+          .value();
+  os::OnieInstaller installer(&platform_.trust_store(), &platform_.tpm());
+  os::UpdateOrchestrator updater(&installer, &platform_.boot_chain());
+  platform_.clock().advance(gc::SimTime::from_hours(36));
+  const auto update = updater.apply_kernel_update(
+      platform_.host(), image,
+      {.secure_boot = true, .measured_boot = true}, platform_.clock().now());
+  ASSERT_TRUE(update.committed) << update.detail;
+  exposure.patched(cve.id, platform_.clock().now());
+
+  // The exposure window met the critical-7-day SLA.
+  const auto sla = exposure.summarize({}, platform_.clock().now());
+  EXPECT_EQ(sla.within_sla, 1u);
+  EXPECT_EQ(sla.sla_breaches, 0u);
+
+  // Rescan: clean. Attestation golden must be refreshed after the update.
+  EXPECT_TRUE(scanner.scan(platform_.host()).findings.empty());
+  attestation.register_golden("olt-x86",
+                              platform_.tpm().composite(os::attested_pcrs()));
+  {
+    const auto nonce = attestation.challenge("olt-1");
+    const auto quote = platform_.tpm().quote(os::attested_pcrs(), nonce);
+    EXPECT_TRUE(attestation.verify("olt-1", "olt-x86", platform_.tpm(), quote).trusted);
+  }
+
+  // ---- Day 12: attack wave ----------------------------------------------------
+  // (a) Malicious tenant image -> blocked at the malware gate.
+  auto mallory = cr::SigningKey::generate(gc::to_bytes("mallory"), 4);
+  ASSERT_TRUE(platform_.register_tenant("shady", mallory.public_key()).ok());
+  as::ContainerImage bad("registry.genio.io/shady/turbo", "1.0.0");
+  bad.add_layer({{"/run.sh",
+                  gc::to_bytes("/tmp/xmrig -o stratum+tcp://pool:3333 randomx\n")}});
+  ASSERT_TRUE(platform_.registry().push_signed(std::move(bad), "shady", mallory).ok());
+  const auto blocked = pipeline.deploy({.tenant = "shady",
+                                        .image_reference =
+                                            "registry.genio.io/shady/turbo:1.0.0",
+                                        .app_name = "turbo"});
+  EXPECT_FALSE(blocked.deployed);
+  EXPECT_EQ(blocked.blocked_by(), "malware");
+
+  // (b) Compromised deployed workload -> sandbox blocks, monitor alerts.
+  const auto trace = as::traces::post_exploitation("acme/telemetry");
+  const auto records = platform_.sandbox().run_trace(trace);
+  EXPECT_EQ(as::SandboxEnforcer::denied_count(records), trace.size());
+  EXPECT_FALSE(platform_.falco().process_trace(trace).empty());
+
+  // (c) Cross-tenant API probing -> denied and surfaced by audit analytics.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(platform_.cluster().read_secret("shady:deployer", "acme").ok());
+  }
+  const auto alerts = mw::analyze_audit_log(platform_.cluster().audit_log());
+  bool probing = false;
+  for (const auto& alert : alerts) probing |= alert.kind == "authz-probing";
+  EXPECT_TRUE(probing);
+
+  // ---- Final posture -----------------------------------------------------------
+  const auto posture = core::evaluate_posture(platform_, boot);
+  EXPECT_EQ(posture.grade(), "A") << core::render_posture(posture);
+}
+
+TEST_F(EndToEndTest, Fig3ContrastSurvivesIntegration) {
+  // The scenario engine must deliver the Fig. 3 contrast even after the
+  // platform defaults evolve — this is the repo's headline claim.
+  const auto results = core::run_all_scenarios();
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.unmitigated.attack_succeeded) << result.threat_id;
+    EXPECT_FALSE(result.mitigated.attack_succeeded) << result.threat_id;
+  }
+}

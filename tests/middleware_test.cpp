@@ -1,0 +1,402 @@
+// Tests for the middleware substrate: RBAC (permissive defaults vs least
+// privilege, T5/M10), the cluster API path with admission control, the VM
+// manager's isolation tiers, SDN capability gating, and the overlapping
+// checker tools (M11, Lesson 5).
+#include <gtest/gtest.h>
+
+#include "genio/middleware/checkers.hpp"
+#include "genio/middleware/orchestrator.hpp"
+#include "genio/middleware/rbac.hpp"
+#include "genio/middleware/sdn.hpp"
+#include "genio/middleware/vmm.hpp"
+
+namespace gc = genio::common;
+namespace mw = genio::middleware;
+
+// -------------------------------------------------------------------- RBAC
+
+TEST(Rbac, ExactGrantAllows) {
+  mw::RbacEngine rbac;
+  rbac.add_role({.name = "reader",
+                 .rules = {{.verbs = {"get", "list"}, .resources = {"pods"}}}});
+  rbac.add_binding({.role = "reader", .subjects = {"alice"}});
+  EXPECT_TRUE(rbac.authorize("alice", "get", "pods").allowed);
+  EXPECT_FALSE(rbac.authorize("alice", "delete", "pods").allowed);
+  EXPECT_FALSE(rbac.authorize("alice", "get", "secrets").allowed);
+  EXPECT_FALSE(rbac.authorize("bob", "get", "pods").allowed);
+}
+
+TEST(Rbac, NamespaceScoping) {
+  mw::RbacEngine rbac;
+  rbac.add_role({.name = "tenant-a-admin",
+                 .rules = {{.verbs = {"*"}, .resources = {"*"}}},
+                 .namespaces = {"tenant-a"}});
+  rbac.add_binding({.role = "tenant-a-admin", .subjects = {"alice"}});
+  EXPECT_TRUE(rbac.authorize("alice", "delete", "pods", "tenant-a").allowed);
+  EXPECT_FALSE(rbac.authorize("alice", "delete", "pods", "tenant-b").allowed);
+}
+
+TEST(Rbac, WildcardSubjectBinding) {
+  mw::RbacEngine rbac;
+  rbac.add_role({.name = "reader",
+                 .rules = {{.verbs = {"get"}, .resources = {"pods"}}}});
+  rbac.add_binding({.role = "reader", .subjects = {"*"}});
+  EXPECT_TRUE(rbac.authorize("anyone-at-all", "get", "pods").allowed);
+}
+
+TEST(Rbac, DecisionRecordsMatchedRole) {
+  mw::RbacEngine rbac;
+  rbac.add_role({.name = "reader",
+                 .rules = {{.verbs = {"get"}, .resources = {"pods"}}}});
+  rbac.add_binding({.role = "reader", .subjects = {"alice"}});
+  const auto decision = rbac.authorize("alice", "get", "pods");
+  EXPECT_EQ(decision.matched_role, "reader");
+}
+
+TEST(Rbac, AttackT5PermissiveDefaultsLeakSecrets) {
+  const auto rbac = mw::make_permissive_default_rbac();
+  // The wildcard "default-reader" binding lets ANY identity read secrets.
+  EXPECT_TRUE(rbac.authorize("tenant-b-app", "get", "secrets", "tenant-a").allowed);
+  // And the broad admin binding gives a CI account delete on everything.
+  EXPECT_TRUE(rbac.authorize("ci-deployer", "delete", "nodes").allowed);
+}
+
+TEST(Rbac, M10LeastPrivilegeBlocksLateralMovement) {
+  const auto rbac = mw::make_least_privilege_rbac();
+  EXPECT_FALSE(rbac.authorize("tenant-b-app", "get", "secrets", "tenant-a").allowed);
+  EXPECT_FALSE(rbac.authorize("ci-deployer", "delete", "nodes").allowed);
+  EXPECT_FALSE(rbac.authorize("ci-deployer", "get", "secrets", "tenant-a").allowed);
+  // But the legitimate workflows still work.
+  EXPECT_TRUE(rbac.authorize("ci-deployer", "create", "deployments", "tenant-a").allowed);
+  EXPECT_TRUE(rbac.authorize("sa:falco", "watch", "pods", "tenant-b").allowed);
+  EXPECT_TRUE(rbac.authorize("platform-operator", "delete", "nodes").allowed);
+}
+
+TEST(Rbac, Lesson5LatticeShrinksUnderLeastPrivilege) {
+  const std::set<std::string> subjects = {"platform-operator", "ci-deployer",
+                                          "tenant-a-admin", "tenant-b-app", "sa:falco"};
+  const std::set<std::string> namespaces = {"tenant-a", "tenant-b", "kube-system"};
+  const auto permissive = mw::make_permissive_default_rbac().allowed_tuple_count(
+      subjects, mw::k8s_verbs(), mw::k8s_resources(), namespaces);
+  const auto hardened = mw::make_least_privilege_rbac().allowed_tuple_count(
+      subjects, mw::k8s_verbs(), mw::k8s_resources(), namespaces);
+  EXPECT_GT(permissive, hardened * 2) << "permissive=" << permissive
+                                      << " hardened=" << hardened;
+}
+
+// ----------------------------------------------------------------- cluster
+
+namespace {
+
+mw::PodSpec safe_pod(const std::string& name, const std::string& ns) {
+  mw::PodSpec spec;
+  spec.name = name;
+  spec.ns = ns;
+  spec.container.image = "registry.genio.io/" + ns + "/" + name + ":1.0.0";
+  spec.container.limits = mw::ResourceQuantity{0.5, 256};
+  return spec;
+}
+
+mw::Cluster make_hardened_cluster() {
+  mw::Cluster cluster({.name = "edge", .anonymous_auth = false},
+                      mw::make_least_privilege_rbac(), mw::make_hardened_admission());
+  cluster.add_node("olt-node-1", {8.0, 16384});
+  cluster.add_node("olt-node-2", {8.0, 16384});
+  return cluster;
+}
+
+}  // namespace
+
+TEST(Cluster, CreatePodHappyPath) {
+  auto cluster = make_hardened_cluster();
+  const auto key = cluster.create_pod("ci-deployer", safe_pod("app", "tenant-a"));
+  ASSERT_TRUE(key.ok()) << key.error().to_string();
+  EXPECT_EQ(*key, "tenant-a/app");
+  ASSERT_NE(cluster.find_pod("tenant-a", "app"), nullptr);
+  EXPECT_EQ(cluster.find_pod("tenant-a", "app")->phase, mw::PodPhase::kRunning);
+}
+
+TEST(Cluster, AnonymousRejectedWhenDisabled) {
+  auto cluster = make_hardened_cluster();
+  const auto st = cluster.authorize("", "get", "pods", "tenant-a");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kAuthenticationFailed);
+}
+
+TEST(Cluster, AttackT5AnonymousAllowedWithInsecureDefaults) {
+  mw::Cluster cluster({.name = "edge", .anonymous_auth = true},
+                      mw::make_permissive_default_rbac(), mw::make_permissive_admission());
+  cluster.add_node("n1", {4.0, 8192});
+  // The wildcard reader binding covers system:anonymous too.
+  EXPECT_TRUE(cluster.authorize("", "list", "secrets", "tenant-a").ok());
+}
+
+TEST(Cluster, AdmissionBlocksPrivilegedPod) {
+  auto cluster = make_hardened_cluster();
+  auto spec = safe_pod("breakout", "tenant-a");
+  spec.container.privileged = true;
+  const auto result = cluster.create_pod("ci-deployer", spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), gc::ErrorCode::kPolicyViolation);
+}
+
+TEST(Cluster, AdmissionBlocksDangerousCapabilityAndHostMount) {
+  auto cluster = make_hardened_cluster();
+  auto spec = safe_pod("escape", "tenant-a");
+  spec.container.capabilities = {"CAP_SYS_ADMIN"};
+  EXPECT_FALSE(cluster.create_pod("ci-deployer", spec).ok());
+
+  auto spec2 = safe_pod("mounty", "tenant-a");
+  spec2.container.host_mounts = {"/var/run/docker.sock"};
+  EXPECT_FALSE(cluster.create_pod("ci-deployer", spec2).ok());
+}
+
+TEST(Cluster, AdmissionBlocksUntrustedRegistry) {
+  auto cluster = make_hardened_cluster();
+  auto spec = safe_pod("pulled", "tenant-a");
+  spec.container.image = "docker.io/random/image:latest";
+  const auto result = cluster.create_pod("ci-deployer", spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("untrusted registry"), std::string::npos);
+}
+
+TEST(Cluster, AdmissionRequiresLimits) {
+  auto cluster = make_hardened_cluster();
+  auto spec = safe_pod("greedy", "tenant-a");
+  spec.container.limits.reset();
+  EXPECT_FALSE(cluster.create_pod("ci-deployer", spec).ok());
+}
+
+TEST(Cluster, PermissiveAdmissionAcceptsEverything) {
+  mw::Cluster cluster({.name = "edge"}, mw::make_permissive_default_rbac(),
+                      mw::make_permissive_admission());
+  cluster.add_node("n1", {4.0, 8192});
+  auto spec = safe_pod("anything", "tenant-a");
+  spec.container.privileged = true;
+  spec.container.host_mounts = {"/"};
+  spec.container.limits.reset();
+  EXPECT_TRUE(cluster.create_pod("ci-deployer", spec).ok());
+}
+
+TEST(Cluster, SchedulerRespectsCapacity) {
+  mw::Cluster cluster({.name = "edge"}, mw::make_permissive_default_rbac(),
+                      mw::make_permissive_admission());
+  cluster.add_node("small", {1.0, 1024});
+  auto big = safe_pod("big", "tenant-a");
+  big.container.limits = mw::ResourceQuantity{0.8, 900};
+  ASSERT_TRUE(cluster.create_pod("ci-deployer", big).ok());
+  auto second = safe_pod("second", "tenant-a");
+  second.container.limits = mw::ResourceQuantity{0.8, 900};
+  const auto result = cluster.create_pod("ci-deployer", second);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), gc::ErrorCode::kResourceExhausted);
+}
+
+TEST(Cluster, DeleteReleasesCapacity) {
+  mw::Cluster cluster({.name = "edge"}, mw::make_permissive_default_rbac(),
+                      mw::make_permissive_admission());
+  cluster.add_node("small", {1.0, 1024});
+  auto big = safe_pod("big", "tenant-a");
+  big.container.limits = mw::ResourceQuantity{0.8, 900};
+  ASSERT_TRUE(cluster.create_pod("ci-deployer", big).ok());
+  ASSERT_TRUE(cluster.delete_pod("ci-deployer", "tenant-a", "big").ok());
+  EXPECT_TRUE(cluster.create_pod("ci-deployer", big).ok());
+}
+
+TEST(Cluster, ExecRequiresExecVerb) {
+  auto cluster = make_hardened_cluster();
+  ASSERT_TRUE(cluster.create_pod("ci-deployer", safe_pod("app", "tenant-a")).ok());
+  // ci-deployer has create but not exec under least privilege.
+  const auto st = cluster.exec_in_pod("ci-deployer", "tenant-a", "app");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kPermissionDenied);
+  // platform-operator can.
+  EXPECT_TRUE(cluster.exec_in_pod("platform-operator", "tenant-a", "app").ok());
+}
+
+TEST(Cluster, AuditLogRecordsDecisions) {
+  auto cluster = make_hardened_cluster();
+  (void)cluster.create_pod("ci-deployer", safe_pod("app", "tenant-a"));
+  (void)cluster.read_secret("tenant-b-app", "tenant-a");
+  ASSERT_GE(cluster.audit_log().size(), 2u);
+  const auto& denied = cluster.audit_log().back();
+  EXPECT_FALSE(denied.allowed);
+  EXPECT_EQ(denied.subject, "tenant-b-app");
+}
+
+TEST(Cluster, ComponentInventoryForKbom) {
+  auto cluster = make_hardened_cluster();
+  const auto components = cluster.components();
+  EXPECT_GE(components.size(), 7u);  // 5 control-plane/addon + 2 kubelets
+  bool has_apiserver = false, has_kubelet = false;
+  for (const auto& c : components) {
+    has_apiserver |= c.name == "kube-apiserver";
+    has_kubelet |= c.name == "kubelet";
+  }
+  EXPECT_TRUE(has_apiserver);
+  EXPECT_TRUE(has_kubelet);
+}
+
+// --------------------------------------------------------------------- VMM
+
+TEST(Vmm, HardIsolationHasNoCoResidents) {
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  const auto vm_a = vmm.create_vm("tenant-a", {2.0, 4096}).value();
+  const auto vm_b = vmm.create_vm("tenant-b", {2.0, 4096}).value();
+  ASSERT_TRUE(vmm.create_container("tenant-a", vm_a, false, {}).ok());
+  ASSERT_TRUE(vmm.create_container("tenant-b", vm_b, false, {}).ok());
+  EXPECT_TRUE(vmm.co_resident_tenants("tenant-a").empty());
+}
+
+TEST(Vmm, SoftIsolationSharesBlastRadius) {
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  const auto shared = vmm.create_vm("platform", {8.0, 16384}).value();
+  ASSERT_TRUE(vmm.create_container("tenant-a", shared, false, {}).ok());
+  ASSERT_TRUE(vmm.create_container("tenant-b", shared, false, {}).ok());
+  EXPECT_EQ(vmm.co_resident_tenants("tenant-a"), std::set<std::string>{"tenant-b"});
+}
+
+TEST(Vmm, AttackT8PrivilegedContainerEscapesToVm) {
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  const auto vm = vmm.create_vm("platform", {8.0, 16384}).value();
+  const auto ct = vmm.create_container("tenant-evil", vm, /*privileged=*/true, {}).value();
+  const auto attempt = vmm.attempt_container_escape(ct);
+  EXPECT_TRUE(attempt.succeeded);
+  EXPECT_EQ(attempt.blast_radius, "vm");
+}
+
+TEST(Vmm, AttackT8CapSysAdminEscapes) {
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  const auto vm = vmm.create_vm("platform", {8.0, 16384}).value();
+  const auto ct =
+      vmm.create_container("tenant-evil", vm, false, {"CAP_SYS_ADMIN"}).value();
+  EXPECT_TRUE(vmm.attempt_container_escape(ct).succeeded);
+}
+
+TEST(Vmm, UnprivilegedContainerContained) {
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  const auto vm = vmm.create_vm("platform", {8.0, 16384}).value();
+  const auto ct = vmm.create_container("tenant-a", vm, false, {"CAP_NET_BIND"}).value();
+  const auto attempt = vmm.attempt_container_escape(ct);
+  EXPECT_FALSE(attempt.succeeded);
+  EXPECT_EQ(attempt.blast_radius, "none");
+}
+
+TEST(Vmm, AttackT4VmEscapeOnUnpatchedHypervisor) {
+  mw::VmManager vmm(gc::Version(7, 1, 0));  // vulnerable
+  const auto vm = vmm.create_vm("tenant-evil", {2.0, 4096}).value();
+  EXPECT_TRUE(vmm.attempt_vm_escape(vm, gc::Version(7, 2, 0)).succeeded);
+  vmm.patch_hypervisor(gc::Version(7, 2, 0));
+  EXPECT_FALSE(vmm.attempt_vm_escape(vm, gc::Version(7, 2, 0)).succeeded);
+}
+
+TEST(Vmm, DestroyVmRemovesContainers) {
+  mw::VmManager vmm(gc::Version(7, 4, 0));
+  const auto vm = vmm.create_vm("t", {1.0, 1024}).value();
+  ASSERT_TRUE(vmm.create_container("t", vm, false, {}).ok());
+  ASSERT_TRUE(vmm.destroy_vm(vm).ok());
+  EXPECT_TRUE(vmm.containers().empty());
+  EXPECT_FALSE(vmm.destroy_vm(vm).ok());
+}
+
+// --------------------------------------------------------------------- SDN
+
+TEST(Sdn, AttackT5DefaultCredentialsOpenShell) {
+  auto onos = mw::make_insecure_onos();
+  // The shipped admin/admin credential grants shell access.
+  EXPECT_TRUE(onos.api_call("admin", "admin", mw::SdnCapability::kShellAccess).ok());
+  EXPECT_TRUE(onos.api_call("guest", "guest", mw::SdnCapability::kRawLogRetrieval).ok());
+}
+
+TEST(Sdn, M10HardenedControllerBlocksRiskyCapabilities) {
+  auto onos = mw::make_hardened_onos();
+  // No password accounts exist at all.
+  EXPECT_FALSE(onos.api_call("admin", "admin", mw::SdnCapability::kShellAccess).ok());
+  // The cert-bound service account does its production job...
+  EXPECT_TRUE(onos.api_call("svc-genio-nbi", "cert:svc-genio-nbi",
+                            mw::SdnCapability::kDeviceRegistration)
+                  .ok());
+  // ...but cannot reach the blocked surface.
+  const auto st =
+      onos.api_call("svc-genio-nbi", "cert:svc-genio-nbi", mw::SdnCapability::kShellAccess);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(onos.stats().denied_capability, 1u);
+}
+
+TEST(Sdn, WrongCredentialRejected) {
+  auto onos = mw::make_hardened_onos();
+  EXPECT_FALSE(onos.api_call("svc-genio-nbi", "cert:someone-else",
+                             mw::SdnCapability::kLogicalConfig)
+                   .ok());
+  EXPECT_EQ(onos.stats().denied_authn, 1u);
+}
+
+TEST(Sdn, DeviceRegistrationFlow) {
+  auto voltha = mw::make_hardened_voltha();
+  const auto handle =
+      voltha.register_device("svc-olt-adapter", "cert:svc-olt-adapter", "GNIO0001");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(voltha.device_count(), 1u);
+  // The diag account cannot register devices.
+  EXPECT_FALSE(voltha.register_device("svc-diag", "cert:svc-diag", "GNIO0002").ok());
+}
+
+TEST(Sdn, Lesson5GrantSurfaceIsSmall) {
+  const auto insecure = mw::make_insecure_onos();
+  const auto hardened = mw::make_hardened_onos();
+  EXPECT_LT(hardened.grant_count(), insecure.grant_count());
+}
+
+// ---------------------------------------------------------------- checkers
+
+TEST(Checkers, InsecureClusterFailsManyChecks) {
+  mw::Cluster cluster({.name = "edge",
+                       .anonymous_auth = true,
+                       .audit_logging = false,
+                       .etcd_encryption = false},
+                      mw::make_permissive_default_rbac(), mw::make_permissive_admission());
+  cluster.add_node("n1", {4.0, 8192});
+
+  const auto kube_bench = mw::make_kube_bench().run(cluster);
+  EXPECT_GE(kube_bench.findings.size(), 4u);
+}
+
+TEST(Checkers, HardenedClusterPassesCatalog) {
+  auto cluster = make_hardened_cluster();
+  cluster.config_mutable().etcd_encryption = true;
+  const mw::CheckerTool tools[] = {mw::make_kube_bench(), mw::make_kubescape(),
+                                   mw::make_kubesec()};
+  for (const auto& tool : tools) {
+    const auto report = tool.run(cluster);
+    EXPECT_TRUE(report.findings.empty()) << report.tool;
+  }
+}
+
+TEST(Checkers, Lesson5NoSingleToolCoversCatalog) {
+  const auto kube_bench = mw::make_kube_bench();
+  const auto kubescape = mw::make_kubescape();
+  const auto kubesec = mw::make_kubesec();
+  EXPECT_LT(mw::catalog_coverage({&kube_bench}), 1.0);
+  EXPECT_LT(mw::catalog_coverage({&kubescape}), 1.0);
+  EXPECT_LT(mw::catalog_coverage({&kubesec}), 1.0);
+  // The union covers everything — why GENIO integrates multiple tools.
+  EXPECT_DOUBLE_EQ(mw::catalog_coverage({&kube_bench, &kubescape, &kubesec}), 1.0);
+}
+
+TEST(Checkers, UnionDeduplicatesOverlappingFindings) {
+  mw::Cluster cluster({.name = "edge", .anonymous_auth = true},
+                      mw::make_permissive_default_rbac(), mw::make_permissive_admission());
+  cluster.add_node("n1", {4.0, 8192});
+  const std::vector<mw::CheckerReport> reports = {
+      mw::make_kube_bench().run(cluster), mw::make_kubescape().run(cluster),
+      mw::make_kubesec().run(cluster)};
+  const auto merged = mw::union_findings(reports);
+  std::set<std::string> ids;
+  for (const auto& f : merged) EXPECT_TRUE(ids.insert(f.check_id).second) << f.check_id;
+  // GEN-004/GEN-005 overlap between kube-bench and kubescape: union must be
+  // strictly smaller than the concatenation.
+  std::size_t concatenated = 0;
+  for (const auto& r : reports) concatenated += r.findings.size();
+  EXPECT_LT(merged.size(), concatenated);
+}

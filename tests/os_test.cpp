@@ -1,0 +1,518 @@
+// Tests for the OS substrate: host model, TPM (PCRs, quotes, seal/unseal),
+// secure & measured boot with T2 tampering, LUKS + Clevis-style TPM
+// binding (Lesson 3), file integrity monitoring (M7), and signed updates
+// via APT-like and ONIE-like channels (M9).
+#include <gtest/gtest.h>
+
+#include "genio/os/apt.hpp"
+#include "genio/os/boot.hpp"
+#include "genio/os/fim.hpp"
+#include "genio/os/host.hpp"
+#include "genio/os/luks.hpp"
+#include "genio/os/onie.hpp"
+#include "genio/os/tpm.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace os = genio::os;
+
+// -------------------------------------------------------------------- host
+
+TEST(Host, FileOperations) {
+  os::Host host("olt-1", "onl");
+  host.write_file("/etc/test.conf", "key=value");
+  ASSERT_TRUE(host.has_file("/etc/test.conf"));
+  EXPECT_EQ(gc::to_text(host.file("/etc/test.conf")->content), "key=value");
+  EXPECT_TRUE(host.remove_file("/etc/test.conf"));
+  EXPECT_FALSE(host.has_file("/etc/test.conf"));
+  EXPECT_EQ(host.file("/nope"), nullptr);
+}
+
+TEST(Host, GlobMatchesPaths) {
+  auto host = os::make_stock_onl_host("olt-1");
+  const auto bins = host.glob("/usr/sbin/*");
+  EXPECT_FALSE(bins.empty());
+  for (const auto& path : bins) EXPECT_TRUE(path.rfind("/usr/sbin/", 0) == 0);
+}
+
+TEST(Host, StockOnlHasInsecureDefaults) {
+  const auto host = os::make_stock_onl_host("olt-1");
+  EXPECT_EQ(host.service("sshd")->config.at("PermitRootLogin"), "yes");
+  EXPECT_TRUE(host.service("telnetd")->enabled);
+  EXPECT_EQ(host.kernel().kconfig.at("CONFIG_STACKPROTECTOR"), "n");
+  EXPECT_FALSE(host.kernel().microcode_updated);
+  // One APT source is unverified — M1 material.
+  bool has_unverified = false;
+  for (const auto& src : host.apt_sources()) has_unverified |= !src.gpg_verified;
+  EXPECT_TRUE(has_unverified);
+}
+
+TEST(Host, UbuntuBaselineIsStronger) {
+  const auto onl = os::make_stock_onl_host("a");
+  const auto ubu = os::make_stock_ubuntu_host("b");
+  EXPECT_EQ(ubu.kernel().kconfig.at("CONFIG_STACKPROTECTOR"), "y");
+  EXPECT_NE(ubu.service("sshd")->config.at("PermitRootLogin"), "yes");
+  EXPECT_GT(ubu.kernel().version, onl.kernel().version);
+}
+
+TEST(Host, PackageLifecycle) {
+  os::Host host;
+  host.install_package("trivy", gc::Version(0, 45, 0), "aqua");
+  ASSERT_NE(host.package("trivy"), nullptr);
+  EXPECT_EQ(host.package("trivy")->version.to_string(), "0.45.0");
+  EXPECT_TRUE(host.remove_package("trivy"));
+  EXPECT_EQ(host.package("trivy"), nullptr);
+}
+
+// --------------------------------------------------------------------- TPM
+
+TEST(Tpm, ExtendIsOrderSensitive) {
+  os::Tpm a(gc::to_bytes("seed"));
+  os::Tpm b(gc::to_bytes("seed"));
+  ASSERT_TRUE(a.extend(0, gc::to_bytes("x")).ok());
+  ASSERT_TRUE(a.extend(0, gc::to_bytes("y")).ok());
+  ASSERT_TRUE(b.extend(0, gc::to_bytes("y")).ok());
+  ASSERT_TRUE(b.extend(0, gc::to_bytes("x")).ok());
+  EXPECT_NE(a.pcr(0), b.pcr(0));
+}
+
+TEST(Tpm, ExtendRejectsBadIndex) {
+  os::Tpm tpm(gc::to_bytes("seed"));
+  EXPECT_FALSE(tpm.extend(os::kPcrCount, gc::to_bytes("x")).ok());
+  EXPECT_THROW(tpm.pcr(99), std::out_of_range);
+}
+
+TEST(Tpm, ResetClearsPcrs) {
+  os::Tpm tpm(gc::to_bytes("seed"));
+  ASSERT_TRUE(tpm.extend(3, gc::to_bytes("m")).ok());
+  EXPECT_NE(tpm.pcr(3), cr::Digest{});
+  tpm.reset();
+  EXPECT_EQ(tpm.pcr(3), cr::Digest{});
+}
+
+TEST(Tpm, QuoteVerifies) {
+  os::Tpm tpm(gc::to_bytes("seed"));
+  ASSERT_TRUE(tpm.extend(0, gc::to_bytes("fw")).ok());
+  auto q = tpm.quote({0, 4, 8}, gc::to_bytes("challenge-nonce"));
+  EXPECT_TRUE(tpm.verify_quote(q));
+  q.composite[0] ^= 1;  // forge the reported state
+  EXPECT_FALSE(tpm.verify_quote(q));
+}
+
+TEST(Tpm, QuoteNonceBound) {
+  os::Tpm tpm(gc::to_bytes("seed"));
+  auto q = tpm.quote({0}, gc::to_bytes("nonce-1"));
+  q.nonce = gc::to_bytes("nonce-2");  // replay under a different challenge
+  EXPECT_FALSE(tpm.verify_quote(q));
+}
+
+TEST(Tpm, SealUnsealRoundTrip) {
+  os::Tpm tpm(gc::to_bytes("seed"));
+  ASSERT_TRUE(tpm.extend(0, gc::to_bytes("known-good-boot")).ok());
+  const auto blob = tpm.seal(gc::to_bytes("disk-key"), {{0}});
+  const auto out = tpm.unseal(blob);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(gc::to_text(*out), "disk-key");
+}
+
+TEST(Tpm, UnsealFailsAfterPcrChange) {
+  os::Tpm tpm(gc::to_bytes("seed"));
+  ASSERT_TRUE(tpm.extend(0, gc::to_bytes("known-good-boot")).ok());
+  const auto blob = tpm.seal(gc::to_bytes("disk-key"), {{0}});
+  ASSERT_TRUE(tpm.extend(0, gc::to_bytes("tampered-stage")).ok());
+  const auto out = tpm.unseal(blob);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code(), gc::ErrorCode::kPolicyViolation);
+}
+
+TEST(Tpm, UnsealFailsOnForeignTpm) {
+  os::Tpm a(gc::to_bytes("seed-a"));
+  os::Tpm b(gc::to_bytes("seed-b"));
+  const auto blob = a.seal(gc::to_bytes("key"), {{0}});
+  EXPECT_FALSE(b.unseal(blob).ok());
+}
+
+// -------------------------------------------------------------------- boot
+
+namespace {
+
+struct BootFixture {
+  gc::SimTime t0 = gc::SimTime::from_days(0);
+  gc::SimTime t_end = gc::SimTime::from_days(3650);
+  cr::CertificateAuthority vendor = cr::CertificateAuthority::create_root(
+      "platform-vendor", gc::to_bytes("vendor-seed"), t0, t_end, 6);
+  cr::TrustStore trust;
+  os::Tpm tpm{gc::to_bytes("tpm-seed")};
+  cr::SigningKey signer = cr::SigningKey::generate(gc::to_bytes("shim-signer"), 6);
+  std::vector<cr::Certificate> chain;
+
+  BootFixture() {
+    trust.add_root(vendor.certificate());
+    const auto cert = vendor
+                          .issue("genio-boot-signer", signer.public_key(), t0, t_end,
+                                 {cr::KeyUsage::kCodeSigning})
+                          .value();
+    chain = {cert, vendor.certificate()};
+  }
+
+  os::BootChain make_chain() {
+    os::BootChain bc(&trust, &tpm);
+    bc.add_component(os::make_signed_component("shim", gc::to_bytes("SHIM-IMG"),
+                                               signer, chain)
+                         .value());
+    bc.add_component(os::make_signed_component("grub", gc::to_bytes("GRUB-IMG"),
+                                               signer, chain)
+                         .value());
+    bc.add_component(os::make_signed_component("kernel", gc::to_bytes("KERNEL-IMG"),
+                                               signer, chain)
+                         .value());
+    return bc;
+  }
+};
+
+}  // namespace
+
+TEST(Boot, CleanChainBoots) {
+  BootFixture f;
+  auto chain = f.make_chain();
+  const auto report = chain.boot({}, gc::SimTime::from_days(1));
+  EXPECT_TRUE(report.booted);
+  EXPECT_EQ(report.verified_stages.size(), 3u);
+  // Measured boot populated the PCRs.
+  EXPECT_NE(f.tpm.pcr(os::kPcrFirmware), cr::Digest{});
+  EXPECT_NE(f.tpm.pcr(os::kPcrBootloader), cr::Digest{});
+  EXPECT_NE(f.tpm.pcr(os::kPcrKernel), cr::Digest{});
+}
+
+TEST(Boot, AttackT2TamperedBootloaderHaltsSecureBoot) {
+  BootFixture f;
+  auto chain = f.make_chain();
+  chain.component("grub")->image = gc::to_bytes("GRUB-IMG-WITH-BACKDOOR");
+  const auto report = chain.boot({}, gc::SimTime::from_days(1));
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failed_stage, "grub");
+  EXPECT_NE(report.failure_reason.find("signature"), std::string::npos);
+}
+
+TEST(Boot, AttackT2UnsignedKernelRejected) {
+  BootFixture f;
+  auto chain = f.make_chain();
+  chain.component("kernel")->signature.reset();
+  const auto report = chain.boot({}, gc::SimTime::from_days(1));
+  EXPECT_FALSE(report.booted);
+  EXPECT_EQ(report.failed_stage, "kernel");
+}
+
+TEST(Boot, AttackT2SecureBootOffBootsButMeasurementsDiverge) {
+  // With secure boot disabled, the tampered image boots — but measured
+  // boot still catches it: the PCR composite differs from the golden one,
+  // so attestation (and TPM-sealed secrets) fail.
+  BootFixture f;
+  os::Tpm golden_tpm(gc::to_bytes("tpm-seed"));
+  const auto golden = os::BootChain::golden_composite(
+      f.make_chain(), {.secure_boot = false}, gc::SimTime::from_days(1), golden_tpm);
+
+  auto chain = f.make_chain();
+  chain.component("kernel")->image = gc::to_bytes("KERNEL-IMG-EVIL");
+  const auto report = chain.boot({.secure_boot = false}, gc::SimTime::from_days(1));
+  EXPECT_TRUE(report.booted);
+  const auto measured =
+      f.tpm.composite({os::kPcrFirmware, os::kPcrBootloader, os::kPcrKernel});
+  EXPECT_NE(measured, golden);
+}
+
+TEST(Boot, UntrustedSignerRejected) {
+  BootFixture f;
+  // A self-made CA signs the shim; the platform does not trust it.
+  auto rogue_ca = cr::CertificateAuthority::create_root("rogue", gc::to_bytes("r"),
+                                                        f.t0, f.t_end, 4);
+  auto rogue_key = cr::SigningKey::generate(gc::to_bytes("rk"), 4);
+  const auto rogue_cert = rogue_ca
+                              .issue("rogue-signer", rogue_key.public_key(), f.t0,
+                                     f.t_end, {cr::KeyUsage::kCodeSigning})
+                              .value();
+  os::BootChain chain(&f.trust, &f.tpm);
+  chain.add_component(os::make_signed_component(
+                          "shim", gc::to_bytes("SHIM"), rogue_key,
+                          {rogue_cert, rogue_ca.certificate()})
+                          .value());
+  const auto report = chain.boot({}, gc::SimTime::from_days(1));
+  EXPECT_FALSE(report.booted);
+  EXPECT_NE(report.failure_reason.find("not trusted"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- LUKS
+
+TEST(Luks, PassphraseUnlock) {
+  gc::Rng rng(7);
+  const auto vol = os::LuksVolume::create(gc::to_bytes("correct horse"),
+                                          gc::to_bytes("tenant data at rest"), rng, 100);
+  const auto out = vol.unlock(gc::to_bytes("correct horse"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(gc::to_text(*out), "tenant data at rest");
+}
+
+TEST(Luks, WrongPassphraseFails) {
+  gc::Rng rng(7);
+  const auto vol =
+      os::LuksVolume::create(gc::to_bytes("right"), gc::to_bytes("data"), rng, 100);
+  EXPECT_FALSE(vol.unlock(gc::to_bytes("wrong")).ok());
+}
+
+TEST(Luks, TpmBindingAutoUnlocks) {
+  gc::Rng rng(7);
+  os::Tpm tpm(gc::to_bytes("tpm"));
+  ASSERT_TRUE(tpm.extend(os::kPcrKernel, gc::to_bytes("good-kernel")).ok());
+  auto vol = os::LuksVolume::create(gc::to_bytes("pw"), gc::to_bytes("data"), rng, 100);
+  ASSERT_TRUE(vol.bind_tpm(tpm, {{os::kPcrKernel}}, gc::to_bytes("pw"),
+                           /*clevis_available=*/true)
+                  .ok());
+  const auto out = vol.unlock_with_tpm(tpm);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(gc::to_text(*out), "data");
+}
+
+TEST(Luks, TpmRefusesAfterBootTamper) {
+  gc::Rng rng(7);
+  os::Tpm tpm(gc::to_bytes("tpm"));
+  ASSERT_TRUE(tpm.extend(os::kPcrKernel, gc::to_bytes("good-kernel")).ok());
+  auto vol = os::LuksVolume::create(gc::to_bytes("pw"), gc::to_bytes("data"), rng, 100);
+  ASSERT_TRUE(vol.bind_tpm(tpm, {{os::kPcrKernel}}, gc::to_bytes("pw"), true).ok());
+
+  // Different kernel measured on the next boot -> PCR mismatch -> no key.
+  tpm.reset();
+  ASSERT_TRUE(tpm.extend(os::kPcrKernel, gc::to_bytes("evil-kernel")).ok());
+  EXPECT_FALSE(vol.unlock_with_tpm(tpm).ok());
+  // Manual passphrase still works (the recovery path).
+  EXPECT_TRUE(vol.unlock(gc::to_bytes("pw")).ok());
+}
+
+TEST(Luks, Lesson3ClevisUnavailableForcesManualEntry) {
+  gc::Rng rng(7);
+  os::Tpm tpm(gc::to_bytes("tpm"));
+  auto vol = os::LuksVolume::create(gc::to_bytes("pw"), gc::to_bytes("data"), rng, 100);
+  const auto st = vol.bind_tpm(tpm, {{os::kPcrKernel}}, gc::to_bytes("pw"),
+                               /*clevis_available=*/false);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kUnavailable);
+  EXPECT_FALSE(vol.tpm_bound());
+  // Boot cannot auto-unlock; the in-field OLT waits for an operator.
+  EXPECT_FALSE(vol.unlock_with_tpm(tpm).ok());
+  EXPECT_TRUE(vol.unlock(gc::to_bytes("pw")).ok());
+}
+
+TEST(Luks, BindRequiresCorrectPassphrase) {
+  gc::Rng rng(7);
+  os::Tpm tpm(gc::to_bytes("tpm"));
+  auto vol = os::LuksVolume::create(gc::to_bytes("pw"), gc::to_bytes("data"), rng, 100);
+  EXPECT_FALSE(vol.bind_tpm(tpm, {{0}}, gc::to_bytes("wrong"), true).ok());
+}
+
+// --------------------------------------------------------------------- FIM
+
+namespace {
+
+struct FimFixture {
+  os::Host host = os::make_stock_onl_host("olt-1");
+  cr::SigningKey key = cr::SigningKey::generate(gc::to_bytes("fim-key"), 6);
+  os::FileIntegrityMonitor fim{os::default_olt_fim_rules()};
+};
+
+}  // namespace
+
+TEST(Fim, CleanHostHasNoViolations) {
+  FimFixture f;
+  ASSERT_TRUE(f.fim.init_baseline(f.host, f.key).ok());
+  EXPECT_GT(f.fim.baseline_size(), 0u);
+  const auto report = f.fim.check(f.host, f.key.public_key());
+  EXPECT_TRUE(report.baseline_authentic);
+  EXPECT_TRUE(report.critical.empty());
+  EXPECT_TRUE(report.informational.empty());
+}
+
+TEST(Fim, AttackT2DetectsModifiedBinary) {
+  FimFixture f;
+  ASSERT_TRUE(f.fim.init_baseline(f.host, f.key).ok());
+  f.host.write_file("/usr/sbin/sshd", "ELF:openssh-server-WITH-BACKDOOR", "root", 0755);
+  const auto report = f.fim.check(f.host, f.key.public_key());
+  ASSERT_EQ(report.critical.size(), 1u);
+  EXPECT_EQ(report.critical[0].path, "/usr/sbin/sshd");
+  EXPECT_EQ(report.critical[0].kind, os::FimViolationKind::kModified);
+}
+
+TEST(Fim, DetectsAddedAndRemovedFiles) {
+  FimFixture f;
+  ASSERT_TRUE(f.fim.init_baseline(f.host, f.key).ok());
+  f.host.write_file("/usr/sbin/rootkit-helper", "ELF:evil", "root", 0755);
+  f.host.remove_file("/bin/busybox");
+  const auto report = f.fim.check(f.host, f.key.public_key());
+  ASSERT_EQ(report.critical.size(), 2u);
+}
+
+TEST(Fim, Lesson3MutablePathsAreInformationalOnly) {
+  FimFixture f;
+  ASSERT_TRUE(f.fim.init_baseline(f.host, f.key).ok());
+  f.host.write_file("/var/log/syslog", "boot ok\nmore lines\n");
+  const auto report = f.fim.check(f.host, f.key.public_key());
+  EXPECT_TRUE(report.critical.empty());
+  ASSERT_EQ(report.informational.size(), 1u);
+  EXPECT_EQ(report.informational[0].path, "/var/log/syslog");
+}
+
+TEST(Fim, TamperedBaselineIsDetected) {
+  FimFixture f;
+  ASSERT_TRUE(f.fim.init_baseline(f.host, f.key).ok());
+  // Attacker swaps the binary AND fixes up the baseline entry to hide it.
+  f.host.write_file("/usr/sbin/sshd", "ELF:backdoored", "root", 0755);
+  ASSERT_TRUE(f.fim.tamper_baseline_entry(
+      "/usr/sbin/sshd", f.host.file("/usr/sbin/sshd")->digest()));
+  const auto report = f.fim.check(f.host, f.key.public_key());
+  // The forged database fails its signature: the tampering is caught at
+  // the monitoring-integrity layer, not the file layer.
+  EXPECT_FALSE(report.baseline_authentic);
+}
+
+// --------------------------------------------------------------------- APT
+
+TEST(Apt, SignedInstallSucceeds) {
+  os::Host host = os::make_stock_onl_host("olt-1");
+  os::AptRepository repo("genio-main", cr::SigningKey::generate(gc::to_bytes("rk"), 6));
+  repo.add_package({"tripwire", gc::Version(2, 4, 3), gc::to_bytes("ELF:tripwire")});
+  const auto snap = repo.snapshot().value();
+
+  os::AptClient client;
+  client.trust_key("genio-main", repo.public_key());
+  ASSERT_TRUE(client.install(host, snap, "tripwire").ok());
+  EXPECT_NE(host.package("tripwire"), nullptr);
+  EXPECT_TRUE(host.has_file("/usr/bin/tripwire"));
+  EXPECT_EQ(client.stats().installed, 1u);
+}
+
+TEST(Apt, UntrustedRepositoryRejected) {
+  os::Host host;
+  os::AptRepository repo("unknown-repo", cr::SigningKey::generate(gc::to_bytes("x"), 4));
+  repo.add_package({"tool", gc::Version(1, 0, 0), gc::to_bytes("ELF")});
+  const auto snap = repo.snapshot().value();
+  os::AptClient client;  // no keys trusted
+  const auto st = client.install(host, snap, "tool");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kPermissionDenied);
+}
+
+TEST(Apt, TamperedPackageBodyRejected) {
+  os::Host host;
+  os::AptRepository repo("genio-main", cr::SigningKey::generate(gc::to_bytes("rk"), 6));
+  repo.add_package({"tool", gc::Version(1, 0, 0), gc::to_bytes("ELF:clean")});
+  auto snap = repo.snapshot().value();
+  snap.packages["tool"].content = gc::to_bytes("ELF:trojaned");  // supply-chain swap
+  os::AptClient client;
+  client.trust_key("genio-main", repo.public_key());
+  const auto st = client.install(host, snap, "tool");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kIntegrityViolation);
+}
+
+TEST(Apt, ForgedMetadataSignatureRejected) {
+  os::Host host;
+  os::AptRepository repo("genio-main", cr::SigningKey::generate(gc::to_bytes("rk"), 6));
+  repo.add_package({"tool", gc::Version(1, 0, 0), gc::to_bytes("ELF:clean")});
+  auto snap = repo.snapshot().value();
+  // Attacker rewrites metadata (e.g. downgrades a version) without the key.
+  snap.packages["tool"].version = gc::Version(0, 9, 0);
+  snap.metadata = os::serialize_apt_metadata(snap.packages);
+  os::AptClient client;
+  client.trust_key("genio-main", repo.public_key());
+  EXPECT_FALSE(client.install(host, snap, "tool").ok());
+}
+
+TEST(Apt, MissingPackageNotFound) {
+  os::Host host;
+  os::AptRepository repo("genio-main", cr::SigningKey::generate(gc::to_bytes("rk"), 6));
+  const auto snap = repo.snapshot().value();
+  os::AptClient client;
+  client.trust_key("genio-main", repo.public_key());
+  const auto st = client.install(host, snap, "ghost");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kNotFound);
+}
+
+// -------------------------------------------------------------------- ONIE
+
+namespace {
+
+struct OnieFixture {
+  gc::SimTime t0 = gc::SimTime::from_days(0);
+  gc::SimTime t_end = gc::SimTime::from_days(3650);
+  cr::CertificateAuthority vendor = cr::CertificateAuthority::create_root(
+      "genio-release", gc::to_bytes("release-seed"), t0, t_end, 6);
+  cr::TrustStore trust;
+  os::Tpm tpm{gc::to_bytes("tpm")};
+  cr::SigningKey builder = cr::SigningKey::generate(gc::to_bytes("builder"), 6);
+  std::vector<cr::Certificate> chain;
+
+  OnieFixture() {
+    trust.add_root(vendor.certificate());
+    chain = {vendor
+                 .issue("onl-builder", builder.public_key(), t0, t_end,
+                        {cr::KeyUsage::kCodeSigning})
+                 .value(),
+             vendor.certificate()};
+  }
+};
+
+}  // namespace
+
+TEST(Onie, SignedImageInstalls) {
+  OnieFixture f;
+  os::Host host = os::make_stock_onl_host("olt-1");
+  const auto image = os::make_signed_image("onl-update", gc::Version(4, 19, 200),
+                                           gc::to_bytes("KERNEL-4.19.200"), f.builder,
+                                           f.chain)
+                         .value();
+  os::OnieInstaller installer(&f.trust, &f.tpm);
+  ASSERT_TRUE(installer.install(host, image, gc::SimTime::from_days(1)).ok());
+  EXPECT_EQ(host.kernel().version.to_string(), "4.19.200");
+  EXPECT_EQ(gc::to_text(host.file("/boot/vmlinuz")->content), "KERNEL-4.19.200");
+  EXPECT_EQ(installer.stats().installed, 1u);
+}
+
+TEST(Onie, AttackT2TamperedImageRejected) {
+  OnieFixture f;
+  os::Host host = os::make_stock_onl_host("olt-1");
+  auto image = os::make_signed_image("onl-update", gc::Version(4, 19, 200),
+                                     gc::to_bytes("KERNEL-CLEAN"), f.builder, f.chain)
+                   .value();
+  image.content = gc::to_bytes("KERNEL-IMPLANTED");
+  os::OnieInstaller installer(&f.trust, &f.tpm);
+  const auto st = installer.install(host, image, gc::SimTime::from_days(1));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kSignatureInvalid);
+  EXPECT_EQ(installer.stats().rejected, 1u);
+  // Host untouched.
+  EXPECT_EQ(host.kernel().version.to_string(), "4.19.81");
+}
+
+TEST(Onie, UnverifiedEnvironmentRefusesToFlash) {
+  OnieFixture f;
+  os::Host host = os::make_stock_onl_host("olt-1");
+  const auto image = os::make_signed_image("onl-update", gc::Version(4, 19, 200),
+                                           gc::to_bytes("KERNEL"), f.builder, f.chain)
+                         .value();
+  os::OnieInstaller installer(&f.trust, &f.tpm);
+  EXPECT_FALSE(installer
+                   .install(host, image, gc::SimTime::from_days(1),
+                            /*environment_verified=*/false)
+                   .ok());
+}
+
+TEST(Onie, RevokedBuilderCertificateRejected) {
+  OnieFixture f;
+  os::Host host = os::make_stock_onl_host("olt-1");
+  const auto image = os::make_signed_image("onl-update", gc::Version(4, 19, 200),
+                                           gc::to_bytes("KERNEL"), f.builder, f.chain)
+                         .value();
+  f.vendor.revoke(f.chain.front().serial);
+  f.trust.add_crl("genio-release", f.vendor.crl());
+  os::OnieInstaller installer(&f.trust, &f.tpm);
+  EXPECT_FALSE(installer.install(host, image, gc::SimTime::from_days(1)).ok());
+}

@@ -1,0 +1,310 @@
+// Tests for vulnerability management (M8/M12): CVSS v3.1 scoring against
+// published vectors, the CVE database, feed models and the Lesson 6
+// fragmentation effects, the host scanner, patch planning, and KBOM
+// precision.
+#include <gtest/gtest.h>
+
+#include "genio/vuln/cve.hpp"
+#include "genio/vuln/cvss.hpp"
+#include "genio/vuln/feeds.hpp"
+#include "genio/vuln/kbom.hpp"
+#include "genio/vuln/scanner.hpp"
+
+namespace gc = genio::common;
+namespace os = genio::os;
+namespace vn = genio::vuln;
+
+namespace {
+
+vn::CveRecord make_cve(const std::string& id, const std::string& package,
+                       const std::string& range, const std::string& vector,
+                       gc::SimTime published = {},
+                       std::optional<gc::Version> fixed = std::nullopt) {
+  vn::CveRecord record;
+  record.id = id;
+  record.package = package;
+  record.affected = gc::VersionRange::parse(range).value();
+  record.cvss = vn::CvssV3::parse(vector).value();
+  record.published = published;
+  record.fixed_version = fixed;
+  return record;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- CVSS
+
+struct CvssCase {
+  const char* vector;
+  double expected;
+};
+
+class CvssVectorTest : public ::testing::TestWithParam<CvssCase> {};
+
+TEST_P(CvssVectorTest, MatchesPublishedScore) {
+  const auto& param = GetParam();
+  const auto cvss = vn::CvssV3::parse(param.vector);
+  ASSERT_TRUE(cvss.ok()) << param.vector;
+  EXPECT_DOUBLE_EQ(cvss->base_score(), param.expected) << param.vector;
+}
+
+// Expected scores cross-checked with the FIRST CVSS v3.1 calculator.
+INSTANTIATE_TEST_SUITE_P(
+    PublishedVectors, CvssVectorTest,
+    ::testing::Values(
+        CvssCase{"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},   // log4shell-class
+        CvssCase{"AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+        CvssCase{"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5},   // heartbleed-class
+        CvssCase{"AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8},   // local privesc
+        CvssCase{"AV:N/AC:H/PR:N/UI:R/S:U/C:L/I:L/A:N", 4.2},
+        CvssCase{"AV:P/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 2.4},   // physical access
+        CvssCase{"AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H", 9.9},
+        CvssCase{"AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0}));
+
+TEST(Cvss, SeverityBands) {
+  EXPECT_EQ(vn::cvss_severity_band(9.8), "critical");
+  EXPECT_EQ(vn::cvss_severity_band(7.5), "high");
+  EXPECT_EQ(vn::cvss_severity_band(5.0), "medium");
+  EXPECT_EQ(vn::cvss_severity_band(2.0), "low");
+  EXPECT_EQ(vn::cvss_severity_band(0.0), "none");
+}
+
+TEST(Cvss, ParseRejectsGarbage) {
+  EXPECT_FALSE(vn::CvssV3::parse("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").ok());
+  EXPECT_FALSE(vn::CvssV3::parse("AV:N/AC:L").ok());
+  EXPECT_FALSE(vn::CvssV3::parse("not a vector").ok());
+}
+
+TEST(Cvss, ToStringRoundTrip) {
+  const char* vector = "AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N";
+  const auto cvss = vn::CvssV3::parse(vector).value();
+  EXPECT_EQ(cvss.to_string(), vector);
+  const auto reparsed = vn::CvssV3::parse(cvss.to_string()).value();
+  EXPECT_DOUBLE_EQ(reparsed.base_score(), cvss.base_score());
+}
+
+TEST(Cvss, Cvss31PrefixAccepted) {
+  EXPECT_TRUE(vn::CvssV3::parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").ok());
+}
+
+// --------------------------------------------------------------- database
+
+TEST(CveDatabase, UpsertAndFind) {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-2024-0001", "openssl", "<1.1.2",
+                     "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"));
+  EXPECT_EQ(db.size(), 1u);
+  ASSERT_NE(db.find("CVE-2024-0001"), nullptr);
+  EXPECT_EQ(db.find("CVE-9999-9999"), nullptr);
+}
+
+TEST(CveDatabase, MatchingRespectsVersionRange) {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-2024-0001", "openssl", ">=1.0.0 <1.1.2",
+                     "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"));
+  EXPECT_EQ(db.matching("openssl", gc::Version(1, 1, 1)).size(), 1u);
+  EXPECT_TRUE(db.matching("openssl", gc::Version(1, 1, 2)).empty());
+  EXPECT_TRUE(db.matching("nginx", gc::Version(1, 1, 1)).empty());
+}
+
+TEST(CveDatabase, UpsertNewerWins) {
+  vn::CveDatabase db;
+  auto v1 = make_cve("CVE-2024-0001", "openssl", "<1.0.0",
+                     "AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", gc::SimTime::from_days(1));
+  auto v2 = make_cve("CVE-2024-0001", "openssl", "<2.0.0",
+                     "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", gc::SimTime::from_days(2));
+  db.upsert(v1);
+  db.upsert(v2);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.find("CVE-2024-0001")->affected.contains(gc::Version(1, 5, 0)));
+}
+
+TEST(CveDatabase, PublishedSince) {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-1", "a", "*", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N",
+                     gc::SimTime::from_days(1)));
+  db.upsert(make_cve("CVE-2", "b", "*", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N",
+                     gc::SimTime::from_days(10)));
+  EXPECT_EQ(db.published_since(gc::SimTime::from_days(5)).size(), 1u);
+}
+
+// ------------------------------------------------------------------ feeds
+
+TEST(Feeds, StructuredDeliversAfterIngestDelay) {
+  vn::StructuredFeed feed("k8s-cve", gc::SimTime::from_hours(2));
+  feed.publish(make_cve("CVE-1", "kubernetes", "*",
+                        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", gc::SimTime::from_hours(0)));
+  EXPECT_TRUE(feed.poll(gc::SimTime::from_hours(1)).empty());
+  EXPECT_EQ(feed.poll(gc::SimTime::from_hours(3)).size(), 1u);
+  EXPECT_DOUBLE_EQ(feed.stats().mean_latency_hours(), 3.0);
+  EXPECT_DOUBLE_EQ(feed.stats().recall(), 1.0);
+}
+
+TEST(Feeds, UnstructuredMissesAndRecovers) {
+  // recall 0 -> everything lands on the missed pile.
+  vn::UnstructuredFeed feed("docker-blog", gc::SimTime::from_hours(24), 0.0,
+                            gc::Rng(1));
+  feed.publish(make_cve("CVE-1", "docker", "*",
+                        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", gc::SimTime::from_hours(0)));
+  EXPECT_TRUE(feed.poll(gc::SimTime::from_hours(48)).empty());
+  EXPECT_EQ(feed.stats().missed, 1u);
+  // A manual sweep much later recovers it, at high latency.
+  const auto recovered = feed.recover_missed(gc::SimTime::from_hours(240));
+  EXPECT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(feed.stats().missed, 0u);
+  EXPECT_DOUBLE_EQ(feed.stats().mean_latency_hours(), 240.0);
+}
+
+TEST(Feeds, StaleFeedNeverDeliversRecentAdvisories) {
+  vn::StaleFeed feed("onos-tracker", gc::SimTime::from_days(100));
+  feed.publish(make_cve("CVE-OLD", "onos", "*",
+                        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", gc::SimTime::from_days(50)));
+  feed.publish(make_cve("CVE-NEW", "onos", "*",
+                        "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", gc::SimTime::from_days(200)));
+  const auto delivered = feed.poll(gc::SimTime::from_days(300));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].id, "CVE-OLD");
+  EXPECT_EQ(feed.stats().missed, 1u);
+}
+
+TEST(Feeds, AggregatorIngestsIntoDatabaseWithSourceTag) {
+  vn::StructuredFeed k8s("k8s-cve", gc::SimTime::from_hours(1));
+  vn::UnstructuredFeed docker("docker-blog", gc::SimTime::from_hours(24), 1.0,
+                              gc::Rng(2));
+  vn::FeedAggregator agg;
+  agg.add_feed(&k8s);
+  agg.add_feed(&docker);
+
+  k8s.publish(make_cve("CVE-K8S", "kubernetes", "*",
+                       "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", gc::SimTime::from_hours(0)));
+  docker.publish(make_cve("CVE-DKR", "docker", "*",
+                          "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", gc::SimTime::from_hours(0)));
+
+  vn::CveDatabase db;
+  EXPECT_EQ(agg.poll_all(gc::SimTime::from_hours(2), db), 1u);   // only k8s yet
+  EXPECT_EQ(agg.poll_all(gc::SimTime::from_hours(25), db), 1u);  // docker catches up
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.find("CVE-K8S")->source, "k8s-cve");
+  // Lesson 6: the structured feed's latency is far lower.
+  EXPECT_LT(k8s.stats().mean_latency_hours(), docker.stats().mean_latency_hours());
+}
+
+// ---------------------------------------------------------------- scanner
+
+namespace {
+
+vn::CveDatabase make_host_db() {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-2019-1551", "openssl", ">=1.1.0 <1.1.2",
+                     "AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:N/A:N", gc::SimTime::from_days(1),
+                     gc::Version(1, 1, 2)));
+  db.upsert(make_cve("CVE-2020-15778", "openssh-server", "<8.4.0",
+                     "AV:N/AC:H/PR:N/UI:R/S:U/C:H/I:H/A:H", gc::SimTime::from_days(2),
+                     gc::Version(8, 4, 0)));
+  db.upsert(make_cve("CVE-2021-3156", "sudo", "<1.9.5",
+                     "AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", gc::SimTime::from_days(3),
+                     gc::Version(1, 9, 5)));
+  auto kernel_cve = make_cve("CVE-2022-0847", "linux-kernel", ">=4.0.0 <5.16.11",
+                             "AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+                             gc::SimTime::from_days(4), gc::Version(5, 16, 11));
+  kernel_cve.known_exploited = true;  // Dirty Pipe was in KEV
+  db.upsert(kernel_cve);
+  db.upsert(make_cve("CVE-2099-0001", "dbus", "<1.13.0",
+                     "AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", gc::SimTime::from_days(5)));
+  return db;
+}
+
+}  // namespace
+
+TEST(Scanner, FindsVulnerablePackagesAndKernel) {
+  const auto db = make_host_db();
+  const auto host = os::make_stock_onl_host("olt-1");
+  vn::HostVulnScanner scanner(&db);
+  const auto report = scanner.scan(host);
+
+  // openssl 1.1.1d, openssh 7.9, kernel 4.19.81, dbus 1.12.16 all match.
+  EXPECT_EQ(report.findings.size(), 4u);
+  EXPECT_GT(report.packages_scanned, 4u);
+}
+
+TEST(Scanner, PrioritizesKnownExploited) {
+  const auto db = make_host_db();
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto report = vn::HostVulnScanner(&db).scan(host);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().cve_id, "CVE-2022-0847");
+  EXPECT_TRUE(report.findings.front().known_exploited);
+}
+
+TEST(Scanner, CountAtLeastFiltersBySeverity) {
+  const auto db = make_host_db();
+  const auto host = os::make_stock_onl_host("olt-1");
+  const auto report = vn::HostVulnScanner(&db).scan(host);
+  EXPECT_LE(report.count_at_least(7.0), report.findings.size());
+  EXPECT_GE(report.count_at_least(0.0), report.count_at_least(7.0));
+}
+
+TEST(PatchPlanner, PlansAndAppliesFixes) {
+  const auto db = make_host_db();
+  auto host = os::make_stock_onl_host("olt-1");
+  const auto report = vn::HostVulnScanner(&db).scan(host);
+  const auto plan = vn::PatchPlanner::plan(report, host);
+
+  // dbus CVE has no fixed version -> unfixable; the others plan upgrades.
+  EXPECT_EQ(plan.unfixable.size(), 1u);
+  EXPECT_EQ(plan.unfixable[0].package, "dbus");
+  EXPECT_EQ(plan.actions.size(), 3u);
+
+  vn::PatchPlanner::apply(plan, host);
+  const auto after = vn::HostVulnScanner(&db).scan(host);
+  EXPECT_EQ(after.findings.size(), 1u);  // only the unfixable dbus one
+  EXPECT_EQ(host.kernel().version.to_string(), "5.16.11");
+}
+
+TEST(PatchPlanner, MergesMultipleCvesPerPackage) {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-A", "openssl", "<1.1.2", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N",
+                     {}, gc::Version(1, 1, 2)));
+  db.upsert(make_cve("CVE-B", "openssl", "<1.1.3", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+                     {}, gc::Version(1, 1, 3)));
+  auto host = os::make_stock_onl_host("olt-1");
+  const auto plan =
+      vn::PatchPlanner::plan(vn::HostVulnScanner(&db).scan(host), host);
+  ASSERT_EQ(plan.actions.size(), 1u);
+  EXPECT_EQ(plan.actions[0].to.to_string(), "1.1.3");  // highest fix wins
+  EXPECT_EQ(plan.actions[0].fixes.size(), 2u);
+}
+
+// ------------------------------------------------------------------- KBOM
+
+TEST(Kbom, VersionExactScanBeatsNameOnly) {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-K1", "kube-apiserver", ">=1.20.0 <1.20.7",
+                     "AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N"));
+  db.upsert(make_cve("CVE-K2", "kube-apiserver", ">=1.18.0 <1.19.0",
+                     "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"));
+  db.upsert(make_cve("CVE-E1", "etcd", "<3.4.0",
+                     "AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:N/A:N"));
+
+  vn::Bom bom{"edge-cluster",
+              {{"kube-apiserver", gc::Version(1, 20, 3), "control-plane"},
+               {"etcd", gc::Version(3, 5, 1), "control-plane"}}};
+
+  const auto exact = vn::scan_bom(bom, db);
+  ASSERT_EQ(exact.findings.size(), 1u);
+  EXPECT_EQ(exact.findings[0].cve_id, "CVE-K1");
+  EXPECT_EQ(exact.discarded_version_mismatches, 2u);
+
+  // Lesson 6: without the KBOM every name match is noise to triage.
+  const auto noisy = vn::scan_name_only(bom, db);
+  EXPECT_EQ(noisy.size(), 3u);
+  EXPECT_GT(noisy.size(), exact.findings.size());
+}
+
+TEST(Kbom, EmptyBomYieldsNothing) {
+  vn::CveDatabase db;
+  db.upsert(make_cve("CVE-X", "x", "*", "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"));
+  const vn::Bom bom{"empty", {}};
+  EXPECT_TRUE(vn::scan_bom(bom, db).findings.empty());
+  EXPECT_TRUE(vn::scan_name_only(bom, db).empty());
+}
