@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lesson1_onl.cpp" "bench/CMakeFiles/bench_lesson1_onl.dir/bench_lesson1_onl.cpp.o" "gcc" "bench/CMakeFiles/bench_lesson1_onl.dir/bench_lesson1_onl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_hardening.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

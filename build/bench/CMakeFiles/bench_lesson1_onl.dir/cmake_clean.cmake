@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson1_onl.dir/bench_lesson1_onl.cpp.o"
+  "CMakeFiles/bench_lesson1_onl.dir/bench_lesson1_onl.cpp.o.d"
+  "bench_lesson1_onl"
+  "bench_lesson1_onl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson1_onl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

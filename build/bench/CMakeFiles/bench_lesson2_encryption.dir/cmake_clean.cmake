@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson2_encryption.dir/bench_lesson2_encryption.cpp.o"
+  "CMakeFiles/bench_lesson2_encryption.dir/bench_lesson2_encryption.cpp.o.d"
+  "bench_lesson2_encryption"
+  "bench_lesson2_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson2_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson3_integrity.dir/bench_lesson3_integrity.cpp.o"
+  "CMakeFiles/bench_lesson3_integrity.dir/bench_lesson3_integrity.cpp.o.d"
+  "bench_lesson3_integrity"
+  "bench_lesson3_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson3_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

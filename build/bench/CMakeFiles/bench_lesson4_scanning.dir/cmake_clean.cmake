@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson4_scanning.dir/bench_lesson4_scanning.cpp.o"
+  "CMakeFiles/bench_lesson4_scanning.dir/bench_lesson4_scanning.cpp.o.d"
+  "bench_lesson4_scanning"
+  "bench_lesson4_scanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson4_scanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

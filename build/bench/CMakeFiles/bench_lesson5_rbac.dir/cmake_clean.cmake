@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson5_rbac.dir/bench_lesson5_rbac.cpp.o"
+  "CMakeFiles/bench_lesson5_rbac.dir/bench_lesson5_rbac.cpp.o.d"
+  "bench_lesson5_rbac"
+  "bench_lesson5_rbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson5_rbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson6_feeds.dir/bench_lesson6_feeds.cpp.o"
+  "CMakeFiles/bench_lesson6_feeds.dir/bench_lesson6_feeds.cpp.o.d"
+  "bench_lesson6_feeds"
+  "bench_lesson6_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson6_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lesson7_sca.dir/bench_lesson7_sca.cpp.o"
+  "CMakeFiles/bench_lesson7_sca.dir/bench_lesson7_sca.cpp.o.d"
+  "bench_lesson7_sca"
+  "bench_lesson7_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lesson7_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/far_edge_iot.dir/far_edge_iot.cpp.o"
+  "CMakeFiles/far_edge_iot.dir/far_edge_iot.cpp.o.d"
+  "far_edge_iot"
+  "far_edge_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/far_edge_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/supply_chain.cpp" "examples/CMakeFiles/supply_chain.dir/supply_chain.cpp.o" "gcc" "examples/CMakeFiles/supply_chain.dir/supply_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_appsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_vuln.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/appsec/dast.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/dast.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/dast.cpp.o.d"
+  "/root/repo/src/genio/appsec/dockerbench.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/dockerbench.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/dockerbench.cpp.o.d"
+  "/root/repo/src/genio/appsec/events.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/events.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/events.cpp.o.d"
+  "/root/repo/src/genio/appsec/falco.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/falco.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/falco.cpp.o.d"
+  "/root/repo/src/genio/appsec/image.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/image.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/image.cpp.o.d"
+  "/root/repo/src/genio/appsec/peach.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/peach.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/peach.cpp.o.d"
+  "/root/repo/src/genio/appsec/portscan.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/portscan.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/portscan.cpp.o.d"
+  "/root/repo/src/genio/appsec/resource.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/resource.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/resource.cpp.o.d"
+  "/root/repo/src/genio/appsec/sandbox.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/sandbox.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/sandbox.cpp.o.d"
+  "/root/repo/src/genio/appsec/sast.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/sast.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/sast.cpp.o.d"
+  "/root/repo/src/genio/appsec/sca.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/sca.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/sca.cpp.o.d"
+  "/root/repo/src/genio/appsec/secrets.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/secrets.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/secrets.cpp.o.d"
+  "/root/repo/src/genio/appsec/yara.cpp" "src/CMakeFiles/genio_appsec.dir/genio/appsec/yara.cpp.o" "gcc" "src/CMakeFiles/genio_appsec.dir/genio/appsec/yara.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_vuln.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

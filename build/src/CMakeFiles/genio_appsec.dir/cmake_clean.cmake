@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_appsec.dir/genio/appsec/dast.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/dast.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/dockerbench.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/dockerbench.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/events.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/events.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/falco.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/falco.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/image.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/image.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/peach.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/peach.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/portscan.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/portscan.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/resource.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/resource.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/sandbox.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/sandbox.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/sast.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/sast.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/sca.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/sca.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/secrets.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/secrets.cpp.o.d"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/yara.cpp.o"
+  "CMakeFiles/genio_appsec.dir/genio/appsec/yara.cpp.o.d"
+  "libgenio_appsec.a"
+  "libgenio_appsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_appsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

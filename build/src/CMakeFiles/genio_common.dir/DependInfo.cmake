@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/common/bytes.cpp" "src/CMakeFiles/genio_common.dir/genio/common/bytes.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/bytes.cpp.o.d"
+  "/root/repo/src/genio/common/log.cpp" "src/CMakeFiles/genio_common.dir/genio/common/log.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/log.cpp.o.d"
+  "/root/repo/src/genio/common/result.cpp" "src/CMakeFiles/genio_common.dir/genio/common/result.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/result.cpp.o.d"
+  "/root/repo/src/genio/common/rng.cpp" "src/CMakeFiles/genio_common.dir/genio/common/rng.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/rng.cpp.o.d"
+  "/root/repo/src/genio/common/sim_clock.cpp" "src/CMakeFiles/genio_common.dir/genio/common/sim_clock.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/sim_clock.cpp.o.d"
+  "/root/repo/src/genio/common/strings.cpp" "src/CMakeFiles/genio_common.dir/genio/common/strings.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/strings.cpp.o.d"
+  "/root/repo/src/genio/common/table.cpp" "src/CMakeFiles/genio_common.dir/genio/common/table.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/table.cpp.o.d"
+  "/root/repo/src/genio/common/version.cpp" "src/CMakeFiles/genio_common.dir/genio/common/version.cpp.o" "gcc" "src/CMakeFiles/genio_common.dir/genio/common/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_common.dir/genio/common/bytes.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/bytes.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/log.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/log.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/result.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/result.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/rng.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/rng.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/sim_clock.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/sim_clock.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/strings.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/strings.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/table.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/table.cpp.o.d"
+  "CMakeFiles/genio_common.dir/genio/common/version.cpp.o"
+  "CMakeFiles/genio_common.dir/genio/common/version.cpp.o.d"
+  "libgenio_common.a"
+  "libgenio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

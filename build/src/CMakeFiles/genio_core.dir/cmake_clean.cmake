@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_core.dir/genio/core/pipeline.cpp.o"
+  "CMakeFiles/genio_core.dir/genio/core/pipeline.cpp.o.d"
+  "CMakeFiles/genio_core.dir/genio/core/platform.cpp.o"
+  "CMakeFiles/genio_core.dir/genio/core/platform.cpp.o.d"
+  "CMakeFiles/genio_core.dir/genio/core/posture.cpp.o"
+  "CMakeFiles/genio_core.dir/genio/core/posture.cpp.o.d"
+  "CMakeFiles/genio_core.dir/genio/core/scenarios.cpp.o"
+  "CMakeFiles/genio_core.dir/genio/core/scenarios.cpp.o.d"
+  "CMakeFiles/genio_core.dir/genio/core/threat_model.cpp.o"
+  "CMakeFiles/genio_core.dir/genio/core/threat_model.cpp.o.d"
+  "libgenio_core.a"
+  "libgenio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

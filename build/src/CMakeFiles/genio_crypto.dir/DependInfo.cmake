@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/crypto/aes.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/aes.cpp.o.d"
+  "/root/repo/src/genio/crypto/crc32.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/crc32.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/crc32.cpp.o.d"
+  "/root/repo/src/genio/crypto/gcm.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/gcm.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/gcm.cpp.o.d"
+  "/root/repo/src/genio/crypto/hmac.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/hmac.cpp.o.d"
+  "/root/repo/src/genio/crypto/pki.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/pki.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/pki.cpp.o.d"
+  "/root/repo/src/genio/crypto/sha256.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/sha256.cpp.o.d"
+  "/root/repo/src/genio/crypto/signature.cpp" "src/CMakeFiles/genio_crypto.dir/genio/crypto/signature.cpp.o" "gcc" "src/CMakeFiles/genio_crypto.dir/genio/crypto/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_crypto.dir/genio/crypto/aes.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/aes.cpp.o.d"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/crc32.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/crc32.cpp.o.d"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/gcm.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/gcm.cpp.o.d"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/hmac.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/hmac.cpp.o.d"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/pki.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/pki.cpp.o.d"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/sha256.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/sha256.cpp.o.d"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/signature.cpp.o"
+  "CMakeFiles/genio_crypto.dir/genio/crypto/signature.cpp.o.d"
+  "libgenio_crypto.a"
+  "libgenio_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenio_crypto.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/hardening/auditor.cpp" "src/CMakeFiles/genio_hardening.dir/genio/hardening/auditor.cpp.o" "gcc" "src/CMakeFiles/genio_hardening.dir/genio/hardening/auditor.cpp.o.d"
+  "/root/repo/src/genio/hardening/check.cpp" "src/CMakeFiles/genio_hardening.dir/genio/hardening/check.cpp.o" "gcc" "src/CMakeFiles/genio_hardening.dir/genio/hardening/check.cpp.o.d"
+  "/root/repo/src/genio/hardening/kernel_checker.cpp" "src/CMakeFiles/genio_hardening.dir/genio/hardening/kernel_checker.cpp.o" "gcc" "src/CMakeFiles/genio_hardening.dir/genio/hardening/kernel_checker.cpp.o.d"
+  "/root/repo/src/genio/hardening/scap.cpp" "src/CMakeFiles/genio_hardening.dir/genio/hardening/scap.cpp.o" "gcc" "src/CMakeFiles/genio_hardening.dir/genio/hardening/scap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

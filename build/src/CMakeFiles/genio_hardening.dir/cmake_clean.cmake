@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_hardening.dir/genio/hardening/auditor.cpp.o"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/auditor.cpp.o.d"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/check.cpp.o"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/check.cpp.o.d"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/kernel_checker.cpp.o"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/kernel_checker.cpp.o.d"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/scap.cpp.o"
+  "CMakeFiles/genio_hardening.dir/genio/hardening/scap.cpp.o.d"
+  "libgenio_hardening.a"
+  "libgenio_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

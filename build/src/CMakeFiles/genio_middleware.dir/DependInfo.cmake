@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/middleware/audit_analytics.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/audit_analytics.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/audit_analytics.cpp.o.d"
+  "/root/repo/src/genio/middleware/checkers.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/checkers.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/checkers.cpp.o.d"
+  "/root/repo/src/genio/middleware/hunter.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/hunter.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/hunter.cpp.o.d"
+  "/root/repo/src/genio/middleware/netpolicy.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/netpolicy.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/netpolicy.cpp.o.d"
+  "/root/repo/src/genio/middleware/orchestrator.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/orchestrator.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/orchestrator.cpp.o.d"
+  "/root/repo/src/genio/middleware/rbac.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/rbac.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/rbac.cpp.o.d"
+  "/root/repo/src/genio/middleware/sdn.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/sdn.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/sdn.cpp.o.d"
+  "/root/repo/src/genio/middleware/vmm.cpp" "src/CMakeFiles/genio_middleware.dir/genio/middleware/vmm.cpp.o" "gcc" "src/CMakeFiles/genio_middleware.dir/genio/middleware/vmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

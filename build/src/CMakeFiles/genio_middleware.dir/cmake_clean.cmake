@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_middleware.dir/genio/middleware/audit_analytics.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/audit_analytics.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/checkers.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/checkers.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/hunter.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/hunter.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/netpolicy.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/netpolicy.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/orchestrator.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/orchestrator.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/rbac.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/rbac.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/sdn.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/sdn.cpp.o.d"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/vmm.cpp.o"
+  "CMakeFiles/genio_middleware.dir/genio/middleware/vmm.cpp.o.d"
+  "libgenio_middleware.a"
+  "libgenio_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/os/apt.cpp" "src/CMakeFiles/genio_os.dir/genio/os/apt.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/apt.cpp.o.d"
+  "/root/repo/src/genio/os/attestation.cpp" "src/CMakeFiles/genio_os.dir/genio/os/attestation.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/attestation.cpp.o.d"
+  "/root/repo/src/genio/os/boot.cpp" "src/CMakeFiles/genio_os.dir/genio/os/boot.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/boot.cpp.o.d"
+  "/root/repo/src/genio/os/fim.cpp" "src/CMakeFiles/genio_os.dir/genio/os/fim.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/fim.cpp.o.d"
+  "/root/repo/src/genio/os/host.cpp" "src/CMakeFiles/genio_os.dir/genio/os/host.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/host.cpp.o.d"
+  "/root/repo/src/genio/os/luks.cpp" "src/CMakeFiles/genio_os.dir/genio/os/luks.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/luks.cpp.o.d"
+  "/root/repo/src/genio/os/onie.cpp" "src/CMakeFiles/genio_os.dir/genio/os/onie.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/onie.cpp.o.d"
+  "/root/repo/src/genio/os/tpm.cpp" "src/CMakeFiles/genio_os.dir/genio/os/tpm.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/tpm.cpp.o.d"
+  "/root/repo/src/genio/os/updates.cpp" "src/CMakeFiles/genio_os.dir/genio/os/updates.cpp.o" "gcc" "src/CMakeFiles/genio_os.dir/genio/os/updates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_os.dir/genio/os/apt.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/apt.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/attestation.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/attestation.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/boot.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/boot.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/fim.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/fim.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/host.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/host.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/luks.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/luks.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/onie.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/onie.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/tpm.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/tpm.cpp.o.d"
+  "CMakeFiles/genio_os.dir/genio/os/updates.cpp.o"
+  "CMakeFiles/genio_os.dir/genio/os/updates.cpp.o.d"
+  "libgenio_os.a"
+  "libgenio_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

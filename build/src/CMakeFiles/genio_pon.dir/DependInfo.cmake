@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/pon/attacker.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/attacker.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/attacker.cpp.o.d"
+  "/root/repo/src/genio/pon/auth.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/auth.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/auth.cpp.o.d"
+  "/root/repo/src/genio/pon/control.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/control.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/control.cpp.o.d"
+  "/root/repo/src/genio/pon/dba.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/dba.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/dba.cpp.o.d"
+  "/root/repo/src/genio/pon/frame.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/frame.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/frame.cpp.o.d"
+  "/root/repo/src/genio/pon/gpon_crypto.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/gpon_crypto.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/gpon_crypto.cpp.o.d"
+  "/root/repo/src/genio/pon/link.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/link.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/link.cpp.o.d"
+  "/root/repo/src/genio/pon/macsec.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/macsec.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/macsec.cpp.o.d"
+  "/root/repo/src/genio/pon/medium.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/medium.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/medium.cpp.o.d"
+  "/root/repo/src/genio/pon/olt.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/olt.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/olt.cpp.o.d"
+  "/root/repo/src/genio/pon/onu.cpp" "src/CMakeFiles/genio_pon.dir/genio/pon/onu.cpp.o" "gcc" "src/CMakeFiles/genio_pon.dir/genio/pon/onu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

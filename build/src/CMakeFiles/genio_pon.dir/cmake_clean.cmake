@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_pon.dir/genio/pon/attacker.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/attacker.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/auth.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/auth.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/control.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/control.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/dba.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/dba.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/frame.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/frame.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/gpon_crypto.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/gpon_crypto.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/link.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/link.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/macsec.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/macsec.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/medium.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/medium.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/olt.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/olt.cpp.o.d"
+  "CMakeFiles/genio_pon.dir/genio/pon/onu.cpp.o"
+  "CMakeFiles/genio_pon.dir/genio/pon/onu.cpp.o.d"
+  "libgenio_pon.a"
+  "libgenio_pon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_pon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for genio_pon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genio/vuln/cve.cpp" "src/CMakeFiles/genio_vuln.dir/genio/vuln/cve.cpp.o" "gcc" "src/CMakeFiles/genio_vuln.dir/genio/vuln/cve.cpp.o.d"
+  "/root/repo/src/genio/vuln/cvss.cpp" "src/CMakeFiles/genio_vuln.dir/genio/vuln/cvss.cpp.o" "gcc" "src/CMakeFiles/genio_vuln.dir/genio/vuln/cvss.cpp.o.d"
+  "/root/repo/src/genio/vuln/feeds.cpp" "src/CMakeFiles/genio_vuln.dir/genio/vuln/feeds.cpp.o" "gcc" "src/CMakeFiles/genio_vuln.dir/genio/vuln/feeds.cpp.o.d"
+  "/root/repo/src/genio/vuln/kbom.cpp" "src/CMakeFiles/genio_vuln.dir/genio/vuln/kbom.cpp.o" "gcc" "src/CMakeFiles/genio_vuln.dir/genio/vuln/kbom.cpp.o.d"
+  "/root/repo/src/genio/vuln/scanner.cpp" "src/CMakeFiles/genio_vuln.dir/genio/vuln/scanner.cpp.o" "gcc" "src/CMakeFiles/genio_vuln.dir/genio/vuln/scanner.cpp.o.d"
+  "/root/repo/src/genio/vuln/sla.cpp" "src/CMakeFiles/genio_vuln.dir/genio/vuln/sla.cpp.o" "gcc" "src/CMakeFiles/genio_vuln.dir/genio/vuln/sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/genio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/genio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genio_vuln.dir/genio/vuln/cve.cpp.o"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/cve.cpp.o.d"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/cvss.cpp.o"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/cvss.cpp.o.d"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/feeds.cpp.o"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/feeds.cpp.o.d"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/kbom.cpp.o"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/kbom.cpp.o.d"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/scanner.cpp.o"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/scanner.cpp.o.d"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/sla.cpp.o"
+  "CMakeFiles/genio_vuln.dir/genio/vuln/sla.cpp.o.d"
+  "libgenio_vuln.a"
+  "libgenio_vuln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genio_vuln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for genio_vuln.
+# This may be replaced when dependencies are built.

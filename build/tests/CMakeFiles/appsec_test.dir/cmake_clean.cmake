@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appsec_test.dir/appsec_test.cpp.o"
+  "CMakeFiles/appsec_test.dir/appsec_test.cpp.o.d"
+  "appsec_test"
+  "appsec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appsec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_test.dir/middleware_test.cpp.o"
+  "CMakeFiles/middleware_test.dir/middleware_test.cpp.o.d"
+  "middleware_test"
+  "middleware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pon_test.dir/pon_test.cpp.o"
+  "CMakeFiles/pon_test.dir/pon_test.cpp.o.d"
+  "pon_test"
+  "pon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

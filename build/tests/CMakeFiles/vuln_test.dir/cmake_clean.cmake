@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vuln_test.dir/vuln_test.cpp.o"
+  "CMakeFiles/vuln_test.dir/vuln_test.cpp.o.d"
+  "vuln_test"
+  "vuln_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vuln_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

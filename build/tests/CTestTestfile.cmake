@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crypto_test "/root/repo/build/tests/crypto_test")
+set_tests_properties(crypto_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pon_test "/root/repo/build/tests/pon_test")
+set_tests_properties(pon_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(os_test "/root/repo/build/tests/os_test")
+set_tests_properties(os_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hardening_test "/root/repo/build/tests/hardening_test")
+set_tests_properties(hardening_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vuln_test "/root/repo/build/tests/vuln_test")
+set_tests_properties(vuln_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(middleware_test "/root/repo/build/tests/middleware_test")
+set_tests_properties(middleware_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(appsec_test "/root/repo/build/tests/appsec_test")
+set_tests_properties(appsec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions2_test "/root/repo/build/tests/extensions2_test")
+set_tests_properties(extensions2_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;genio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(failure_injection_test "/root/repo/build/tests/failure_injection_test")
+set_tests_properties(failure_injection_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;genio_test;/root/repo/tests/CMakeLists.txt;0;")
