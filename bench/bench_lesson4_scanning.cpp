@@ -1,15 +1,22 @@
 // E-L4 — Lesson 4: "The maturity of automated scanning solutions
 // facilitated smooth integration; APT GPG signatures are a reliable and
 // straightforward solution." Measures host CVE-scan throughput as the
-// package count grows, SCAP benchmark evaluation cost, and the verify
-// cost of the two signed-update channels (APT-like vs ONIE-like).
+// package count grows, SCAP benchmark evaluation cost, the verify cost
+// of the two signed-update channels (APT-like vs ONIE-like), and — for
+// the M14v2 SAST engine — scan throughput plus a false-positive-rate
+// comparison of the legacy regex pass against the taint dataflow pass
+// on a labeled corpus.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "genio/appsec/sast.hpp"
 #include "genio/hardening/scap.hpp"
 #include "genio/os/apt.hpp"
 #include "genio/os/onie.hpp"
 #include "genio/vuln/scanner.hpp"
 
+namespace as = genio::appsec;
 namespace gc = genio::common;
 namespace cr = genio::crypto;
 namespace os = genio::os;
@@ -106,6 +113,173 @@ void BM_OnieVerifyInstall(benchmark::State& state) {
 }
 BENCHMARK(BM_OnieVerifyInstall)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------- M14v2 SAST
+
+/// One corpus entry: a simulated source file with a ground-truth label.
+struct LabeledSource {
+  const char* name;
+  bool vulnerable;  // ground truth: does a real injection flow exist?
+  as::SourceFile file;
+};
+
+std::vector<LabeledSource> make_sast_corpus() {
+  std::vector<LabeledSource> corpus;
+  // -- true positives: complete source -> sink flows ------------------------
+  corpus.push_back({"direct-concat", true,
+                    {"/app/readings.py", as::Language::kPython,
+                     "import db\n"
+                     "from flask import request\n"
+                     "def get_reading():\n"
+                     "    sensor = request.args.get(\"sensor_id\")\n"
+                     "    query = \"SELECT * FROM readings WHERE id=\" + sensor\n"
+                     "    return db.execute(query)\n"}});
+  corpus.push_back({"fstring-sink", true,
+                    {"/app/users.py", as::Language::kPython,
+                     "def lookup():\n"
+                     "    uid = request.args.get(\"id\")\n"
+                     "    return db.execute(f\"SELECT * FROM users WHERE id={uid}\")\n"}});
+  corpus.push_back({"cross-function", true,
+                    {"/app/dao.py", as::Language::kPython,
+                     "def fetch(uid):\n"
+                     "    return db.execute(\"SELECT * FROM t WHERE id=\" + uid)\n"
+                     "def handler():\n"
+                     "    uid = request.args.get(\"id\")\n"
+                     "    return fetch(uid)\n"}});
+  corpus.push_back({"java-concat", true,
+                    {"/src/Dao.java", as::Language::kJava,
+                     "class Dao {\n"
+                     "  ResultSet find(HttpServletRequest request) {\n"
+                     "    String id = request.getParameter(\"id\");\n"
+                     "    String query = \"SELECT * FROM t WHERE id=\" + id;\n"
+                     "    return stmt.executeQuery(query);\n"
+                     "  }\n"
+                     "}\n"}});
+  corpus.push_back({"command-injection", true,
+                    {"/app/ping.py", as::Language::kPython,
+                     "def ping():\n"
+                     "    host = request.args.get(\"host\")\n"
+                     "    return os.system(\"ping -c1 \" + host)\n"}});
+  // -- true negatives that still trip the line regexes ----------------------
+  corpus.push_back({"param-bound", false,
+                    {"/app/safe1.py", as::Language::kPython,
+                     "def get_reading():\n"
+                     "    sensor = request.args.get(\"sensor_id\")\n"
+                     "    return db.execute(\"SELECT * FROM r WHERE id=%s\", (sensor,))\n"}});
+  corpus.push_back({"escaped-value", false,
+                    {"/app/safe2.py", as::Language::kPython,
+                     "def get_user():\n"
+                     "    uid = request.args.get(\"id\")\n"
+                     "    safe = db.escape(uid)\n"
+                     "    return db.execute(\"SELECT * FROM users WHERE id=\" + safe)\n"}});
+  corpus.push_back({"constant-query", false,
+                    {"/app/safe3.py", as::Language::kPython,
+                     "def active_sensors():\n"
+                     "    return db.execute(\"SELECT name FROM sensors WHERE active=%s\","
+                     " (\"1\",))\n"}});
+  corpus.push_back({"int-coerced", false,
+                    {"/app/safe4.py", as::Language::kPython,
+                     "def get_by_id():\n"
+                     "    uid = int(request.args.get(\"id\"))\n"
+                     "    return db.execute(\"SELECT * FROM t WHERE id=%s\" % uid)\n"}});
+  return corpus;
+}
+
+/// Does the engine raise an actionable critical finding for this file?
+bool flags_file(const as::SastEngine& engine, const as::SourceFile& file) {
+  for (const auto& finding : engine.analyze(file)) {
+    if (finding.severity == "critical" && as::SastEngine::is_actionable(finding)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct AccuracyStats {
+  int true_positives = 0;
+  int false_positives = 0;
+  int vulnerable = 0;
+  int safe = 0;
+
+  double detection_rate() const {
+    return vulnerable == 0 ? 0.0 : static_cast<double>(true_positives) / vulnerable;
+  }
+  double fp_rate() const {
+    return safe == 0 ? 0.0 : static_cast<double>(false_positives) / safe;
+  }
+};
+
+AccuracyStats measure_accuracy(bool taint_enabled) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  engine.set_taint_enabled(taint_enabled);
+  AccuracyStats stats;
+  for (const auto& entry : make_sast_corpus()) {
+    const bool flagged = flags_file(engine, entry.file);
+    if (entry.vulnerable) {
+      ++stats.vulnerable;
+      stats.true_positives += flagged ? 1 : 0;
+    } else {
+      ++stats.safe;
+      stats.false_positives += flagged ? 1 : 0;
+    }
+  }
+  return stats;
+}
+
+void BM_SastLegacyRegexScan(benchmark::State& state) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  engine.set_taint_enabled(false);
+  const auto corpus = make_sast_corpus();
+  for (auto _ : state) {
+    std::size_t findings = 0;
+    for (const auto& entry : corpus) findings += engine.analyze(entry.file).size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_SastLegacyRegexScan)->Unit(benchmark::kMicrosecond);
+
+void BM_SastTaintDataflowScan(benchmark::State& state) {
+  as::SastEngine engine = as::make_default_sast_engine();
+  const auto corpus = make_sast_corpus();
+  for (auto _ : state) {
+    std::size_t findings = 0;
+    for (const auto& entry : corpus) findings += engine.analyze(entry.file).size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_SastTaintDataflowScan)->Unit(benchmark::kMicrosecond);
+
+/// Printed after the timing runs; exits nonzero if the dataflow pass does
+/// not strictly improve the false-positive rate over the legacy regexes.
+int report_sast_accuracy() {
+  const AccuracyStats legacy = measure_accuracy(/*taint_enabled=*/false);
+  const AccuracyStats taint = measure_accuracy(/*taint_enabled=*/true);
+  std::printf("\nSAST accuracy on labeled corpus (%d vulnerable, %d safe)\n",
+              legacy.vulnerable, legacy.safe);
+  std::printf("  %-22s detection %.2f  false-positive rate %.2f\n",
+              "legacy regex only:", legacy.detection_rate(), legacy.fp_rate());
+  std::printf("  %-22s detection %.2f  false-positive rate %.2f\n",
+              "taint + regex (M14v2):", taint.detection_rate(), taint.fp_rate());
+  if (taint.fp_rate() >= legacy.fp_rate()) {
+    std::printf("FAIL: dataflow pass did not reduce the false-positive rate\n");
+    return 1;
+  }
+  if (taint.detection_rate() < legacy.detection_rate()) {
+    std::printf("FAIL: dataflow pass lost detections vs legacy\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return report_sast_accuracy();
+}

@@ -1,5 +1,7 @@
 #include "genio/appsec/sast.hpp"
 
+#include <set>
+
 #include "genio/common/strings.hpp"
 
 namespace genio::appsec {
@@ -7,26 +9,12 @@ namespace genio::appsec {
 using common::contains;
 using common::icontains;
 
-std::string to_string(Language language) {
-  switch (language) {
-    case Language::kPython: return "python";
-    case Language::kJava: return "java";
-    case Language::kAny: return "any";
-  }
-  return "unknown";
-}
-
-Language language_for_path(const std::string& path) {
-  if (common::ends_with(path, ".py")) return Language::kPython;
-  if (common::ends_with(path, ".java")) return Language::kJava;
-  return Language::kAny;
-}
-
 std::vector<SourceFile> extract_sources(const ContainerImage& image) {
   std::vector<SourceFile> out;
   for (const auto& [path, content] : image.flatten()) {
-    if (common::ends_with(path, ".py") || common::ends_with(path, ".java")) {
-      out.push_back({path, language_for_path(path), common::to_text(content)});
+    const Language language = language_for_path(path);
+    if (language != Language::kAny) {
+      out.push_back({path, language, common::to_text(content)});
     }
   }
   return out;
@@ -36,15 +24,64 @@ void SastEngine::add_rules(std::vector<SastRule> rules) {
   for (auto& rule : rules) rules_.push_back(std::move(rule));
 }
 
+bool SastEngine::is_actionable(const SastFinding& finding) {
+  return finding.confidence != Confidence::kLow;
+}
+
+std::size_t SastEngine::count_confirmed(const std::vector<SastFinding>& findings) {
+  std::size_t n = 0;
+  for (const auto& f : findings) n += f.confidence == Confidence::kHigh ? 1 : 0;
+  return n;
+}
+
 std::vector<SastFinding> SastEngine::analyze(const SourceFile& file) const {
   std::vector<SastFinding> findings;
+
+  // Pass 1: taint-tracking dataflow. Confirmed flows come first so
+  // consumers that look at findings.front() see the strongest evidence.
+  std::set<int> refuted_lines;  // sanitized flows + constant query literals
+  if (taint_enabled_ && file.language != Language::kAny) {
+    const sast::TaintReport report = taint_.analyze(file);
+    refuted_lines = report.constant_sink_lines;
+    for (const auto& flow : report.flows) {
+      if (flow.sanitized) refuted_lines.insert(flow.sink_line);
+      SastFinding finding;
+      finding.rule_id = flow.rule_id;
+      finding.title = flow.title;
+      finding.severity = flow.severity;
+      finding.path = file.path;
+      finding.line = flow.sink_line;
+      finding.confidence = flow.sanitized
+                               ? Confidence::kLow
+                               : (flow.parameter_dependent ? Confidence::kMedium
+                                                           : Confidence::kHigh);
+      finding.trace = flow.trace;
+      if (flow.sanitized) {
+        finding.detail = "flow neutralized: " + flow.sanitizer_note;
+      } else if (flow.parameter_dependent) {
+        finding.detail = "parameter-dependent flow in " + flow.function + "()";
+      } else {
+        finding.detail = "confirmed flow in " + flow.function + "()";
+      }
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // Pass 2: legacy line regexes. Kept for rule-ID continuity; downgraded
+  // when the dataflow pass proved the matched line harmless.
   const auto lines = common::split_lines(file.content);
   for (const auto& rule : rules_) {
     if (rule.language != Language::kAny && rule.language != file.language) continue;
     for (std::size_t i = 0; i < lines.size(); ++i) {
       if (rule.matches(lines[i])) {
-        findings.push_back(
-            {rule.id, rule.title, rule.severity, file.path, static_cast<int>(i + 1)});
+        SastFinding finding{rule.id, rule.title, rule.severity, file.path,
+                            static_cast<int>(i + 1)};
+        if (refuted_lines.count(finding.line) != 0) {
+          finding.confidence = Confidence::kLow;
+          finding.detail = "downgraded: dataflow pass found no live taint "
+                           "on this line";
+        }
+        findings.push_back(std::move(finding));
       }
     }
   }
@@ -190,7 +227,7 @@ std::vector<SastRule> generic_security_rules() {
 }
 
 SastEngine make_default_sast_engine() {
-  SastEngine engine;
+  SastEngine engine;  // taint pass is on by default
   engine.add_rules(python_security_rules());
   engine.add_rules(java_security_rules());
   engine.add_rules(generic_security_rules());

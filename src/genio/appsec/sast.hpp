@@ -1,9 +1,17 @@
-// Static Application Security Testing (M14; the paper's second "M13"):
-// pattern-based source analysis in the Semgrep/Bandit/SpotBugs mold over
-// the source files extracted from a container image. Rules detect the
-// issue classes the paper lists — hardcoded credentials, improper input
-// handling (SQL/command injection sinks), weak cryptographic functions —
-// with per-language rulepacks.
+// Static Application Security Testing (M14; the paper's second "M13").
+// Two-pass architecture (M14v2):
+//   Pass 1 — taint-tracking dataflow (sast/taint.hpp): per-function
+//     def-use chains, source -> sanitizer -> sink rules, one-level
+//     interprocedural call summaries. Findings carry a full taint trace
+//     and Confidence::kHigh; flows killed by a sanitizer or parameter
+//     binding surface as Confidence::kLow audit entries.
+//   Pass 2 — legacy Semgrep/Bandit-style line regexes (kept so historic
+//     rule IDs and benchmarks stay comparable). Findings default to
+//     Confidence::kMedium and are downgraded to kLow when the dataflow
+//     pass proves the matched line harmless (sanitized flow or constant
+//     query literal).
+// Gates should act on is_actionable() findings, not raw match counts —
+// the false-positive reduction Lesson 4 of the paper asks for.
 #pragma once
 
 #include <functional>
@@ -11,22 +19,13 @@
 #include <vector>
 
 #include "genio/appsec/image.hpp"
+#include "genio/appsec/sast/source.hpp"
+#include "genio/appsec/sast/taint.hpp"
 
 namespace genio::appsec {
 
-enum class Language { kPython, kJava, kAny };
-std::string to_string(Language language);
-
-struct SourceFile {
-  std::string path;
-  Language language = Language::kAny;
-  std::string content;
-};
-
-/// Infer language from a file extension (".py", ".java").
-Language language_for_path(const std::string& path);
-
-/// Extract the source files from a flattened image (Crane-style).
+/// Extract the source files from a flattened image (Crane-style). Every
+/// file whose extension maps to a known language is scanned.
 std::vector<SourceFile> extract_sources(const ContainerImage& image);
 
 struct SastRule {
@@ -43,7 +42,10 @@ struct SastFinding {
   std::string title;
   std::string severity;
   std::string path;
-  int line = 0;  // 1-based
+  int line = 0;  // 1-based; for taint findings, the sink line
+  Confidence confidence = Confidence::kMedium;
+  std::vector<TaintStep> trace;  // taint findings: source -> ... -> sink
+  std::string detail;            // sanitizer note / downgrade reason
 };
 
 class SastEngine {
@@ -52,12 +54,23 @@ class SastEngine {
   void add_rules(std::vector<SastRule> rules);
   std::size_t rule_count() const { return rules_.size(); }
 
+  /// Toggle the dataflow pass (legacy-only mode for A/B comparison).
+  void set_taint_enabled(bool enabled) { taint_enabled_ = enabled; }
+  bool taint_enabled() const { return taint_enabled_; }
+
   std::vector<SastFinding> analyze(const SourceFile& file) const;
   std::vector<SastFinding> analyze_all(const std::vector<SourceFile>& files) const;
   std::vector<SastFinding> analyze_image(const ContainerImage& image) const;
 
+  /// Gate-worthy: confirmed or unrefuted findings (confidence > kLow).
+  static bool is_actionable(const SastFinding& finding);
+  /// Findings with a complete verified taint trace.
+  static std::size_t count_confirmed(const std::vector<SastFinding>& findings);
+
  private:
   std::vector<SastRule> rules_;
+  sast::TaintAnalyzer taint_;
+  bool taint_enabled_ = true;
 };
 
 /// Bandit-style Python security rules.
@@ -67,7 +80,7 @@ std::vector<SastRule> java_security_rules();
 /// Semgrep-style language-agnostic rules (secrets, weak crypto).
 std::vector<SastRule> generic_security_rules();
 
-/// The full engine GENIO runs in its pipeline.
+/// The full engine GENIO runs in its pipeline: taint pass + all rulepacks.
 SastEngine make_default_sast_engine();
 
 }  // namespace genio::appsec

@@ -1,0 +1,200 @@
+#include "genio/appsec/sast/lexer.hpp"
+
+#include <cctype>
+
+namespace genio::appsec::sast {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators we keep as one token so `==`/`>=` are never
+// mistaken for assignment and `+=` is recognized as augmented assignment.
+const char* kMultiOps[] = {"==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+                           "%=", "//", "->", "**", "&&", "||", "::"};
+
+/// Pull `{name}` / `%(name)s` placeholders out of an interpolated string.
+std::vector<std::string> placeholders(std::string_view body) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] != '{') continue;
+    std::size_t j = i + 1;
+    if (j < body.size() && is_ident_start(body[j])) {
+      std::size_t k = j;
+      while (k < body.size() && (is_ident_char(body[k]) || body[k] == '.')) ++k;
+      // Stop at format spec / method call inside the placeholder.
+      out.emplace_back(body.substr(j, k - j));
+      i = k;
+    }
+  }
+  return out;
+}
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line = 1;
+  int indent = 0;
+  bool at_line_start = true;
+
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+  }
+  bool done() const { return pos >= text.size(); }
+};
+
+}  // namespace
+
+std::vector<Token> lex(const SourceFile& file) {
+  std::vector<Token> tokens;
+  Cursor c{file.content};
+  const bool python = file.language == Language::kPython;
+
+  auto push = [&tokens, &c](TokenKind kind, std::string text,
+                            std::vector<std::string> interp = {}) {
+    tokens.push_back({kind, std::move(text), c.line, c.indent, std::move(interp)});
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n') {
+      ++c.line;
+      ++c.pos;
+      c.at_line_start = true;
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      if (c.at_line_start && ch != '\r') {
+        // Measure indentation (tab = 4) for Python block structure.
+        int width = 0;
+        while (c.peek() == ' ' || c.peek() == '\t') {
+          width += c.peek() == '\t' ? 4 : 1;
+          ++c.pos;
+        }
+        c.indent = width;
+        c.at_line_start = false;
+      } else {
+        ++c.pos;
+      }
+      continue;
+    }
+    if (c.at_line_start) c.indent = 0;
+    c.at_line_start = false;
+
+    // Comments.
+    if (python && ch == '#') {
+      while (!c.done() && c.peek() != '\n') ++c.pos;
+      continue;
+    }
+    if (!python && ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') ++c.pos;
+      continue;
+    }
+    if (!python && ch == '/' && c.peek(1) == '*') {
+      c.pos += 2;
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        if (c.peek() == '\n') ++c.line;
+        ++c.pos;
+      }
+      c.pos += c.done() ? 0 : 2;
+      continue;
+    }
+
+    // String literals, including Python prefixed forms (f"", rb"", ...).
+    std::size_t prefix_len = 0;
+    bool interpolated = false;
+    if (ch == '"' || ch == '\'') {
+      prefix_len = 0;
+    } else if (python && is_ident_start(ch)) {
+      std::size_t k = c.pos;
+      while (k < c.text.size() && is_ident_char(c.text[k])) ++k;
+      const std::size_t len = k - c.pos;
+      if (len <= 2 && k < c.text.size() &&
+          (c.text[k] == '"' || c.text[k] == '\'')) {
+        bool all_prefix = true;
+        for (std::size_t i = c.pos; i < k; ++i) {
+          const char p = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c.text[i])));
+          if (p != 'f' && p != 'r' && p != 'b' && p != 'u') all_prefix = false;
+          if (p == 'f') interpolated = true;
+        }
+        if (all_prefix) prefix_len = len;
+      }
+    }
+    if (ch == '"' || ch == '\'' || prefix_len > 0) {
+      c.pos += prefix_len;
+      const char quote = c.peek();
+      // Triple-quoted strings collapse to one token too.
+      const bool triple = c.peek(1) == quote && c.peek(2) == quote;
+      c.pos += triple ? 3 : 1;
+      std::string body;
+      while (!c.done()) {
+        if (c.peek() == '\\' && !triple) {
+          body += c.peek(1);
+          c.pos += 2;
+          continue;
+        }
+        if (triple && c.peek() == quote && c.peek(1) == quote &&
+            c.peek(2) == quote) {
+          c.pos += 3;
+          break;
+        }
+        if (!triple && (c.peek() == quote || c.peek() == '\n')) {
+          if (c.peek() == quote) ++c.pos;
+          break;
+        }
+        if (c.peek() == '\n') ++c.line;
+        body += c.peek();
+        ++c.pos;
+      }
+      push(TokenKind::kString, body,
+           interpolated ? placeholders(body) : std::vector<std::string>{});
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (is_ident_start(ch)) {
+      std::size_t k = c.pos;
+      while (k < c.text.size() && is_ident_char(c.text[k])) ++k;
+      push(TokenKind::kIdent, std::string(c.text.substr(c.pos, k - c.pos)));
+      c.pos = k;
+      continue;
+    }
+
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      std::size_t k = c.pos;
+      while (k < c.text.size() &&
+             (std::isalnum(static_cast<unsigned char>(c.text[k])) ||
+              c.text[k] == '.')) {
+        ++k;
+      }
+      push(TokenKind::kNumber, std::string(c.text.substr(c.pos, k - c.pos)));
+      c.pos = k;
+      continue;
+    }
+
+    // Operators: longest match first.
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      if (ch == op[0] && c.peek(1) == op[1]) {
+        push(TokenKind::kOp, op);
+        c.pos += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokenKind::kOp, std::string(1, ch));
+    ++c.pos;
+  }
+  return tokens;
+}
+
+}  // namespace genio::appsec::sast

@@ -1,0 +1,382 @@
+#include "genio/appsec/sast/parser.hpp"
+
+#include <set>
+
+namespace genio::appsec::sast {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "elif",   "else",  "for",   "while", "switch", "case",
+      "catch",  "except", "try",   "with",  "do",    "return", "raise",
+      "throw",  "assert", "not",   "and",   "or",    "in",     "is",
+      "lambda", "new",    "print", "class", "def",   "import", "from",
+      "synchronized", "finally", "pass", "break", "continue", "public",
+      "private", "protected", "static", "final", "void", "throws"};
+  return kw;
+}
+
+bool is_open(const Token& t) {
+  return t.kind == TokenKind::kOp &&
+         (t.text == "(" || t.text == "[" || t.text == "{");
+}
+bool is_close(const Token& t) {
+  return t.kind == TokenKind::kOp &&
+         (t.text == ")" || t.text == "]" || t.text == "}");
+}
+bool is_op(const Token& t, const char* text) {
+  return t.kind == TokenKind::kOp && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdent && t.text == text;
+}
+
+bool is_assign_op(const Token& t) {
+  if (t.kind != TokenKind::kOp) return false;
+  return t.text == "=" || t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+         t.text == "/=" || t.text == "%=";
+}
+
+using Span = std::pair<std::size_t, std::size_t>;  // [begin, end)
+
+/// Read a dotted identifier chain starting at i; returns one past its end.
+std::size_t chain_end(const std::vector<Token>& toks, std::size_t i,
+                      std::size_t end) {
+  std::size_t j = i;
+  while (j < end && toks[j].kind == TokenKind::kIdent) {
+    if (j + 2 < end && is_op(toks[j + 1], ".") &&
+        toks[j + 2].kind == TokenKind::kIdent) {
+      j += 2;
+    } else {
+      ++j;
+      break;
+    }
+  }
+  return j;
+}
+
+std::string join_chain(const std::vector<Token>& toks, std::size_t i,
+                       std::size_t end) {
+  std::string out;
+  for (std::size_t j = i; j < end; ++j) {
+    if (toks[j].kind == TokenKind::kIdent) {
+      if (!out.empty()) out += '.';
+      out += toks[j].text;
+    }
+  }
+  return out;
+}
+
+/// Find the index of the matching closer for the opener at `open_idx`.
+std::size_t matching_close(const std::vector<Token>& toks, std::size_t open_idx,
+                           std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = open_idx; i < end; ++i) {
+    if (is_open(toks[i])) ++depth;
+    if (is_close(toks[i])) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return end;
+}
+
+struct ExprInfo {
+  std::vector<std::string> idents;
+  bool has_string = false;
+  bool concatenated = false;
+};
+
+/// Walk an expression span: record every call (recursively) into `calls`
+/// and every data identifier into `info.idents`.
+void walk_expr(const std::vector<Token>& toks, Span span,
+               std::vector<CallRef>& calls, ExprInfo& info) {
+  std::size_t i = span.first;
+  while (i < span.second) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kIdent && !control_keywords().count(t.text)) {
+      const std::size_t ce = chain_end(toks, i, span.second);
+      if (ce < span.second && is_op(toks[ce], "(")) {
+        // A call: parse its top-level arguments.
+        const std::size_t close = matching_close(toks, ce, span.second);
+        CallRef call;
+        call.callee = join_chain(toks, i, ce);
+        call.line = t.line;
+        std::size_t arg_begin = ce + 1;
+        int depth = 0;
+        for (std::size_t j = ce + 1; j <= close && j < span.second; ++j) {
+          const bool at_end = j == close;
+          if (!at_end && is_open(toks[j])) ++depth;
+          if (!at_end && is_close(toks[j])) --depth;
+          if (at_end || (depth == 0 && is_op(toks[j], ","))) {
+            if (j > arg_begin) {
+              ArgInfo arg;
+              ExprInfo arg_info;
+              std::vector<CallRef> nested;
+              walk_expr(toks, {arg_begin, j}, nested, arg_info);
+              arg.idents = arg_info.idents;
+              arg.has_string = arg_info.has_string;
+              arg.concatenated = arg_info.concatenated;
+              for (const auto& n : nested) arg.nested_callees.push_back(n.callee);
+              for (auto& n : nested) calls.push_back(std::move(n));
+              call.args.push_back(std::move(arg));
+              // The enclosing expression depends on everything the call saw.
+              info.idents.insert(info.idents.end(), arg_info.idents.begin(),
+                                 arg_info.idents.end());
+              info.has_string |= arg_info.has_string;
+              info.concatenated |= arg_info.concatenated;
+            }
+            arg_begin = j + 1;
+          }
+        }
+        calls.push_back(std::move(call));
+        i = close == span.second ? span.second : close + 1;
+        continue;
+      }
+      // Plain (possibly dotted) identifier used as data.
+      info.idents.push_back(join_chain(toks, i, ce));
+      i = ce;
+      continue;
+    }
+    if (t.kind == TokenKind::kString) {
+      info.has_string = true;
+      if (!t.interpolated.empty()) {
+        info.concatenated = true;  // f-string builds a composite value
+        info.idents.insert(info.idents.end(), t.interpolated.begin(),
+                           t.interpolated.end());
+      }
+      ++i;
+      continue;
+    }
+    if (is_op(t, "+") || is_op(t, "%")) info.concatenated = true;
+    ++i;
+  }
+}
+
+Statement make_statement(const std::vector<Token>& toks, Span span) {
+  Statement stmt;
+  stmt.line = toks[span.first].line;
+  stmt.indent = toks[span.first].indent;
+
+  std::size_t value_begin = span.first;
+  if (is_ident(toks[span.first], "return") || is_ident(toks[span.first], "raise")) {
+    stmt.is_return = is_ident(toks[span.first], "return");
+    value_begin = span.first + 1;
+  } else {
+    // Find a top-level assignment operator.
+    int depth = 0;
+    for (std::size_t i = span.first; i < span.second; ++i) {
+      if (is_open(toks[i])) ++depth;
+      if (is_close(toks[i])) --depth;
+      if (depth == 0 && is_assign_op(toks[i]) && i > span.first) {
+        // lhs = trailing dotted chain before the operator. Walking back
+        // strictly as ident(.ident)* keeps type names out of it: in
+        // `String q = ...` only `q` is the target.
+        const std::size_t lhs_end = i;
+        if (lhs_end > span.first &&
+            toks[lhs_end - 1].kind == TokenKind::kIdent) {
+          std::size_t lhs_begin = lhs_end - 1;
+          while (lhs_begin >= span.first + 2 && is_op(toks[lhs_begin - 1], ".") &&
+                 toks[lhs_begin - 2].kind == TokenKind::kIdent) {
+            lhs_begin -= 2;
+          }
+          // `q: str = ...`: the annotation, not `str`, names the target.
+          if (lhs_begin >= span.first + 2 && is_op(toks[lhs_begin - 1], ":") &&
+              toks[lhs_begin - 2].kind == TokenKind::kIdent) {
+            stmt.lhs = toks[lhs_begin - 2].text;
+          } else {
+            stmt.lhs = join_chain(toks, lhs_begin, lhs_end);
+          }
+          stmt.augmented = toks[i].text != "=";
+          value_begin = i + 1;
+        }
+        break;
+      }
+    }
+  }
+
+  ExprInfo info;
+  walk_expr(toks, {value_begin, span.second}, stmt.calls, info);
+  stmt.rhs_idents = std::move(info.idents);
+  stmt.concatenated = info.concatenated;
+  return stmt;
+}
+
+std::vector<std::string> parse_params(const std::vector<Token>& toks,
+                                      Span span, bool python) {
+  std::vector<std::string> params;
+  std::size_t group_begin = span.first;
+  int depth = 0;
+  for (std::size_t i = span.first; i <= span.second; ++i) {
+    const bool at_end = i == span.second;
+    if (!at_end && is_open(toks[i])) ++depth;
+    if (!at_end && is_close(toks[i])) --depth;
+    if (at_end || (depth == 0 && is_op(toks[i], ","))) {
+      // Python: first ident of the group (before any `=` default).
+      // Java: last ident of the group (`final String name`).
+      std::string name;
+      for (std::size_t j = group_begin; j < i; ++j) {
+        if (is_op(toks[j], "=")) break;
+        if (toks[j].kind == TokenKind::kIdent &&
+            !control_keywords().count(toks[j].text)) {
+          name = toks[j].text;
+          if (python) break;
+        }
+      }
+      if (!name.empty()) params.push_back(name);
+      group_begin = i + 1;
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+const FunctionDef* ParsedUnit::function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+ParsedUnit parse(const SourceFile& file) {
+  const auto toks = lex(file);
+  const bool python = file.language != Language::kJava;
+
+  ParsedUnit unit;
+  unit.functions.push_back({"<main>", {}, 1, {}});
+
+  // Split the token stream into raw statements.
+  std::vector<Span> spans;
+  {
+    std::size_t begin = 0;
+    int depth = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (python) {
+        if (is_open(t)) ++depth;
+        if (is_close(t)) --depth;
+        const bool line_break = i + 1 < toks.size() &&
+                                toks[i + 1].line != t.line && depth <= 0;
+        const bool semi = is_op(t, ";");
+        if (line_break || semi || i + 1 == toks.size()) {
+          const std::size_t end = semi ? i : i + 1;
+          if (end > begin) spans.emplace_back(begin, end);
+          begin = i + 1;
+        }
+      } else {
+        if (is_op(t, ";") || is_op(t, "{") || is_op(t, "}")) {
+          const std::size_t end = is_op(t, "{") ? i + 1 : i;  // keep `{`
+          if (end > begin) spans.emplace_back(begin, end);
+          if (is_op(t, "}")) spans.emplace_back(i, i + 1);  // scope pop marker
+          begin = i + 1;
+        }
+      }
+    }
+    if (begin < toks.size()) spans.emplace_back(begin, toks.size());
+  }
+
+  if (python) {
+    // Indentation scoping: a stack of (function index, def indent).
+    std::vector<std::pair<std::size_t, int>> stack;
+    for (const Span& span : spans) {
+      const Token& first = toks[span.first];
+      while (!stack.empty() && first.indent <= stack.back().second) {
+        stack.pop_back();
+      }
+      if (is_ident(first, "def") && span.second > span.first + 1 &&
+          toks[span.first + 1].kind == TokenKind::kIdent) {
+        FunctionDef fn;
+        fn.name = toks[span.first + 1].text;
+        fn.line = first.line;
+        std::size_t open = span.first + 2;
+        while (open < span.second && !is_op(toks[open], "(")) ++open;
+        if (open < span.second) {
+          const std::size_t close = matching_close(toks, open, span.second);
+          fn.params = parse_params(toks, {open + 1, close}, true);
+        }
+        unit.functions.push_back(std::move(fn));
+        stack.emplace_back(unit.functions.size() - 1, first.indent);
+        continue;
+      }
+      if (is_ident(first, "class") || is_ident(first, "import") ||
+          is_ident(first, "from")) {
+        continue;
+      }
+      const std::size_t target = stack.empty() ? 0 : stack.back().first;
+      unit.functions[target].body.push_back(make_statement(toks, span));
+    }
+  } else {
+    // Brace scoping: kContainer (class) / kFunction / kBlock.
+    enum class Scope { kContainer, kFunction, kBlock };
+    std::vector<std::pair<Scope, std::size_t>> stack;  // (kind, function idx)
+    for (const Span& span : spans) {
+      const Token& first = toks[span.first];
+      if (is_op(first, "}")) {
+        if (!stack.empty()) stack.pop_back();
+        continue;
+      }
+      const bool opens_block = is_op(toks[span.second - 1], "{");
+      std::size_t current_fn = 0;
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->first == Scope::kFunction) {
+          current_fn = it->second;
+          break;
+        }
+      }
+      if (opens_block) {
+        bool is_container = false;
+        for (std::size_t i = span.first; i < span.second; ++i) {
+          if (is_ident(toks[i], "class") || is_ident(toks[i], "interface") ||
+              is_ident(toks[i], "enum")) {
+            is_container = true;
+            break;
+          }
+        }
+        if (is_container) {
+          stack.emplace_back(Scope::kContainer, current_fn);
+          continue;
+        }
+        // Method header: `modifiers Type name ( params ) {`, with no `=`
+        // and not led by a control keyword.
+        std::size_t open = span.first;
+        while (open < span.second && !is_op(toks[open], "(")) ++open;
+        const bool has_assign = [&] {
+          for (std::size_t i = span.first; i < span.second; ++i) {
+            if (is_assign_op(toks[i])) return true;
+          }
+          return false;
+        }();
+        const bool control =
+            first.kind == TokenKind::kIdent &&
+            (first.text == "if" || first.text == "for" || first.text == "while" ||
+             first.text == "switch" || first.text == "catch" ||
+             first.text == "do" || first.text == "try" || first.text == "else" ||
+             first.text == "synchronized");
+        if (!control && !has_assign && open > span.first &&
+            open < span.second && toks[open - 1].kind == TokenKind::kIdent) {
+          FunctionDef fn;
+          fn.name = toks[open - 1].text;
+          fn.line = first.line;
+          const std::size_t close = matching_close(toks, open, span.second);
+          fn.params = parse_params(toks, {open + 1, close}, false);
+          unit.functions.push_back(std::move(fn));
+          stack.emplace_back(Scope::kFunction, unit.functions.size() - 1);
+          continue;
+        }
+        // Control block: statements inside still belong to current_fn, but
+        // the header itself may carry calls (`if (isAdmin(user)) {`).
+        unit.functions[current_fn].body.push_back(
+            make_statement(toks, {span.first, span.second - 1}));
+        stack.emplace_back(Scope::kBlock, current_fn);
+        continue;
+      }
+      if (is_ident(first, "package") || is_ident(first, "import")) continue;
+      unit.functions[current_fn].body.push_back(make_statement(toks, span));
+    }
+  }
+  return unit;
+}
+
+}  // namespace genio::appsec::sast

@@ -1,0 +1,56 @@
+// Statement/function extraction for the taint pass: groups the lexer's
+// tokens into assignments, calls (with per-argument operand lists), and
+// returns, and recovers function boundaries (Python indentation, Java
+// braces) so def-use chains can be built per function.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genio/appsec/sast/lexer.hpp"
+
+namespace genio::appsec::sast {
+
+/// One top-level argument of a call, flattened to what taint tracking
+/// needs: which identifiers feed it and which calls wrap them.
+struct ArgInfo {
+  std::vector<std::string> idents;          // incl. f-string placeholders
+  std::vector<std::string> nested_callees;  // dotted names of calls inside
+  bool has_string = false;                  // a literal participates
+  bool concatenated = false;                // + / % / f-string interpolation
+};
+
+struct CallRef {
+  std::string callee;  // dotted name: "db.execute", "request.args.get"
+  int line = 0;
+  std::vector<ArgInfo> args;
+};
+
+struct Statement {
+  int line = 0;
+  int indent = 0;
+  std::string lhs;            // assigned name; "" for expression statements
+  bool augmented = false;     // `q += x` keeps q's existing taint
+  bool is_return = false;
+  bool concatenated = false;  // value expression joins strings/vars
+  std::vector<std::string> rhs_idents;  // all operand idents (recursively)
+  std::vector<CallRef> calls;           // all calls, outermost first
+};
+
+struct FunctionDef {
+  std::string name;                 // "<main>" for module/class level code
+  std::vector<std::string> params;  // declaration order
+  int line = 0;
+  std::vector<Statement> body;
+};
+
+struct ParsedUnit {
+  /// functions[0] is always the synthetic "<main>" top-level unit.
+  std::vector<FunctionDef> functions;
+
+  const FunctionDef* function(const std::string& name) const;
+};
+
+ParsedUnit parse(const SourceFile& file);
+
+}  // namespace genio::appsec::sast

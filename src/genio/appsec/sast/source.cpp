@@ -1,0 +1,50 @@
+#include "genio/appsec/sast/source.hpp"
+
+#include "genio/common/strings.hpp"
+
+namespace genio::appsec {
+
+std::string to_string(Language language) {
+  switch (language) {
+    case Language::kPython: return "python";
+    case Language::kJava: return "java";
+    case Language::kAny: return "any";
+  }
+  return "unknown";
+}
+
+Language language_for_path(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = name.find_last_of('.');
+  // "Dockerfile", "bin/run": no extension. ".env": dotfile, not a source
+  // extension. "weird.": trailing dot.
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= name.size()) {
+    return Language::kAny;
+  }
+  const std::string ext = common::to_lower(name.substr(dot + 1));
+  if (ext == "py") return Language::kPython;
+  if (ext == "java") return Language::kJava;
+  return Language::kAny;
+}
+
+std::string to_string(Confidence confidence) {
+  switch (confidence) {
+    case Confidence::kHigh: return "high";
+    case Confidence::kMedium: return "medium";
+    case Confidence::kLow: return "low";
+  }
+  return "unknown";
+}
+
+std::string render_trace(const std::vector<TaintStep>& trace) {
+  std::string out;
+  for (const auto& step : trace) {
+    if (!out.empty()) out += " -> ";
+    out += "L" + std::to_string(step.line) + ": " + step.note;
+  }
+  return out;
+}
+
+}  // namespace genio::appsec

@@ -1,0 +1,43 @@
+// Shared source-model types for the M14 SAST stack: the language tags and
+// in-memory source files the lexer/parser/taint passes operate on, plus
+// the confidence tiers and taint-trace steps findings are annotated with.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace genio::appsec {
+
+enum class Language { kPython, kJava, kAny };
+std::string to_string(Language language);
+
+struct SourceFile {
+  std::string path;
+  Language language = Language::kAny;
+  std::string content;
+};
+
+/// Infer language from a file extension, case-insensitively (".py",
+/// ".PY", "Main.JAVA"). Paths whose basename has no extension
+/// ("Dockerfile", "bin/run") are kAny, never misclassified.
+Language language_for_path(const std::string& path);
+
+/// How sure the engine is that a finding is exploitable.
+///  kHigh   — a complete unsanitized source->sink taint flow was traced.
+///  kMedium — pattern evidence (legacy rule) or a parameter-dependent flow
+///            whose caller is outside the scanned unit.
+///  kLow    — the dataflow pass saw the flow neutralized (sanitizer /
+///            parameter binding); kept for audit, never gates.
+enum class Confidence { kHigh, kMedium, kLow };
+std::string to_string(Confidence confidence);
+
+/// One hop of a taint trace: "line 3: 'sensor' tainted by request.args.get".
+struct TaintStep {
+  int line = 0;
+  std::string note;
+};
+
+/// Render "source line -> ... -> sink line" as a one-line summary.
+std::string render_trace(const std::vector<TaintStep>& trace);
+
+}  // namespace genio::appsec

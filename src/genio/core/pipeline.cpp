@@ -76,14 +76,23 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
     add_stage("sca", false, true, "gate disabled");
   }
 
-  // 3. SAST (M14).
+  // 3. SAST (M14v2). Gate on actionable findings only: confirmed taint
+  // flows and unrefuted matches. Sanitized/refuted (kLow) never block.
   if (config.sast_gate) {
+    sast_.set_taint_enabled(config.sast_taint_analysis);
     const auto findings = sast_.analyze_image(image_entry.image);
     bool critical = false;
-    for (const auto& f : findings) critical |= f.severity == "critical";
-    if (!add_stage("sast", true, !critical,
-                   std::to_string(findings.size()) + " findings" +
-                       (critical ? " (critical present)" : ""))) {
+    for (const auto& f : findings) {
+      critical |= f.severity == "critical" && appsec::SastEngine::is_actionable(f);
+    }
+    const std::size_t confirmed = appsec::SastEngine::count_confirmed(findings);
+    std::string detail = std::to_string(findings.size()) + " findings";
+    if (confirmed > 0) {
+      detail += ", " + std::to_string(confirmed) + " confirmed taint flow" +
+                (confirmed == 1 ? "" : "s");
+    }
+    if (critical) detail += " (critical present)";
+    if (!add_stage("sast", true, !critical, detail)) {
       return report;
     }
   } else {

@@ -45,6 +45,7 @@ struct PlatformConfig {
   bool require_image_signature = true;
   bool sca_gate = true;              // M13
   bool sast_gate = true;             // M14
+  bool sast_taint_analysis = true;   // M14v2 dataflow pass (off = legacy regex only)
   bool secret_gate = true;           // M13/M14-adjacent secret scanning
   bool malware_gate = true;          // M16
   bool sandbox_enabled = true;       // M17

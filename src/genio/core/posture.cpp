@@ -62,6 +62,7 @@ PostureReport evaluate_posture(GenioPlatform& platform,
       (config.require_image_signature ? 1 : 0) + (config.sca_gate ? 1 : 0) +
       (config.sast_gate ? 1 : 0) + (config.secret_gate ? 1 : 0) +
       (config.malware_gate ? 1 : 0) + (config.sandbox_enabled ? 1 : 0);
+  report.sast_taint_mode = config.sast_gate && config.sast_taint_analysis;
 
   // PEACH assessment derived from the running configuration.
   appsec::PeachAssessment tenant_api{
@@ -106,6 +107,9 @@ std::string render_posture(const PostureReport& report) {
   table.add_row({"active-probe findings", std::to_string(report.hunter_findings)});
   table.add_row({"pipeline gates active",
                  std::to_string(report.pipeline_gates_active) + "/6"});
+  table.add_row({"SAST analysis mode",
+                 report.sast_taint_mode ? "taint dataflow + rules"
+                                        : "legacy rules only"});
   table.add_row({"PEACH isolation",
                  common::format_double(report.peach.mean_score(), 2) + " (" +
                      appsec::to_string(report.peach.overall_tier()) + ")"});

@@ -28,6 +28,7 @@ PlatformConfig unmitigated_config() {
   config.require_image_signature = false;
   config.sca_gate = false;
   config.sast_gate = false;
+  config.sast_taint_analysis = false;
   config.secret_gate = false;
   config.malware_gate = false;
   config.sandbox_enabled = false;
@@ -35,15 +36,18 @@ PlatformConfig unmitigated_config() {
   return config;
 }
 
-/// A tenant image with a seeded SQL injection and vulnerable dependencies.
+/// A tenant image with a seeded SQL injection (a complete request->sink
+/// taint flow the M14v2 dataflow pass confirms) and vulnerable dependencies.
 appsec::ContainerImage make_vulnerable_app_image() {
   appsec::ContainerImage image("registry.genio.io/tenant-a/readings-api", "1.0.0");
   image.add_layer(
       {{"/app/main.py",
         common::to_bytes("import db\n"
-                         "def get(sensor_id):\n"
-                         "    return db.execute(\"SELECT * FROM r WHERE id=\" + "
-                         "sensor_id)\n")},
+                         "from flask import request\n"
+                         "def get_reading():\n"
+                         "    sensor = request.args.get(\"sensor_id\")\n"
+                         "    query = \"SELECT * FROM readings WHERE id=\" + sensor\n"
+                         "    return db.execute(query)\n")},
        {"/usr/bin/python3", common::to_bytes("ELF:python3")}});
   image.add_package({"requests", common::Version(2, 25, 0), "pypi"});
   image.set_entrypoint("/usr/bin/python3 /app/main.py");
@@ -447,6 +451,9 @@ ScenarioResult run_t7_vulnerable_applications() {
       outcome.blocked_by = "M14";  // SAST gate caught the injection sink
       outcome.detected = true;
       outcome.detected_by = "pipeline stage '" + report.blocked_by() + "'";
+      if (const auto* sast = report.stage("sast")) {
+        outcome.notes.push_back("sast: " + sast->detail);
+      }
     }
     outcome.notes.push_back("deployed: " + std::string(report.deployed ? "yes" : "no"));
     return outcome;

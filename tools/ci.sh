@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 CI: plain build + ctest, then the same suite under ASan+UBSan.
+# Usage: tools/ci.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S "${repo_root}" "$@"
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" --output-on-failure
+}
+
+if [[ "${mode}" != "--sanitize-only" ]]; then
+  echo "== plain build + tier-1 tests =="
+  run_suite "${repo_root}/build"
+fi
+
+if [[ "${mode}" != "--plain-only" ]]; then
+  echo "== ASan+UBSan build + tier-1 tests =="
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    run_suite "${repo_root}/build-asan" -DGENIO_SANITIZE=address,undefined
+fi
+
+echo "CI: all suites passed"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-tidy over the module sources using the checks in .clang-tidy.
+# Requires a compile_commands.json (generated on demand). Gracefully
+# no-ops when clang-tidy is not installed (the container ships only gcc).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+scope="${1:-src/genio}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy not found; skipping (install clang-tools to enable)"
+  exit 0
+fi
+
+build_dir="${repo_root}/build-lint"
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+mapfile -t sources < <(find "${repo_root}/${scope}" -name '*.cpp' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "lint: no sources under ${scope}"
+  exit 1
+fi
+
+echo "lint: checking ${#sources[@]} files under ${scope}"
+clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
+echo "lint: clean"
