@@ -46,6 +46,9 @@ common::Status ImageRegistry::push_signed(ContainerImage image, std::string publ
 
 common::Result<const RegistryEntry*> ImageRegistry::pull(
     const std::string& reference) const {
+  if (!available_) {
+    return common::unavailable("registry unreachable pulling '" + reference + "'");
+  }
   const auto it = entries_.find(reference);
   if (it == entries_.end()) {
     return common::not_found("no image '" + reference + "' in registry");

@@ -77,8 +77,14 @@ class ImageRegistry {
   common::Result<const RegistryEntry*> pull(const std::string& reference) const;
   std::vector<std::string> references() const;
 
+  /// Chaos hook: while unavailable, pulls fail kUnavailable (the registry
+  /// endpoint is down; its contents are intact and return on recovery).
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
  private:
   std::map<std::string, RegistryEntry> entries_;
+  bool available_ = true;
 };
 
 /// Verify a registry entry's signature against a publisher key.

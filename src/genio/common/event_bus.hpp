@@ -32,21 +32,46 @@ class EventBus {
   explicit EventBus(const SimClock* clock = nullptr) : clock_(clock) {}
 
   /// Subscribe to all events whose topic starts with `topic_prefix`.
-  /// Returns a subscription id usable with unsubscribe().
+  /// Returns a subscription id usable with unsubscribe(). Subscribing from
+  /// inside a handler is safe; the new subscriber first sees the NEXT event.
   int subscribe(std::string topic_prefix, Handler handler) {
-    subscribers_.push_back({next_id_, std::move(topic_prefix), std::move(handler)});
+    subscribers_.push_back({next_id_, std::move(topic_prefix), std::move(handler), true});
     return next_id_++;
   }
 
+  /// Safe to call from inside a handler: during delivery the subscriber is
+  /// tombstoned (it receives nothing further) and erased once the
+  /// outermost publish unwinds.
   void unsubscribe(int id) {
+    if (publish_depth_ > 0) {
+      for (auto& sub : subscribers_) {
+        if (sub.id == id) sub.alive = false;
+      }
+      needs_compaction_ = true;
+      return;
+    }
     std::erase_if(subscribers_, [id](const Subscriber& s) { return s.id == id; });
   }
 
   void publish(std::string topic, std::map<std::string, std::string> attrs = {}) {
     Event event{clock_ ? clock_->now() : SimTime{}, std::move(topic), std::move(attrs)};
     ++published_;
-    for (const auto& sub : subscribers_) {
-      if (event.topic.rfind(sub.prefix, 0) == 0) sub.handler(event);
+    // Index-iterate over the subscriber count at entry: handlers may
+    // subscribe (appends — delivered from the next event on) or
+    // unsubscribe (tombstones) without invalidating the traversal. The
+    // handler is copied out before the call because invoking it can grow
+    // `subscribers_` and reallocate the element mid-execution.
+    ++publish_depth_;
+    const std::size_t count = subscribers_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!subscribers_[i].alive) continue;
+      if (event.topic.rfind(subscribers_[i].prefix, 0) != 0) continue;
+      Handler handler = subscribers_[i].handler;
+      handler(event);
+    }
+    if (--publish_depth_ == 0 && needs_compaction_) {
+      std::erase_if(subscribers_, [](const Subscriber& s) { return !s.alive; });
+      needs_compaction_ = false;
     }
   }
 
@@ -57,12 +82,15 @@ class EventBus {
     int id;
     std::string prefix;
     Handler handler;
+    bool alive = true;
   };
 
   const SimClock* clock_;
   std::vector<Subscriber> subscribers_;
   int next_id_ = 1;
   std::uint64_t published_ = 0;
+  int publish_depth_ = 0;
+  bool needs_compaction_ = false;
 };
 
 }  // namespace genio::common

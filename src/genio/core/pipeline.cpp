@@ -18,10 +18,56 @@ std::string PipelineReport::blocked_by() const {
   return "";
 }
 
+std::vector<std::string> PipelineReport::skipped_gates() const {
+  std::vector<std::string> names;
+  for (const auto& s : stages) {
+    if (s.skipped) names.push_back(s.name);
+  }
+  return names;
+}
+
+std::vector<std::string> PipelineReport::degraded_gates() const {
+  std::vector<std::string> names;
+  for (const auto& s : stages) {
+    if (s.degraded) names.push_back(s.name);
+  }
+  return names;
+}
+
+std::size_t PipelineReport::failed_open_count() const {
+  std::size_t count = 0;
+  for (const auto& s : stages) {
+    if (s.failed_open) ++count;
+  }
+  return count;
+}
+
+std::string PipelineReport::coverage_summary() const {
+  std::size_t ran = 0;
+  for (const auto& s : stages) {
+    if (s.ran) ++ran;
+  }
+  std::string summary = std::to_string(ran) + "/" + std::to_string(stages.size()) +
+                        " gates ran";
+  const auto skipped = skipped_gates();
+  if (!skipped.empty()) {
+    summary += " (skipped: ";
+    for (std::size_t i = 0; i < skipped.size(); ++i) {
+      if (i > 0) summary += ", ";
+      summary += skipped[i];
+    }
+    summary += ")";
+  }
+  return summary;
+}
+
 DeploymentPipeline::DeploymentPipeline(GenioPlatform* platform)
     : platform_(platform),
       sast_(appsec::make_default_sast_engine()),
-      yara_(appsec::make_default_malware_scanner()) {}
+      yara_(appsec::make_default_malware_scanner()),
+      policies_(platform->config().resilience_policies
+                    ? resilience::make_fail_closed_policies()
+                    : resilience::make_fail_open_policies()) {}
 
 PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
   PipelineReport report;
@@ -34,11 +80,35 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
     report.stages.push_back({std::move(name), ran, passed, std::move(detail)});
     return !ran || passed;
   };
+  // A disabled gate never examined the image: it must not block, but the
+  // report shows it as skipped — not silently "passed".
+  auto add_skipped = [&report](std::string name) {
+    PipelineStage stage;
+    stage.name = std::move(name);
+    stage.ran = false;
+    stage.passed = true;
+    stage.skipped = true;
+    stage.detail = "gate disabled (skipped, not passed)";
+    report.stages.push_back(std::move(stage));
+  };
 
-  // 0. Pull.
-  const auto entry = platform_->registry().pull(request.image_reference);
-  if (!add_stage("pull", true, entry.ok(),
-                 entry.ok() ? "image found" : entry.error().message())) {
+  common::Rng retry_rng = platform_->rng().fork("pipeline:" + request.image_reference);
+  const resilience::SleepFn sleep = [this](common::SimTime delay) {
+    platform_->advance_time(delay);
+  };
+
+  // 0. Pull. Transient registry outages are retried under the gate's
+  // policy; an image we cannot fetch can never be waved through, so an
+  // exhausted retry blocks regardless of fail mode.
+  resilience::RetryStats pull_stats;
+  const auto entry = resilience::retry(
+      policies_.for_gate("pull").retry, retry_rng, sleep,
+      [&] { return platform_->registry().pull(request.image_reference); }, &pull_stats);
+  std::string pull_detail = entry.ok() ? "image found" : entry.error().message();
+  if (pull_stats.attempts > 1) {
+    pull_detail += " (after " + std::to_string(pull_stats.attempts) + " attempts)";
+  }
+  if (!add_stage("pull", true, entry.ok(), pull_detail)) {
     return report;
   }
   const appsec::RegistryEntry& image_entry = **entry;
@@ -56,24 +126,53 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
       return report;
     }
   } else {
-    add_stage("signature", false, true, "gate disabled");
+    add_skipped("signature");
   }
 
-  // 2. SCA (M13).
+  // 2. SCA (M13). The advisory database is a remote dependency; the gate's
+  // fail mode decides what a feed outage means: degrade scans the last-good
+  // snapshot with its age flagged, fail-closed blocks, fail-open (legacy)
+  // waves the image through unscanned.
   if (config.sca_gate) {
-    appsec::ScaScanner sca(&platform_->cve_db());
-    const auto sca_report = sca.scan(image_entry.image);
-    const bool critical =
-        !sca_report.findings.empty() && sca_report.findings.front().score >= sca_block_score;
-    if (!add_stage("sca", true, !critical,
-                   std::to_string(sca_report.findings.size()) + " findings, max score " +
-                       (sca_report.findings.empty()
-                            ? "0"
-                            : common::format_double(sca_report.findings.front().score, 1)))) {
+    const resilience::GatePolicy& policy = policies_.for_gate("sca");
+    const auto feed = platform_->feed_service().query("sca-gate");
+    const vuln::CveDatabase* db = nullptr;
+    bool degraded = false;
+    if (feed.ok()) {
+      db = *feed;
+    } else if (policy.on_error == resilience::FailMode::kDegrade) {
+      db = &platform_->feed_service().snapshot();
+      degraded = true;
+    } else if (policy.on_error == resilience::FailMode::kFailClosed) {
+      add_stage("sca", true, false, feed.error().message() + " [fail-closed]");
       return report;
+    } else {
+      add_stage("sca", true, true, feed.error().message() + " [fail-open: unscanned]");
+      report.stages.back().failed_open = true;
+    }
+    if (db != nullptr) {
+      appsec::ScaScanner sca(db);
+      const auto sca_report = sca.scan(image_entry.image);
+      const bool critical = !sca_report.findings.empty() &&
+                            sca_report.findings.front().score >= sca_block_score;
+      std::string detail =
+          std::to_string(sca_report.findings.size()) + " findings, max score " +
+          (sca_report.findings.empty()
+               ? "0"
+               : common::format_double(sca_report.findings.front().score, 1));
+      if (degraded) {
+        const double age_hours =
+            platform_->feed_service().snapshot_age(platform_->clock().now()).hours();
+        detail += " [degraded: last-good snapshot, age " +
+                  common::format_double(age_hours, 1) + "h]";
+      }
+      if (!add_stage("sca", true, !critical, detail)) {
+        return report;
+      }
+      report.stages.back().degraded = degraded;
     }
   } else {
-    add_stage("sca", false, true, "gate disabled");
+    add_skipped("sca");
   }
 
   // 3. SAST (M14v2). Gate on actionable findings only: confirmed taint
@@ -96,7 +195,7 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
       return report;
     }
   } else {
-    add_stage("sast", false, true, "gate disabled");
+    add_skipped("sast");
   }
 
   // 4. Secret scanning (baked-in credentials are a supply-chain liability).
@@ -110,7 +209,7 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
       return report;
     }
   } else {
-    add_stage("secrets", false, true, "gate disabled");
+    add_skipped("secrets");
   }
 
   // 5. Malware signatures (M16).
@@ -122,7 +221,7 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
       return report;
     }
   } else {
-    add_stage("malware", false, true, "gate disabled");
+    add_skipped("malware");
   }
 
   // 5. Cluster admission + scheduling (M10/M11).
@@ -147,7 +246,7 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
         appsec::make_web_workload_policy(request.tenant + "/" + request.app_name));
     add_stage("sandbox", true, true, "policy installed");
   } else {
-    add_stage("sandbox", false, true, "gate disabled");
+    add_skipped("sandbox");
   }
 
   report.deployed = true;

@@ -11,6 +11,7 @@
 #include "genio/appsec/secrets.hpp"
 #include "genio/appsec/yara.hpp"
 #include "genio/core/platform.hpp"
+#include "genio/resilience/policy.hpp"
 
 namespace genio::core {
 
@@ -19,6 +20,15 @@ struct PipelineStage {
   bool ran = false;   // false when the gate is disabled in config
   bool passed = true;
   std::string detail;
+  // A disabled gate is SKIPPED, not passed: `passed` stays true so it does
+  // not block, but consumers must not read it as coverage.
+  bool skipped = false;
+  // Served by a fallback (stale feed snapshot, standby controller) instead
+  // of the live dependency; the result stands but with reduced assurance.
+  bool degraded = false;
+  // A dependency error was swallowed and the gate waved the image through
+  // (legacy fail-open behavior, kept reachable for ablation benches).
+  bool failed_open = false;
 };
 
 struct PipelineReport {
@@ -31,6 +41,14 @@ struct PipelineReport {
   const PipelineStage* stage(const std::string& name) const;
   /// First failing stage name, or "" if none.
   std::string blocked_by() const;
+  /// Gates that were configured off and therefore never examined the image.
+  std::vector<std::string> skipped_gates() const;
+  /// Gates that ran against a degraded fallback dependency.
+  std::vector<std::string> degraded_gates() const;
+  /// Gates that swallowed a dependency error and passed without evidence.
+  std::size_t failed_open_count() const;
+  /// "7/9 gates ran (skipped: signature, sca)" — operator-facing coverage.
+  std::string coverage_summary() const;
 };
 
 /// Deployment-time knobs the business user provides alongside the image.
@@ -54,11 +72,16 @@ class DeploymentPipeline {
   /// SCA gate threshold: block when any reachable finding scores >= this.
   double sca_block_score = 9.0;
 
+  const resilience::GatePolicySet& policies() const { return policies_; }
+
  private:
   GenioPlatform* platform_;
   appsec::SastEngine sast_;
   appsec::YaraScanner yara_;
   appsec::SecretScanner secret_scanner_;
+  // Fail-closed + retry when config.resilience_policies, legacy fail-open
+  // otherwise (the ablation bench contrasts the two at the same seed).
+  resilience::GatePolicySet policies_;
 };
 
 }  // namespace genio::core

@@ -18,7 +18,12 @@ GenioPlatform::GenioPlatform(PlatformConfig config)
   build_pon();
   build_host();
   build_middleware();
+  build_resilience();
   if (config_.runtime_monitoring) falco_ = appsec::make_default_falco_monitor();
+}
+
+void GenioPlatform::advance_time(common::SimTime delta) {
+  chaos_->run_until(clock_.now() + delta);
 }
 
 void GenioPlatform::build_pki() {
@@ -137,6 +142,90 @@ void GenioPlatform::build_middleware() {
                                    : middleware::make_insecure_onos());
   voltha_ = std::make_unique<middleware::SdnController>(
       middleware::make_hardened_voltha());
+
+  // Standby ONOS instance mirroring the primary's accounts; the failover
+  // shim routes around a dead primary through a circuit breaker.
+  onos_standby_ = std::make_unique<middleware::SdnController>("onos-standby");
+  for (const auto& [name, account] : onos_->accounts()) {
+    onos_standby_->add_account(account);
+  }
+  onos_failover_ = std::make_unique<middleware::SdnFailover>(
+      onos_.get(), onos_standby_.get(), &clock_);
+}
+
+void GenioPlatform::build_resilience() {
+  feed_service_ = std::make_unique<vuln::FeedHealthService>(&cve_db_);
+  feed_service_->mark_refreshed(clock_.now());
+  chaos_ = std::make_unique<resilience::ChaosEngine>(&clock_, &bus_,
+                                                     rng_.fork("chaos"));
+  using resilience::FaultKind;
+  using resilience::FaultSpec;
+  resilience::ChaosEngine& chaos = *chaos_;
+
+  // PON medium: feeder-fiber flap and bit-error burst.
+  chaos.register_target(FaultKind::kPonLinkFlap, "odn",
+                        {.apply = [this](const FaultSpec&) { odn_->set_feeder_up(false); },
+                         .revert = [this](const FaultSpec&) { odn_->set_feeder_up(true); }});
+  chaos.register_target(
+      FaultKind::kPonBitErrorBurst, "odn",
+      {.apply = [this](const FaultSpec& spec) {
+         odn_->set_bit_error_rate(spec.magnitude, rng_.fork("ber-" + std::to_string(spec.id)));
+       },
+       .revert = [this](const FaultSpec&) { odn_->clear_bit_errors(); }});
+
+  // ONU churn: the device drops off the splitter tree, reattaches on revert.
+  for (auto& onu : onus_) {
+    pon::Onu* device = onu.get();
+    chaos.register_target(FaultKind::kOnuChurn, device->serial(),
+                          {.apply = [this, device](const FaultSpec&) { odn_->detach_onu(device); },
+                           .revert = [this, device](const FaultSpec&) { odn_->attach_onu(device); }});
+  }
+
+  // Cluster nodes: crash (pods fail) and kubelet stall (no new pods).
+  for (const auto& node : cluster_->nodes()) {
+    const std::string name = node.name;
+    chaos.register_target(
+        FaultKind::kNodeCrash, name,
+        {.apply = [this, name](const FaultSpec&) {
+           cluster_->set_node_health(name, middleware::NodeHealth::kCrashed);
+         },
+         .revert = [this, name](const FaultSpec&) {
+           cluster_->set_node_health(name, middleware::NodeHealth::kReady);
+         }});
+    chaos.register_target(
+        FaultKind::kKubeletStall, name,
+        {.apply = [this, name](const FaultSpec&) {
+           cluster_->set_node_health(name, middleware::NodeHealth::kStalled);
+         },
+         .revert = [this, name](const FaultSpec&) {
+           cluster_->set_node_health(name, middleware::NodeHealth::kReady);
+         }});
+  }
+
+  // SDN controllers.
+  chaos.register_target(FaultKind::kSdnOutage, "onos",
+                        {.apply = [this](const FaultSpec&) { onos_->set_available(false); },
+                         .revert = [this](const FaultSpec&) { onos_->set_available(true); }});
+  chaos.register_target(FaultKind::kSdnOutage, "voltha",
+                        {.apply = [this](const FaultSpec&) { voltha_->set_available(false); },
+                         .revert = [this](const FaultSpec&) { voltha_->set_available(true); }});
+
+  // Application-layer dependencies.
+  chaos.register_target(FaultKind::kRegistryOutage, "registry",
+                        {.apply = [this](const FaultSpec&) { registry_.set_available(false); },
+                         .revert = [this](const FaultSpec&) { registry_.set_available(true); }});
+  chaos.register_target(
+      FaultKind::kFeedOutage, "cve-feed",
+      {.apply = [this](const FaultSpec&) { feed_service_->set_available(false); },
+       .revert = [this](const FaultSpec&) { feed_service_->set_available(true); }});
+
+  // TPM: the next `magnitude` operations fail transiently.
+  chaos.register_target(
+      FaultKind::kTpmTransient, "tpm",
+      {.apply = [this](const FaultSpec& spec) {
+         tpm_->inject_transient_failures(static_cast<int>(spec.magnitude));
+       },
+       .revert = [this](const FaultSpec&) { tpm_->clear_transient_failures(); }});
 }
 
 common::Status GenioPlatform::register_tenant(const std::string& name,

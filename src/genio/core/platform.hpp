@@ -24,7 +24,9 @@
 #include "genio/pon/attacker.hpp"
 #include "genio/pon/olt.hpp"
 #include "genio/pon/onu.hpp"
+#include "genio/resilience/chaos.hpp"
 #include "genio/vuln/cve.hpp"
+#include "genio/vuln/feeds.hpp"
 
 namespace genio::core {
 
@@ -50,6 +52,9 @@ struct PlatformConfig {
   bool malware_gate = true;          // M16
   bool sandbox_enabled = true;       // M17
   bool runtime_monitoring = true;    // M18
+  // Resilience layer: retries, circuit breakers and fail-closed gate
+  // policies. Off = legacy behavior (faults fail open / deployments lost).
+  bool resilience_policies = true;
 
   int onu_count = 4;
   std::uint64_t seed = 42;
@@ -99,6 +104,8 @@ class GenioPlatform {
   middleware::Cluster& cluster() { return *cluster_; }
   middleware::VmManager& vmm() { return *vmm_; }
   middleware::SdnController& onos() { return *onos_; }
+  middleware::SdnController& onos_standby() { return *onos_standby_; }
+  middleware::SdnFailover& onos_failover() { return *onos_failover_; }
   middleware::SdnController& voltha() { return *voltha_; }
 
   // -- application layer --------------------------------------------------------
@@ -106,6 +113,15 @@ class GenioPlatform {
   appsec::FalcoMonitor& falco() { return falco_; }
   appsec::SandboxEnforcer& sandbox() { return sandbox_; }
   vuln::CveDatabase& cve_db() { return cve_db_; }
+  vuln::FeedHealthService& feed_service() { return *feed_service_; }
+
+  // -- resilience ---------------------------------------------------------------
+  /// The chaos engine, with every substrate fault target pre-registered.
+  resilience::ChaosEngine& chaos() { return *chaos_; }
+  /// Advance the sim clock by `delta`, processing every scheduled chaos
+  /// fault edge (injection or reversion) that falls due along the way.
+  /// Retry backoffs sleep through this so faults can heal mid-retry.
+  void advance_time(common::SimTime delta);
 
   // -- tenants -------------------------------------------------------------------
   /// Register a business user: namespace, RBAC grants, publisher key.
@@ -119,6 +135,7 @@ class GenioPlatform {
   void build_pon();
   void build_host();
   void build_middleware();
+  void build_resilience();
 
   PlatformConfig config_;
   common::SimClock clock_;
@@ -143,12 +160,16 @@ class GenioPlatform {
   std::unique_ptr<middleware::Cluster> cluster_;
   std::unique_ptr<middleware::VmManager> vmm_;
   std::unique_ptr<middleware::SdnController> onos_;
+  std::unique_ptr<middleware::SdnController> onos_standby_;
+  std::unique_ptr<middleware::SdnFailover> onos_failover_;
   std::unique_ptr<middleware::SdnController> voltha_;
 
   appsec::ImageRegistry registry_;
   appsec::FalcoMonitor falco_;
   appsec::SandboxEnforcer sandbox_;
   vuln::CveDatabase cve_db_;
+  std::unique_ptr<vuln::FeedHealthService> feed_service_;
+  std::unique_ptr<resilience::ChaosEngine> chaos_;
 
   std::map<std::string, Tenant> tenants_;
 };

@@ -90,6 +90,49 @@ PostureReport evaluate_posture(GenioPlatform& platform,
       /*hygiene=*/2,
       /*complexity=*/1};
   report.peach.assessments = {tenant_api, runtime, pon_path};
+
+  // Degraded-mitigation sweep: every security dependency currently down or
+  // serving from a fallback gets flagged, so an operator reading the
+  // report knows which of the numbers above to distrust.
+  auto flag = [&report](std::string component, std::string mode) {
+    report.degraded_mitigations.push_back({std::move(component), std::move(mode)});
+  };
+  if (!platform.odn().feeder_up()) {
+    flag("PON feeder", "fiber down — all ONU traffic dropped");
+  }
+  if (platform.odn().bit_error_rate() > 0.0) {
+    flag("PON medium", "bit-error burst active (BER " +
+                           common::format_double(platform.odn().bit_error_rate(), 3) +
+                           ")");
+  }
+  for (const auto& node : platform.cluster().nodes()) {
+    if (node.health != middleware::NodeHealth::kReady) {
+      flag("node " + node.name, middleware::to_string(node.health));
+    }
+  }
+  if (const std::size_t failed = platform.cluster().failed_pod_count(); failed > 0) {
+    flag("workloads", std::to_string(failed) + " pod(s) failed awaiting reschedule");
+  }
+  if (!platform.onos().available()) {
+    flag("sdn onos", "primary down — standby serving via circuit breaker");
+  }
+  if (!platform.voltha().available()) {
+    flag("sdn voltha", "controller unreachable");
+  }
+  if (!platform.registry().available()) {
+    flag("image registry", "unreachable — pulls retried under backoff");
+  }
+  if (!platform.feed_service().available()) {
+    const double age = platform.feed_service()
+                           .snapshot_age(platform.clock().now())
+                           .hours();
+    flag("vuln feed", "unreachable — SCA serving last-good snapshot, age " +
+                          common::format_double(age, 1) + "h");
+  }
+  if (platform.tpm().pending_transient_failures() > 0) {
+    flag("tpm", std::to_string(platform.tpm().pending_transient_failures()) +
+                    " transient failure(s) pending");
+  }
   return report;
 }
 
@@ -113,6 +156,13 @@ std::string render_posture(const PostureReport& report) {
   table.add_row({"PEACH isolation",
                  common::format_double(report.peach.mean_score(), 2) + " (" +
                      appsec::to_string(report.peach.overall_tier()) + ")"});
+  if (report.degraded_mitigations.empty()) {
+    table.add_row({"degraded mitigations", "none"});
+  } else {
+    for (const auto& d : report.degraded_mitigations) {
+      table.add_row({"DEGRADED: " + d.component, d.mode});
+    }
+  }
   table.add_row({"OVERALL", common::format_double(report.overall_score(), 1) +
                                 "/100 — grade " + report.grade()});
   return table.render();

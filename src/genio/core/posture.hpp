@@ -31,6 +31,17 @@ struct PostureReport {
   // Tenancy.
   appsec::PeachReport peach;
 
+  /// A mitigation currently running on a fallback (stale feed snapshot,
+  /// standby controller, rescheduled pods) or knocked out by an active
+  /// fault. Empty in a healthy platform; every entry is a reason the
+  /// posture numbers above carry less assurance than they normally would.
+  struct DegradedMitigation {
+    std::string component;  // "vuln feed", "node olt-node-1", "sdn onos"
+    std::string mode;       // human-readable degradation description
+  };
+  std::vector<DegradedMitigation> degraded_mitigations;
+  bool degraded() const { return !degraded_mitigations.empty(); }
+
   /// Aggregate score 0-100 (weighted sections).
   double overall_score() const;
   std::string grade() const;  // "A".."F"

@@ -15,7 +15,21 @@ const std::set<std::string>& dangerous_capabilities() {
   return kDangerous;
 }
 
+// Capacity a pod occupies on its node (scheduler default for limitless pods).
+ResourceQuantity pod_footprint(const Pod& pod) {
+  return pod.spec.container.limits.value_or(ResourceQuantity{0.1, 64});
+}
+
 }  // namespace
+
+std::string to_string(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kReady: return "ready";
+    case NodeHealth::kCrashed: return "crashed";
+    case NodeHealth::kStalled: return "stalled";
+  }
+  return "unknown";
+}
 
 std::vector<std::string> AdmissionPolicy::violations(const PodSpec& spec) const {
   std::vector<std::string> out;
@@ -75,7 +89,61 @@ Cluster::Cluster(Config config, RbacEngine rbac, AdmissionPolicy admission)
     : config_(std::move(config)), rbac_(std::move(rbac)), admission_(admission) {}
 
 void Cluster::add_node(const std::string& name, ResourceQuantity capacity) {
-  nodes_.push_back({name, capacity, {}, Version(1, 20, 3)});
+  nodes_.push_back({name, capacity, {}, Version(1, 20, 3), NodeHealth::kReady});
+}
+
+const Node* Cluster::find_node(const std::string& name) const {
+  for (const auto& node : nodes_) {
+    if (node.name == name) return &node;
+  }
+  return nullptr;
+}
+
+void Cluster::set_node_health(const std::string& name, NodeHealth health) {
+  for (auto& node : nodes_) {
+    if (node.name != name) continue;
+    const NodeHealth previous = node.health;
+    node.health = health;
+    audit("system:chaos", "node-health", "nodes", "", true,
+          name + ": " + to_string(previous) + " -> " + to_string(health));
+    if (health != NodeHealth::kCrashed || previous == NodeHealth::kCrashed) return;
+    // A dead kubelet holds nothing: fail its pods and hand back capacity.
+    for (auto& pod : pods_) {
+      if (pod.node != name || pod.allocation_released) continue;
+      const ResourceQuantity released = pod_footprint(pod);
+      node.allocated.cpu_cores -= released.cpu_cores;
+      node.allocated.mem_mb -= released.mem_mb;
+      pod.phase = PodPhase::kFailed;
+      pod.allocation_released = true;
+    }
+    return;
+  }
+}
+
+std::size_t Cluster::reschedule_failed() {
+  std::size_t recovered = 0;
+  for (auto& pod : pods_) {
+    if (pod.phase != PodPhase::kFailed) continue;
+    const ResourceQuantity required = pod_footprint(pod);
+    Node* node = schedule(required);
+    if (node == nullptr) continue;  // stays kFailed until capacity returns
+    node->allocated.cpu_cores += required.cpu_cores;
+    node->allocated.mem_mb += required.mem_mb;
+    const std::string previous = pod.node;
+    pod.node = node->name;
+    pod.phase = PodPhase::kRunning;
+    pod.allocation_released = false;
+    ++recovered;
+    audit("system:scheduler", "reschedule", "pods", pod.spec.ns, true,
+          pod.spec.name + ": " + previous + " -> " + node->name);
+  }
+  return recovered;
+}
+
+std::size_t Cluster::failed_pod_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      pods_.begin(), pods_.end(),
+      [](const Pod& p) { return p.phase == PodPhase::kFailed; }));
 }
 
 void Cluster::audit(const std::string& subject, const std::string& verb,
@@ -113,9 +181,10 @@ common::Status Cluster::authorize(const std::string& subject, const std::string&
 }
 
 Node* Cluster::schedule(const ResourceQuantity& required) {
-  // First-fit by free capacity (deterministic order).
+  // First-fit by free capacity (deterministic order); crashed and stalled
+  // nodes are not schedulable.
   for (auto& node : nodes_) {
-    if (required.fits_in(node.free())) return &node;
+    if (node.schedulable() && required.fits_in(node.free())) return &node;
   }
   return nullptr;
 }
@@ -155,12 +224,13 @@ common::Status Cluster::delete_pod(const std::string& subject, const std::string
     return p.spec.ns == ns && p.spec.name == name;
   });
   if (it == pods_.end()) return common::not_found("pod " + ns + "/" + name);
-  const ResourceQuantity released =
-      it->spec.container.limits.value_or(ResourceQuantity{0.1, 64});
-  for (auto& node : nodes_) {
-    if (node.name == it->node) {
-      node.allocated.cpu_cores -= released.cpu_cores;
-      node.allocated.mem_mb -= released.mem_mb;
+  if (!it->allocation_released) {
+    const ResourceQuantity released = pod_footprint(*it);
+    for (auto& node : nodes_) {
+      if (node.name == it->node) {
+        node.allocated.cpu_cores -= released.cpu_cores;
+        node.allocated.mem_mb -= released.mem_mb;
+      }
     }
   }
   pods_.erase(it);

@@ -50,17 +50,29 @@ struct Pod {
   PodSpec spec;
   std::string node;
   PodPhase phase = PodPhase::kPending;
+  /// True once the pod's capacity was handed back (node crash or delete);
+  /// guards against double-releasing on the other path.
+  bool allocation_released = false;
 };
+
+/// Node liveness as the chaos engine drives it: crashed nodes lose their
+/// pods, stalled (kubelet-hung) nodes keep running pods but accept no new
+/// ones. Only kReady nodes are schedulable.
+enum class NodeHealth { kReady, kCrashed, kStalled };
+
+std::string to_string(NodeHealth health);
 
 struct Node {
   std::string name;
   ResourceQuantity capacity;
   ResourceQuantity allocated;
   Version kubelet_version{1, 20, 3};
+  NodeHealth health = NodeHealth::kReady;
 
   ResourceQuantity free() const {
     return {capacity.cpu_cores - allocated.cpu_cores, capacity.mem_mb - allocated.mem_mb};
   }
+  bool schedulable() const { return health == NodeHealth::kReady; }
 };
 
 /// Pod-security admission policies (NSA hardening guidance, M11).
@@ -114,6 +126,21 @@ class Cluster {
   // -- infrastructure ---------------------------------------------------------
   void add_node(const std::string& name, ResourceQuantity capacity);
   const std::vector<Node>& nodes() const { return nodes_; }
+  const Node* find_node(const std::string& name) const;
+
+  /// Chaos hook: flip a node's liveness. Crashing a node marks every pod
+  /// on it kFailed and releases their capacity immediately (a dead kubelet
+  /// holds nothing); recovery does NOT resurrect pods — that is
+  /// reschedule_failed()'s job.
+  void set_node_health(const std::string& name, NodeHealth health);
+
+  /// Resilience wiring: place every kFailed pod back onto a schedulable
+  /// node (admission already passed at creation). Returns the number of
+  /// pods recovered; pods that fit nowhere stay kFailed.
+  std::size_t reschedule_failed();
+
+  /// Pods currently kFailed (awaiting reschedule or lost for good).
+  std::size_t failed_pod_count() const;
 
   // -- API path ---------------------------------------------------------------
   /// Authorize `subject` for an API action. Subject "" models an

@@ -1,5 +1,7 @@
 #include "genio/middleware/sdn.hpp"
 
+#include "genio/resilience/policy.hpp"
+
 namespace genio::middleware {
 
 std::string to_string(SdnCapability capability) {
@@ -38,6 +40,10 @@ void SdnController::add_account(SdnAccount account) {
 common::Status SdnController::api_call(const std::string& account,
                                        const std::string& credential,
                                        SdnCapability capability) {
+  if (!available_) {
+    ++stats_.denied_unavailable;
+    return common::unavailable("controller '" + name_ + "' unreachable");
+  }
   const auto it = accounts_.find(account);
   if (it == accounts_.end()) {
     ++stats_.denied_authn;
@@ -74,6 +80,32 @@ std::size_t SdnController::grant_count() const {
   std::size_t count = 0;
   for (const auto& [name, account] : accounts_) count += account.capabilities.size();
   return count;
+}
+
+SdnFailover::SdnFailover(SdnController* primary, SdnController* standby,
+                         const common::SimClock* clock,
+                         resilience::CircuitBreaker::Config breaker)
+    : primary_(primary),
+      standby_(standby),
+      breaker_(primary->name() + "-primary", clock, breaker) {}
+
+common::Status SdnFailover::api_call(const std::string& account,
+                                     const std::string& credential,
+                                     SdnCapability capability) {
+  if (breaker_.allow()) {
+    const auto st = primary_->api_call(account, credential, capability);
+    if (st.ok() || !resilience::is_transient(st.error())) {
+      breaker_.record_success();  // a policy denial proves the primary is up
+      return st;
+    }
+    breaker_.record_failure();
+  }
+  ++failovers_;
+  return standby_->api_call(account, credential, capability);
+}
+
+const SdnController& SdnFailover::active() const {
+  return breaker_.state() == resilience::BreakerState::kOpen ? *standby_ : *primary_;
 }
 
 SdnController make_insecure_onos() {

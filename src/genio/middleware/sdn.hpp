@@ -12,6 +12,7 @@
 #include <string>
 
 #include "genio/common/result.hpp"
+#include "genio/resilience/circuit_breaker.hpp"
 
 namespace genio::middleware {
 
@@ -43,6 +44,7 @@ struct SdnCallStats {
   std::uint64_t allowed = 0;
   std::uint64_t denied_authn = 0;
   std::uint64_t denied_capability = 0;
+  std::uint64_t denied_unavailable = 0;  // controller down (chaos outage)
 };
 
 class SdnController {
@@ -67,6 +69,11 @@ class SdnController {
   std::size_t device_count() const { return devices_.size(); }
   const SdnCallStats& stats() const { return stats_; }
 
+  /// Chaos hook: while unavailable every call fails kUnavailable before
+  /// authentication (the process is simply not answering).
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
   /// Count of (account, capability) grants — the policy surface an
   /// operator must review (Lesson 5 metric).
   std::size_t grant_count() const;
@@ -76,6 +83,33 @@ class SdnController {
   std::map<std::string, SdnAccount> accounts_;
   std::set<std::string> devices_;
   SdnCallStats stats_;
+  bool available_ = true;
+};
+
+/// Active/standby controller pair behind a circuit breaker: calls go to
+/// the primary until its breaker opens (repeated kUnavailable), then to
+/// the standby; half-open probes steer traffic back once the primary
+/// recovers. Non-transient failures (bad credential, missing capability)
+/// do NOT fail over — a denied call is a policy answer, not an outage.
+class SdnFailover {
+ public:
+  SdnFailover(SdnController* primary, SdnController* standby,
+              const common::SimClock* clock,
+              resilience::CircuitBreaker::Config breaker = {});
+
+  common::Status api_call(const std::string& account, const std::string& credential,
+                          SdnCapability capability);
+
+  /// Controller that served (or would serve) the next call.
+  const SdnController& active() const;
+  std::uint64_t failovers() const { return failovers_; }
+  const resilience::CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  SdnController* primary_;
+  SdnController* standby_;
+  resilience::CircuitBreaker breaker_;
+  std::uint64_t failovers_ = 0;
 };
 
 /// Out-of-the-box posture: admin/admin with every capability (T5).

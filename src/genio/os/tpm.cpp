@@ -6,11 +6,20 @@ namespace genio::os {
 
 Tpm::Tpm(BytesView seed) : seed_(seed.begin(), seed.end()) {}
 
+bool Tpm::consume_transient_failure() const {
+  if (transient_failures_ <= 0) return false;
+  --transient_failures_;
+  return true;
+}
+
 Status Tpm::extend(std::size_t index, BytesView data) {
   return extend(index, crypto::Sha256::hash(data));
 }
 
 Status Tpm::extend(std::size_t index, const Digest& measurement) {
+  if (consume_transient_failure()) {
+    return common::unavailable("tpm transient error (extend)");
+  }
   if (index >= kPcrCount) {
     return common::invalid_argument("PCR index " + std::to_string(index) +
                                     " out of range");
@@ -84,6 +93,9 @@ SealedBlob Tpm::seal(BytesView secret, PcrPolicy policy) {
 }
 
 Result<Bytes> Tpm::unseal(const SealedBlob& blob) const {
+  if (consume_transient_failure()) {
+    return common::unavailable("tpm transient error (unseal)");
+  }
   const Digest current = composite(blob.policy.pcr_indices);
   if (!common::constant_time_equal(BytesView(current.data(), current.size()),
                                    BytesView(blob.policy_digest.data(),

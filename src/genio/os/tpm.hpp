@@ -77,12 +77,25 @@ class Tpm {
   /// Release the secret iff the current PCR composite matches the policy.
   Result<Bytes> unseal(const SealedBlob& blob) const;
 
+  // -- fault injection (chaos engine hook) -------------------------------------
+  /// The next `count` extend/unseal operations fail kUnavailable — the
+  /// transient bus/lockout errors real TPMs exhibit. A RetryPolicy rides
+  /// them out; state is untouched by a failed op.
+  void inject_transient_failures(int count) { transient_failures_ = count; }
+  void clear_transient_failures() { transient_failures_ = 0; }
+  int pending_transient_failures() const { return transient_failures_; }
+
  private:
+  /// Consumes one injected failure if any are pending.
+  bool consume_transient_failure() const;
+
   crypto::AesKey storage_key_for(const Digest& policy_digest) const;
 
   Bytes seed_;
   std::array<Digest, kPcrCount> pcrs_{};
   std::uint64_t seal_counter_ = 0;
+  // mutable: unseal() is logically const but a transient fault burns down.
+  mutable int transient_failures_ = 0;
 };
 
 }  // namespace genio::os

@@ -2,19 +2,41 @@
 
 namespace genio::pon {
 
+GemFrame Odn::transit(const GemFrame& frame) {
+  if (bit_error_rate_ <= 0.0 || !fault_rng_.has_value() ||
+      !fault_rng_->chance(bit_error_rate_) || frame.payload.empty()) {
+    return frame;
+  }
+  GemFrame corrupted = frame;
+  corrupted.payload[fault_rng_->index(corrupted.payload.size())] ^=
+      static_cast<std::uint8_t>(1u << fault_rng_->index(8));
+  ++stats_.corrupted_frames;
+  return corrupted;
+}
+
 void Odn::downstream(const GemFrame& frame) {
+  if (!feeder_up_) {
+    ++stats_.dropped_frames;
+    return;
+  }
+  const GemFrame delivered = transit(frame);
   ++stats_.downstream_frames;
-  stats_.downstream_bytes += frame.payload.size();
-  for (Tap* tap : taps_) tap->observe_downstream(frame);
+  stats_.downstream_bytes += delivered.payload.size();
+  for (Tap* tap : taps_) tap->observe_downstream(delivered);
   // PON physics: every ONU on the tree receives every downstream frame.
-  for (OnuDevice* onu : onus_) onu->on_downstream(frame);
+  for (OnuDevice* onu : onus_) onu->on_downstream(delivered);
 }
 
 void Odn::upstream(const GemFrame& frame) {
+  if (!feeder_up_) {
+    ++stats_.dropped_frames;
+    return;
+  }
+  const GemFrame delivered = transit(frame);
   ++stats_.upstream_frames;
-  stats_.upstream_bytes += frame.payload.size();
-  for (Tap* tap : taps_) tap->observe_upstream(frame);
-  if (olt_ != nullptr) olt_->on_upstream(frame);
+  stats_.upstream_bytes += delivered.payload.size();
+  for (Tap* tap : taps_) tap->observe_upstream(delivered);
+  if (olt_ != nullptr) olt_->on_upstream(delivered);
 }
 
 }  // namespace genio::pon

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "genio/common/rng.hpp"
 #include "genio/common/sim_clock.hpp"
 #include "genio/pon/frame.hpp"
 
@@ -43,6 +45,8 @@ struct OdnStats {
   std::uint64_t upstream_frames = 0;
   std::uint64_t downstream_bytes = 0;
   std::uint64_t upstream_bytes = 0;
+  std::uint64_t dropped_frames = 0;    // lost to a feeder-fiber outage
+  std::uint64_t corrupted_frames = 0;  // hit by an injected bit-error burst
 };
 
 /// The splitter tree. Non-owning: devices and taps are owned by the
@@ -68,12 +72,33 @@ class Odn {
   const OdnStats& stats() const { return stats_; }
   std::size_t onu_count() const { return onus_.size(); }
 
+  // -- fault injection (chaos engine hooks) -----------------------------------
+  /// Feeder-fiber state: while down, no frame crosses in either direction.
+  void set_feeder_up(bool up) { feeder_up_ = up; }
+  bool feeder_up() const { return feeder_up_; }
+  /// Bit-error burst: each delivered frame is corrupted (one flipped
+  /// payload bit) with probability `rate`; 0 disables. The Rng keeps the
+  /// corruption pattern deterministic per seed.
+  void set_bit_error_rate(double rate, common::Rng rng) {
+    bit_error_rate_ = rate;
+    fault_rng_ = rng;
+  }
+  void clear_bit_errors() { bit_error_rate_ = 0.0; }
+  double bit_error_rate() const { return bit_error_rate_; }
+
  private:
+  /// Returns the frame to deliver, corrupting a copy under an active
+  /// bit-error burst (taps observe the corrupted wire view too).
+  GemFrame transit(const GemFrame& frame);
+
   common::SimTime propagation_;
   OltDevice* olt_ = nullptr;
   std::vector<OnuDevice*> onus_;
   std::vector<Tap*> taps_;
   OdnStats stats_;
+  bool feeder_up_ = true;
+  double bit_error_rate_ = 0.0;
+  std::optional<common::Rng> fault_rng_;
 };
 
 }  // namespace genio::pon

@@ -1,0 +1,158 @@
+#include "genio/resilience/chaos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "genio/common/strings.hpp"
+
+namespace genio::resilience {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPonLinkFlap: return "pon-link-flap";
+    case FaultKind::kPonBitErrorBurst: return "pon-bit-error-burst";
+    case FaultKind::kOnuChurn: return "onu-churn";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kKubeletStall: return "kubelet-stall";
+    case FaultKind::kSdnOutage: return "sdn-outage";
+    case FaultKind::kRegistryOutage: return "registry-outage";
+    case FaultKind::kFeedOutage: return "feed-outage";
+    case FaultKind::kTpmTransient: return "tpm-transient";
+  }
+  return "unknown";
+}
+
+void ChaosEngine::register_target(FaultKind kind, const std::string& target,
+                                  FaultTarget handlers) {
+  targets_[{kind, target}] = std::move(handlers);
+}
+
+bool ChaosEngine::target_registered(FaultKind kind, const std::string& target) const {
+  return targets_.contains({kind, target});
+}
+
+int ChaosEngine::schedule(FaultSpec spec) {
+  assert(target_registered(spec.kind, spec.target) && "unregistered fault target");
+  spec.id = next_id_++;
+  schedule_.push_back(spec);
+  states_.push_back({});
+  return spec.id;
+}
+
+std::vector<int> ChaosEngine::schedule_random(int count, SimTime horizon,
+                                              SimTime mean_duration) {
+  std::vector<std::pair<FaultKind, std::string>> keys;
+  keys.reserve(targets_.size());
+  for (const auto& [key, target] : targets_) keys.push_back(key);
+  std::vector<int> ids;
+  if (keys.empty()) return ids;
+  for (int i = 0; i < count; ++i) {
+    const auto& [kind, target] = keys[rng_.index(keys.size())];
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.target = target;
+    spec.at = clock_->now() +
+              SimTime(static_cast<std::int64_t>(rng_.uniform01() *
+                                                static_cast<double>(horizon.nanos())));
+    spec.duration = SimTime(static_cast<std::int64_t>(
+        rng_.exponential(static_cast<double>(mean_duration.nanos()))));
+    if (spec.kind == FaultKind::kPonBitErrorBurst) spec.magnitude = 0.05;
+    if (spec.kind == FaultKind::kTpmTransient) spec.magnitude = 2.0;
+    ids.push_back(schedule(spec));
+  }
+  return ids;
+}
+
+std::map<std::string, std::string> ChaosEngine::event_attrs(const FaultSpec& spec) const {
+  return {{"fault", to_string(spec.kind)},
+          {"target", spec.target},
+          {"id", std::to_string(spec.id)},
+          {"duration_s", common::format_double(spec.duration.seconds(), 3)}};
+}
+
+void ChaosEngine::inject(std::size_t index) {
+  const FaultSpec& spec = schedule_[index];
+  targets_.at({spec.kind, spec.target}).apply(spec);
+  states_[index].applied = true;
+  ++stats_.injected;
+  if (bus_ != nullptr) bus_->publish("chaos.fault.injected", event_attrs(spec));
+}
+
+void ChaosEngine::revert(std::size_t index) {
+  const FaultSpec& spec = schedule_[index];
+  targets_.at({spec.kind, spec.target}).revert(spec);
+  states_[index].reverted = true;
+  ++stats_.reverted;
+  if (bus_ != nullptr) bus_->publish("chaos.fault.reverted", event_attrs(spec));
+}
+
+void ChaosEngine::process_due() {
+  // Collect due edges and run them in chronological order (id breaks
+  // ties), injections before reversions at equal times.
+  struct Edge {
+    SimTime at;
+    bool is_revert;
+    std::size_t index;
+  };
+  std::vector<Edge> due;
+  const SimTime now = clock_->now();
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultSpec& spec = schedule_[i];
+    if (!states_[i].applied && spec.at <= now) {
+      due.push_back({spec.at, false, i});
+    }
+    if (!states_[i].reverted && spec.duration > SimTime{} &&
+        spec.at + spec.duration <= now) {
+      due.push_back({spec.at + spec.duration, true, i});
+    }
+  }
+  std::stable_sort(due.begin(), due.end(), [this](const Edge& a, const Edge& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.is_revert != b.is_revert) return !a.is_revert;
+    return schedule_[a.index].id < schedule_[b.index].id;
+  });
+  for (const Edge& edge : due) {
+    // A fault can be scheduled by a handler mid-loop; re-check state.
+    if (edge.is_revert) {
+      if (!states_[edge.index].reverted && states_[edge.index].applied) {
+        revert(edge.index);
+      }
+    } else if (!states_[edge.index].applied) {
+      inject(edge.index);
+    }
+  }
+}
+
+void ChaosEngine::run_until(SimTime t) {
+  process_due();
+  for (;;) {
+    SimTime next = SimTime(std::numeric_limits<std::int64_t>::max());
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+      const FaultSpec& spec = schedule_[i];
+      if (!states_[i].applied && spec.at > clock_->now()) {
+        next = std::min(next, spec.at);
+      }
+      if (spec.duration > SimTime{} && !states_[i].reverted &&
+          spec.at + spec.duration > clock_->now()) {
+        next = std::min(next, spec.at + spec.duration);
+      }
+    }
+    if (next > t || next.nanos() == std::numeric_limits<std::int64_t>::max()) break;
+    clock_->advance_to(next);
+    process_due();
+  }
+  if (clock_->now() < t) clock_->advance_to(t);
+}
+
+std::vector<FaultSpec> ChaosEngine::active_faults() const {
+  std::vector<FaultSpec> out;
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    if (states_[i].applied && !states_[i].reverted && schedule_[i].duration > SimTime{}) {
+      out.push_back(schedule_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace genio::resilience

@@ -1,0 +1,113 @@
+// Deterministic chaos/fault-injection engine. Faults are scheduled (or
+// drawn probabilistically from a seeded Rng) on the shared SimClock and
+// applied at registered substrate boundaries: PON link flaps and bit-error
+// bursts, ONU churn, node crashes and kubelet stalls, SDN controller
+// outages, registry/feed unavailability, TPM transient errors. Every fault
+// is revertible and every injection/reversion is published on the
+// EventBus ("chaos.fault.injected" / "chaos.fault.reverted"), so monitors
+// and tests observe the same timeline the substrates experienced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/common/event_bus.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::resilience {
+
+using common::EventBus;
+using common::Rng;
+using common::SimClock;
+using common::SimTime;
+
+enum class FaultKind {
+  kPonLinkFlap,      // feeder fiber down: all frames lost
+  kPonBitErrorBurst, // bit errors on delivered frames (magnitude = BER)
+  kOnuChurn,         // ONU detaches from the tree, reattaches on revert
+  kNodeCrash,        // cluster node dies; its pods fail
+  kKubeletStall,     // node stops accepting new pods; existing keep running
+  kSdnOutage,        // controller unreachable
+  kRegistryOutage,   // image registry unreachable
+  kFeedOutage,       // vulnerability feed unreachable (SCA goes stale)
+  kTpmTransient,     // next ops on the TPM fail (magnitude = op count)
+};
+
+std::string to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kPonLinkFlap;
+  std::string target;       // registered target name ("odn", "olt-node-1", ...)
+  SimTime at{};             // injection time
+  SimTime duration{};       // zero = apply only (one-shot faults)
+  double magnitude = 0.0;   // kind-specific (BER, TPM failure count)
+  int id = 0;               // assigned by schedule()
+};
+
+/// Substrate-side handlers. `apply` flips the boundary into its failed
+/// state; `revert` restores it. Both must be idempotent per fault.
+struct FaultTarget {
+  std::function<void(const FaultSpec&)> apply;
+  std::function<void(const FaultSpec&)> revert;
+};
+
+class ChaosEngine {
+ public:
+  struct Stats {
+    std::uint64_t injected = 0;
+    std::uint64_t reverted = 0;
+  };
+
+  ChaosEngine(SimClock* clock, EventBus* bus, Rng rng)
+      : clock_(clock), bus_(bus), rng_(rng) {}
+
+  /// Register the failure surface for (kind, target). Scheduling a fault
+  /// against an unregistered pair is an error.
+  void register_target(FaultKind kind, const std::string& target, FaultTarget handlers);
+
+  /// Schedule one fault; returns its id.
+  int schedule(FaultSpec spec);
+
+  /// Draw `count` faults uniformly over registered targets, with start
+  /// times uniform in [now, now+horizon) and exponentially-distributed
+  /// durations (mean `mean_duration`). Deterministic per engine seed.
+  std::vector<int> schedule_random(int count, SimTime horizon, SimTime mean_duration);
+
+  /// Apply/revert every fault whose time has come (clock not advanced).
+  void process_due();
+
+  /// Advance the clock through every pending fault edge up to `t`,
+  /// processing each in chronological order, then settle at `t`.
+  void run_until(SimTime t);
+
+  /// Faults currently applied and not yet reverted.
+  std::vector<FaultSpec> active_faults() const;
+  bool target_registered(FaultKind kind, const std::string& target) const;
+  const Stats& stats() const { return stats_; }
+  const std::vector<FaultSpec>& scheduled() const { return schedule_; }
+
+ private:
+  struct FaultState {
+    bool applied = false;
+    bool reverted = false;
+  };
+
+  void inject(std::size_t index);
+  void revert(std::size_t index);
+  std::map<std::string, std::string> event_attrs(const FaultSpec& spec) const;
+
+  SimClock* clock_;
+  EventBus* bus_;
+  Rng rng_;
+  std::map<std::pair<FaultKind, std::string>, FaultTarget> targets_;
+  std::vector<FaultSpec> schedule_;
+  std::vector<FaultState> states_;
+  int next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace genio::resilience

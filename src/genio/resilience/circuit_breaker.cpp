@@ -1,0 +1,71 @@
+#include "genio/resilience/circuit_breaker.hpp"
+
+namespace genio::resilience {
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::transition_to(BreakerState next) {
+  state_ = next;
+  transitions_.push_back({clock_->now(), next});
+  if (next == BreakerState::kOpen) {
+    opened_at_ = clock_->now();
+    half_open_in_flight_ = 0;
+  } else if (next == BreakerState::kHalfOpen) {
+    half_open_in_flight_ = 0;
+  } else {
+    consecutive_failures_ = 0;
+  }
+}
+
+bool CircuitBreaker::allow() {
+  if (state_ == BreakerState::kOpen &&
+      clock_->now() >= opened_at_ + config_.open_duration) {
+    transition_to(BreakerState::kHalfOpen);
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++stats_.allowed;
+      return true;
+    case BreakerState::kOpen:
+      ++stats_.rejected;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (half_open_in_flight_ < config_.half_open_probes) {
+        ++half_open_in_flight_;
+        ++stats_.allowed;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  ++stats_.successes;
+  if (state_ == BreakerState::kHalfOpen) {
+    transition_to(BreakerState::kClosed);
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure() {
+  ++stats_.failures;
+  if (state_ == BreakerState::kHalfOpen) {
+    transition_to(BreakerState::kOpen);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    transition_to(BreakerState::kOpen);
+  }
+}
+
+}  // namespace genio::resilience

@@ -1,0 +1,93 @@
+// Circuit breaker over SimClock: after `failure_threshold` consecutive
+// failures the circuit opens and callers are rejected immediately (no
+// hammering a dead controller); after `open_duration` it half-opens and
+// lets a bounded number of probe calls through; probe success closes the
+// circuit, probe failure re-opens it. All transitions are recorded with
+// timestamps so a chaos run can assert they are deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genio/common/result.hpp"
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::resilience {
+
+using common::SimClock;
+using common::SimTime;
+using common::Status;
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string to_string(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  struct Config {
+    int failure_threshold = 3;   // consecutive failures before opening
+    SimTime open_duration = SimTime::from_seconds(30);
+    int half_open_probes = 1;    // probes allowed while half-open
+  };
+
+  struct Transition {
+    SimTime at;
+    BreakerState to;
+  };
+
+  struct Stats {
+    std::uint64_t allowed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t successes = 0;
+  };
+
+  CircuitBreaker(std::string name, const SimClock* clock, Config config)
+      : name_(std::move(name)), clock_(clock), config_(config) {}
+  CircuitBreaker(std::string name, const SimClock* clock)
+      : CircuitBreaker(std::move(name), clock, Config{}) {}
+
+  /// May a call proceed now? Moves kOpen -> kHalfOpen once the cooldown
+  /// elapsed. Rejected calls are counted but do not touch the service.
+  bool allow();
+
+  void record_success();
+  void record_failure();
+
+  /// Wrap a Status-returning call: rejected immediately when the circuit
+  /// is open, otherwise runs it and feeds the outcome back in.
+  template <typename Op>
+  Status call(Op&& op) {
+    if (!allow()) {
+      return common::unavailable("circuit '" + name_ + "' open");
+    }
+    Status st = op();
+    if (st.ok()) {
+      record_success();
+    } else {
+      record_failure();
+    }
+    return st;
+  }
+
+  const std::string& name() const { return name_; }
+  BreakerState state() const { return state_; }
+  const Stats& stats() const { return stats_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+ private:
+  void transition_to(BreakerState next);
+
+  std::string name_;
+  const SimClock* clock_;
+  Config config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_in_flight_ = 0;
+  SimTime opened_at_{};
+  Stats stats_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace genio::resilience

@@ -1,0 +1,61 @@
+#include "genio/resilience/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genio::resilience {
+
+SimTime RetryPolicy::backoff(int attempt, common::Rng& rng) const {
+  const double factor = std::pow(multiplier, static_cast<double>(attempt - 1));
+  const double base = static_cast<double>(initial_backoff.nanos()) * factor;
+  const double capped = std::min(base, static_cast<double>(max_backoff.nanos()));
+  const double jittered = capped * (1.0 + jitter * rng.uniform01());
+  return SimTime(static_cast<std::int64_t>(
+      std::min(jittered, static_cast<double>(max_backoff.nanos()))));
+}
+
+bool is_transient(const common::Error& error) {
+  switch (error.code()) {
+    case common::ErrorCode::kUnavailable:
+    case common::ErrorCode::kTimeout:
+    case common::ErrorCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string to_string(FailMode mode) {
+  switch (mode) {
+    case FailMode::kFailOpen: return "fail-open";
+    case FailMode::kFailClosed: return "fail-closed";
+    case FailMode::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
+
+GatePolicySet make_fail_open_policies() {
+  GatePolicySet set;
+  set.fallback() = {.on_error = FailMode::kFailOpen, .retry = {.max_attempts = 1}};
+  return set;
+}
+
+GatePolicySet make_fail_closed_policies() {
+  GatePolicySet set;
+  // Cumulative backoff budget ~2.5 min (5+10+20+40+80 s): long enough to
+  // ride out the minute-scale dependency outages chaos drills inject.
+  RetryPolicy transient{.max_attempts = 6,
+                        .initial_backoff = SimTime::from_seconds(5),
+                        .multiplier = 2.0,
+                        .max_backoff = SimTime::from_seconds(120),
+                        .jitter = 0.1};
+  set.fallback() = {.on_error = FailMode::kFailClosed, .retry = transient};
+  set.set("pull", {.on_error = FailMode::kFailClosed, .retry = transient});
+  // SCA can serve its last-good feed snapshot with an explicit staleness
+  // flag; blocking every deploy on a flaky feed would trade availability
+  // for no security gain (the snapshot is what the feed held minutes ago).
+  set.set("sca", {.on_error = FailMode::kDegrade, .retry = transient});
+  return set;
+}
+
+}  // namespace genio::resilience

@@ -1,0 +1,130 @@
+// Resilience policies (Lessons 4, 6, 8): the security machinery itself
+// degrades — scanners crash, feeds go unreachable, controllers stall — and
+// every dependency edge needs an explicit answer to "what happens then".
+// This header provides the policy spine: bounded exponential backoff with
+// deterministic jitter, deadlines on SimClock, and the per-gate
+// fail-open/fail-closed decision every pipeline gate must declare instead
+// of implicitly assuming its scanner succeeded.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "genio/common/result.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::resilience {
+
+using common::Result;
+using common::SimClock;
+using common::SimTime;
+using common::Status;
+
+/// Bounded exponential backoff with deterministic jitter. All delays come
+/// from SimClock + a seeded Rng, so a retried operation is exactly
+/// reproducible per seed.
+struct RetryPolicy {
+  int max_attempts = 3;                                  // total tries, >= 1
+  SimTime initial_backoff = SimTime::from_millis(100);   // before 2nd try
+  double multiplier = 2.0;
+  SimTime max_backoff = SimTime::from_seconds(60);
+  double jitter = 0.1;  // delay is uniform in [d, d*(1+jitter))
+
+  /// Backoff before attempt `attempt` (attempt 1 retries first failure).
+  SimTime backoff(int attempt, common::Rng& rng) const;
+};
+
+/// A time budget for an operation and all its retries. Wraps the shared
+/// SimClock so nested operations observe one coherent budget.
+class Deadline {
+ public:
+  Deadline(const SimClock* clock, SimTime budget)
+      : clock_(clock), expires_at_(clock->now() + budget) {}
+
+  bool expired() const { return clock_->now() >= expires_at_; }
+  SimTime remaining() const {
+    const SimTime left = expires_at_ - clock_->now();
+    return left > SimTime{} ? left : SimTime{};
+  }
+  /// kTimeout error once the budget is exhausted, success before.
+  Status check(const std::string& op) const {
+    if (expired()) return common::timeout("deadline exceeded in " + op);
+    return Status::success();
+  }
+
+ private:
+  const SimClock* clock_;
+  SimTime expires_at_;
+};
+
+/// How an operation "sleeps" between retries. In the simulation this
+/// advances the shared SimClock (and lets the chaos engine revert faults
+/// whose window elapsed) — the hook where wall-clock waiting would live in
+/// a real deployment.
+using SleepFn = std::function<void(SimTime)>;
+
+struct RetryStats {
+  int attempts = 0;
+  SimTime total_backoff{};
+};
+
+/// Run `op` (returning Status or Result<T>) under `policy`. Retries only
+/// transient errors (kUnavailable, kTimeout, kResourceExhausted) — a
+/// signature that does not verify will not verify harder on attempt 3.
+bool is_transient(const common::Error& error);
+
+template <typename Op>
+auto retry(const RetryPolicy& policy, common::Rng& rng, const SleepFn& sleep, Op&& op,
+           RetryStats* stats = nullptr) -> decltype(op()) {
+  auto result = op();
+  int attempt = 1;
+  while (!result.ok() && attempt < policy.max_attempts && is_transient(result.error())) {
+    const SimTime delay = policy.backoff(attempt, rng);
+    if (sleep) sleep(delay);
+    if (stats != nullptr) stats->total_backoff = stats->total_backoff + delay;
+    result = op();
+    ++attempt;
+  }
+  if (stats != nullptr) stats->attempts = attempt;
+  return result;
+}
+
+/// What a gate does when its scanner ERRORS (not when it finds something):
+/// fail-open waves the artifact through — the pre-resilience implicit
+/// behaviour — fail-closed blocks it, degrade falls back to a declared
+/// last-good data source and flags the result as degraded.
+enum class FailMode { kFailOpen, kFailClosed, kDegrade };
+
+std::string to_string(FailMode mode);
+
+/// Per-gate error-handling contract.
+struct GatePolicy {
+  FailMode on_error = FailMode::kFailClosed;
+  RetryPolicy retry;
+};
+
+/// Named gate policies for a pipeline ("signature", "sca", ...). Unknown
+/// gates resolve to `fallback`.
+class GatePolicySet {
+ public:
+  void set(const std::string& gate, GatePolicy policy) { policies_[gate] = policy; }
+  const GatePolicy& for_gate(const std::string& gate) const {
+    const auto it = policies_.find(gate);
+    return it == policies_.end() ? fallback_ : it->second;
+  }
+  GatePolicy& fallback() { return fallback_; }
+
+ private:
+  std::map<std::string, GatePolicy> policies_;
+  GatePolicy fallback_;
+};
+
+/// Every gate fails open with no retries — the legacy implicit contract.
+GatePolicySet make_fail_open_policies();
+/// GENIO production policies: retries on transient faults, fail-closed
+/// everywhere, SCA degrades to its last-good feed snapshot.
+GatePolicySet make_fail_closed_policies();
+
+}  // namespace genio::resilience

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "genio/common/result.hpp"
 #include "genio/common/rng.hpp"
 #include "genio/vuln/cve.hpp"
 
@@ -115,6 +116,46 @@ class StaleFeed final : public AdvisoryFeed {
   SimTime frozen_at_;
   std::deque<CveRecord> pending_;
   FeedStats stats_;
+};
+
+/// The advisory-data dependency the SCA gate (and patch planner) queries,
+/// with Lesson 6's failure modes made explicit: the live database sits
+/// behind an availability flag the chaos engine can drop, and every
+/// successful refresh copies the database into a last-good snapshot. The
+/// resilient consumer degrades to the snapshot — with its age flagged —
+/// instead of silently scanning against nothing.
+class FeedHealthService {
+ public:
+  explicit FeedHealthService(CveDatabase* live) : live_(live) {}
+
+  /// Chaos hook: feed endpoint reachability.
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  /// Record a successful ingest pass: snapshots the live database.
+  void mark_refreshed(SimTime now) {
+    snapshot_ = *live_;
+    last_refresh_ = now;
+  }
+
+  /// Live database, or kUnavailable during an outage.
+  common::Result<const CveDatabase*> query(const std::string& consumer) const {
+    if (!available_) {
+      return common::unavailable("vulnerability feed unreachable (" + consumer + ")");
+    }
+    return static_cast<const CveDatabase*>(live_);
+  }
+
+  /// Last-good snapshot (what the resilient path degrades to).
+  const CveDatabase& snapshot() const { return snapshot_; }
+  SimTime last_refresh() const { return last_refresh_; }
+  SimTime snapshot_age(SimTime now) const { return now - last_refresh_; }
+
+ private:
+  CveDatabase* live_;
+  CveDatabase snapshot_;
+  SimTime last_refresh_{};
+  bool available_ = true;
 };
 
 /// GENIO's aggregator: polls every feed into the local database and tracks

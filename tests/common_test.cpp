@@ -2,6 +2,8 @@
 // SimClock, semver parsing and range matching, string utilities, event bus.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "genio/common/bytes.hpp"
 #include "genio/common/event_bus.hpp"
 #include "genio/common/log.hpp"
@@ -101,6 +103,55 @@ TEST(Result, StatusSuccessAndError) {
 TEST(Result, ErrorCodeNames) {
   EXPECT_EQ(gc::to_string(gc::ErrorCode::kReplayDetected), "replay_detected");
   EXPECT_EQ(gc::to_string(gc::ErrorCode::kSignatureInvalid), "signature_invalid");
+}
+
+TEST(Result, MoveOnlyPayload) {
+  gc::Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 9);
+  // Rvalue value() transfers ownership out of the Result.
+  std::unique_ptr<int> moved = std::move(r).value();
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(*moved, 9);
+}
+
+TEST(Result, RvalueValueThrowsOnError) {
+  auto make = [] { return gc::Result<std::unique_ptr<int>>(gc::unavailable("down")); };
+  EXPECT_THROW(make().value(), gc::BadResultAccess);
+}
+
+TEST(Result, ConstAccessorsThrowOnWrongState) {
+  const gc::Result<int> err = gc::timeout("too slow");
+  EXPECT_THROW(err.value(), gc::BadResultAccess);
+  EXPECT_THROW(*err, gc::BadResultAccess);
+  EXPECT_THROW((void)err.operator->(), gc::BadResultAccess);
+
+  const gc::Result<int> ok = 5;
+  EXPECT_THROW(ok.error(), gc::BadResultAccess);
+  EXPECT_EQ(ok.value(), 5);
+}
+
+TEST(Result, MutableValueIsWritable) {
+  gc::Result<std::string> r = std::string("abc");
+  r.value() += "def";
+  EXPECT_EQ(*r, "abcdef");
+}
+
+TEST(Result, BadAccessMessageCarriesError) {
+  gc::Result<int> r = gc::not_found("widget-7");
+  try {
+    (void)r.value();
+    FAIL() << "expected BadResultAccess";
+  } catch (const gc::BadResultAccess& e) {
+    EXPECT_NE(std::string(e.what()).find("widget-7"), std::string::npos);
+  }
+}
+
+TEST(Status, ErrorOnSuccessThrows) {
+  const gc::Status ok = gc::Status::success();
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_THROW(ok.error(), gc::BadResultAccess);
+  EXPECT_EQ(ok.to_string(), "ok");
 }
 
 // --------------------------------------------------------------------- Rng
@@ -335,6 +386,65 @@ TEST(EventBus, Unsubscribe) {
   bus.unsubscribe(id);
   bus.publish("x.b");
   EXPECT_EQ(count, 1);
+}
+
+TEST(EventBus, HandlerMaySubscribeDuringPublish) {
+  gc::EventBus bus;
+  int late_calls = 0;
+  bus.subscribe("x.", [&](const gc::Event&) {
+    // Re-entrant subscribe from inside a handler: must not invalidate the
+    // iteration, and the new handler sees only SUBSEQUENT events.
+    bus.subscribe("x.", [&](const gc::Event&) { ++late_calls; });
+  });
+  bus.publish("x.first");
+  EXPECT_EQ(late_calls, 0);
+  bus.publish("x.second");
+  // One subscriber added during the first publish, another during the
+  // second; only the first-added one saw x.second.
+  EXPECT_EQ(late_calls, 1);
+}
+
+TEST(EventBus, HandlerMayUnsubscribeSelfDuringPublish) {
+  gc::EventBus bus;
+  int a_calls = 0, b_calls = 0;
+  int id_a = 0;
+  id_a = bus.subscribe("t", [&](const gc::Event&) {
+    ++a_calls;
+    bus.unsubscribe(id_a);  // self-removal mid-dispatch
+  });
+  bus.subscribe("t", [&](const gc::Event&) { ++b_calls; });
+  bus.publish("t");
+  bus.publish("t");
+  EXPECT_EQ(a_calls, 1);  // removed after its first delivery
+  EXPECT_EQ(b_calls, 2);  // later subscriber unaffected by the removal
+}
+
+TEST(EventBus, HandlerMayUnsubscribeLaterSubscriberDuringPublish) {
+  gc::EventBus bus;
+  int victim_calls = 0;
+  int victim_id = 0;
+  bus.subscribe("t", [&](const gc::Event&) { bus.unsubscribe(victim_id); });
+  victim_id = bus.subscribe("t", [&](const gc::Event&) { ++victim_calls; });
+  bus.publish("t");
+  // The victim was tombstoned before the dispatch loop reached it.
+  EXPECT_EQ(victim_calls, 0);
+  bus.publish("t");
+  EXPECT_EQ(victim_calls, 0);
+}
+
+TEST(EventBus, NestedPublishInsideHandler) {
+  gc::EventBus bus;
+  std::vector<std::string> order;
+  bus.subscribe("outer", [&](const gc::Event&) {
+    order.push_back("outer");
+    bus.publish("inner");
+  });
+  bus.subscribe("inner", [&](const gc::Event&) { order.push_back("inner"); });
+  bus.publish("outer");
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "outer");
+  EXPECT_EQ(order[1], "inner");
+  EXPECT_EQ(bus.published_count(), 2u);
 }
 
 TEST(EventBus, AttrAccess) {

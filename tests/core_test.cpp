@@ -301,6 +301,58 @@ TEST(Pipeline, GatesDisabledAllowsEverythingThrough) {
   EXPECT_TRUE(report.deployed) << report.blocked_by();
 }
 
+TEST(Pipeline, DisabledGatesReportSkippedNotPassed) {
+  core::PlatformConfig config;
+  config.require_image_signature = false;
+  config.sca_gate = false;
+  core::GenioPlatform platform(config);
+  auto publisher = cr::SigningKey::generate(gc::to_bytes("p"), 4);
+  (void)platform.register_tenant("tenant-x", publisher.public_key());
+  platform.registry().push(make_clean_signed_image(), "tenant-x");
+
+  core::DeploymentPipeline pipeline(&platform);
+  const auto report = pipeline.deploy({.tenant = "tenant-x",
+                                       .image_reference =
+                                           "registry.genio.io/tenant-a/clean-app:1.0.0",
+                                       .app_name = "clean-app"});
+  EXPECT_TRUE(report.deployed) << report.blocked_by();
+
+  const auto* signature = report.stage("signature");
+  ASSERT_NE(signature, nullptr);
+  EXPECT_TRUE(signature->skipped);
+  EXPECT_FALSE(signature->ran);
+  const auto skipped = report.skipped_gates();
+  ASSERT_EQ(skipped.size(), 2u);
+  EXPECT_EQ(skipped[0], "signature");
+  EXPECT_EQ(skipped[1], "sca");
+
+  // Gates that actually ran and passed are NOT skipped.
+  const auto* sast = report.stage("sast");
+  ASSERT_NE(sast, nullptr);
+  EXPECT_TRUE(sast->ran);
+  EXPECT_FALSE(sast->skipped);
+
+  const std::string summary = report.coverage_summary();
+  EXPECT_NE(summary.find("skipped: signature, sca"), std::string::npos) << summary;
+}
+
+TEST(Pipeline, FullyEnabledPipelineSkipsNothing) {
+  PipelineFixture f;
+  ASSERT_TRUE(
+      f.platform.registry().push_signed(make_clean_signed_image(), "tenant-a", f.publisher)
+          .ok());
+  const auto report = f.pipeline.deploy({.tenant = "tenant-a",
+                                         .image_reference =
+                                             "registry.genio.io/tenant-a/clean-app:1.0.0",
+                                         .app_name = "clean-app"});
+  EXPECT_TRUE(report.deployed) << report.blocked_by();
+  EXPECT_TRUE(report.skipped_gates().empty());
+  EXPECT_EQ(report.failed_open_count(), 0u);
+  for (const auto& stage : report.stages) {
+    EXPECT_TRUE(stage.ran) << stage.name;
+  }
+}
+
 // --------------------------------------------------------------- scenarios
 
 namespace {

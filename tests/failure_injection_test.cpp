@@ -14,6 +14,7 @@
 #include "genio/os/tpm.hpp"
 #include "genio/pon/gpon_crypto.hpp"
 #include "genio/pon/macsec.hpp"
+#include "genio/resilience/circuit_breaker.hpp"
 
 namespace gc = genio::common;
 namespace cr = genio::crypto;
@@ -280,4 +281,106 @@ TEST(FailureInjection, ReplayStormNeverDoubleDelivers) {
   EXPECT_EQ(delivered, wire.size());
   EXPECT_EQ(rx.stats().replayed_frames + rx.stats().late_frames,
             storm.size() - wire.size());
+}
+
+TEST(FailureInjection, ChaosNodeCrashNeverLeaksAllocationOntoDeadNodes) {
+  // Random crash/recover/reschedule churn: at no point may a dead node
+  // hold pod capacity, and total allocated must equal the sum of the
+  // footprints of running pods.
+  for (std::uint64_t seed = 900; seed < 910; ++seed) {
+    gc::Rng rng(seed);
+    genio::core::GenioPlatform platform({});
+    auto publisher = cr::SigningKey::generate(gc::to_bytes("pub"), 4);
+    (void)platform.register_tenant("tenant-a", publisher.public_key());
+    auto& cluster = platform.cluster();
+
+    int created = 0;
+    for (int step = 0; step < 60; ++step) {
+      const auto action = rng.index(4);
+      if (action == 0) {
+        genio::middleware::PodSpec spec;
+        spec.name = "app-" + std::to_string(created++);
+        spec.ns = "tenant-a";
+        spec.container.image = "registry.genio.io/tenant-a/app:1.0.0";
+        spec.container.limits = genio::middleware::ResourceQuantity{0.5, 256};
+        spec.container.run_as_root = false;
+        (void)cluster.create_pod("tenant-a:deployer", spec);
+      } else if (action == 1) {
+        const auto& node = cluster.nodes()[rng.index(cluster.nodes().size())];
+        cluster.set_node_health(node.name, genio::middleware::NodeHealth::kCrashed);
+      } else if (action == 2) {
+        const auto& node = cluster.nodes()[rng.index(cluster.nodes().size())];
+        cluster.set_node_health(node.name, genio::middleware::NodeHealth::kReady);
+      } else {
+        (void)cluster.reschedule_failed();
+      }
+
+      // Invariant 1: dead nodes hold zero allocation.
+      for (const auto& node : cluster.nodes()) {
+        if (node.health == genio::middleware::NodeHealth::kCrashed) {
+          EXPECT_EQ(node.allocated.cpu_cores, 0.0)
+              << "seed " << seed << " step " << step << " node " << node.name;
+          EXPECT_EQ(node.allocated.mem_mb, 0)
+              << "seed " << seed << " step " << step << " node " << node.name;
+        }
+      }
+      // Invariant 2: no running pod sits on a non-ready node.
+      for (const auto& pod : cluster.pods()) {
+        if (pod.phase == genio::middleware::PodPhase::kRunning) {
+          const auto* node = cluster.find_node(pod.node);
+          ASSERT_NE(node, nullptr);
+          EXPECT_NE(node->health, genio::middleware::NodeHealth::kCrashed)
+              << "seed " << seed << " step " << step << " pod " << pod.spec.name;
+        }
+      }
+      // Invariant 3: per-node allocation equals the sum over its running pods.
+      for (const auto& node : cluster.nodes()) {
+        double cpu = 0.0;
+        int mem = 0;
+        for (const auto& pod : cluster.pods()) {
+          if (pod.phase == genio::middleware::PodPhase::kRunning &&
+              pod.node == node.name) {
+            cpu += pod.spec.container.limits->cpu_cores;
+            mem += pod.spec.container.limits->mem_mb;
+          }
+        }
+        EXPECT_DOUBLE_EQ(node.allocated.cpu_cores, cpu)
+            << "seed " << seed << " step " << step << " node " << node.name;
+        EXPECT_EQ(node.allocated.mem_mb, mem)
+            << "seed " << seed << " step " << step << " node " << node.name;
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, BreakerTransitionsDeterministicUnderRandomFaults) {
+  // The same seed must produce the same breaker transition log — chaos
+  // drills are only debuggable if replayable.
+  auto run = [](std::uint64_t seed) {
+    gc::Rng rng(seed);
+    gc::SimClock clock;
+    genio::resilience::CircuitBreaker breaker(
+        "svc", &clock,
+        {.failure_threshold = 3, .open_duration = gc::SimTime::from_seconds(10)});
+    for (int i = 0; i < 400; ++i) {
+      clock.advance(gc::SimTime::from_seconds(1));
+      if (!breaker.allow()) continue;
+      if (rng.chance(0.4)) {
+        breaker.record_failure();
+      } else {
+        breaker.record_success();
+      }
+    }
+    return breaker.transitions();
+  };
+  for (std::uint64_t seed = 70; seed < 75; ++seed) {
+    const auto a = run(seed);
+    const auto b = run(seed);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    ASSERT_FALSE(a.empty()) << "seed " << seed << ": fault rate never tripped breaker";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].at.nanos(), b[i].at.nanos()) << "seed " << seed;
+      EXPECT_EQ(a[i].to, b[i].to) << "seed " << seed;
+    }
+  }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain build + ctest, then the same suite under ASan+UBSan.
-# Usage: tools/ci.sh [--plain-only|--sanitize-only]
+# Tier-1 CI: plain build + ctest + chaos-bench smoke, then the same test
+# suite under ASan+UBSan and under TSan.
+# Usage: tools/ci.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,15 +16,23 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure
 }
 
-if [[ "${mode}" != "--sanitize-only" ]]; then
+if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== plain build + tier-1 tests =="
   run_suite "${repo_root}/build"
+  echo "== chaos/resilience bench smoke =="
+  "${repo_root}/build/bench/bench_chaos_resilience" --smoke
 fi
 
-if [[ "${mode}" != "--plain-only" ]]; then
+if [[ "${mode}" != "--plain-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== ASan+UBSan build + tier-1 tests =="
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     run_suite "${repo_root}/build-asan" -DGENIO_SANITIZE=address,undefined
+fi
+
+if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
+  echo "== TSan build + tier-1 tests =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    run_suite "${repo_root}/build-tsan" -DGENIO_SANITIZE=thread
 fi
 
 echo "CI: all suites passed"
