@@ -106,7 +106,7 @@ RunResult run_drill(std::uint64_t seed, int fault_count, bool resilience) {
 
     // Self-healing loop: only the resilient platform repairs failed pods.
     if (resilience) {
-      result.rescheduled += platform.cluster().reschedule_failed();
+      result.rescheduled += platform.cluster().reschedule_failed().recovered;
     }
 
     // Posture must flag every outage it can currently observe.
@@ -127,7 +127,7 @@ RunResult run_drill(std::uint64_t seed, int fault_count, bool resilience) {
   // repair pass, then count what was lost.
   platform.advance_time(gc::SimTime::from_hours(1));
   if (resilience) {
-    result.rescheduled += platform.cluster().reschedule_failed();
+    result.rescheduled += platform.cluster().reschedule_failed().recovered;
   }
   for (const auto& ref : deployed_pods) {
     const auto slash = ref.find('/');

@@ -106,12 +106,17 @@ int main() {
                 gr::to_string(platform.onos_failover().breaker().state()).c_str());
   }
 
-  // 6. Node crash: pods fail over to the surviving node.
+  // 6. Node crash: pods fail over to the surviving node. The structured
+  //    report surfaces anything that fit nowhere instead of dropping it.
   platform.advance_time(gc::SimTime::from_seconds(10));  // t≈65s, node-1 dead
   const std::size_t failed = platform.cluster().failed_pod_count();
-  const std::size_t recovered = platform.cluster().reschedule_failed();
-  std::printf("\n[6] node crash: %zu pod(s) failed, %zu rescheduled onto healthy nodes\n",
-              failed, recovered);
+  const auto resched = platform.cluster().reschedule_failed();
+  std::printf("\n[6] node crash: %zu pod(s) failed; reschedule: %s\n", failed,
+              resched.summary().c_str());
+  for (const auto& stranded : resched.stranded) {
+    std::printf("    STRANDED %s — %s\n", stranded.pod_ref.c_str(),
+                stranded.reason.c_str());
+  }
 
   // 7. Mid-storm posture: every degraded mitigation is flagged.
   std::printf("\n[7] posture during the storm:\n");

@@ -81,6 +81,22 @@ int GenioPlatform::activate_pon() {
   return ready;
 }
 
+common::Status GenioPlatform::reauthenticate_onu(const std::string& serial) {
+  pon::Onu* device = nullptr;
+  for (auto& onu : onus_) {
+    if (onu->serial() == serial) device = onu.get();
+  }
+  if (device == nullptr) {
+    return common::not_found("no ONU with serial '" + serial + "'");
+  }
+  if (!config_.node_authentication) return common::Status::success();
+  const auto id = olt_->onu_id_for(serial);
+  if (!id.has_value()) {
+    return common::not_found("ONU '" + serial + "' was never activated");
+  }
+  return olt_->authenticate_onu(*id, *device);
+}
+
 void GenioPlatform::build_host() {
   host_ = os::make_stock_onl_host("olt-1");
   if (config_.os_hardening) {
@@ -151,6 +167,9 @@ void GenioPlatform::build_middleware() {
   }
   onos_failover_ = std::make_unique<middleware::SdnFailover>(
       onos_.get(), onos_standby_.get(), &clock_);
+  // Breaker flips are health signals: publish them for the supervisor's
+  // health monitor and the SIEM analytics pipeline.
+  onos_failover_->attach_bus(&bus_);
 }
 
 void GenioPlatform::build_resilience() {

@@ -90,6 +90,11 @@ class GenioPlatform {
   /// Run discovery and (per config) the M4 handshakes. Returns the number
   /// of ONUs that reached an operational, policy-compliant state.
   int activate_pon();
+  /// Re-run the M4 mutual-auth handshake for one ONU (supervisor playbook
+  /// after churn: the device vanished from the tree, so its session must
+  /// be re-established with fresh keys, not trusted on reattach). No-op
+  /// success when node_authentication is off.
+  common::Status reauthenticate_onu(const std::string& serial);
 
   // -- OLT host ----------------------------------------------------------------
   os::Host& host() { return host_; }

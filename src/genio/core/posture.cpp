@@ -35,7 +35,8 @@ std::string PostureReport::grade() const {
 }
 
 PostureReport evaluate_posture(GenioPlatform& platform,
-                               const os::BootReport& boot_report) {
+                               const os::BootReport& boot_report,
+                               const resilience::RecoveryLedger* ledger) {
   PostureReport report;
 
   hardening::HostAuditor auditor;
@@ -133,6 +134,26 @@ PostureReport evaluate_posture(GenioPlatform& platform,
     flag("tpm", std::to_string(platform.tpm().pending_transient_failures()) +
                     " transient failure(s) pending");
   }
+
+  if (ledger != nullptr) {
+    report.self_healing.supervised = true;
+    report.self_healing.episodes_total = ledger->episodes().size();
+    report.self_healing.episodes_open = ledger->open_count();
+    report.self_healing.episodes_resolved = ledger->resolved_count();
+    report.self_healing.episodes_escalated = ledger->escalated_count();
+    report.self_healing.mttr_seconds = ledger->mean_time_to_repair_seconds();
+    std::size_t escalated_open = 0;
+    for (const auto& episode : ledger->episodes()) {
+      if (episode.outcome == resilience::EpisodeOutcome::kOpen && episode.escalated) {
+        ++escalated_open;
+      }
+    }
+    if (escalated_open > 0) {
+      flag("self-healing", std::to_string(escalated_open) +
+                               " episode(s) past the remediation budget, "
+                               "escalated to operator");
+    }
+  }
   return report;
 }
 
@@ -156,6 +177,16 @@ std::string render_posture(const PostureReport& report) {
   table.add_row({"PEACH isolation",
                  common::format_double(report.peach.mean_score(), 2) + " (" +
                      appsec::to_string(report.peach.overall_tier()) + ")"});
+  if (report.self_healing.supervised) {
+    const auto& sh = report.self_healing;
+    table.add_row(
+        {"self-healing",
+         std::to_string(sh.episodes_resolved) + "/" +
+             std::to_string(sh.episodes_total) + " episodes repaired (" +
+             std::to_string(sh.episodes_open) + " open, " +
+             std::to_string(sh.episodes_escalated) + " escalated), MTTR " +
+             common::format_double(sh.mttr_seconds, 1) + "s"});
+  }
   if (report.degraded_mitigations.empty()) {
     table.add_row({"degraded mitigations", "none"});
   } else {

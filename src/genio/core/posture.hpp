@@ -10,6 +10,7 @@
 #include "genio/core/platform.hpp"
 #include "genio/middleware/checkers.hpp"
 #include "genio/middleware/hunter.hpp"
+#include "genio/resilience/supervisor.hpp"
 
 namespace genio::core {
 
@@ -42,15 +43,31 @@ struct PostureReport {
   std::vector<DegradedMitigation> degraded_mitigations;
   bool degraded() const { return !degraded_mitigations.empty(); }
 
+  /// Self-healing summary from the supervisor's RecoveryLedger (absent
+  /// when the platform runs without a supervision loop). Informational —
+  /// like degradation flags, it never moves the overall score.
+  struct SelfHealing {
+    bool supervised = false;
+    std::size_t episodes_total = 0;
+    std::size_t episodes_open = 0;
+    std::size_t episodes_resolved = 0;
+    std::size_t episodes_escalated = 0;
+    double mttr_seconds = 0.0;  // mean detect->repair over closed episodes
+  };
+  SelfHealing self_healing;
+
   /// Aggregate score 0-100 (weighted sections).
   double overall_score() const;
   std::string grade() const;  // "A".."F"
 };
 
 /// Evaluate the platform's current posture. `boot_report` should come from
-/// the most recent boot_host() call.
+/// the most recent boot_host() call. Pass the supervision loop's
+/// RecoveryLedger (when one is running) to fold the self-healing summary
+/// — episode counts, open escalations, MTTR — into the report.
 PostureReport evaluate_posture(GenioPlatform& platform,
-                               const os::BootReport& boot_report);
+                               const os::BootReport& boot_report,
+                               const resilience::RecoveryLedger* ledger = nullptr);
 
 /// Render the report as a text block for operators.
 std::string render_posture(const PostureReport& report);

@@ -120,24 +120,45 @@ void Cluster::set_node_health(const std::string& name, NodeHealth health) {
   }
 }
 
-std::size_t Cluster::reschedule_failed() {
-  std::size_t recovered = 0;
+std::string RescheduleReport::summary() const {
+  std::string out = std::to_string(recovered) + " recovered, " +
+                    std::to_string(stranded.size()) + " stranded";
+  if (!stranded.empty()) {
+    out += " (" + stranded.front().pod_ref + ": " + stranded.front().reason + ")";
+  }
+  return out;
+}
+
+RescheduleReport Cluster::reschedule_failed() {
+  RescheduleReport report;
+  const bool any_schedulable =
+      std::any_of(nodes_.begin(), nodes_.end(),
+                  [](const Node& n) { return n.schedulable(); });
   for (auto& pod : pods_) {
     if (pod.phase != PodPhase::kFailed) continue;
     const ResourceQuantity required = pod_footprint(pod);
     Node* node = schedule(required);
-    if (node == nullptr) continue;  // stays kFailed until capacity returns
+    if (node == nullptr) {  // stays kFailed until capacity returns
+      report.stranded.push_back(
+          {pod.spec.ns + "/" + pod.spec.name,
+           any_schedulable
+               ? "no node with free capacity for " +
+                     std::to_string(required.cpu_cores).substr(0, 4) + " cores / " +
+                     std::to_string(required.mem_mb) + " MB"
+               : "no schedulable node (all crashed or stalled)"});
+      continue;
+    }
     node->allocated.cpu_cores += required.cpu_cores;
     node->allocated.mem_mb += required.mem_mb;
     const std::string previous = pod.node;
     pod.node = node->name;
     pod.phase = PodPhase::kRunning;
     pod.allocation_released = false;
-    ++recovered;
+    ++report.recovered;
     audit("system:scheduler", "reschedule", "pods", pod.spec.ns, true,
           pod.spec.name + ": " + previous + " -> " + node->name);
   }
-  return recovered;
+  return report;
 }
 
 std::size_t Cluster::failed_pod_count() const {

@@ -95,6 +95,24 @@ AdmissionPolicy make_permissive_admission();
 /// GENIO's hardened admission policy.
 AdmissionPolicy make_hardened_admission();
 
+/// What one reschedule_failed() pass did: pods recovered onto healthy
+/// nodes, and pods that fit NOWHERE with the reason — so the supervisor
+/// (and an operator reading a drill transcript) sees stranded workloads
+/// instead of silently losing them.
+struct RescheduleReport {
+  std::size_t recovered = 0;
+  struct StrandedPod {
+    std::string pod_ref;  // "tenant-a/app"
+    std::string reason;   // "no schedulable node", "no node with capacity..."
+  };
+  std::vector<StrandedPod> stranded;
+
+  std::size_t still_failed() const { return stranded.size(); }
+  bool fully_recovered() const { return stranded.empty(); }
+  /// "2 recovered, 1 stranded (tenant-a/app: no schedulable node)".
+  std::string summary() const;
+};
+
 struct AuditEntry {
   std::string subject;
   std::string verb;
@@ -135,9 +153,9 @@ class Cluster {
   void set_node_health(const std::string& name, NodeHealth health);
 
   /// Resilience wiring: place every kFailed pod back onto a schedulable
-  /// node (admission already passed at creation). Returns the number of
-  /// pods recovered; pods that fit nowhere stay kFailed.
-  std::size_t reschedule_failed();
+  /// node (admission already passed at creation). Pods that fit nowhere
+  /// stay kFailed and are surfaced in the report with the reason.
+  RescheduleReport reschedule_failed();
 
   /// Pods currently kFailed (awaiting reschedule or lost for good).
   std::size_t failed_pod_count() const;

@@ -104,6 +104,9 @@ class SdnFailover {
   const SdnController& active() const;
   std::uint64_t failovers() const { return failovers_; }
   const resilience::CircuitBreaker& breaker() const { return breaker_; }
+  /// Publish every breaker state transition on the bus (health monitor /
+  /// SIEM visibility).
+  void attach_bus(common::EventBus* bus) { breaker_.attach_bus(bus); }
 
  private:
   SdnController* primary_;

@@ -60,6 +60,14 @@ class Odn {
   void set_olt(OltDevice* olt) { olt_ = olt; }
   void attach_onu(OnuDevice* onu) { onus_.push_back(onu); }
   void detach_onu(OnuDevice* onu) { std::erase(onus_, onu); }
+  /// Is the device currently on the splitter tree? (Health-probe query:
+  /// churned ONUs detach and reattach under chaos.)
+  bool attached(const OnuDevice* onu) const {
+    for (const OnuDevice* candidate : onus_) {
+      if (candidate == onu) return true;
+    }
+    return false;
+  }
   void add_tap(Tap* tap) { taps_.push_back(tap); }
 
   /// Broadcast a frame from the OLT to every attached ONU (and every tap).

@@ -12,6 +12,7 @@ std::string to_string(BreakerState state) {
 }
 
 void CircuitBreaker::transition_to(BreakerState next) {
+  const BreakerState from = state_;
   state_ = next;
   transitions_.push_back({clock_->now(), next});
   if (next == BreakerState::kOpen) {
@@ -21,6 +22,11 @@ void CircuitBreaker::transition_to(BreakerState next) {
     half_open_in_flight_ = 0;
   } else {
     consecutive_failures_ = 0;
+  }
+  if (bus_ != nullptr) {
+    bus_->publish("resilience.breaker.transition", {{"breaker", name_},
+                                                    {"from", to_string(from)},
+                                                    {"to", to_string(next)}});
   }
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "genio/common/event_bus.hpp"
 #include "genio/common/result.hpp"
 #include "genio/common/sim_clock.hpp"
 
@@ -71,6 +72,11 @@ class CircuitBreaker {
     return st;
   }
 
+  /// Publish "resilience.breaker.transition" {breaker, from, to} on every
+  /// state change, so the health monitor and SIEM analytics see breaker
+  /// flips without polling the transition log.
+  void attach_bus(common::EventBus* bus) { bus_ = bus; }
+
   const std::string& name() const { return name_; }
   BreakerState state() const { return state_; }
   const Stats& stats() const { return stats_; }
@@ -81,6 +87,7 @@ class CircuitBreaker {
 
   std::string name_;
   const SimClock* clock_;
+  common::EventBus* bus_ = nullptr;
   Config config_;
   BreakerState state_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;

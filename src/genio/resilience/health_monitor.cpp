@@ -1,0 +1,135 @@
+#include "genio/resilience/health_monitor.hpp"
+
+namespace genio::resilience {
+
+std::string to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kUnknown: return "unknown";
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDown: return "down";
+    case HealthState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+void HealthMonitor::add_target(std::string name, Probe probe, ProbeConfig config) {
+  Target target;
+  target.name = std::move(name);
+  target.probe = std::move(probe);
+  target.config = config;
+  targets_.push_back(std::move(target));
+}
+
+bool HealthMonitor::has_target(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+void HealthMonitor::mark_suspect(const std::string& name) {
+  for (auto& target : targets_) {
+    if (target.name == name) target.suspect = true;
+  }
+}
+
+const HealthMonitor::Target* HealthMonitor::find(const std::string& name) const {
+  for (const auto& target : targets_) {
+    if (target.name == name) return &target;
+  }
+  return nullptr;
+}
+
+HealthState HealthMonitor::state(const std::string& name) const {
+  const Target* target = find(name);
+  return target == nullptr ? HealthState::kUnknown : target->status.state;
+}
+
+const TargetStatus* HealthMonitor::status(const std::string& name) const {
+  const Target* target = find(name);
+  return target == nullptr ? nullptr : &target->status;
+}
+
+std::vector<std::string> HealthMonitor::targets() const {
+  std::vector<std::string> out;
+  out.reserve(targets_.size());
+  for (const auto& target : targets_) out.push_back(target.name);
+  return out;
+}
+
+std::size_t HealthMonitor::unhealthy_count() const {
+  std::size_t count = 0;
+  for (const auto& target : targets_) {
+    if (target.status.state == HealthState::kDown ||
+        target.status.state == HealthState::kQuarantined) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void HealthMonitor::set_state(Target& target, HealthState next) {
+  const HealthState from = target.status.state;
+  if (from == next) return;
+  const SimTime now = clock_ ? clock_->now() : SimTime{};
+
+  const bool flip = (from == HealthState::kHealthy && next == HealthState::kDown) ||
+                    (from == HealthState::kDown && next == HealthState::kHealthy);
+  if (flip) {
+    ++target.status.transitions;
+    target.flips.push_back(now);
+    while (!target.flips.empty() &&
+           target.flips.front() + target.config.flap_window < now) {
+      target.flips.pop_front();
+    }
+    if (target.config.flap_transitions > 0 &&
+        static_cast<int>(target.flips.size()) >= target.config.flap_transitions) {
+      // Oscillating faster than hysteresis can damp: park it.
+      next = HealthState::kQuarantined;
+      target.status.quarantined_until = now + target.config.quarantine_duration;
+      ++target.status.quarantines;
+      target.flips.clear();
+    }
+  }
+
+  target.status.state = next;
+  target.status.last_change = now;
+  if (bus_ != nullptr) {
+    bus_->publish("health.target.state", {{"target", target.name},
+                                          {"from", to_string(from)},
+                                          {"to", to_string(next)}});
+  }
+}
+
+void HealthMonitor::tick() {
+  const SimTime now = clock_ ? clock_->now() : SimTime{};
+  for (auto& target : targets_) {
+    if (target.status.state == HealthState::kQuarantined) {
+      if (now < target.status.quarantined_until) continue;
+      // Cooldown over: forget the run-up and observe from scratch.
+      target.status.consecutive_failures = 0;
+      target.status.consecutive_successes = 0;
+      set_state(target, HealthState::kUnknown);
+    }
+    if (!target.suspect && now < target.next_probe_at) continue;
+    target.suspect = false;
+    target.next_probe_at = now + target.config.probe_interval;
+
+    ++target.status.probes;
+    const bool up = target.probe ? target.probe() : true;
+    if (up) {
+      ++target.status.consecutive_successes;
+      target.status.consecutive_failures = 0;
+      if (target.status.state != HealthState::kHealthy &&
+          target.status.consecutive_successes >= target.config.up_after) {
+        set_state(target, HealthState::kHealthy);
+      }
+    } else {
+      ++target.status.consecutive_failures;
+      target.status.consecutive_successes = 0;
+      if (target.status.state != HealthState::kDown &&
+          target.status.consecutive_failures >= target.config.down_after) {
+        set_state(target, HealthState::kDown);
+      }
+    }
+  }
+}
+
+}  // namespace genio::resilience

@@ -1,0 +1,107 @@
+// Health monitoring for the self-healing supervision loop (MAPE-K "M"):
+// named targets are probed on SimClock ticks through caller-supplied
+// closures, so the monitor itself stays substrate-agnostic — the platform
+// wires probes for node liveness, SDN availability, PON attachment,
+// registry/feed reachability and TPM transients. Per-target hysteresis
+// (N consecutive failures to mark down, M consecutive successes to mark
+// up) keeps one lost probe from flapping the state, and targets that DO
+// flap faster than the hysteresis can damp are quarantined for a cooldown
+// so remediation does not chase an oscillating substrate. Every state
+// change is published on the EventBus ("health.target.state").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "genio/common/event_bus.hpp"
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::resilience {
+
+using common::EventBus;
+using common::SimClock;
+using common::SimTime;
+
+enum class HealthState {
+  kUnknown,      // never probed (or fresh out of quarantine)
+  kHealthy,
+  kDown,
+  kQuarantined,  // flapping faster than hysteresis; probing suspended
+};
+
+std::string to_string(HealthState state);
+
+struct ProbeConfig {
+  int down_after = 2;  // consecutive probe failures before kDown
+  int up_after = 1;    // consecutive probe successes before kHealthy
+  /// Minimum time between probes; zero probes on every tick. A
+  /// mark_suspect() overrides the interval once.
+  SimTime probe_interval{};
+  /// healthy<->down flips inside `flap_window` that trigger quarantine;
+  /// zero disables flap detection.
+  int flap_transitions = 6;
+  SimTime flap_window = SimTime::from_seconds(600);
+  SimTime quarantine_duration = SimTime::from_seconds(120);
+};
+
+struct TargetStatus {
+  HealthState state = HealthState::kUnknown;
+  int consecutive_failures = 0;
+  int consecutive_successes = 0;
+  std::uint64_t probes = 0;
+  std::size_t transitions = 0;   // healthy<->down flips observed
+  std::size_t quarantines = 0;
+  SimTime quarantined_until{};
+  SimTime last_change{};
+};
+
+class HealthMonitor {
+ public:
+  /// A probe answers "is the target serving right now?"; it must be cheap
+  /// and side-effect free (remediation belongs in playbooks).
+  using Probe = std::function<bool()>;
+
+  HealthMonitor(const SimClock* clock, EventBus* bus) : clock_(clock), bus_(bus) {}
+
+  void add_target(std::string name, Probe probe, ProbeConfig config = {});
+  bool has_target(const std::string& name) const;
+
+  /// Event-driven hint (chaos injection, breaker flip): probe this target
+  /// on the next tick regardless of its probe interval.
+  void mark_suspect(const std::string& name);
+
+  /// Probe every due target and run the hysteresis/flap state machines.
+  void tick();
+
+  /// kUnknown for unregistered names.
+  HealthState state(const std::string& name) const;
+  const TargetStatus* status(const std::string& name) const;
+
+  /// Registration order — deterministic for sweeps and reports.
+  std::vector<std::string> targets() const;
+  /// Targets currently kDown or kQuarantined.
+  std::size_t unhealthy_count() const;
+
+ private:
+  struct Target {
+    std::string name;
+    Probe probe;
+    ProbeConfig config;
+    TargetStatus status;
+    SimTime next_probe_at{};
+    bool suspect = false;
+    std::deque<SimTime> flips;  // recent healthy<->down flip times
+  };
+
+  void set_state(Target& target, HealthState next);
+  const Target* find(const std::string& name) const;
+
+  const SimClock* clock_;
+  EventBus* bus_;
+  std::vector<Target> targets_;
+};
+
+}  // namespace genio::resilience

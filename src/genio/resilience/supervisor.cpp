@@ -1,0 +1,164 @@
+#include "genio/resilience/supervisor.hpp"
+
+namespace genio::resilience {
+
+std::string to_string(EpisodeOutcome outcome) {
+  switch (outcome) {
+    case EpisodeOutcome::kOpen: return "open";
+    case EpisodeOutcome::kResolved: return "resolved";
+    case EpisodeOutcome::kEscalated: return "escalated";
+  }
+  return "unknown";
+}
+
+RecoveryEpisode& RecoveryLedger::open(const std::string& target,
+                                      const std::string& playbook, SimTime now) {
+  RecoveryEpisode episode;
+  episode.id = next_id_++;
+  episode.target = target;
+  episode.playbook = playbook;
+  episode.detected_at = now;
+  episodes_.push_back(std::move(episode));
+  return episodes_.back();
+}
+
+RecoveryEpisode* RecoveryLedger::find_open(const std::string& target) {
+  for (auto& episode : episodes_) {
+    if (episode.target == target && episode.outcome == EpisodeOutcome::kOpen) {
+      return &episode;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t RecoveryLedger::open_count() const {
+  std::size_t count = 0;
+  for (const auto& episode : episodes_) {
+    if (episode.outcome == EpisodeOutcome::kOpen) ++count;
+  }
+  return count;
+}
+
+std::size_t RecoveryLedger::resolved_count() const {
+  std::size_t count = 0;
+  for (const auto& episode : episodes_) {
+    if (episode.outcome == EpisodeOutcome::kResolved) ++count;
+  }
+  return count;
+}
+
+std::size_t RecoveryLedger::escalated_count() const {
+  std::size_t count = 0;
+  for (const auto& episode : episodes_) {
+    if (episode.escalated) ++count;
+  }
+  return count;
+}
+
+double RecoveryLedger::mean_time_to_repair_seconds() const {
+  double total = 0.0;
+  std::size_t repaired = 0;
+  for (const auto& episode : episodes_) {
+    if (episode.outcome == EpisodeOutcome::kOpen) continue;
+    total += episode.time_to_repair().seconds();
+    ++repaired;
+  }
+  return repaired == 0 ? 0.0 : total / static_cast<double>(repaired);
+}
+
+void Supervisor::set_playbook(const std::string& target, Playbook playbook) {
+  playbooks_[target] = std::move(playbook);
+}
+
+bool Supervisor::verified(const std::string& target) const {
+  const auto it = playbooks_.find(target);
+  if (it == playbooks_.end() || !it->second.verify) return true;
+  return it->second.verify();
+}
+
+void Supervisor::observe() {
+  monitor_->tick();
+  const SimTime now = clock_ ? clock_->now() : SimTime{};
+  for (const auto& name : monitor_->targets()) {
+    const HealthState state = monitor_->state(name);
+    RecoveryEpisode* episode = ledger_.find_open(name);
+    if (episode == nullptr) {
+      if (state != HealthState::kDown) continue;
+      const auto it = playbooks_.find(name);
+      auto& opened =
+          ledger_.open(name, it == playbooks_.end() ? "" : it->second.name, now);
+      if (bus_ != nullptr) {
+        bus_->publish("supervisor.episode.opened",
+                      {{"target", name}, {"id", std::to_string(opened.id)}});
+      }
+      continue;
+    }
+    if (state == HealthState::kHealthy && verified(name)) {
+      episode->resolved_at = now;
+      episode->outcome = episode->escalated ? EpisodeOutcome::kEscalated
+                                            : EpisodeOutcome::kResolved;
+      if (bus_ != nullptr) {
+        bus_->publish("supervisor.episode.resolved",
+                      {{"target", name},
+                       {"id", std::to_string(episode->id)},
+                       {"attempts", std::to_string(episode->attempts)},
+                       {"escalated", episode->escalated ? "yes" : "no"}});
+      }
+    }
+  }
+}
+
+void Supervisor::reconcile() {
+  const SimTime now = clock_ ? clock_->now() : SimTime{};
+  for (const auto& name : monitor_->targets()) {
+    RecoveryEpisode* episode = ledger_.find_open(name);
+    if (episode == nullptr) continue;
+    // Quarantined targets get no remediation: acting on an oscillating
+    // substrate amplifies the flapping.
+    if (monitor_->state(name) == HealthState::kQuarantined) continue;
+    const auto it = playbooks_.find(name);
+    if (it == playbooks_.end() || !it->second.remediate) continue;  // wait-only
+    const Playbook& playbook = it->second;
+
+    const SimTime gap = episode->escalated
+                            ? SimTime(playbook.retry_gap.nanos() * 4)
+                            : playbook.retry_gap;
+    if (episode->acted && now < episode->last_action_at + gap) continue;
+
+    if (!episode->escalated && episode->attempts >= playbook.max_attempts) {
+      episode->escalated = true;
+      episode->actions.push_back("escalated to " + playbook.escalate_to + " after " +
+                                 std::to_string(episode->attempts) + " attempts");
+      if (bus_ != nullptr) {
+        bus_->publish("supervisor.episode.escalated",
+                      {{"target", name},
+                       {"id", std::to_string(episode->id)},
+                       {"to", playbook.escalate_to}});
+      }
+      continue;
+    }
+
+    RemediationOutcome outcome = playbook.remediate();
+    if (!outcome.attempted) continue;  // preconditions unmet: wait, not a try
+    if (!episode->acted) episode->first_action_at = now;
+    episode->acted = true;
+    episode->last_action_at = now;
+    ++episode->attempts;
+    for (auto& action : outcome.actions) {
+      episode->actions.push_back(std::move(action));
+    }
+    if (bus_ != nullptr) {
+      bus_->publish("supervisor.remediation.applied",
+                    {{"target", name},
+                     {"playbook", playbook.name},
+                     {"attempt", std::to_string(episode->attempts)},
+                     {"ok", outcome.status.ok() ? "yes" : "no"}});
+    }
+  }
+}
+
+bool Supervisor::steady_state() const {
+  return ledger_.open_count() == 0 && monitor_->unhealthy_count() == 0;
+}
+
+}  // namespace genio::resilience

@@ -1,0 +1,135 @@
+// MAPE-K self-healing supervision loop (the paper's operational gap: M16-
+// M18 detect trouble, but recovery was manual). The Supervisor runs a
+// reconciliation cycle per SimClock tick: observe() drives the
+// HealthMonitor and opens/closes RecoveryEpisodes, reconcile() executes
+// the declarative remediation Playbook bound to each down target under a
+// per-episode attempt budget with escalation. The shared knowledge base is
+// the RecoveryLedger: every episode records detect -> remediate -> verify
+// timestamps, the actions taken, and the outcome, which is what the
+// posture report and bench_self_healing consume (MTTR = mean resolved_at
+// - detected_at over repaired episodes). Playbooks are closures so the
+// loop stays substrate-agnostic; GenioPlatform wiring lives in
+// core/self_healing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/common/result.hpp"
+#include "genio/resilience/health_monitor.hpp"
+
+namespace genio::resilience {
+
+/// What one remediation attempt did. `attempted == false` means the
+/// playbook's preconditions are unmet (the substrate is still gone, there
+/// is nothing to act on yet) — a wait, not a try, so it is not charged
+/// against the episode's attempt budget.
+struct RemediationOutcome {
+  bool attempted = true;
+  common::Status status = common::Status::success();
+  std::vector<std::string> actions;  // human-readable ledger entries
+};
+
+/// Declarative recovery recipe for one target.
+struct Playbook {
+  std::string name;  // "reschedule-failed-pods"
+  /// Null = wait-only: the target heals when its substrate does (feeder
+  /// fiber); the supervisor only tracks the episode.
+  std::function<RemediationOutcome()> remediate;
+  /// Extra resolution predicate beyond monitor health (e.g. "replay queue
+  /// drained", "breaker closed back to primary"). Null = health suffices.
+  std::function<bool()> verify;
+  int max_attempts = 8;  // budget before the episode escalates
+  SimTime retry_gap = SimTime::from_seconds(20);  // min gap between attempts
+  std::string escalate_to = "operator";
+};
+
+enum class EpisodeOutcome { kOpen, kResolved, kEscalated };
+
+std::string to_string(EpisodeOutcome outcome);
+
+struct RecoveryEpisode {
+  int id = 0;
+  std::string target;
+  std::string playbook;  // "" for wait-only/unbound targets
+  SimTime detected_at{};
+  SimTime first_action_at{};
+  SimTime last_action_at{};
+  SimTime resolved_at{};
+  int attempts = 0;
+  bool acted = false;
+  bool escalated = false;  // budget exhausted; operator paged
+  EpisodeOutcome outcome = EpisodeOutcome::kOpen;
+  std::vector<std::string> actions;
+
+  SimTime time_to_repair() const { return resolved_at - detected_at; }
+};
+
+/// The supervisor's knowledge base: every detection episode ever opened,
+/// with its full detect -> remediate -> verify timeline.
+class RecoveryLedger {
+ public:
+  RecoveryEpisode& open(const std::string& target, const std::string& playbook,
+                        SimTime now);
+  RecoveryEpisode* find_open(const std::string& target);
+
+  const std::vector<RecoveryEpisode>& episodes() const { return episodes_; }
+  std::size_t open_count() const;
+  std::size_t resolved_count() const;   // outcome == kResolved
+  std::size_t escalated_count() const;  // escalated (even if later repaired)
+
+  /// Mean time-to-repair in seconds over every episode that closed
+  /// (resolved or escalated-then-repaired); open episodes are excluded and
+  /// reported separately via open_count().
+  double mean_time_to_repair_seconds() const;
+
+ private:
+  std::vector<RecoveryEpisode> episodes_;
+  int next_id_ = 1;
+};
+
+class Supervisor {
+ public:
+  Supervisor(const SimClock* clock, EventBus* bus, HealthMonitor* monitor)
+      : clock_(clock), bus_(bus), monitor_(monitor) {}
+
+  void set_playbook(const std::string& target, Playbook playbook);
+
+  /// Monitor + Analyze: probe targets, open an episode for every newly
+  /// down target, close episodes whose target is healthy and verified.
+  void observe();
+
+  /// Plan + Execute: run the playbook for every open episode, respecting
+  /// quarantine, the retry gap, and the attempt budget. Past the budget
+  /// the episode escalates (operator paged) but remediation continues at
+  /// 4x the retry gap — escalation flags the SLO breach, it does not
+  /// abandon the target.
+  void reconcile();
+
+  /// One full reconciliation cycle. A remediation applied at tick T is
+  /// verified and resolved by observe() at tick T+1, like a real
+  /// controller's detect -> act -> verify loop.
+  void tick() {
+    observe();
+    reconcile();
+  }
+
+  /// No open episodes and no down/quarantined targets.
+  bool steady_state() const;
+
+  const RecoveryLedger& ledger() const { return ledger_; }
+  const HealthMonitor& monitor() const { return *monitor_; }
+
+ private:
+  bool verified(const std::string& target) const;
+
+  const SimClock* clock_;
+  EventBus* bus_;
+  HealthMonitor* monitor_;
+  std::map<std::string, Playbook> playbooks_;
+  RecoveryLedger ledger_;
+};
+
+}  // namespace genio::resilience

@@ -391,7 +391,9 @@ TEST(ClusterFaults, CrashFailsPodsAndReleasesCapacity) {
   EXPECT_EQ(platform.cluster().failed_pod_count(), 1u);
 
   // Reschedule lands it on the surviving node.
-  EXPECT_EQ(platform.cluster().reschedule_failed(), 1u);
+  const gm::RescheduleReport resched = platform.cluster().reschedule_failed();
+  EXPECT_EQ(resched.recovered, 1u);
+  EXPECT_TRUE(resched.fully_recovered());
   pod = platform.cluster().find_pod("tenant-a", "app");
   EXPECT_EQ(pod->phase, gm::PodPhase::kRunning);
   EXPECT_NE(pod->node, node_name);

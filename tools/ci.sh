@@ -21,6 +21,9 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   run_suite "${repo_root}/build"
   echo "== chaos/resilience bench smoke =="
   "${repo_root}/build/bench/bench_chaos_resilience" --smoke
+  echo "== self-healing bench smoke =="
+  "${repo_root}/build/bench/bench_self_healing" --smoke \
+    --out "${repo_root}/build/BENCH_selfheal.json"
 fi
 
 if [[ "${mode}" != "--plain-only" && "${mode}" != "--tsan-only" ]]; then
@@ -33,6 +36,10 @@ if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
   echo "== TSan build + tier-1 tests =="
   TSAN_OPTIONS=halt_on_error=1 \
     run_suite "${repo_root}/build-tsan" -DGENIO_SANITIZE=thread
+  echo "== self-healing bench smoke (TSan) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    "${repo_root}/build-tsan/bench/bench_self_healing" --smoke \
+    --out "${repo_root}/build-tsan/BENCH_selfheal.json"
 fi
 
 echo "CI: all suites passed"
