@@ -1,0 +1,481 @@
+// Admission-scan fabric throughput sweep. One seeded image corpus (all
+// images admit cleanly, so every arm performs the full five-gate scan) is
+// pushed through the deployment pipeline in three postures:
+//   serial        parallel_scanning=false, scan_cache=false — the
+//                 pre-fabric baseline;
+//   parallel-wK   work-stealing pool sized K in {1,2,4,8}, cache off;
+//   cached        pool of 4 with the content-addressed cache: a cold
+//                 round (every admit scans) then a warm round (every
+//                 admit replays its cached verdict span).
+// For every admission the wall-clock latency is recorded (p50/p99,
+// admissions/sec). Because CI hosts may expose a single core — where real
+// wall-clock parallel speedup is physically impossible — the bench also
+// measures each leaf scan task in isolation (per-file SAST, per-package
+// CVE matching, signature / secrets / YARA gates) and computes an
+// LPT-greedy modeled makespan at each pool size: the schedule the fabric
+// actually builds, costed from real measured task durations. Both numbers
+// are reported, clearly labeled.
+// Invariants (exit nonzero if any breaks):
+//   * serial and parallel reports render byte-identically for every image;
+//   * modeled speedup at 4 workers >= 2x over the serial task sum;
+//   * warm-cache round >= 5x faster than the cold round (3x in --smoke);
+//   * wall-clock speedup at 4 workers >= 2x, enforced only when the host
+//     actually has >= 4 cores.
+// Writes a machine-readable summary to BENCH_pipeline.json (or --out
+// PATH). `--smoke` runs a reduced corpus for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "genio/appsec/sast.hpp"
+#include "genio/appsec/sca.hpp"
+#include "genio/appsec/secrets.hpp"
+#include "genio/appsec/yara.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/core/pipeline.hpp"
+#include "genio/core/platform.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace as = genio::appsec;
+namespace vl = genio::vuln;
+namespace core = genio::core;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct CorpusSpec {
+  int images = 24;
+  int files_per_image = 24;
+  int lines_per_file = 80;
+  int packages_per_image = 40;
+  int package_pool = 40;
+  int cves_per_package = 30;
+};
+
+// Scan-heavy but never blocking: the risky lines are high/medium severity
+// (eval, weak crypto, unsafe yaml) — no critical SAST rule, no secrets, no
+// malware triggers — and every seeded CVE scores below the 9.0 gate.
+std::vector<as::ContainerImage> make_corpus(const CorpusSpec& spec) {
+  static const char* kLines[] = {
+      "import os",
+      "def handler(request):",
+      "    return transform(request)",
+      "value = compute(7)",
+      "print(\"serving\")",
+      "key = os.getenv(\"API_KEY\")",
+      "eval(payload)",
+      "digest = hashlib.md5(data)",
+      "yaml.load(config_text)",
+      "result = query(cursor, params)",
+  };
+  gc::Rng rng(9090);
+  std::vector<as::ContainerImage> corpus;
+  corpus.reserve(static_cast<std::size_t>(spec.images));
+  for (int i = 0; i < spec.images; ++i) {
+    as::ContainerImage image("registry.genio.io/tenant-a/load-" + std::to_string(i),
+                             "1.0.0");
+    as::ImageLayer layer;
+    for (int f = 0; f < spec.files_per_image; ++f) {
+      std::string content;
+      for (int l = 0; l < spec.lines_per_file; ++l) {
+        content += kLines[rng.index(10)];
+        content += "\n";
+      }
+      layer.emplace("/app/f" + std::to_string(f) + ".py", gc::to_bytes(content));
+    }
+    image.add_layer(std::move(layer));
+    for (int p = 0; p < spec.packages_per_image; ++p) {
+      image.add_package(
+          {"libpkg-" + std::to_string(rng.index(static_cast<std::size_t>(
+                           spec.package_pool))),
+           gc::Version(static_cast<int>(rng.index(4)),
+                       static_cast<int>(rng.index(10)), 0),
+           "pypi"});
+    }
+    image.set_entrypoint("/app/f0.py");
+    corpus.push_back(std::move(image));
+  }
+  return corpus;
+}
+
+void seed_cves(core::GenioPlatform& platform, const CorpusSpec& spec) {
+  static const char* kVectors[] = {
+      "AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N",  // ~6.5
+      "AV:N/AC:H/PR:L/UI:R/S:U/C:L/I:L/A:N",  // ~4.2
+      "AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N",  // ~2.x
+  };
+  int n = 0;
+  for (int p = 0; p < spec.package_pool; ++p) {
+    for (int j = 0; j < spec.cves_per_package; ++j) {
+      vl::CveRecord record;
+      record.id = "CVE-LOAD-" + std::to_string(n);
+      record.package = "libpkg-" + std::to_string(p);
+      record.affected =
+          gc::VersionRange::parse("<" + std::to_string(1 + (j % 4)) + ".5.0").value();
+      record.cvss = vl::CvssV3::parse(kVectors[n % 3]).value();
+      record.published = gc::SimTime::from_hours(n);
+      platform.cve_db().upsert(std::move(record));
+      ++n;
+    }
+  }
+}
+
+struct Site {
+  core::GenioPlatform platform;
+  cr::SigningKey publisher = cr::SigningKey::generate(gc::to_bytes("bench-pub"), 6);
+  core::DeploymentPipeline pipeline{&platform};
+
+  Site(core::PlatformConfig config, const CorpusSpec& spec,
+       const std::vector<as::ContainerImage>& corpus)
+      : platform(std::move(config)) {
+    (void)platform.register_tenant("tenant-a", publisher.public_key());
+    seed_cves(platform, spec);
+    for (const auto& image : corpus) {
+      (void)platform.registry().push_signed(image, "tenant-a", publisher);
+    }
+  }
+};
+
+std::string render(const core::PipelineReport& report) {
+  std::string out = report.image + "|" + report.tenant + "|" +
+                    (report.deployed ? "deployed" : "blocked") + "|" + report.pod_ref;
+  for (const auto& s : report.stages) {
+    out += "\n" + s.name + "|" + (s.ran ? "r" : "-") + (s.passed ? "p" : "F") +
+           (s.skipped ? "s" : "-") + (s.degraded ? "d" : "-") +
+           (s.failed_open ? "o" : "-") + "|" + s.detail;
+  }
+  return out;
+}
+
+struct RoundResult {
+  std::vector<double> admit_ms;          // one entry per admission
+  std::vector<std::string> rendered;     // full-fidelity report renderings
+  double total_ms = 0.0;
+  bool all_deployed = true;
+
+  double percentile(double p) const {
+    if (admit_ms.empty()) return 0.0;
+    std::vector<double> sorted = admit_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+  double admissions_per_sec() const {
+    return total_ms <= 0.0 ? 0.0
+                           : 1000.0 * static_cast<double>(admit_ms.size()) / total_ms;
+  }
+};
+
+RoundResult run_round(Site& site, const std::vector<as::ContainerImage>& corpus,
+                      const std::string& round_tag) {
+  RoundResult result;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    core::DeploymentRequest request;
+    request.tenant = "tenant-a";
+    request.image_reference = corpus[i].reference();
+    request.app_name = "load-" + std::to_string(i) + "-" + round_tag;
+    request.limits = {0.02, 16};  // hundreds of pods fit one node
+    const auto start = Clock::now();
+    const auto report = site.pipeline.deploy(request);
+    result.admit_ms.push_back(ms_since(start));
+    result.total_ms += result.admit_ms.back();
+    result.all_deployed &= report.deployed;
+    result.rendered.push_back(render(report));
+  }
+  return result;
+}
+
+// -- modeled makespan ---------------------------------------------------------
+// The fabric decomposes one admission into leaf tasks: one per source file
+// (SAST), one per manifest package (CVE matching), plus the signature,
+// secrets and YARA gates. Each leaf is timed in isolation (best of 3) and
+// an LPT-greedy schedule — longest task to the least-loaded worker, the
+// same greedy the work-stealing pool approximates — prices the admission
+// at every pool size.
+
+std::vector<double> measure_leaf_tasks(const as::ContainerImage& image,
+                                       Site& site) {
+  const auto best_of_3 = [](const std::function<void()>& fn) {
+    double best = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = Clock::now();
+      fn();
+      best = std::min(best, ms_since(start));
+    }
+    return best;
+  };
+
+  std::vector<double> tasks;
+  as::SastEngine engine = as::make_default_sast_engine();
+  engine.set_taint_enabled(true);
+  const auto files = as::extract_sources(image);
+  for (const auto& file : files) {
+    tasks.push_back(best_of_3([&] { (void)engine.analyze(file); }));
+  }
+  const vl::CveDatabase& db = site.platform.cve_db();
+  for (const auto& package : image.manifest()) {
+    tasks.push_back(
+        best_of_3([&] { (void)db.matching(package.name, package.version); }));
+  }
+  const auto entry = site.platform.registry().pull(image.reference());
+  if (entry.ok()) {
+    tasks.push_back(best_of_3([&] {
+      (void)as::verify_image(**entry, site.publisher.public_key());
+    }));
+  }
+  as::SecretScanner secrets;
+  tasks.push_back(best_of_3([&] { (void)secrets.scan_image(image); }));
+  as::YaraScanner yara = as::make_default_malware_scanner();
+  tasks.push_back(best_of_3([&] { (void)yara.scan_image(image); }));
+  return tasks;
+}
+
+double lpt_makespan(std::vector<double> tasks, std::size_t workers) {
+  std::sort(tasks.begin(), tasks.end(), std::greater<double>());
+  std::vector<double> load(std::max<std::size_t>(workers, 1), 0.0);
+  for (const double t : tasks) {
+    *std::min_element(load.begin(), load.end()) += t;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+struct ArmSummary {
+  std::string name;
+  std::size_t workers = 1;
+  RoundResult round;
+  double modeled_ms = 0.0;  // Σ per-image LPT makespan; 0 = not modeled
+};
+
+void write_json(const char* path, bool smoke, const CorpusSpec& spec,
+                unsigned hw, const std::vector<ArmSummary>& arms,
+                const RoundResult& cold, const RoundResult& warm,
+                double modeled_serial_ms, bool determinism_ok,
+                double modeled_speedup_4, double wall_speedup_4,
+                double warm_speedup, bool invariants_hold) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pipeline_throughput\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f,
+               "  \"corpus\": {\"images\": %d, \"files_per_image\": %d, "
+               "\"lines_per_file\": %d, \"packages_per_image\": %d, "
+               "\"cve_records\": %d},\n",
+               spec.images, spec.files_per_image, spec.lines_per_file,
+               spec.packages_per_image, spec.package_pool * spec.cves_per_package);
+  std::fprintf(f, "  \"arms\": [\n");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmSummary& arm = arms[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"workers\": %zu, "
+                 "\"wall_total_ms\": %.3f, \"wall_p50_ms\": %.3f, "
+                 "\"wall_p99_ms\": %.3f, \"admissions_per_sec\": %.1f",
+                 arm.name.c_str(), arm.workers, arm.round.total_ms,
+                 arm.round.percentile(0.50), arm.round.percentile(0.99),
+                 arm.round.admissions_per_sec());
+    if (arm.modeled_ms > 0.0) {
+      std::fprintf(f,
+                   ", \"modeled_makespan_ms\": %.3f, \"modeled_speedup\": %.2f, "
+                   "\"modeled_admissions_per_sec\": %.1f",
+                   arm.modeled_ms, modeled_serial_ms / arm.modeled_ms,
+                   1000.0 * static_cast<double>(arm.round.admit_ms.size()) /
+                       arm.modeled_ms);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cache\": {\"cold_total_ms\": %.3f, \"warm_total_ms\": %.3f, "
+               "\"cold_p50_ms\": %.3f, \"warm_p50_ms\": %.3f, "
+               "\"warm_admissions_per_sec\": %.1f, \"warm_speedup_wall\": %.2f},\n",
+               cold.total_ms, warm.total_ms, cold.percentile(0.50),
+               warm.percentile(0.50), warm.admissions_per_sec(), warm_speedup);
+  std::fprintf(f, "  \"determinism_identical\": %s,\n",
+               determinism_ok ? "true" : "false");
+  std::fprintf(f, "  \"modeled_speedup_at_4_workers\": %.2f,\n", modeled_speedup_4);
+  std::fprintf(f, "  \"wall_speedup_at_4_workers\": %.2f,\n", wall_speedup_4);
+  std::fprintf(f, "  \"warm_cache_speedup\": %.2f,\n", warm_speedup);
+  // Headline admissions/sec comparison. On hosts with >= 4 cores the wall
+  // numbers carry the claim; on smaller hosts the LPT model over measured
+  // leaf-task costs stands in, and the basis field says so.
+  const bool wall_basis = hw >= 4;
+  std::fprintf(f,
+               "  \"summary\": {\"admissions_per_sec_serial\": %.1f, "
+               "\"admissions_per_sec_4_workers\": %.1f, "
+               "\"admissions_per_sec_warm_cache\": %.1f, "
+               "\"speedup_at_4_workers\": %.2f, \"speedup_basis\": \"%s\"},\n",
+               arms.empty() ? 0.0 : arms.front().round.admissions_per_sec(),
+               wall_basis ? wall_speedup_4 *
+                                (arms.empty() ? 0.0
+                                              : arms.front().round.admissions_per_sec())
+                          : modeled_speedup_4 *
+                                (arms.empty() ? 0.0
+                                              : arms.front().round.admissions_per_sec()),
+               warm.admissions_per_sec(),
+               wall_basis ? wall_speedup_4 : modeled_speedup_4,
+               wall_basis ? "wall-clock" : "modeled-lpt (host has < 4 cores)");
+  std::fprintf(f, "  \"invariants_hold\": %s\n", invariants_hold ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  CorpusSpec spec;
+  if (smoke) {
+    spec = {.images = 8,
+            .files_per_image = 8,
+            .lines_per_file = 30,
+            .packages_per_image = 12,
+            .package_pool = 12,
+            .cves_per_package = 5};
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto corpus = make_corpus(spec);
+  std::printf("=== admission-scan fabric sweep: %d images x %d files x %d "
+              "packages, %d CVEs, %u hardware threads ===\n\n",
+              spec.images, spec.files_per_image, spec.packages_per_image,
+              spec.package_pool * spec.cves_per_package, hw);
+
+  // -- arms ------------------------------------------------------------------
+  std::vector<ArmSummary> arms;
+
+  core::PlatformConfig serial_config;
+  serial_config.parallel_scanning = false;
+  serial_config.scan_cache = false;
+  Site serial_site(serial_config, spec, corpus);
+  const RoundResult serial_round = run_round(serial_site, corpus, "serial");
+  arms.push_back({"serial", 1, serial_round, 0.0});
+
+  // Leaf-task instrumentation against the serial site's database: the
+  // modeled serial cost is the task sum, the modeled parallel cost is the
+  // LPT makespan at each pool size.
+  double modeled_serial_ms = 0.0;
+  std::vector<std::vector<double>> leaf_tasks;
+  leaf_tasks.reserve(corpus.size());
+  for (const auto& image : corpus) {
+    leaf_tasks.push_back(measure_leaf_tasks(image, serial_site));
+    for (const double t : leaf_tasks.back()) modeled_serial_ms += t;
+  }
+
+  bool determinism_ok = serial_round.all_deployed;
+  double wall_speedup_4 = 0.0;
+  double modeled_speedup_4 = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    core::PlatformConfig config;
+    config.scan_workers = static_cast<int>(workers);
+    config.scan_cache = false;
+    Site site(config, spec, corpus);
+    ArmSummary arm;
+    arm.name = "parallel-w" + std::to_string(workers);
+    arm.workers = workers;
+    arm.round = run_round(site, corpus, "serial");  // same app names: reports
+                                                    // must render identically
+    for (const auto& tasks : leaf_tasks) {
+      arm.modeled_ms += lpt_makespan(tasks, workers);
+    }
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (arm.round.rendered[i] != serial_round.rendered[i]) {
+        determinism_ok = false;
+        std::fprintf(stderr,
+                     "DIVERGENCE %s image %zu\n--- serial ---\n%s\n--- %s ---\n%s\n",
+                     arm.name.c_str(), i, serial_round.rendered[i].c_str(),
+                     arm.name.c_str(), arm.round.rendered[i].c_str());
+      }
+    }
+    if (workers == 4) {
+      wall_speedup_4 = serial_round.total_ms / std::max(arm.round.total_ms, 1e-9);
+      modeled_speedup_4 = modeled_serial_ms / std::max(arm.modeled_ms, 1e-9);
+    }
+    arms.push_back(std::move(arm));
+  }
+
+  core::PlatformConfig cached_config;
+  cached_config.scan_workers = 4;
+  cached_config.scan_cache_capacity = corpus.size() * 2;
+  Site cached_site(cached_config, spec, corpus);
+  const RoundResult cold = run_round(cached_site, corpus, "cold");
+  const RoundResult warm = run_round(cached_site, corpus, "warm");
+  const double warm_speedup = cold.total_ms / std::max(warm.total_ms, 1e-9);
+  const auto cache_stats = cached_site.pipeline.scan_cache().stats();
+  arms.push_back({"cached-cold-w4", 4, cold, 0.0});
+  arms.push_back({"cached-warm-w4", 4, warm, 0.0});
+
+  // -- report ----------------------------------------------------------------
+  gc::Table table({"arm", "workers", "wall total ms", "p50 ms", "p99 ms",
+                   "admits/s", "modeled ms", "modeled speedup"});
+  for (const auto& arm : arms) {
+    table.add_row({arm.name, std::to_string(arm.workers),
+                   gc::format_double(arm.round.total_ms, 1),
+                   gc::format_double(arm.round.percentile(0.50), 2),
+                   gc::format_double(arm.round.percentile(0.99), 2),
+                   gc::format_double(arm.round.admissions_per_sec(), 1),
+                   arm.modeled_ms > 0.0 ? gc::format_double(arm.modeled_ms, 1) : "-",
+                   arm.modeled_ms > 0.0
+                       ? gc::format_double(modeled_serial_ms / arm.modeled_ms, 2)
+                       : "-"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("cache: %llu hits / %llu misses, warm speedup %.1fx (wall)\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              warm_speedup);
+  std::printf("modeled speedup at 4 workers: %.2fx (LPT over measured leaf "
+              "tasks); wall speedup at 4 workers: %.2fx on %u threads\n\n",
+              modeled_speedup_4, wall_speedup_4, hw);
+
+  // -- invariants ------------------------------------------------------------
+  bool invariants_hold = true;
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what);
+      invariants_hold = false;
+    }
+  };
+  check(determinism_ok,
+        "serial and parallel reports render byte-identically and all deploy");
+  check(cold.all_deployed && warm.all_deployed, "cached rounds all deploy");
+  check(warm.rendered.size() == cold.rendered.size(), "cache round sizes match");
+  check(cache_stats.hits >= corpus.size(), "warm round served from cache");
+  check(modeled_speedup_4 >= 2.0, "modeled speedup at 4 workers >= 2x");
+  check(warm_speedup >= (smoke ? 3.0 : 5.0),
+        smoke ? "warm cache >= 3x (smoke)" : "warm cache >= 5x");
+  if (hw >= 4) {
+    check(wall_speedup_4 >= 2.0, "wall speedup at 4 workers >= 2x (hw >= 4)");
+  } else {
+    std::printf("note: wall-speedup invariant skipped — only %u hardware "
+                "thread(s); modeled makespan stands in\n",
+                hw);
+  }
+
+  write_json(out_path, smoke, spec, hw, arms, cold, warm, modeled_serial_ms,
+             determinism_ok, modeled_speedup_4, wall_speedup_4, warm_speedup,
+             invariants_hold);
+  return invariants_hold ? 0 : 1;
+}

@@ -1,6 +1,52 @@
 #include "genio/appsec/image.hpp"
 
+#include <utility>
+
 namespace genio::appsec {
+
+ContainerImage::ContainerImage(const ContainerImage& other)
+    : name_(other.name_),
+      tag_(other.tag_),
+      layers_(other.layers_),
+      manifest_(other.manifest_),
+      entrypoint_(other.entrypoint_) {
+  std::lock_guard<std::mutex> lk(other.digest_mu_);
+  digest_memo_ = other.digest_memo_;
+}
+
+ContainerImage::ContainerImage(ContainerImage&& other) noexcept
+    : name_(std::move(other.name_)),
+      tag_(std::move(other.tag_)),
+      layers_(std::move(other.layers_)),
+      manifest_(std::move(other.manifest_)),
+      entrypoint_(std::move(other.entrypoint_)) {
+  std::lock_guard<std::mutex> lk(other.digest_mu_);
+  digest_memo_ = other.digest_memo_;
+}
+
+ContainerImage& ContainerImage::operator=(const ContainerImage& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lk(digest_mu_, other.digest_mu_);
+  name_ = other.name_;
+  tag_ = other.tag_;
+  layers_ = other.layers_;
+  manifest_ = other.manifest_;
+  entrypoint_ = other.entrypoint_;
+  digest_memo_ = other.digest_memo_;
+  return *this;
+}
+
+ContainerImage& ContainerImage::operator=(ContainerImage&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lk(digest_mu_, other.digest_mu_);
+  name_ = std::move(other.name_);
+  tag_ = std::move(other.tag_);
+  layers_ = std::move(other.layers_);
+  manifest_ = std::move(other.manifest_);
+  entrypoint_ = std::move(other.entrypoint_);
+  digest_memo_ = other.digest_memo_;
+  return *this;
+}
 
 std::map<std::string, Bytes> ContainerImage::flatten() const {
   std::map<std::string, Bytes> out;
@@ -11,20 +57,24 @@ std::map<std::string, Bytes> ContainerImage::flatten() const {
 }
 
 crypto::Digest ContainerImage::digest() const {
-  crypto::Sha256 h;
-  h.update(name_);
-  h.update(tag_);
-  h.update(entrypoint_);
-  for (const auto& [path, content] : flatten()) {
-    h.update(path);
-    h.update(BytesView(content));
+  std::lock_guard<std::mutex> lk(digest_mu_);
+  if (!digest_memo_.has_value()) {
+    crypto::Sha256 h;
+    h.update(name_);
+    h.update(tag_);
+    h.update(entrypoint_);
+    for (const auto& [path, content] : flatten()) {
+      h.update(path);
+      h.update(BytesView(content));
+    }
+    for (const auto& pkg : manifest_) {
+      h.update(pkg.name);
+      h.update(pkg.version.to_string());
+      h.update(pkg.ecosystem);
+    }
+    digest_memo_ = h.finish();
   }
-  for (const auto& pkg : manifest_) {
-    h.update(pkg.name);
-    h.update(pkg.version.to_string());
-    h.update(pkg.ecosystem);
-  }
-  return h.finish();
+  return *digest_memo_;
 }
 
 void ImageRegistry::push(ContainerImage image, std::string publisher) {

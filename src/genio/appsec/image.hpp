@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,14 +31,29 @@ class ContainerImage {
  public:
   ContainerImage(std::string name, std::string tag)
       : name_(std::move(name)), tag_(std::move(tag)) {}
+  // Copy/move are explicit because the digest memo's mutex is neither
+  // copyable nor movable; the memo itself transfers (same content).
+  ContainerImage(const ContainerImage& other);
+  ContainerImage(ContainerImage&& other) noexcept;
+  ContainerImage& operator=(const ContainerImage& other);
+  ContainerImage& operator=(ContainerImage&& other) noexcept;
 
   const std::string& name() const { return name_; }
   const std::string& tag() const { return tag_; }
   std::string reference() const { return name_ + ":" + tag_; }
 
-  void add_layer(ImageLayer layer) { layers_.push_back(std::move(layer)); }
-  void add_package(ImagePackage package) { manifest_.push_back(std::move(package)); }
-  void set_entrypoint(std::string entrypoint) { entrypoint_ = std::move(entrypoint); }
+  void add_layer(ImageLayer layer) {
+    invalidate_digest();
+    layers_.push_back(std::move(layer));
+  }
+  void add_package(ImagePackage package) {
+    invalidate_digest();
+    manifest_.push_back(std::move(package));
+  }
+  void set_entrypoint(std::string entrypoint) {
+    invalidate_digest();
+    entrypoint_ = std::move(entrypoint);
+  }
   const std::string& entrypoint() const { return entrypoint_; }
 
   const std::vector<ImagePackage>& manifest() const { return manifest_; }
@@ -48,14 +64,25 @@ class ContainerImage {
   std::map<std::string, Bytes> flatten() const;
 
   /// Content-addressed digest over layers + manifest + entrypoint.
+  /// Memoized: registry pull, signature verify, and the admission-scan
+  /// cache key all hash the same image, so only the first call pays for
+  /// the rehash. Safe to call from concurrent scan workers; mutators
+  /// (add_layer etc.) invalidate the memo and must not race with readers.
   crypto::Digest digest() const;
 
  private:
+  void invalidate_digest() {
+    std::lock_guard<std::mutex> lk(digest_mu_);
+    digest_memo_.reset();
+  }
+
   std::string name_;
   std::string tag_;
   std::vector<ImageLayer> layers_;
   std::vector<ImagePackage> manifest_;
   std::string entrypoint_;
+  mutable std::mutex digest_mu_;
+  mutable std::optional<crypto::Digest> digest_memo_;
 };
 
 /// A registry entry: the image plus (optionally) a publisher signature over

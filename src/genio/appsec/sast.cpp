@@ -1,5 +1,6 @@
 #include "genio/appsec/sast.hpp"
 
+#include <iterator>
 #include <set>
 
 #include "genio/common/strings.hpp"
@@ -91,6 +92,17 @@ std::vector<SastFinding> SastEngine::analyze(const SourceFile& file) const {
 std::vector<SastFinding> SastEngine::analyze_all(
     const std::vector<SourceFile>& files) const {
   std::vector<SastFinding> out;
+  if (pool_ != nullptr && pool_->size() > 1 && files.size() > 1) {
+    // Per-file analysis is pure; the ordered-merge reducer concatenates
+    // results in file order, matching the serial loop byte for byte.
+    pool_->parallel_map_reduce<std::vector<SastFinding>>(
+        files.size(), [&](std::size_t i) { return analyze(files[i]); },
+        [&out](std::size_t, std::vector<SastFinding>&& findings) {
+          out.insert(out.end(), std::make_move_iterator(findings.begin()),
+                     std::make_move_iterator(findings.end()));
+        });
+    return out;
+  }
   for (const auto& file : files) {
     auto findings = analyze(file);
     out.insert(out.end(), findings.begin(), findings.end());

@@ -21,6 +21,7 @@
 #include "genio/appsec/image.hpp"
 #include "genio/appsec/sast/source.hpp"
 #include "genio/appsec/sast/taint.hpp"
+#include "genio/common/thread_pool.hpp"
 
 namespace genio::appsec {
 
@@ -58,6 +59,12 @@ class SastEngine {
   void set_taint_enabled(bool enabled) { taint_enabled_ = enabled; }
   bool taint_enabled() const { return taint_enabled_; }
 
+  /// Attach the admission-scan fabric: analyze_all/analyze_image scan
+  /// files in parallel (lexer/parser/taint are per-file pure) and merge
+  /// findings in file order — byte-identical to the serial loop. Null or
+  /// size-1 pool keeps the serial path.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   std::vector<SastFinding> analyze(const SourceFile& file) const;
   std::vector<SastFinding> analyze_all(const std::vector<SourceFile>& files) const;
   std::vector<SastFinding> analyze_image(const ContainerImage& image) const;
@@ -71,6 +78,7 @@ class SastEngine {
   std::vector<SastRule> rules_;
   sast::TaintAnalyzer taint_;
   bool taint_enabled_ = true;
+  common::ThreadPool* pool_ = nullptr;  // non-owning; optional
 };
 
 /// Bandit-style Python security rules.

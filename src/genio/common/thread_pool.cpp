@@ -1,0 +1,133 @@
+#include "genio/common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace genio::common {
+
+std::size_t ThreadPool::recommended_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 8);
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  size_ = workers == 0 ? recommended_workers() : workers;
+  if (size_ <= 1) {
+    size_ = 1;
+    return;  // inline mode: no queues, no threads
+  }
+  const std::size_t thread_count = size_ - 1;  // the caller is the last worker
+  queues_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  // Increment before publishing the task so a racing pop never underflows.
+  pending_.fetch_add(1);
+  {
+    Queue& q = *queues_[next_queue_.fetch_add(1) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  // Serialize with the waiter's predicate-check-then-block window: once we
+  // hold wake_mu_, any sleeper either saw pending_ > 0 or is blocked and
+  // will receive the notify.
+  { std::lock_guard<std::mutex> lk(wake_mu_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::size_t self, std::function<void()>& task) {
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());  // own work LIFO
+      q.tasks.pop_back();
+      pending_.fetch_sub(1);
+      return true;
+    }
+  }
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    Queue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());  // steal FIFO
+      q.tasks.pop_front();
+      pending_.fetch_sub(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (pop_task(self, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [&] { return stop_ || pending_.load() > 0; });
+    if (stop_ && pending_.load() == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared batch state. Helpers grab indices from `next`; whoever finishes
+  // the last item signals the caller. The shared_ptr keeps the state alive
+  // for helpers that only get scheduled after the range is exhausted.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;  // the caller outlives the batch, so the pointer is safe
+  auto run = [state] {
+    std::size_t i;
+    while ((i = state->next.fetch_add(1)) < state->n) {
+      (*state->fn)(i);
+      if (state->done.fetch_add(1) + 1 == state->n) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(run);
+  run();  // the caller works too; after this, only in-flight items remain
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] { return state->done.load() == state->n; });
+}
+
+}  // namespace genio::common

@@ -1,6 +1,10 @@
 #include "genio/core/pipeline.hpp"
 
+#include <array>
+#include <optional>
+
 #include "genio/common/strings.hpp"
+#include "genio/crypto/sha256.hpp"
 
 namespace genio::core {
 
@@ -67,7 +71,246 @@ DeploymentPipeline::DeploymentPipeline(GenioPlatform* platform)
       yara_(appsec::make_default_malware_scanner()),
       policies_(platform->config().resilience_policies
                     ? resilience::make_fail_closed_policies()
-                    : resilience::make_fail_open_policies()) {}
+                    : resilience::make_fail_open_policies()),
+      pool_(platform->config().parallel_scanning
+                ? (platform->config().scan_workers > 0
+                       ? static_cast<std::size_t>(platform->config().scan_workers)
+                       : common::ThreadPool::recommended_workers())
+                : 1),
+      cache_(platform->config().scan_cache ? platform->config().scan_cache_capacity
+                                           : 0) {
+  sast_.set_thread_pool(&pool_);
+}
+
+std::string DeploymentPipeline::rulepack_fingerprint() const {
+  const PlatformConfig& config = platform_->config();
+  std::string fp = "rp1:sast=" + std::to_string(sast_.rule_count());
+  if (config.sast_taint_analysis) fp += "+taint";
+  fp += ":yara=" + std::to_string(yara_.rule_count());
+  fp += ":block=" + common::format_double(sca_block_score, 2);
+  fp += ":gates=";
+  fp += config.require_image_signature ? 'S' : '-';
+  fp += config.sca_gate ? 'C' : '-';
+  fp += config.sast_gate ? 'A' : '-';
+  fp += config.secret_gate ? 'X' : '-';
+  fp += config.malware_gate ? 'M' : '-';
+  return fp;
+}
+
+namespace {
+
+/// Cache-key scope: the signature gate's verdict depends on the entry's
+/// signature bytes and the tenant's publisher key, not just the image
+/// content — re-pushing the same content unsigned must never hit a
+/// verdict cached for the signed push.
+std::string signature_scope(const appsec::RegistryEntry& entry, const Tenant& tenant) {
+  crypto::Sha256 h;
+  h.update(tenant.publisher_key.fingerprint());
+  if (entry.signature.has_value()) {
+    const common::Bytes sig = entry.signature->serialize();
+    h.update(common::BytesView(sig));
+  } else {
+    h.update("unsigned");
+  }
+  return crypto::digest_hex(h.finish());
+}
+
+}  // namespace
+
+bool DeploymentPipeline::run_scan_gates(PipelineReport& report,
+                                        const appsec::RegistryEntry& entry,
+                                        const Tenant& tenant) {
+  const PlatformConfig& config = platform_->config();
+  sast_.set_taint_enabled(config.sast_taint_analysis);
+
+  // Resolve the SCA feed dependency serially, before any fan-out: outage
+  // handling is control flow (retry policy, degrade-to-snapshot), not scan
+  // compute, and it decides whether the admit is content-addressed at all.
+  const vuln::CveDatabase* sca_db = nullptr;
+  bool sca_degraded = false;
+  bool sca_fail_closed = false;
+  std::string sca_feed_error;
+  if (config.sca_gate) {
+    const resilience::GatePolicy& policy = policies_.for_gate("sca");
+    const auto feed = platform_->feed_service().query("sca-gate");
+    if (feed.ok()) {
+      sca_db = *feed;
+    } else {
+      sca_feed_error = feed.error().message();
+      if (policy.on_error == resilience::FailMode::kDegrade) {
+        sca_db = &platform_->feed_service().snapshot();
+        sca_degraded = true;
+      } else if (policy.on_error == resilience::FailMode::kFailClosed) {
+        sca_fail_closed = true;
+      }
+      // else: legacy fail-open — the gate closure waves the image through.
+    }
+  }
+
+  // The admit is cacheable only when every gate input is content-addressed:
+  // live feed (or SCA off), no degraded snapshot, no outage in play.
+  const bool cacheable =
+      cache_.capacity() > 0 &&
+      (!config.sca_gate || (sca_db != nullptr && !sca_degraded));
+  ScanKey key;
+  if (cacheable) {
+    key.image_digest = crypto::digest_hex(entry.image.digest());
+    key.scope = signature_scope(entry, tenant);
+    key.feed_revision = sca_db != nullptr ? sca_db->revision() : 0;
+    key.rulepack = rulepack_fingerprint();
+    // Feed re-ingest: eagerly strand every verdict from the old revision.
+    if (key.feed_revision != last_feed_revision_) {
+      cache_.invalidate_stale_feed(key.feed_revision);
+      last_feed_revision_ = key.feed_revision;
+    }
+    if (auto cached = cache_.lookup(key)) {
+      bool blocked = false;
+      for (auto& stage : *cached) {
+        blocked |= stage.ran && !stage.passed;
+        report.stages.push_back(std::move(stage));
+      }
+      return !blocked;
+    }
+  }
+
+  // The five content-addressed gates. Each closure produces exactly the
+  // stage the legacy serial code appended — details, degraded flags, and
+  // fail-mode semantics included — so the ordered merge below reproduces
+  // the serial report byte for byte.
+  struct GateSlot {
+    const char* name;
+    bool enabled;
+    std::function<PipelineStage()> run;
+  };
+  const auto make_stage = [](const char* name, bool passed, std::string detail) {
+    PipelineStage stage;
+    stage.name = name;
+    stage.ran = true;
+    stage.passed = passed;
+    stage.detail = std::move(detail);
+    return stage;
+  };
+  const std::array<GateSlot, 5> slots = {{
+      {"signature", config.require_image_signature,
+       [&] {
+         const auto st = appsec::verify_image(entry, tenant.publisher_key);
+         return make_stage("signature", st.ok(),
+                           st.ok() ? "publisher signature valid" : st.error().message());
+       }},
+      {"sca", config.sca_gate,
+       [&] {
+         if (sca_db == nullptr) {
+           if (sca_fail_closed) {
+             return make_stage("sca", false, sca_feed_error + " [fail-closed]");
+           }
+           PipelineStage stage =
+               make_stage("sca", true, sca_feed_error + " [fail-open: unscanned]");
+           stage.failed_open = true;
+           return stage;
+         }
+         appsec::ScaScanner sca(sca_db);
+         sca.set_thread_pool(&pool_);
+         const auto sca_report = sca.scan(entry.image);
+         const bool critical = !sca_report.findings.empty() &&
+                               sca_report.findings.front().score >= sca_block_score;
+         std::string detail =
+             std::to_string(sca_report.findings.size()) + " findings, max score " +
+             (sca_report.findings.empty()
+                  ? "0"
+                  : common::format_double(sca_report.findings.front().score, 1));
+         if (sca_degraded) {
+           const double age_hours =
+               platform_->feed_service().snapshot_age(platform_->clock().now()).hours();
+           detail += " [degraded: last-good snapshot, age " +
+                     common::format_double(age_hours, 1) + "h]";
+         }
+         PipelineStage stage = make_stage("sca", !critical, std::move(detail));
+         // Legacy quirk preserved: the degraded flag was set after the
+         // blocking check, so a blocking degraded scan reports plain fail.
+         stage.degraded = sca_degraded && stage.passed;
+         return stage;
+       }},
+      {"sast", config.sast_gate,
+       [&] {
+         const auto findings = sast_.analyze_image(entry.image);
+         bool critical = false;
+         for (const auto& f : findings) {
+           critical |= f.severity == "critical" && appsec::SastEngine::is_actionable(f);
+         }
+         const std::size_t confirmed = appsec::SastEngine::count_confirmed(findings);
+         std::string detail = std::to_string(findings.size()) + " findings";
+         if (confirmed > 0) {
+           detail += ", " + std::to_string(confirmed) + " confirmed taint flow" +
+                     (confirmed == 1 ? "" : "s");
+         }
+         if (critical) detail += " (critical present)";
+         return make_stage("sast", !critical, std::move(detail));
+       }},
+      {"secrets", config.secret_gate,
+       [&] {
+         const auto secrets = secret_scanner_.scan_image(entry.image);
+         return make_stage("secrets", secrets.empty(),
+                           secrets.empty()
+                               ? "no embedded credentials"
+                               : appsec::to_string(secrets.front().kind) + " in " +
+                                     secrets.front().path);
+       }},
+      {"malware", config.malware_gate,
+       [&] {
+         const auto matches = yara_.scan_image(entry.image);
+         return make_stage("malware", matches.empty(),
+                           matches.empty()
+                               ? "no signature matched"
+                               : "matched rule '" + matches.front().rule + "'");
+       }},
+  }};
+
+  std::array<std::optional<PipelineStage>, slots.size()> results;
+  std::vector<std::size_t> enabled;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].enabled) enabled.push_back(i);
+  }
+  if (pool_.size() > 1 && enabled.size() > 1) {
+    // Fan out: every enabled gate runs concurrently (speculatively past a
+    // blocker — the gates are side-effect free, so speculation is
+    // invisible). The merge below restores serial order and truncation.
+    pool_.parallel_for(enabled.size(), [&](std::size_t j) {
+      results[enabled[j]] = slots[enabled[j]].run();
+    });
+  } else {
+    // Serial fallback: identical to the legacy path, early exit included.
+    for (const std::size_t i : enabled) {
+      results[i] = slots[i].run();
+      if (!results[i]->passed) break;
+    }
+  }
+
+  // Ordered merge: serial stage order, disabled gates recorded as skipped,
+  // and — exactly like the serial early return — nothing after a blocker.
+  const std::size_t span_begin = report.stages.size();
+  bool blocked = false;
+  for (std::size_t i = 0; i < slots.size() && !blocked; ++i) {
+    if (!slots[i].enabled) {
+      PipelineStage stage;
+      stage.name = slots[i].name;
+      stage.ran = false;
+      stage.passed = true;
+      stage.skipped = true;
+      stage.detail = "gate disabled (skipped, not passed)";
+      report.stages.push_back(std::move(stage));
+      continue;
+    }
+    report.stages.push_back(std::move(*results[i]));
+    const PipelineStage& stage = report.stages.back();
+    blocked = stage.ran && !stage.passed;
+  }
+
+  if (cacheable) {
+    cache_.insert(key, {report.stages.begin() + static_cast<std::ptrdiff_t>(span_begin),
+                        report.stages.end()});
+  }
+  return !blocked;
+}
 
 PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
   PipelineReport report;
@@ -118,113 +361,16 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
     return report;
   }
 
-  // 1. Publisher signature (supply-chain trust).
-  if (config.require_image_signature) {
-    const auto st = appsec::verify_image(image_entry, tenant->publisher_key);
-    if (!add_stage("signature", true, st.ok(),
-                   st.ok() ? "publisher signature valid" : st.error().message())) {
-      return report;
-    }
-  } else {
-    add_skipped("signature");
+  // 1-5. The content-addressed gates — signature (supply-chain trust),
+  // SCA (M13), SAST (M14v2), secret scanning, malware (M16) — run on the
+  // admission-scan fabric (or serially when it is sized 1), behind the
+  // content-addressed cache. Stage order, details and fail-mode semantics
+  // are byte-identical to the legacy serial gate chain.
+  if (!run_scan_gates(report, image_entry, *tenant)) {
+    return report;
   }
 
-  // 2. SCA (M13). The advisory database is a remote dependency; the gate's
-  // fail mode decides what a feed outage means: degrade scans the last-good
-  // snapshot with its age flagged, fail-closed blocks, fail-open (legacy)
-  // waves the image through unscanned.
-  if (config.sca_gate) {
-    const resilience::GatePolicy& policy = policies_.for_gate("sca");
-    const auto feed = platform_->feed_service().query("sca-gate");
-    const vuln::CveDatabase* db = nullptr;
-    bool degraded = false;
-    if (feed.ok()) {
-      db = *feed;
-    } else if (policy.on_error == resilience::FailMode::kDegrade) {
-      db = &platform_->feed_service().snapshot();
-      degraded = true;
-    } else if (policy.on_error == resilience::FailMode::kFailClosed) {
-      add_stage("sca", true, false, feed.error().message() + " [fail-closed]");
-      return report;
-    } else {
-      add_stage("sca", true, true, feed.error().message() + " [fail-open: unscanned]");
-      report.stages.back().failed_open = true;
-    }
-    if (db != nullptr) {
-      appsec::ScaScanner sca(db);
-      const auto sca_report = sca.scan(image_entry.image);
-      const bool critical = !sca_report.findings.empty() &&
-                            sca_report.findings.front().score >= sca_block_score;
-      std::string detail =
-          std::to_string(sca_report.findings.size()) + " findings, max score " +
-          (sca_report.findings.empty()
-               ? "0"
-               : common::format_double(sca_report.findings.front().score, 1));
-      if (degraded) {
-        const double age_hours =
-            platform_->feed_service().snapshot_age(platform_->clock().now()).hours();
-        detail += " [degraded: last-good snapshot, age " +
-                  common::format_double(age_hours, 1) + "h]";
-      }
-      if (!add_stage("sca", true, !critical, detail)) {
-        return report;
-      }
-      report.stages.back().degraded = degraded;
-    }
-  } else {
-    add_skipped("sca");
-  }
-
-  // 3. SAST (M14v2). Gate on actionable findings only: confirmed taint
-  // flows and unrefuted matches. Sanitized/refuted (kLow) never block.
-  if (config.sast_gate) {
-    sast_.set_taint_enabled(config.sast_taint_analysis);
-    const auto findings = sast_.analyze_image(image_entry.image);
-    bool critical = false;
-    for (const auto& f : findings) {
-      critical |= f.severity == "critical" && appsec::SastEngine::is_actionable(f);
-    }
-    const std::size_t confirmed = appsec::SastEngine::count_confirmed(findings);
-    std::string detail = std::to_string(findings.size()) + " findings";
-    if (confirmed > 0) {
-      detail += ", " + std::to_string(confirmed) + " confirmed taint flow" +
-                (confirmed == 1 ? "" : "s");
-    }
-    if (critical) detail += " (critical present)";
-    if (!add_stage("sast", true, !critical, detail)) {
-      return report;
-    }
-  } else {
-    add_skipped("sast");
-  }
-
-  // 4. Secret scanning (baked-in credentials are a supply-chain liability).
-  if (config.secret_gate) {
-    const auto secrets = secret_scanner_.scan_image(image_entry.image);
-    if (!add_stage("secrets", true, secrets.empty(),
-                   secrets.empty()
-                       ? "no embedded credentials"
-                       : appsec::to_string(secrets.front().kind) + " in " +
-                             secrets.front().path)) {
-      return report;
-    }
-  } else {
-    add_skipped("secrets");
-  }
-
-  // 5. Malware signatures (M16).
-  if (config.malware_gate) {
-    const auto matches = yara_.scan_image(image_entry.image);
-    if (!add_stage("malware", true, matches.empty(),
-                   matches.empty() ? "no signature matched"
-                                   : "matched rule '" + matches.front().rule + "'")) {
-      return report;
-    }
-  } else {
-    add_skipped("malware");
-  }
-
-  // 5. Cluster admission + scheduling (M10/M11).
+  // 6. Cluster admission + scheduling (M10/M11).
   middleware::PodSpec spec;
   spec.name = request.app_name;
   spec.ns = request.tenant;
@@ -240,7 +386,7 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
   }
   report.pod_ref = *pod;
 
-  // 6. Sandbox policy (M17).
+  // 7. Sandbox policy (M17).
   if (config.sandbox_enabled) {
     platform_->sandbox().add_policy(
         appsec::make_web_workload_policy(request.tenant + "/" + request.app_name));

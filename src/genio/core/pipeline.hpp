@@ -10,7 +10,9 @@
 #include "genio/appsec/sca.hpp"
 #include "genio/appsec/secrets.hpp"
 #include "genio/appsec/yara.hpp"
+#include "genio/common/thread_pool.hpp"
 #include "genio/core/platform.hpp"
+#include "genio/core/scan_cache.hpp"
 #include "genio/resilience/policy.hpp"
 
 namespace genio::core {
@@ -65,6 +67,8 @@ struct DeploymentRequest {
 
 class DeploymentPipeline {
  public:
+  using ScanCache = BasicScanCache<PipelineStage>;
+
   explicit DeploymentPipeline(GenioPlatform* platform);
 
   PipelineReport deploy(const DeploymentRequest& request);
@@ -74,7 +78,24 @@ class DeploymentPipeline {
 
   const resilience::GatePolicySet& policies() const { return policies_; }
 
+  /// The admission-scan fabric: size 1 when parallel_scanning is off.
+  common::ThreadPool& scan_pool() { return pool_; }
+  /// Content-addressed scan cache (capacity 0 when scan_cache is off).
+  ScanCache& scan_cache() { return cache_; }
+  const ScanCache& scan_cache() const { return cache_; }
+
+  /// Fingerprint of the loaded rulepacks + gate configuration + block
+  /// threshold; folded into every cache key so config drift invalidates.
+  std::string rulepack_fingerprint() const;
+
  private:
+  /// Run the content-addressed post-pull gates (signature, SCA, SAST,
+  /// secrets, malware) — concurrently on the fabric when enabled, with an
+  /// ordered merge that reproduces the serial report byte for byte — and
+  /// append their stages to `report`. Returns false when a gate blocked.
+  bool run_scan_gates(PipelineReport& report, const appsec::RegistryEntry& entry,
+                      const Tenant& tenant);
+
   GenioPlatform* platform_;
   appsec::SastEngine sast_;
   appsec::YaraScanner yara_;
@@ -82,6 +103,9 @@ class DeploymentPipeline {
   // Fail-closed + retry when config.resilience_policies, legacy fail-open
   // otherwise (the ablation bench contrasts the two at the same seed).
   resilience::GatePolicySet policies_;
+  common::ThreadPool pool_;
+  ScanCache cache_;
+  std::uint64_t last_feed_revision_ = 0;  // triggers eager invalidation
 };
 
 }  // namespace genio::core

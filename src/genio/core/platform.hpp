@@ -55,6 +55,16 @@ struct PlatformConfig {
   // Resilience layer: retries, circuit breakers and fail-closed gate
   // policies. Off = legacy behavior (faults fail open / deployments lost).
   bool resilience_policies = true;
+  // Admission-scan fabric: run the post-pull gates (and the per-file /
+  // per-package work inside SAST and SCA) on a work-stealing pool. Reports
+  // are byte-identical to the serial path; off = serial fallback.
+  bool parallel_scanning = true;
+  int scan_workers = 0;  // pool size incl. caller; 0 = min(hw cores, 8)
+  // Content-addressed scan cache keyed by (image digest, signature scope,
+  // feed revision, rulepack fingerprint); repeated admits of unchanged
+  // images replay the cached gate verdicts instead of rescanning.
+  bool scan_cache = true;
+  std::size_t scan_cache_capacity = 128;  // LRU entries
 
   int onu_count = 4;
   std::uint64_t seed = 42;

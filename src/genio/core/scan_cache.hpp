@@ -1,0 +1,141 @@
+// Content-addressed admission-scan cache. The post-pull gates (signature,
+// SCA, SAST, secrets, malware) are pure functions of (image content,
+// signature + publisher key, CVE database revision, rulepack + gate
+// config), so their verdicts — the exact PipelineStage span the serial
+// path would append — can be replayed for repeated admits of unchanged
+// images. The key captures every input:
+//   image_digest   sha256 over layers + manifest + entrypoint (memoized
+//                  on the image, so re-admits do not rehash)
+//   scope          signature + publisher-key fingerprint for the tenant
+//   feed_revision  CveDatabase::revision() of the live advisory database;
+//                  any feed re-ingest bumps it and strands older entries
+//   rulepack       SAST/YARA rulepack + gate-config fingerprint
+// Degraded (snapshot-scan) and failed-open verdicts are never cached:
+// their stage details depend on outage state and snapshot age, not
+// content. Eviction is LRU; invalidate_stale_feed() drops every entry
+// from an older feed revision eagerly after a re-ingest.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace genio::core {
+
+struct ScanKey {
+  std::string image_digest;
+  std::string scope;  // signature + publisher-key fingerprint
+  std::uint64_t feed_revision = 0;
+  std::string rulepack;
+
+  bool operator==(const ScanKey&) const = default;
+  std::string to_string() const {
+    return image_digest + "|" + scope + "|" + std::to_string(feed_revision) + "|" +
+           rulepack;
+  }
+};
+
+struct ScanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      // LRU pressure
+  std::uint64_t invalidations = 0;  // feed re-ingest
+};
+
+/// LRU map from ScanKey to the gate-stage span the scan produced. `Stage`
+/// is the pipeline's PipelineStage (templated to keep this header free of
+/// a circular include with pipeline.hpp). Thread-safe; capacity 0 disables
+/// the cache entirely (every lookup misses, inserts are dropped).
+template <typename Stage>
+class BasicScanCache {
+ public:
+  explicit BasicScanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+  }
+
+  ScanCacheStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  /// Copy-out lookup; promotes the entry to most-recently-used.
+  std::optional<std::vector<Stage>> lookup(const ScanKey& key) {
+    if (capacity_ == 0) return std::nullopt;
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(key.to_string());
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->stages;
+  }
+
+  void insert(const ScanKey& key, std::vector<Stage> stages) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string id = key.to_string();
+    const auto it = index_.find(id);
+    if (it != index_.end()) {
+      it->second->stages = std::move(stages);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(Entry{key, std::move(stages)});
+    index_.emplace(id, lru_.begin());
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key.to_string());
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  /// Feed re-ingest: eagerly drop every verdict computed against an older
+  /// advisory database. Returns the number of entries dropped.
+  std::size_t invalidate_stale_feed(std::uint64_t live_revision) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.feed_revision != live_revision) {
+        index_.erase(it->key.to_string());
+        it = lru_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    stats_.invalidations += dropped;
+    return dropped;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Entry {
+    ScanKey key;
+    std::vector<Stage> stages;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  ScanCacheStats stats_;
+};
+
+}  // namespace genio::core

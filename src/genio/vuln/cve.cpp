@@ -2,11 +2,35 @@
 
 namespace genio::vuln {
 
+CveDatabase::CveDatabase(const CveDatabase& other)
+    : by_id_(other.by_id_), revision_(other.revision_) {
+  // Re-point the package index at this copy's records, preserving the
+  // original index order exactly (equal-key order is insertion order, and
+  // downstream finding order must not change across snapshot copies).
+  for (const auto& [package, record] : other.by_package_) {
+    by_package_.emplace(package, &by_id_.find(record->id)->second);
+  }
+}
+
+CveDatabase& CveDatabase::operator=(const CveDatabase& other) {
+  if (this == &other) return *this;
+  by_id_ = other.by_id_;
+  revision_ = other.revision_;
+  by_package_.clear();
+  for (const auto& [package, record] : other.by_package_) {
+    by_package_.emplace(package, &by_id_.find(record->id)->second);
+  }
+  return *this;
+}
+
 void CveDatabase::upsert(CveRecord record) {
   const auto it = by_id_.find(record.id);
   if (it == by_id_.end()) {
-    by_package_.emplace(record.package, record.id);
-    by_id_.emplace(record.id, std::move(record));
+    std::string id = record.id;  // keep the key alive across the move
+    auto [inserted, ok] = by_id_.emplace(std::move(id), std::move(record));
+    (void)ok;
+    by_package_.emplace(inserted->second.package, &inserted->second);
+    ++revision_;
     return;
   }
   if (record.published >= it->second.published) {
@@ -14,14 +38,15 @@ void CveDatabase::upsert(CveRecord record) {
       // Re-key the package index.
       auto [lo, hi] = by_package_.equal_range(it->second.package);
       for (auto i = lo; i != hi; ++i) {
-        if (i->second == record.id) {
+        if (i->second == &it->second) {
           by_package_.erase(i);
           break;
         }
       }
-      by_package_.emplace(record.package, record.id);
+      by_package_.emplace(record.package, &it->second);
     }
     it->second = std::move(record);
+    ++revision_;
   }
 }
 
@@ -35,8 +60,7 @@ std::vector<const CveRecord*> CveDatabase::matching(const std::string& package,
   std::vector<const CveRecord*> out;
   auto [lo, hi] = by_package_.equal_range(package);
   for (auto it = lo; it != hi; ++it) {
-    const CveRecord& record = by_id_.at(it->second);
-    if (record.affected.contains(version)) out.push_back(&record);
+    if (it->second->affected.contains(version)) out.push_back(it->second);
   }
   return out;
 }
@@ -44,7 +68,7 @@ std::vector<const CveRecord*> CveDatabase::matching(const std::string& package,
 std::vector<const CveRecord*> CveDatabase::for_package(const std::string& package) const {
   std::vector<const CveRecord*> out;
   auto [lo, hi] = by_package_.equal_range(package);
-  for (auto it = lo; it != hi; ++it) out.push_back(&by_id_.at(it->second));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
   return out;
 }
 

@@ -3,6 +3,7 @@
 // queries the scanners need (by package, by severity floor, since-time).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -32,11 +33,25 @@ struct CveRecord {
 
 class CveDatabase {
  public:
+  CveDatabase() = default;
+  // The package index holds pointers into by_id_ (node-stable under
+  // insert/update), so copies must re-point it at their own records.
+  // Moves transfer the map nodes and keep every pointer valid.
+  CveDatabase(const CveDatabase& other);
+  CveDatabase& operator=(const CveDatabase& other);
+  CveDatabase(CveDatabase&&) = default;
+  CveDatabase& operator=(CveDatabase&&) = default;
+
   /// Insert or update (same id wins by newer publication).
   void upsert(CveRecord record);
 
   std::size_t size() const { return by_id_.size(); }
   const CveRecord* find(const std::string& id) const;
+
+  /// Monotonic content revision: bumped by every accepted upsert. The
+  /// admission-scan cache keys on it, so a feed re-ingest invalidates
+  /// every verdict computed against the older database.
+  std::uint64_t revision() const { return revision_; }
 
   /// All records affecting `package` at `version`.
   std::vector<const CveRecord*> matching(const std::string& package,
@@ -50,7 +65,11 @@ class CveDatabase {
 
  private:
   std::map<std::string, CveRecord> by_id_;
-  std::multimap<std::string, std::string> by_package_;  // package -> id
+  // package -> record. Direct pointers eliminate the per-candidate
+  // by_id_.at(id) lookup matching()/for_package() used to pay on the hot
+  // SCA path.
+  std::multimap<std::string, CveRecord*> by_package_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace genio::vuln

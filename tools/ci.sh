@@ -24,6 +24,9 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== self-healing bench smoke =="
   "${repo_root}/build/bench/bench_self_healing" --smoke \
     --out "${repo_root}/build/BENCH_selfheal.json"
+  echo "== pipeline-throughput bench smoke (serial/parallel divergence fails CI) =="
+  "${repo_root}/build/bench/bench_pipeline_throughput" --smoke \
+    --out "${repo_root}/build/BENCH_pipeline.json"
 fi
 
 if [[ "${mode}" != "--plain-only" && "${mode}" != "--tsan-only" ]]; then
@@ -40,6 +43,10 @@ if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "${repo_root}/build-tsan/bench/bench_self_healing" --smoke \
     --out "${repo_root}/build-tsan/BENCH_selfheal.json"
+  echo "== pipeline-throughput bench smoke (TSan) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    "${repo_root}/build-tsan/bench/bench_pipeline_throughput" --smoke \
+    --out "${repo_root}/build-tsan/BENCH_pipeline.json"
 fi
 
 echo "CI: all suites passed"
