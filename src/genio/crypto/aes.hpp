@@ -1,10 +1,17 @@
 // AES-128 (FIPS 197) forward cipher plus CTR mode. Only the forward
 // transform is implemented because every mode the platform uses (CTR, GCM)
 // runs AES exclusively in the encrypt direction.
+//
+// An `Aes128` instance IS the cached key schedule: construction expands the
+// key once, after which `encrypt_block`/`ctr_xor_in_place` are free of any
+// per-call expansion. Long-lived callers (GcmContext, the PON data plane)
+// hold one instance per key and rebuild it only on rekey; the key-taking
+// free functions remain for one-shot use.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "genio/common/bytes.hpp"
 
@@ -18,13 +25,18 @@ using AesKey = std::array<std::uint8_t, 16>;
 /// One AES block.
 using AesBlock = std::array<std::uint8_t, 16>;
 
-/// Expanded-key AES-128 context.
+/// Expanded-key AES-128 context (the reusable cached schedule).
 class Aes128 {
  public:
   explicit Aes128(const AesKey& key);
 
   /// Encrypt a single 16-byte block.
   AesBlock encrypt_block(const AesBlock& plaintext) const;
+
+  /// AES-CTR keystream XOR in place over `data`, starting from counter
+  /// block `iv` (trailing 32-bit big-endian counter). Reuses the cached
+  /// schedule — no allocation, no copies.
+  void ctr_xor_in_place(const AesBlock& iv, std::span<std::uint8_t> data) const;
 
  private:
   std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
@@ -33,6 +45,8 @@ class Aes128 {
 /// AES-128-CTR keystream XOR: encryption and decryption are the same
 /// operation. `iv` is the initial 16-byte counter block; the counter
 /// occupies the last 4 bytes (big-endian), as in NIST SP 800-38A examples.
+/// Expands the key schedule per call — prefer Aes128::ctr_xor_in_place on
+/// hot paths.
 Bytes aes128_ctr(const AesKey& key, const AesBlock& iv, BytesView data);
 
 /// Build an AesKey from a byte view (must be exactly 16 bytes).

@@ -6,8 +6,8 @@ namespace genio::crypto {
 
 namespace {
 
-// Multiplication in GF(2^128) with the GCM polynomial, bitwise (simple and
-// adequate for a simulation substrate).
+// Multiplication in GF(2^128) with the GCM polynomial, bitwise (the
+// reference oracle; GcmContext carries the table-driven fast path).
 AesBlock gf_mult(const AesBlock& x, const AesBlock& y) {
   AesBlock z{};
   AesBlock v = y;
@@ -67,8 +67,8 @@ AesBlock inc32(AesBlock block) {
   return block;
 }
 
-GcmTag compute_tag(const Aes128& cipher, const AesBlock& h, const AesBlock& j0,
-                   BytesView aad, BytesView ciphertext) {
+GcmTag compute_tag_bitwise(const Aes128& cipher, const AesBlock& h, const AesBlock& j0,
+                           BytesView aad, BytesView ciphertext) {
   AesBlock y{};
   ghash_update(y, h, aad);
   ghash_update(y, h, ciphertext);
@@ -102,6 +102,48 @@ Bytes gctr(const Aes128& cipher, AesBlock counter, BytesView data) {
   return out;
 }
 
+std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+// v = v * x in GF(2^128): shift the byte string down one bit, reducing by
+// R = 0xe1 || 0^120 when the x^127 coefficient falls off.
+AesBlock mul_x(AesBlock v) {
+  const bool lsb = (v[15] & 1) != 0;
+  for (int j = 15; j > 0; --j) {
+    v[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+        (v[static_cast<std::size_t>(j)] >> 1) |
+        ((v[static_cast<std::size_t>(j - 1)] & 1) << 7));
+  }
+  v[0] >>= 1;
+  if (lsb) v[0] ^= 0xe1;
+  return v;
+}
+
+// Reduction table for shifting a block down one byte: the byte b pushed
+// past x^127 holds coefficients x^120..x^127, and b * x^128 mod g(x) has
+// degree <= 14 — it lands entirely in the top 16 bits of the high word.
+// Key-independent, so built once for the whole process.
+const std::array<std::uint16_t, 256>& byte_reduction_table() {
+  static const std::array<std::uint16_t, 256> kTable = [] {
+    std::array<std::uint16_t, 256> table{};
+    for (unsigned b = 0; b < 256; ++b) {
+      AesBlock v{};
+      v[15] = static_cast<std::uint8_t>(b);
+      for (int step = 0; step < 8; ++step) v = mul_x(v);
+      table[b] = static_cast<std::uint16_t>((v[0] << 8) | v[1]);
+    }
+    return table;
+  }();
+  return kTable;
+}
+
 }  // namespace
 
 AesBlock ghash(const AesBlock& h, BytesView data) {
@@ -118,7 +160,7 @@ GcmSealed gcm_seal(const AesKey& key, const GcmNonce& nonce, BytesView plaintext
 
   GcmSealed sealed;
   sealed.ciphertext = gctr(cipher, inc32(j0), plaintext);
-  sealed.tag = compute_tag(cipher, h, j0, aad, sealed.ciphertext);
+  sealed.tag = compute_tag_bitwise(cipher, h, j0, aad, sealed.ciphertext);
   return sealed;
 }
 
@@ -128,12 +170,139 @@ Result<Bytes> gcm_open(const AesKey& key, const GcmNonce& nonce, BytesView ciphe
   const AesBlock h = cipher.encrypt_block(AesBlock{});
   const AesBlock j0 = j0_from_nonce(nonce);
 
-  const GcmTag expected = compute_tag(cipher, h, j0, aad, ciphertext);
+  const GcmTag expected = compute_tag_bitwise(cipher, h, j0, aad, ciphertext);
   if (!common::constant_time_equal(BytesView(expected.data(), expected.size()),
                                    BytesView(tag.data(), tag.size()))) {
     return common::decryption_failed("GCM tag mismatch");
   }
   return gctr(cipher, inc32(j0), ciphertext);
+}
+
+// ----------------------------------------------------------- GcmContext
+
+GcmContext::GcmContext(const AesKey& key) : cipher_(key) {
+  h_ = cipher_.encrypt_block(AesBlock{});
+
+  // Shoup table: entry B is the field product B*H, where byte value B
+  // encodes the degree-<8 polynomial occupying bit positions x^0..x^7
+  // (GCM's reflected bit order: x^0 is the MSB of byte 0). Single-bit
+  // bytes come from repeated doubling of H (0x80 encodes x^0, so
+  // T[0x80] = H and T[0x80 >> j] = H * x^j); every other entry is the
+  // XOR of its lowest set bit's entry and the rest — 8 shifts + 248
+  // two-word XORs total, cheap enough to run on every rekey.
+  std::array<AesBlock, 256> t{};
+  t[0x80] = h_;
+  for (int j = 1; j < 8; ++j) {
+    t[static_cast<std::size_t>(0x80 >> j)] = mul_x(t[static_cast<std::size_t>(0x80 >> (j - 1))]);
+  }
+  for (unsigned b = 2; b < 256; ++b) {
+    const unsigned rest = b & (b - 1);
+    if (rest == 0) continue;  // power of two: already set by the doubling chain
+    const unsigned low = b & (~b + 1);
+    for (int i = 0; i < 16; ++i) {
+      t[b][static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          t[rest][static_cast<std::size_t>(i)] ^ t[low][static_cast<std::size_t>(i)]);
+    }
+  }
+  for (unsigned b = 0; b < 256; ++b) {
+    table_hi_[b] = load_be64(t[b].data());
+    table_lo_[b] = load_be64(t[b].data() + 8);
+  }
+}
+
+AesBlock GcmContext::mult_h(const AesBlock& x) const {
+  // Horner over the 16 bytes of x: z = ((T[x15]*x^8 + T[x14])*x^8 + ...),
+  // each step one byte-shift (with table-driven reduction) + one lookup.
+  const auto& reduce = byte_reduction_table();
+  std::uint64_t zh = 0;
+  std::uint64_t zl = 0;
+  for (int k = 15; k >= 0; --k) {
+    const std::uint8_t overflow = static_cast<std::uint8_t>(zl & 0xff);
+    zl = (zl >> 8) | (zh << 56);
+    zh = (zh >> 8) ^ (static_cast<std::uint64_t>(reduce[overflow]) << 48);
+    zh ^= table_hi_[x[static_cast<std::size_t>(k)]];
+    zl ^= table_lo_[x[static_cast<std::size_t>(k)]];
+  }
+  AesBlock z;
+  store_be64(z.data(), zh);
+  store_be64(z.data() + 8, zl);
+  return z;
+}
+
+AesBlock GcmContext::ghash(BytesView data) const {
+  AesBlock y{};
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) y[i] ^= data[offset + i];
+    y = mult_h(y);
+    offset += n;
+  }
+  return y;
+}
+
+GcmTag GcmContext::compute_tag(const AesBlock& j0, BytesView aad,
+                               BytesView ciphertext) const {
+  AesBlock y{};
+  const auto fold = [&](BytesView data) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+      for (std::size_t i = 0; i < n; ++i) y[i] ^= data[offset + i];
+      y = mult_h(y);
+      offset += n;
+    }
+  };
+  fold(aad);
+  fold(ciphertext);
+  const AesBlock lens = length_block(aad.size() * 8, ciphertext.size() * 8);
+  for (int i = 0; i < 16; ++i) {
+    y[static_cast<std::size_t>(i)] ^= lens[static_cast<std::size_t>(i)];
+  }
+  y = mult_h(y);
+
+  const AesBlock ek_j0 = cipher_.encrypt_block(j0);
+  GcmTag tag;
+  for (int i = 0; i < 16; ++i) {
+    tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        y[static_cast<std::size_t>(i)] ^ ek_j0[static_cast<std::size_t>(i)]);
+  }
+  return tag;
+}
+
+GcmTag GcmContext::seal_in_place(const GcmNonce& nonce, std::span<std::uint8_t> data,
+                                 BytesView aad) const {
+  const AesBlock j0 = j0_from_nonce(nonce);
+  cipher_.ctr_xor_in_place(inc32(j0), data);
+  return compute_tag(j0, aad, BytesView(data.data(), data.size()));
+}
+
+Status GcmContext::open_in_place(const GcmNonce& nonce, std::span<std::uint8_t> data,
+                                 const GcmTag& tag, BytesView aad) const {
+  const AesBlock j0 = j0_from_nonce(nonce);
+  const GcmTag expected = compute_tag(j0, aad, BytesView(data.data(), data.size()));
+  if (!common::constant_time_equal(BytesView(expected.data(), expected.size()),
+                                   BytesView(tag.data(), tag.size()))) {
+    return common::decryption_failed("GCM tag mismatch");
+  }
+  cipher_.ctr_xor_in_place(inc32(j0), data);
+  return Status::success();
+}
+
+GcmSealed GcmContext::seal(const GcmNonce& nonce, BytesView plaintext,
+                           BytesView aad) const {
+  GcmSealed sealed;
+  sealed.ciphertext.assign(plaintext.begin(), plaintext.end());
+  sealed.tag = seal_in_place(nonce, sealed.ciphertext, aad);
+  return sealed;
+}
+
+Result<Bytes> GcmContext::open(const GcmNonce& nonce, BytesView ciphertext,
+                               const GcmTag& tag, BytesView aad) const {
+  Bytes out(ciphertext.begin(), ciphertext.end());
+  auto status = open_in_place(nonce, out, tag, aad);
+  if (!status.ok()) return status.error();
+  return out;
 }
 
 }  // namespace genio::crypto

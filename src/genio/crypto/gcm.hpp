@@ -1,7 +1,22 @@
 // AES-128-GCM (NIST SP 800-38D): authenticated encryption used by the
 // MACsec layer (IEEE 802.1AE mandates AES-GCM) and by GPON payload
 // protection. Includes GHASH over GF(2^128).
+//
+// Two paths are compiled in, byte-for-byte identical by construction and
+// pinned to each other by tests and the data-plane bench:
+//   * the free functions gcm_seal/gcm_open — the original reference path:
+//     per-call key expansion, bitwise 128-iteration GF(2^128) multiply,
+//     allocating GCTR. Kept as the correctness oracle.
+//   * GcmContext — the data-plane fast path: construction expands the AES
+//     round keys once and precomputes an 8-bit Shoup table (256 x 16-byte
+//     entries of B*H) so each GHASH block multiply is 16 table lookups +
+//     byte-shifted XOR folds; seal/open operate in place on the caller's
+//     buffer (CTR keystream XOR in place, no intermediate copies).
+// A GcmContext is immutable after construction and therefore safely
+// shareable read-only across threads (proved under TSan).
 #pragma once
+
+#include <span>
 
 #include "genio/common/result.hpp"
 #include "genio/crypto/aes.hpp"
@@ -9,6 +24,7 @@
 namespace genio::crypto {
 
 using common::Result;
+using common::Status;
 
 /// 96-bit GCM nonce (the recommended size; deterministic construction from
 /// packet numbers, per 802.1AE).
@@ -22,16 +38,64 @@ struct GcmSealed {
 };
 
 /// Encrypt-and-authenticate. `aad` is authenticated but not encrypted
-/// (frame headers in MACsec).
+/// (frame headers in MACsec). Reference path: re-expands the key schedule
+/// and runs the bitwise GHASH on every call.
 GcmSealed gcm_seal(const AesKey& key, const GcmNonce& nonce, BytesView plaintext,
                    BytesView aad);
 
 /// Verify-and-decrypt. Fails with kDecryptionFailed if the tag does not
-/// match (tampered ciphertext, wrong key, or wrong AAD).
+/// match (tampered ciphertext, wrong key, or wrong AAD). Reference path.
 Result<Bytes> gcm_open(const AesKey& key, const GcmNonce& nonce, BytesView ciphertext,
                        const GcmTag& tag, BytesView aad);
 
-/// GHASH(H, data) — exposed for tests against NIST vectors.
+/// GHASH(H, data) — exposed for tests against NIST vectors (bitwise path).
 AesBlock ghash(const AesBlock& h, BytesView data);
+
+/// Precomputed per-key GCM state: AES round keys + the GHASH Shoup table.
+/// Build once per key, rebuild only on rekey, share read-only thereafter.
+class GcmContext {
+ public:
+  explicit GcmContext(const AesKey& key);
+
+  /// Encrypt `data` in place and return the authentication tag.
+  GcmTag seal_in_place(const GcmNonce& nonce, std::span<std::uint8_t> data,
+                       BytesView aad) const;
+
+  /// Verify the tag over `data` (ciphertext) + `aad`, then decrypt `data`
+  /// in place. On tag mismatch `data` is left untouched (still ciphertext)
+  /// and kDecryptionFailed is returned.
+  Status open_in_place(const GcmNonce& nonce, std::span<std::uint8_t> data,
+                       const GcmTag& tag, BytesView aad) const;
+
+  /// Allocating conveniences with the same signature shape as the free
+  /// functions (one output allocation, still schedule- and table-cached).
+  GcmSealed seal(const GcmNonce& nonce, BytesView plaintext, BytesView aad) const;
+  Result<Bytes> open(const GcmNonce& nonce, BytesView ciphertext, const GcmTag& tag,
+                     BytesView aad) const;
+
+  /// Table-driven GHASH over this context's hash subkey — exposed so tests
+  /// can pin it against the bitwise ghash() oracle.
+  AesBlock ghash(BytesView data) const;
+
+  /// The hash subkey H = E_K(0^128) (for tests).
+  const AesBlock& h() const { return h_; }
+
+  /// The underlying cached-schedule cipher (CTR reuse, tests).
+  const Aes128& cipher() const { return cipher_; }
+
+ private:
+  AesBlock mult_h(const AesBlock& x) const;
+  GcmTag compute_tag(const AesBlock& j0, BytesView aad, BytesView ciphertext) const;
+
+  Aes128 cipher_;
+  AesBlock h_{};
+  // Shoup table of B*H for every byte value B, split into 64-bit halves
+  // (hi = bytes 0..7 big-endian, lo = bytes 8..15) so one block multiply
+  // is 16 lookups folded with two-word shifts. Built from 8 doublings of
+  // H plus subset XORs — cheap enough to rebuild on every rekey. The
+  // key-independent byte-reduction table is a shared process-wide static.
+  std::array<std::uint64_t, 256> table_hi_{};
+  std::array<std::uint64_t, 256> table_lo_{};
+};
 
 }  // namespace genio::crypto

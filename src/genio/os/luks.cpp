@@ -17,39 +17,42 @@ LuksVolume LuksVolume::create(BytesView passphrase, BytesView plaintext,
   vol.salt_ = rng.bytes(16);
 
   const Bytes master = rng.bytes(16);
-  const crypto::AesKey master_key = crypto::make_aes_key(master);
+  // Cached-schedule contexts: one expansion per key for this operation.
+  const crypto::GcmContext master_ctx(crypto::make_aes_key(master));
 
   // Payload under the master key.
   const Bytes pn = rng.bytes(12);
   std::copy(pn.begin(), pn.end(), vol.payload_nonce_.begin());
   const auto sealed_payload =
-      crypto::gcm_seal(master_key, vol.payload_nonce_, plaintext,
-                       common::to_bytes("luks-payload"));
+      master_ctx.seal(vol.payload_nonce_, plaintext, common::to_bytes("luks-payload"));
   vol.payload_ciphertext_ = sealed_payload.ciphertext;
   vol.payload_tag_ = sealed_payload.tag;
 
   // Keyslot 0: master key wrapped under the passphrase KDF.
-  const crypto::AesKey kek = passphrase_kdf(passphrase, vol.salt_, kdf_iterations);
+  const crypto::GcmContext kek_ctx(
+      passphrase_kdf(passphrase, vol.salt_, kdf_iterations));
   const Bytes wn = rng.bytes(12);
   std::copy(wn.begin(), wn.end(), vol.wrap_nonce_.begin());
   const auto sealed_key =
-      crypto::gcm_seal(kek, vol.wrap_nonce_, master, common::to_bytes("luks-keyslot-0"));
+      kek_ctx.seal(vol.wrap_nonce_, master, common::to_bytes("luks-keyslot-0"));
   vol.wrapped_key_ = sealed_key.ciphertext;
   vol.wrap_tag_ = sealed_key.tag;
   return vol;
 }
 
 common::Result<Bytes> LuksVolume::open_payload(const crypto::AesKey& master_key) const {
-  auto opened = crypto::gcm_open(master_key, payload_nonce_, payload_ciphertext_,
-                                 payload_tag_, common::to_bytes("luks-payload"));
+  const crypto::GcmContext ctx(master_key);
+  auto opened = ctx.open(payload_nonce_, payload_ciphertext_, payload_tag_,
+                         common::to_bytes("luks-payload"));
   if (!opened) return common::decryption_failed("volume payload corrupt");
   return opened;
 }
 
 common::Result<Bytes> LuksVolume::unlock(BytesView passphrase) const {
-  const crypto::AesKey kek = passphrase_kdf(passphrase, salt_, kdf_iterations_);
-  auto master = crypto::gcm_open(kek, wrap_nonce_, wrapped_key_, wrap_tag_,
-                                 common::to_bytes("luks-keyslot-0"));
+  const crypto::GcmContext kek_ctx(
+      passphrase_kdf(passphrase, salt_, kdf_iterations_));
+  auto master = kek_ctx.open(wrap_nonce_, wrapped_key_, wrap_tag_,
+                             common::to_bytes("luks-keyslot-0"));
   if (!master) return common::decryption_failed("wrong passphrase");
   return open_payload(crypto::make_aes_key(*master));
 }
@@ -61,9 +64,10 @@ common::Status LuksVolume::bind_tpm(Tpm& tpm, PcrPolicy policy, BytesView passph
         "Clevis/TPM userspace libraries unavailable on this distribution "
         "(Lesson 3): falling back to manual passphrase entry");
   }
-  const crypto::AesKey kek = passphrase_kdf(passphrase, salt_, kdf_iterations_);
-  auto master = crypto::gcm_open(kek, wrap_nonce_, wrapped_key_, wrap_tag_,
-                                 common::to_bytes("luks-keyslot-0"));
+  const crypto::GcmContext kek_ctx(
+      passphrase_kdf(passphrase, salt_, kdf_iterations_));
+  auto master = kek_ctx.open(wrap_nonce_, wrapped_key_, wrap_tag_,
+                             common::to_bytes("luks-keyslot-0"));
   if (!master) {
     return common::decryption_failed("wrong passphrase; cannot bind TPM keyslot");
   }

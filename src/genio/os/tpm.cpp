@@ -68,10 +68,14 @@ bool Tpm::verify_quote(const Quote& quote) const {
                                      BytesView(quote.hmac.data(), quote.hmac.size()));
 }
 
-crypto::AesKey Tpm::storage_key_for(const Digest& policy_digest) const {
+const crypto::GcmContext& Tpm::storage_context_for(const Digest& policy_digest) const {
+  const auto it = storage_contexts_.find(policy_digest);
+  if (it != storage_contexts_.end()) return it->second;
   const Bytes okm = crypto::hkdf(BytesView(policy_digest.data(), policy_digest.size()),
                                  seed_, common::to_bytes("tpm-storage-key"), 16);
-  return crypto::make_aes_key(okm);
+  return storage_contexts_
+      .emplace(policy_digest, crypto::GcmContext(crypto::make_aes_key(okm)))
+      .first->second;
 }
 
 SealedBlob Tpm::seal(BytesView secret, PcrPolicy policy) {
@@ -84,9 +88,10 @@ SealedBlob Tpm::seal(BytesView secret, PcrPolicy policy) {
     blob.nonce[static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(seal_counter_ >> (56 - 8 * i));
   }
-  const auto sealed = crypto::gcm_seal(storage_key_for(blob.policy_digest), blob.nonce,
-                                       secret, BytesView(blob.policy_digest.data(),
-                                                         blob.policy_digest.size()));
+  const auto sealed = storage_context_for(blob.policy_digest)
+                          .seal(blob.nonce, secret,
+                                BytesView(blob.policy_digest.data(),
+                                          blob.policy_digest.size()));
   blob.ciphertext = sealed.ciphertext;
   blob.tag = sealed.tag;
   return blob;
@@ -102,10 +107,10 @@ Result<Bytes> Tpm::unseal(const SealedBlob& blob) const {
                                              blob.policy_digest.size()))) {
     return common::policy_violation("PCR state does not satisfy seal policy");
   }
-  auto opened = crypto::gcm_open(storage_key_for(blob.policy_digest), blob.nonce,
-                                 blob.ciphertext, blob.tag,
-                                 BytesView(blob.policy_digest.data(),
-                                           blob.policy_digest.size()));
+  auto opened = storage_context_for(blob.policy_digest)
+                    .open(blob.nonce, blob.ciphertext, blob.tag,
+                          BytesView(blob.policy_digest.data(),
+                                    blob.policy_digest.size()));
   if (!opened) {
     return common::decryption_failed("sealed blob corrupt or foreign TPM");
   }

@@ -89,13 +89,18 @@ class Tpm {
   /// Consumes one injected failure if any are pending.
   bool consume_transient_failure() const;
 
-  crypto::AesKey storage_key_for(const Digest& policy_digest) const;
+  /// Cached-schedule GCM context for the storage key bound to a policy
+  /// digest. Sealing and (repeated) unsealing against the same policy
+  /// reuse one context instead of re-deriving and re-expanding per call.
+  const crypto::GcmContext& storage_context_for(const Digest& policy_digest) const;
 
   Bytes seed_;
   std::array<Digest, kPcrCount> pcrs_{};
   std::uint64_t seal_counter_ = 0;
   // mutable: unseal() is logically const but a transient fault burns down.
   mutable int transient_failures_ = 0;
+  // mutable: the context cache is a pure memo over the immutable seed.
+  mutable std::map<Digest, crypto::GcmContext> storage_contexts_;
 };
 
 }  // namespace genio::os

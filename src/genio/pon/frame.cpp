@@ -48,20 +48,37 @@ common::Result<EthFrame> EthFrame::deserialize(BytesView data) {
   return frame;
 }
 
-Bytes GemFrame::header_bytes() const {
-  Bytes out;
-  common::put_u32_be(out, (static_cast<std::uint32_t>(onu_id) << 16) | port_id);
-  common::put_u32_be(out, superframe);
-  out.push_back(encrypted ? 1 : 0);
+GemHeader GemFrame::header() const {
+  GemHeader out;
+  const std::uint32_t ids = (static_cast<std::uint32_t>(onu_id) << 16) | port_id;
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(ids >> (24 - 8 * i));
+    out[static_cast<std::size_t>(4 + i)] =
+        static_cast<std::uint8_t>(superframe >> (24 - 8 * i));
+  }
+  out[8] = encrypted ? 1 : 0;
   return out;
 }
 
-void GemFrame::seal_fcs() {
-  fcs = crypto::crc32(common::concat(header_bytes(), payload));
+Bytes GemFrame::header_bytes() const {
+  const GemHeader hdr = header();
+  return Bytes(hdr.begin(), hdr.end());
 }
 
-bool GemFrame::fcs_valid() const {
-  return fcs == crypto::crc32(common::concat(header_bytes(), payload));
+namespace {
+
+std::uint32_t frame_crc(const GemFrame& frame) {
+  const GemHeader hdr = frame.header();
+  std::uint32_t state = crypto::crc32_init();
+  state = crypto::crc32_update(state, BytesView(hdr.data(), hdr.size()));
+  state = crypto::crc32_update(state, frame.payload);
+  return crypto::crc32_final(state);
 }
+
+}  // namespace
+
+void GemFrame::seal_fcs() { fcs = frame_crc(*this); }
+
+bool GemFrame::fcs_valid() const { return fcs == frame_crc(*this); }
 
 }  // namespace genio::pon

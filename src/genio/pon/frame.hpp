@@ -3,6 +3,7 @@
 // PON tree between OLT and ONUs (protected by GPON payload encryption, M3).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -34,6 +35,9 @@ struct EthFrame {
   bool operator==(const EthFrame& other) const = default;
 };
 
+/// GEM frame header on the wire: 9 fixed bytes (ids, superframe, flag).
+using GemHeader = std::array<std::uint8_t, 9>;
+
 /// GEM frame header fields (simplified from ITU-T G.987.3 XGEM).
 struct GemFrame {
   std::uint16_t onu_id = 0;      // destination (downstream) / source (upstream)
@@ -43,12 +47,17 @@ struct GemFrame {
   Bytes payload;                 // cleartext or ciphertext||tag
   std::uint32_t fcs = 0;         // CRC-32 over header+payload
 
-  /// Compute and store the FCS.
+  /// Compute and store the FCS (streaming CRC over header then payload —
+  /// no concatenation buffer).
   void seal_fcs();
   /// True if the stored FCS matches the current contents.
   bool fcs_valid() const;
 
-  /// Header bytes (everything but payload/fcs) — used as GCM AAD.
+  /// Fixed-size header encoding (everything but payload/fcs) — used as
+  /// GCM AAD and as the first FCS chunk. Stack-only, no allocation.
+  GemHeader header() const;
+
+  /// Heap-allocating form of header() kept for existing callers.
   Bytes header_bytes() const;
 
   bool operator==(const GemFrame& other) const = default;

@@ -1,5 +1,7 @@
 #include "genio/pon/gpon_crypto.hpp"
 
+#include <algorithm>
+
 namespace genio::pon {
 
 crypto::GcmNonce GponCipher::nonce_for(const GemFrame& frame) const {
@@ -19,10 +21,13 @@ crypto::GcmNonce GponCipher::nonce_for(const GemFrame& frame) const {
 
 void GponCipher::encrypt(GemFrame& frame) const {
   frame.encrypted = true;  // header flag participates in AAD
-  const auto sealed = crypto::gcm_seal(key_, nonce_for(frame), frame.payload,
-                                       frame.header_bytes());
-  frame.payload = sealed.ciphertext;
-  frame.payload.insert(frame.payload.end(), sealed.tag.begin(), sealed.tag.end());
+  const GemHeader aad = frame.header();
+  // Reserve the tag's 16 bytes up front so the in-place seal plus the tag
+  // append never reallocate mid-operation.
+  frame.payload.reserve(frame.payload.size() + 16);
+  const crypto::GcmTag tag = ctx_.seal_in_place(
+      nonce_for(frame), frame.payload, BytesView(aad.data(), aad.size()));
+  frame.payload.insert(frame.payload.end(), tag.begin(), tag.end());
   frame.seal_fcs();
 }
 
@@ -35,12 +40,14 @@ common::Status GponCipher::decrypt(GemFrame& frame) const {
   }
   crypto::GcmTag tag;
   std::copy(frame.payload.end() - 16, frame.payload.end(), tag.begin());
-  const BytesView ciphertext(frame.payload.data(), frame.payload.size() - 16);
+  const GemHeader aad = frame.header();
 
-  auto opened = crypto::gcm_open(key_, nonce_for(frame), ciphertext, tag,
-                                 frame.header_bytes());
-  if (!opened) return opened.error();
-  frame.payload = std::move(*opened);
+  auto status = ctx_.open_in_place(
+      nonce_for(frame),
+      std::span<std::uint8_t>(frame.payload.data(), frame.payload.size() - 16), tag,
+      BytesView(aad.data(), aad.size()));
+  if (!status.ok()) return status;
+  frame.payload.resize(frame.payload.size() - 16);
   frame.encrypted = false;
   frame.seal_fcs();
   return common::Status::success();

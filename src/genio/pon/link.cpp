@@ -24,6 +24,8 @@ crypto::AesKey MacsecLink::sak_for_epoch(std::uint32_t epoch) const {
 void MacsecLink::roll_tx() {
   ++tx_epoch_;
   tx_in_epoch_ = 0;
+  // The fresh SecY expands the new SAK's key schedule + GHASH table once
+  // here; the whole epoch (rekey_after_ frames) reuses the cached context.
   tx_ = std::make_unique<MacsecSecY>(local_sci_, sak_for_epoch(tx_epoch_));
   ++stats_.rekey_count;
 }

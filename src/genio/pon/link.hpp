@@ -21,6 +21,10 @@ struct LinkStats {
 /// One endpoint's view of the protected link. Two endpoints constructed
 /// from the same CAK and link id stay in sync: re-keying is triggered by
 /// frame count, which both sides observe identically in order.
+///
+/// Each epoch's SecY carries the cached GcmContext for its SAK, so the
+/// AES key schedule and GHASH table are built exactly once per rekey —
+/// every frame in between reuses them.
 class MacsecLink {
  public:
   /// `rekey_after` frames per SAK epoch (must be > 0).

@@ -2,15 +2,30 @@
 
 namespace genio::pon {
 
-Bytes MacsecFrame::sectag_bytes() const {
-  Bytes out;
-  common::put_u64_be(out, sci);
-  common::put_u32_be(out, pn);
+namespace {
+
+SecTag encode_sectag(std::uint64_t sci, std::uint32_t pn) {
+  SecTag out;
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(sci >> (56 - 8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(pn >> (24 - 8 * i));
+  }
   return out;
 }
 
+}  // namespace
+
+SecTag MacsecFrame::sectag() const { return encode_sectag(sci, pn); }
+
+Bytes MacsecFrame::sectag_bytes() const {
+  const SecTag tag = sectag();
+  return Bytes(tag.begin(), tag.end());
+}
+
 MacsecSecY::MacsecSecY(std::uint64_t sci, const AesKey& sak, std::uint32_t replay_window)
-    : sci_(sci), sak_(sak), replay_window_(replay_window) {}
+    : sci_(sci), ctx_(sak), replay_window_(replay_window) {}
 
 crypto::GcmNonce MacsecSecY::nonce_for(std::uint64_t sci, std::uint32_t pn) const {
   // 802.1AE constructs the GCM IV from SCI (8 bytes) || PN (4 bytes).
@@ -28,10 +43,12 @@ MacsecFrame MacsecSecY::protect(const EthFrame& frame) {
   MacsecFrame out;
   out.sci = sci_;
   out.pn = next_pn_++;
-  const auto sealed =
-      crypto::gcm_seal(sak_, nonce_for(out.sci, out.pn), frame.serialize(), out.sectag_bytes());
-  out.ciphertext = sealed.ciphertext;
-  out.tag = sealed.tag;
+  const SecTag aad = encode_sectag(out.sci, out.pn);
+  // Serialize straight into the wire buffer and encrypt it in place: the
+  // serialization is the only copy the seal makes.
+  out.ciphertext = frame.serialize();
+  out.tag = ctx_.seal_in_place(nonce_for(out.sci, out.pn), out.ciphertext,
+                               BytesView(aad.data(), aad.size()));
   ++stats_.protected_frames;
   return out;
 }
@@ -45,9 +62,13 @@ common::Result<EthFrame> MacsecSecY::validate(const MacsecFrame& frame) {
                                    " below replay window floor");
   }
 
-  auto opened = crypto::gcm_open(sak_, nonce_for(frame.sci, frame.pn), frame.ciphertext,
-                                 frame.tag, frame.sectag_bytes());
-  if (!opened) {
+  const SecTag aad = encode_sectag(frame.sci, frame.pn);
+  // One buffer serves as ciphertext input and plaintext output: the
+  // in-place open decrypts it only after the tag verifies.
+  Bytes plaintext(frame.ciphertext.begin(), frame.ciphertext.end());
+  auto opened = ctx_.open_in_place(nonce_for(frame.sci, frame.pn), plaintext,
+                                   frame.tag, BytesView(aad.data(), aad.size()));
+  if (!opened.ok()) {
     ++stats_.invalid_tag_frames;
     return common::decryption_failed("MACsec ICV invalid (tampered or wrong SAK)");
   }
@@ -71,7 +92,7 @@ common::Result<EthFrame> MacsecSecY::validate(const MacsecFrame& frame) {
     rx_window_bitmap_ |= bit;
   }
 
-  auto inner = EthFrame::deserialize(*opened);
+  auto inner = EthFrame::deserialize(plaintext);
   if (!inner) return inner.error();
   ++stats_.validated_frames;
   return inner;

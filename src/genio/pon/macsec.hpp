@@ -14,6 +14,9 @@ namespace genio::pon {
 using crypto::AesKey;
 using crypto::GcmTag;
 
+/// The SecTag on the wire: SCI (8 bytes) || PN (4 bytes), big-endian.
+using SecTag = std::array<std::uint8_t, 12>;
+
 /// A protected frame on the wire: SecTag in the clear (authenticated),
 /// original frame encrypted.
 struct MacsecFrame {
@@ -22,7 +25,10 @@ struct MacsecFrame {
   Bytes ciphertext;         // GCM(serialize(inner frame))
   GcmTag tag{};
 
-  /// SecTag bytes used as GCM AAD.
+  /// SecTag used as GCM AAD — fixed-size, stack-only.
+  SecTag sectag() const;
+
+  /// Heap-allocating form of sectag() kept for existing callers.
   Bytes sectag_bytes() const;
 };
 
@@ -39,6 +45,11 @@ struct MacsecStats {
 /// One direction of a MACsec secure channel: a transmit side with a
 /// monotonically increasing packet number, and a receive side with a
 /// sliding replay window. A full link is two SecYs, one per peer.
+///
+/// The SecY owns a GcmContext for its SAK: key schedule and GHASH table
+/// are expanded once at construction (i.e. once per rekey, since MKA-style
+/// re-keying swaps in a fresh SecY), and every protect/validate reuses
+/// them with in-place CTR + table-driven GHASH.
 class MacsecSecY {
  public:
   /// `sci` identifies this transmitter; `sak` is the Secure Association Key
@@ -60,7 +71,7 @@ class MacsecSecY {
   crypto::GcmNonce nonce_for(std::uint64_t sci, std::uint32_t pn) const;
 
   std::uint64_t sci_;
-  AesKey sak_;
+  crypto::GcmContext ctx_;  // cached schedule + GHASH table for the SAK
   std::uint32_t replay_window_;
   std::uint32_t next_pn_ = 1;
 

@@ -2,16 +2,16 @@
 
 namespace genio::pon {
 
-GemFrame Odn::transit(const GemFrame& frame) {
+const GemFrame& Odn::transit(const GemFrame& frame, GemFrame& scratch) {
   if (bit_error_rate_ <= 0.0 || !fault_rng_.has_value() ||
       !fault_rng_->chance(bit_error_rate_) || frame.payload.empty()) {
-    return frame;
+    return frame;  // clean path: deliver the caller's frame, zero copies
   }
-  GemFrame corrupted = frame;
-  corrupted.payload[fault_rng_->index(corrupted.payload.size())] ^=
+  scratch = frame;
+  scratch.payload[fault_rng_->index(scratch.payload.size())] ^=
       static_cast<std::uint8_t>(1u << fault_rng_->index(8));
   ++stats_.corrupted_frames;
-  return corrupted;
+  return scratch;
 }
 
 void Odn::downstream(const GemFrame& frame) {
@@ -19,7 +19,8 @@ void Odn::downstream(const GemFrame& frame) {
     ++stats_.dropped_frames;
     return;
   }
-  const GemFrame delivered = transit(frame);
+  GemFrame scratch;
+  const GemFrame& delivered = transit(frame, scratch);
   ++stats_.downstream_frames;
   stats_.downstream_bytes += delivered.payload.size();
   for (Tap* tap : taps_) tap->observe_downstream(delivered);
@@ -32,7 +33,8 @@ void Odn::upstream(const GemFrame& frame) {
     ++stats_.dropped_frames;
     return;
   }
-  const GemFrame delivered = transit(frame);
+  GemFrame scratch;
+  const GemFrame& delivered = transit(frame, scratch);
   ++stats_.upstream_frames;
   stats_.upstream_bytes += delivered.payload.size();
   for (Tap* tap : taps_) tap->observe_upstream(delivered);

@@ -95,9 +95,12 @@ class Odn {
   double bit_error_rate() const { return bit_error_rate_; }
 
  private:
-  /// Returns the frame to deliver, corrupting a copy under an active
-  /// bit-error burst (taps observe the corrupted wire view too).
-  GemFrame transit(const GemFrame& frame);
+  /// Returns the frame to deliver: the original by reference on the clean
+  /// path (no copy), or `scratch` filled with a corrupted copy under an
+  /// active bit-error burst (taps observe the corrupted wire view too).
+  /// Corruption flips a payload bit, so the frame's FCS — computed with
+  /// the slicing-by-8 CRC — no longer matches and receivers detect it.
+  const GemFrame& transit(const GemFrame& frame, GemFrame& scratch);
 
   common::SimTime propagation_;
   OltDevice* olt_ = nullptr;

@@ -3,6 +3,7 @@
 // the hash-based signature scheme and PKI are checked for their contracts.
 #include <gtest/gtest.h>
 
+#include "genio/common/rng.hpp"
 #include "genio/crypto/aes.hpp"
 #include "genio/crypto/crc32.hpp"
 #include "genio/crypto/gcm.hpp"
@@ -139,6 +140,23 @@ TEST(Aes128, CtrRoundTrip) {
   EXPECT_EQ(cr::aes128_ctr(key, iv, ct), pt);
 }
 
+TEST(Aes128, CtrXorInPlaceMatchesFreeFunction) {
+  // The in-place data-plane path must produce the same keystream as the
+  // allocating helper, at block-aligned and ragged lengths.
+  const auto key = cr::make_aes_key(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const cr::Aes128 cipher(key);
+  cr::AesBlock iv;
+  const auto iv_bytes = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  std::copy(iv_bytes.begin(), iv_bytes.end(), iv.begin());
+  gc::Rng rng(99);
+  for (const std::size_t len : {0u, 1u, 16u, 17u, 33u, 64u, 100u}) {
+    gc::Bytes buf = rng.bytes(len);
+    const gc::Bytes expected = cr::aes128_ctr(key, iv, buf);
+    cipher.ctr_xor_in_place(iv, buf);
+    EXPECT_EQ(buf, expected) << "len=" << len;
+  }
+}
+
 TEST(Aes128, KeySizeValidation) {
   EXPECT_THROW(cr::make_aes_key(from_hex("0011")), std::invalid_argument);
 }
@@ -179,6 +197,135 @@ TEST(Gcm, NistTestCase3FourBlocks) {
             "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
   EXPECT_EQ(gc::hex_encode(gc::BytesView(sealed.tag.data(), sealed.tag.size())),
             "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(Gcm, NistTestCase4PartialBlockWithAad) {
+  // NIST GCM spec test case 4: 60-byte plaintext (partial final block),
+  // 20-byte AAD — exercises AAD folding plus a non-block-aligned tail.
+  const auto key = cr::make_aes_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  cr::GcmNonce nonce;
+  const auto nonce_bytes = from_hex("cafebabefacedbaddecaf888");
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+  const auto pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const std::string expect_ct =
+      "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+      "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091";
+  const std::string expect_tag = "5bc94fbc3221a5db94fae95ae7121a47";
+
+  // Reference path.
+  const auto sealed = cr::gcm_seal(key, nonce, pt, aad);
+  EXPECT_EQ(gc::hex_encode(sealed.ciphertext), expect_ct);
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(sealed.tag.data(), sealed.tag.size())),
+            expect_tag);
+
+  // Fast path (cached schedule + table GHASH) pinned to the same vector.
+  const cr::GcmContext ctx(key);
+  const auto fast = ctx.seal(nonce, pt, aad);
+  EXPECT_EQ(gc::hex_encode(fast.ciphertext), expect_ct);
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(fast.tag.data(), fast.tag.size())),
+            expect_tag);
+}
+
+TEST(Gcm, CavsAadOnlyVector) {
+  // NIST CAVS gcmEncryptExtIV128 (PTlen=0, AADlen=128): tag-only mode, the
+  // shape MACsec integrity-only frames use.
+  const auto key = cr::make_aes_key(from_hex("77be63708971c4e240d1cb79e8d77feb"));
+  cr::GcmNonce nonce;
+  const auto nonce_bytes = from_hex("e0e00f19fed7ba0136a797f3");
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+  const auto aad = from_hex("7a43ec1d9c0a5a78a0b16533a6213cab");
+  const std::string expect_tag = "209fcc8d3675ed938e9c7166709dd946";
+
+  const auto sealed = cr::gcm_seal(key, nonce, {}, aad);
+  EXPECT_TRUE(sealed.ciphertext.empty());
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(sealed.tag.data(), sealed.tag.size())),
+            expect_tag);
+
+  const cr::GcmContext ctx(key);
+  const auto fast = ctx.seal(nonce, {}, aad);
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(fast.tag.data(), fast.tag.size())),
+            expect_tag);
+  EXPECT_TRUE(ctx.open(nonce, {}, fast.tag, aad).ok());
+}
+
+TEST(GcmContext, MatchesNistEmptyAndBlockVectors) {
+  // Re-run the classic NIST cases 1-3 through the fast path.
+  const auto zero_key = cr::make_aes_key(gc::Bytes(16, 0));
+  const cr::GcmContext ctx(zero_key);
+  cr::GcmNonce nonce{};
+
+  const auto case1 = ctx.seal(nonce, {}, {});
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(case1.tag.data(), case1.tag.size())),
+            "58e2fccefa7e3061367f1d57a4e7455a");
+
+  const auto case2 = ctx.seal(nonce, gc::Bytes(16, 0), {});
+  EXPECT_EQ(gc::hex_encode(case2.ciphertext), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(case2.tag.data(), case2.tag.size())),
+            "ab6e47d42cec13bdf53a67b21257bddf");
+
+  const auto key3 = cr::make_aes_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  const cr::GcmContext ctx3(key3);
+  cr::GcmNonce nonce3;
+  const auto nonce3_bytes = from_hex("cafebabefacedbaddecaf888");
+  std::copy(nonce3_bytes.begin(), nonce3_bytes.end(), nonce3.begin());
+  const auto pt3 = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const auto case3 = ctx3.seal(nonce3, pt3, {});
+  EXPECT_EQ(gc::hex_encode(case3.ciphertext),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
+  EXPECT_EQ(gc::hex_encode(gc::BytesView(case3.tag.data(), case3.tag.size())),
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(GcmContext, TableGhashMatchesBitwiseOracle) {
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const cr::GcmContext ctx(key);
+  gc::Rng rng(4242);
+  for (const std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 48u, 100u, 1000u}) {
+    const gc::Bytes data = rng.bytes(len);
+    EXPECT_EQ(ctx.ghash(data), cr::ghash(ctx.h(), data)) << "len=" << len;
+  }
+}
+
+TEST(GcmContext, InPlaceSealOpenRoundTrip) {
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const cr::GcmContext ctx(key);
+  cr::GcmNonce nonce{};
+  nonce[0] = 0x5a;
+  const gc::Bytes aad = gc::to_bytes("gem header");
+  const gc::Bytes original = gc::to_bytes("in-place data plane payload, not aligned");
+
+  gc::Bytes buf = original;
+  const auto tag = ctx.seal_in_place(nonce, buf, aad);
+  EXPECT_NE(buf, original);
+
+  // The in-place ciphertext+tag must be byte-identical to the reference.
+  const auto reference = cr::gcm_seal(key, nonce, original, aad);
+  EXPECT_EQ(buf, reference.ciphertext);
+  EXPECT_EQ(tag, reference.tag);
+
+  ASSERT_TRUE(ctx.open_in_place(nonce, buf, tag, aad).ok());
+  EXPECT_EQ(buf, original);
+}
+
+TEST(GcmContext, OpenRejectsTamperAndLeavesBufferUntouched) {
+  const auto key = cr::make_aes_key(gc::Bytes(16, 9));
+  const cr::GcmContext ctx(key);
+  cr::GcmNonce nonce{};
+  gc::Bytes buf = gc::to_bytes("payload");
+  const auto tag = ctx.seal_in_place(nonce, buf, {});
+  gc::Bytes tampered = buf;
+  tampered[0] ^= 0x01;
+  const gc::Bytes before = tampered;
+  const auto st = ctx.open_in_place(nonce, tampered, tag, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), gc::ErrorCode::kDecryptionFailed);
+  EXPECT_EQ(tampered, before);  // no partial decrypt on failure
 }
 
 TEST(Gcm, RoundTripWithAad) {
@@ -223,8 +370,34 @@ TEST(Gcm, WrongKeyRejected) {
 // ------------------------------------------------------------------- CRC32
 
 TEST(Crc32, KnownVectors) {
+  // The CRC-32/IEEE check value, pinned on the slicing-by-8 fast path and
+  // the byte-at-a-time reference oracle alike.
   EXPECT_EQ(cr::crc32(gc::to_bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(cr::crc32_reference(gc::to_bytes("123456789")), 0xcbf43926u);
   EXPECT_EQ(cr::crc32({}), 0x00000000u);
+  EXPECT_EQ(cr::crc32_reference({}), 0x00000000u);
+}
+
+TEST(Crc32, SlicingMatchesReferenceAcrossLengths) {
+  // Every length 0..257 hits each tail-remainder class of the 8-byte main
+  // loop at least once; contents are seeded-random.
+  gc::Rng rng(1301);
+  for (std::size_t len = 0; len <= 257; ++len) {
+    const gc::Bytes data = rng.bytes(len);
+    EXPECT_EQ(cr::crc32(data), cr::crc32_reference(data)) << "len=" << len;
+  }
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  gc::Rng rng(1302);
+  const gc::Bytes data = rng.bytes(300);
+  for (const std::size_t split : {0u, 1u, 7u, 8u, 9u, 150u, 299u, 300u}) {
+    std::uint32_t state = cr::crc32_init();
+    state = cr::crc32_update(state, gc::BytesView(data.data(), split));
+    state = cr::crc32_update(state,
+                             gc::BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(cr::crc32_final(state), cr::crc32(data)) << "split=" << split;
+  }
 }
 
 TEST(Crc32, DetectsBitflip) {

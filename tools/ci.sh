@@ -27,6 +27,9 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== pipeline-throughput bench smoke (serial/parallel divergence fails CI) =="
   "${repo_root}/build/bench/bench_pipeline_throughput" --smoke \
     --out "${repo_root}/build/BENCH_pipeline.json"
+  echo "== data-plane crypto bench smoke (fast/reference divergence fails CI) =="
+  "${repo_root}/build/bench/bench_dataplane" --smoke \
+    --out "${repo_root}/build/BENCH_dataplane.json"
 fi
 
 if [[ "${mode}" != "--plain-only" && "${mode}" != "--tsan-only" ]]; then
@@ -47,6 +50,10 @@ if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "${repo_root}/build-tsan/bench/bench_pipeline_throughput" --smoke \
     --out "${repo_root}/build-tsan/BENCH_pipeline.json"
+  echo "== data-plane crypto bench smoke (TSan) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    "${repo_root}/build-tsan/bench/bench_dataplane" --smoke \
+    --out "${repo_root}/build-tsan/BENCH_dataplane.json"
 fi
 
 echo "CI: all suites passed"
