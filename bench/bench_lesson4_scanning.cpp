@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "sast_corpus.hpp"
+
 #include "genio/appsec/sast.hpp"
 #include "genio/hardening/scap.hpp"
 #include "genio/os/apt.hpp"
@@ -113,75 +115,12 @@ void BM_OnieVerifyInstall(benchmark::State& state) {
 }
 BENCHMARK(BM_OnieVerifyInstall)->Unit(benchmark::kMillisecond);
 
-// ---------------------------------------------------------------- M14v2 SAST
+// ---------------------------------------------------------------- M14 SAST
 
-/// One corpus entry: a simulated source file with a ground-truth label.
-struct LabeledSource {
-  const char* name;
-  bool vulnerable;  // ground truth: does a real injection flow exist?
-  as::SourceFile file;
-};
+using genio::bench::LabeledSource;
 
 std::vector<LabeledSource> make_sast_corpus() {
-  std::vector<LabeledSource> corpus;
-  // -- true positives: complete source -> sink flows ------------------------
-  corpus.push_back({"direct-concat", true,
-                    {"/app/readings.py", as::Language::kPython,
-                     "import db\n"
-                     "from flask import request\n"
-                     "def get_reading():\n"
-                     "    sensor = request.args.get(\"sensor_id\")\n"
-                     "    query = \"SELECT * FROM readings WHERE id=\" + sensor\n"
-                     "    return db.execute(query)\n"}});
-  corpus.push_back({"fstring-sink", true,
-                    {"/app/users.py", as::Language::kPython,
-                     "def lookup():\n"
-                     "    uid = request.args.get(\"id\")\n"
-                     "    return db.execute(f\"SELECT * FROM users WHERE id={uid}\")\n"}});
-  corpus.push_back({"cross-function", true,
-                    {"/app/dao.py", as::Language::kPython,
-                     "def fetch(uid):\n"
-                     "    return db.execute(\"SELECT * FROM t WHERE id=\" + uid)\n"
-                     "def handler():\n"
-                     "    uid = request.args.get(\"id\")\n"
-                     "    return fetch(uid)\n"}});
-  corpus.push_back({"java-concat", true,
-                    {"/src/Dao.java", as::Language::kJava,
-                     "class Dao {\n"
-                     "  ResultSet find(HttpServletRequest request) {\n"
-                     "    String id = request.getParameter(\"id\");\n"
-                     "    String query = \"SELECT * FROM t WHERE id=\" + id;\n"
-                     "    return stmt.executeQuery(query);\n"
-                     "  }\n"
-                     "}\n"}});
-  corpus.push_back({"command-injection", true,
-                    {"/app/ping.py", as::Language::kPython,
-                     "def ping():\n"
-                     "    host = request.args.get(\"host\")\n"
-                     "    return os.system(\"ping -c1 \" + host)\n"}});
-  // -- true negatives that still trip the line regexes ----------------------
-  corpus.push_back({"param-bound", false,
-                    {"/app/safe1.py", as::Language::kPython,
-                     "def get_reading():\n"
-                     "    sensor = request.args.get(\"sensor_id\")\n"
-                     "    return db.execute(\"SELECT * FROM r WHERE id=%s\", (sensor,))\n"}});
-  corpus.push_back({"escaped-value", false,
-                    {"/app/safe2.py", as::Language::kPython,
-                     "def get_user():\n"
-                     "    uid = request.args.get(\"id\")\n"
-                     "    safe = db.escape(uid)\n"
-                     "    return db.execute(\"SELECT * FROM users WHERE id=\" + safe)\n"}});
-  corpus.push_back({"constant-query", false,
-                    {"/app/safe3.py", as::Language::kPython,
-                     "def active_sensors():\n"
-                     "    return db.execute(\"SELECT name FROM sensors WHERE active=%s\","
-                     " (\"1\",))\n"}});
-  corpus.push_back({"int-coerced", false,
-                    {"/app/safe4.py", as::Language::kPython,
-                     "def get_by_id():\n"
-                     "    uid = int(request.args.get(\"id\"))\n"
-                     "    return db.execute(\"SELECT * FROM t WHERE id=%s\" % uid)\n"}});
-  return corpus;
+  return genio::bench::make_legacy_sast_corpus();
 }
 
 /// Does the engine raise an actionable critical finding for this file?
@@ -262,7 +201,7 @@ int report_sast_accuracy() {
   std::printf("  %-22s detection %.2f  false-positive rate %.2f\n",
               "legacy regex only:", legacy.detection_rate(), legacy.fp_rate());
   std::printf("  %-22s detection %.2f  false-positive rate %.2f\n",
-              "taint + regex (M14v2):", taint.detection_rate(), taint.fp_rate());
+              "taint + regex:", taint.detection_rate(), taint.fp_rate());
   if (taint.fp_rate() >= legacy.fp_rate()) {
     std::printf("FAIL: dataflow pass did not reduce the false-positive rate\n");
     return 1;

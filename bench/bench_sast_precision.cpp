@@ -1,0 +1,260 @@
+// E-SAST2 — precision/recall gate for the M14v3 flow-sensitive taint
+// engine against the M14v2 def-use baseline. Scores both engines on two
+// labeled corpora (sast_corpus.hpp):
+//   legacy — straight-line flows the def-use walk already handles. The
+//            new engine must match it exactly: confirmed recall 1.00,
+//            confirmed false-positive rate 0.00.
+//   flow   — branch-dependent sanitization, loop-carried taint, aliasing
+//            and 2+-hop helper chains. The flow-sensitive engine must be
+//            STRICTLY better than def-use on confirmed recall while
+//            holding the false-positive rate at 0.00.
+// "Confirmed" = a complete unsanitized source->sink trace (the kHigh
+// tier); parameter-dependent and audit flows never count.
+// Invariants (exit nonzero if any breaks):
+//   * flow engine on legacy corpus: recall == 1.00 and FP rate == 0.00;
+//   * flow engine on flow corpus:   recall == 1.00 and FP rate == 0.00;
+//   * flow recall on flow corpus strictly exceeds def-use recall;
+//   * def-use keeps FP rate 0.00 on both corpora (A/B stays honest);
+//   * sharding the per-function pass on a 4-worker pool renders
+//     byte-identically to the serial engine for every corpus file.
+// Writes a machine-readable summary to BENCH_sast.json (or --out PATH).
+// `--smoke` skips the timing loops (verdicts and gates always run).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sast_corpus.hpp"
+
+#include "genio/appsec/sast/taint.hpp"
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/common/thread_pool.hpp"
+
+namespace as = genio::appsec;
+namespace sast = genio::appsec::sast;
+namespace gc = genio::common;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using genio::bench::LabeledSource;
+
+/// Deterministic rendering of a full report, used both for the
+/// parallel-vs-serial identity check and (hashed by eye) in failures.
+std::string render_report(const sast::TaintReport& report) {
+  std::string out;
+  for (const auto& flow : report.flows) {
+    out += flow.rule_id + " sink=L" + std::to_string(flow.sink_line) +
+           " src=L" + std::to_string(flow.source_line) + " fn=" + flow.function +
+           (flow.sanitized ? " sanitized[" + flow.sanitizer_note + "]" : "") +
+           (flow.parameter_dependent ? " param-dependent" : "") + " trace{" +
+           as::render_trace(flow.trace) + "}\n";
+  }
+  for (const int line : report.constant_sink_lines) {
+    out += "constant-sink L" + std::to_string(line) + "\n";
+  }
+  return out;
+}
+
+bool has_confirmed_flow(const sast::TaintReport& report) {
+  for (const auto& flow : report.flows) {
+    if (!flow.sanitized && !flow.parameter_dependent) return true;
+  }
+  return false;
+}
+
+struct Score {
+  int vulnerable = 0;
+  int safe = 0;
+  int true_positives = 0;   // vulnerable files with a confirmed flow
+  int false_positives = 0;  // safe files with a confirmed flow
+  std::vector<std::string> missed;   // vulnerable, no confirmed flow
+  std::vector<std::string> flagged;  // safe, confirmed flow reported
+
+  double recall() const {
+    return vulnerable == 0 ? 1.0
+                           : static_cast<double>(true_positives) / vulnerable;
+  }
+  double fp_rate() const {
+    return safe == 0 ? 0.0 : static_cast<double>(false_positives) / safe;
+  }
+};
+
+Score score_engine(const sast::TaintAnalyzer& analyzer,
+                   const std::vector<LabeledSource>& corpus) {
+  Score score;
+  for (const auto& entry : corpus) {
+    const bool confirmed = has_confirmed_flow(analyzer.analyze(entry.file));
+    if (entry.vulnerable) {
+      ++score.vulnerable;
+      if (confirmed) {
+        ++score.true_positives;
+      } else {
+        score.missed.push_back(entry.name);
+      }
+    } else {
+      ++score.safe;
+      if (confirmed) {
+        ++score.false_positives;
+        score.flagged.push_back(entry.name);
+      }
+    }
+  }
+  return score;
+}
+
+/// Mean microseconds per corpus scan (all files, one engine).
+double time_engine_us(const sast::TaintAnalyzer& analyzer,
+                      const std::vector<LabeledSource>& corpus, int rounds) {
+  // Warm-up round so allocator state doesn't skew the first sample.
+  for (const auto& entry : corpus) (void)analyzer.analyze(entry.file).flows.size();
+  const auto start = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& entry : corpus) {
+      (void)analyzer.analyze(entry.file).flows.size();
+    }
+  }
+  const double total_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+  return total_us / rounds;
+}
+
+void write_json(const char* path, bool smoke, const Score& defuse_legacy,
+                const Score& flow_legacy, const Score& defuse_flow,
+                const Score& flow_flow, double defuse_us, double flow_us,
+                bool parallel_identical, bool invariants_hold) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  const auto emit_score = [f](const char* key, const Score& s, bool last) {
+    std::fprintf(f,
+                 "    \"%s\": {\"vulnerable\": %d, \"safe\": %d, "
+                 "\"confirmed_recall\": %.2f, \"confirmed_fp_rate\": %.2f}%s\n",
+                 key, s.vulnerable, s.safe, s.recall(), s.fp_rate(),
+                 last ? "" : ",");
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sast_precision\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"tier\": \"confirmed (complete unsanitized trace)\",\n");
+  std::fprintf(f, "  \"scores\": {\n");
+  emit_score("defuse_legacy", defuse_legacy, false);
+  emit_score("flow_legacy", flow_legacy, false);
+  emit_score("defuse_flow", defuse_flow, false);
+  emit_score("flow_flow", flow_flow, true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"recall_gain_on_flow_corpus\": %.2f,\n",
+               flow_flow.recall() - defuse_flow.recall());
+  if (defuse_us > 0.0 && flow_us > 0.0) {
+    std::fprintf(f,
+                 "  \"timing\": {\"defuse_corpus_scan_us\": %.1f, "
+                 "\"flow_corpus_scan_us\": %.1f, \"flow_over_defuse\": %.2f},\n",
+                 defuse_us, flow_us, flow_us / defuse_us);
+  }
+  std::fprintf(f, "  \"parallel_identical_to_serial\": %s,\n",
+               parallel_identical ? "true" : "false");
+  std::fprintf(f, "  \"invariants_hold\": %s\n", invariants_hold ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_sast.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const std::vector<LabeledSource> legacy = genio::bench::make_legacy_sast_corpus();
+  const std::vector<LabeledSource> flow_corpus = genio::bench::make_flow_sast_corpus();
+
+  sast::TaintAnalyzer defuse;
+  defuse.set_engine(sast::TaintEngine::kDefUse);
+  sast::TaintAnalyzer flow;
+  flow.set_engine(sast::TaintEngine::kFlowSensitive);
+
+  const Score defuse_legacy = score_engine(defuse, legacy);
+  const Score flow_legacy = score_engine(flow, legacy);
+  const Score defuse_flow = score_engine(defuse, flow_corpus);
+  const Score flow_flow = score_engine(flow, flow_corpus);
+
+  // Parallel shard vs serial: every corpus file must render identically.
+  bool parallel_identical = true;
+  std::string first_divergence;
+  {
+    gc::ThreadPool pool(4);
+    sast::TaintAnalyzer sharded;
+    sharded.set_engine(sast::TaintEngine::kFlowSensitive);
+    sharded.set_thread_pool(&pool);
+    for (const auto* corpus : {&legacy, &flow_corpus}) {
+      for (const auto& entry : *corpus) {
+        const std::string serial = render_report(flow.analyze(entry.file));
+        const std::string parallel = render_report(sharded.analyze(entry.file));
+        if (serial != parallel && parallel_identical) {
+          parallel_identical = false;
+          first_divergence = entry.name;
+        }
+      }
+    }
+  }
+
+  double defuse_us = 0.0;
+  double flow_us = 0.0;
+  if (!smoke) {
+    const int rounds = 200;
+    defuse_us = time_engine_us(defuse, flow_corpus, rounds);
+    flow_us = time_engine_us(flow, flow_corpus, rounds);
+  }
+
+  gc::Table table({"engine / corpus", "recall", "FP rate", "missed", "false alarms"});
+  const auto join_names = [](const std::vector<std::string>& names) {
+    std::string out;
+    for (const auto& n : names) out += (out.empty() ? "" : ", ") + n;
+    return out.empty() ? std::string("-") : out;
+  };
+  const auto add_row = [&](const char* label, const Score& s) {
+    table.add_row({label, gc::format_double(s.recall(), 2),
+                   gc::format_double(s.fp_rate(), 2), join_names(s.missed),
+                   join_names(s.flagged)});
+  };
+  add_row("def-use / legacy", defuse_legacy);
+  add_row("flow-sensitive / legacy", flow_legacy);
+  add_row("def-use / flow", defuse_flow);
+  add_row("flow-sensitive / flow", flow_flow);
+  std::printf("%s\n", table.render().c_str());
+  if (!smoke) {
+    std::printf("corpus scan: def-use %.1f us, flow-sensitive %.1f us (%.2fx)\n",
+                defuse_us, flow_us, flow_us / defuse_us);
+  }
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  check(flow_legacy.recall() == 1.0, "flow engine: legacy recall == 1.00");
+  check(flow_legacy.fp_rate() == 0.0, "flow engine: legacy FP rate == 0.00");
+  check(flow_flow.recall() == 1.0, "flow engine: flow-corpus recall == 1.00");
+  check(flow_flow.fp_rate() == 0.0, "flow engine: flow-corpus FP rate == 0.00");
+  check(flow_flow.recall() > defuse_flow.recall(),
+        "flow engine strictly beats def-use recall on the flow corpus");
+  check(defuse_legacy.fp_rate() == 0.0 && defuse_flow.fp_rate() == 0.0,
+        "def-use baseline: FP rate == 0.00 on both corpora");
+  check(parallel_identical, "parallel shard renders identically to serial");
+  if (!parallel_identical) {
+    std::printf("  first divergence: %s\n", first_divergence.c_str());
+  }
+
+  write_json(out_path, smoke, defuse_legacy, flow_legacy, defuse_flow,
+             flow_flow, defuse_us, flow_us, parallel_identical, failures == 0);
+  std::printf("wrote %s\n", out_path);
+  return failures == 0 ? 0 : 1;
+}

@@ -26,7 +26,8 @@ void SastEngine::add_rules(std::vector<SastRule> rules) {
 }
 
 bool SastEngine::is_actionable(const SastFinding& finding) {
-  return finding.confidence != Confidence::kLow;
+  return finding.confidence == Confidence::kHigh ||
+         finding.confidence == Confidence::kMedium;
 }
 
 std::size_t SastEngine::count_confirmed(const std::vector<SastFinding>& findings) {
@@ -53,12 +54,12 @@ std::vector<SastFinding> SastEngine::analyze(const SourceFile& file) const {
       finding.path = file.path;
       finding.line = flow.sink_line;
       finding.confidence = flow.sanitized
-                               ? Confidence::kLow
+                               ? Confidence::kAudit
                                : (flow.parameter_dependent ? Confidence::kMedium
                                                            : Confidence::kHigh);
       finding.trace = flow.trace;
       if (flow.sanitized) {
-        finding.detail = "flow neutralized: " + flow.sanitizer_note;
+        finding.detail = "audit-only: flow neutralized: " + flow.sanitizer_note;
       } else if (flow.parameter_dependent) {
         finding.detail = "parameter-dependent flow in " + flow.function + "()";
       } else {

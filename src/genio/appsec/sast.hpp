@@ -1,10 +1,12 @@
 // Static Application Security Testing (M14; the paper's second "M13").
-// Two-pass architecture (M14v2):
-//   Pass 1 — taint-tracking dataflow (sast/taint.hpp): per-function
-//     def-use chains, source -> sanitizer -> sink rules, one-level
-//     interprocedural call summaries. Findings carry a full taint trace
-//     and Confidence::kHigh; flows killed by a sanitizer or parameter
-//     binding surface as Confidence::kLow audit entries.
+// Two-pass architecture:
+//   Pass 1 — taint-tracking dataflow (sast/taint.hpp): CFG-based
+//     flow-sensitive worklist solver with recursion-safe interprocedural
+//     summaries (M14v3, default) or the legacy linear def-use walk
+//     (M14v2, kept for A/B comparison). Findings carry a full taint
+//     trace and Confidence::kHigh; flows killed by a sanitizer or
+//     parameter binding surface as Confidence::kAudit entries that the
+//     gate never counts actionable.
 //   Pass 2 — legacy Semgrep/Bandit-style line regexes (kept so historic
 //     rule IDs and benchmarks stay comparable). Findings default to
 //     Confidence::kMedium and are downgraded to kLow when the dataflow
@@ -59,17 +61,32 @@ class SastEngine {
   void set_taint_enabled(bool enabled) { taint_enabled_ = enabled; }
   bool taint_enabled() const { return taint_enabled_; }
 
+  /// Pick the dataflow engine: flow-sensitive M14v3 (default) or the
+  /// M14v2 def-use baseline.
+  void set_flow_sensitive(bool enabled) {
+    taint_.set_engine(enabled ? sast::TaintEngine::kFlowSensitive
+                              : sast::TaintEngine::kDefUse);
+  }
+  bool flow_sensitive() const {
+    return taint_.engine() == sast::TaintEngine::kFlowSensitive;
+  }
+
   /// Attach the admission-scan fabric: analyze_all/analyze_image scan
   /// files in parallel (lexer/parser/taint are per-file pure) and merge
   /// findings in file order — byte-identical to the serial loop. Null or
-  /// size-1 pool keeps the serial path.
-  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+  /// size-1 pool keeps the serial path. Single-file analyze() calls shard
+  /// the flow-sensitive engine's per-function pass on the same pool.
+  void set_thread_pool(common::ThreadPool* pool) {
+    pool_ = pool;
+    taint_.set_thread_pool(pool);
+  }
 
   std::vector<SastFinding> analyze(const SourceFile& file) const;
   std::vector<SastFinding> analyze_all(const std::vector<SourceFile>& files) const;
   std::vector<SastFinding> analyze_image(const ContainerImage& image) const;
 
-  /// Gate-worthy: confirmed or unrefuted findings (confidence > kLow).
+  /// Gate-worthy: kHigh and kMedium only. kLow (refuted regex noise) and
+  /// kAudit (dataflow-proven sanitized flows) never block a deploy.
   static bool is_actionable(const SastFinding& finding);
   /// Findings with a complete verified taint trace.
   static std::size_t count_confirmed(const std::vector<SastFinding>& findings);

@@ -1,0 +1,26 @@
+// Flow-sensitive interprocedural taint engine (M14v3). Builds a CFG per
+// function (cfg.hpp), runs a worklist fixpoint over a per-variable
+// untainted < sanitized < tainted lattice with merge at control-flow
+// joins, and computes bottom-up, recursion-safe function summaries to a
+// fixpoint so multi-hop source->helper->helper->sink chains trace end to
+// end. The final per-function extraction pass is embarrassingly parallel
+// and shards on the common/ work-stealing pool with a deterministic
+// ordered merge (byte-identical to the serial path).
+#pragma once
+
+#include "genio/appsec/sast/taint.hpp"
+
+namespace genio::common {
+class ThreadPool;
+}  // namespace genio::common
+
+namespace genio::appsec::sast {
+
+/// Run the M14v3 engine over one source file. `pool` may be null (serial);
+/// a pool only shards the final extraction pass — summary fixpoints are
+/// inherently ordered and stay serial.
+TaintReport analyze_flow_sensitive(const SourceFile& file,
+                                   const TaintRuleSet& rules,
+                                   common::ThreadPool* pool);
+
+}  // namespace genio::appsec::sast

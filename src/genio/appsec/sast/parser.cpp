@@ -154,15 +154,58 @@ void walk_expr(const std::vector<Token>& toks, Span span,
   }
 }
 
+/// Control-flow role from the statement's leading keyword. `else if` (Java)
+/// folds into kElif so if-chains lower uniformly across both languages.
+StmtKind classify(const std::vector<Token>& toks, Span span) {
+  const Token& first = toks[span.first];
+  if (first.kind != TokenKind::kIdent) return StmtKind::kPlain;
+  const std::string& t = first.text;
+  if (t == "if") return StmtKind::kIf;
+  if (t == "elif") return StmtKind::kElif;
+  if (t == "else") {
+    return span.second > span.first + 1 && is_ident(toks[span.first + 1], "if")
+               ? StmtKind::kElif
+               : StmtKind::kElse;
+  }
+  if (t == "while") return StmtKind::kWhile;
+  if (t == "for") return StmtKind::kFor;
+  if (t == "try" || t == "do" || t == "finally") return StmtKind::kTry;
+  if (t == "except" || t == "catch") return StmtKind::kExcept;
+  if (t == "return") return StmtKind::kReturn;
+  if (t == "raise" || t == "throw") return StmtKind::kRaise;
+  if (t == "break") return StmtKind::kBreak;
+  if (t == "continue") return StmtKind::kContinue;
+  return StmtKind::kPlain;
+}
+
 Statement make_statement(const std::vector<Token>& toks, Span span) {
   Statement stmt;
   stmt.line = toks[span.first].line;
   stmt.indent = toks[span.first].indent;
+  stmt.kind = classify(toks, span);
 
   std::size_t value_begin = span.first;
-  if (is_ident(toks[span.first], "return") || is_ident(toks[span.first], "raise")) {
+  if (is_ident(toks[span.first], "return") || is_ident(toks[span.first], "raise") ||
+      is_ident(toks[span.first], "throw")) {
     stmt.is_return = is_ident(toks[span.first], "return");
     value_begin = span.first + 1;
+  } else if (stmt.kind == StmtKind::kFor && span.second > span.first + 2 &&
+             toks[span.first + 1].kind == TokenKind::kIdent &&
+             !is_op(toks[span.first + 2], "(")) {
+    // Python `for <target> in <iterable>:` — model the header as a
+    // per-iteration assignment of the iterable's taint to the target.
+    // Tuple targets keep only the first name (conservative).
+    std::size_t in_pos = span.second;
+    for (std::size_t i = span.first + 1; i < span.second; ++i) {
+      if (is_ident(toks[i], "in")) {
+        in_pos = i;
+        break;
+      }
+    }
+    if (in_pos < span.second) {
+      stmt.lhs = toks[span.first + 1].text;
+      value_begin = in_pos + 1;
+    }
   } else {
     // Find a top-level assignment operator.
     int depth = 0;
@@ -231,7 +274,39 @@ std::vector<std::string> parse_params(const std::vector<Token>& toks,
   return params;
 }
 
+/// Python block depth from indentation: a statement deeper than the one
+/// before it opens a nested block; dedenting pops back to the matching
+/// level. Depth 0 is the function's top level regardless of the absolute
+/// indent the body starts at.
+void assign_python_blocks(FunctionDef& fn) {
+  std::vector<int> indents;
+  for (auto& stmt : fn.body) {
+    if (indents.empty()) indents.push_back(stmt.indent);
+    while (indents.size() > 1 && stmt.indent < indents.back()) indents.pop_back();
+    if (stmt.indent > indents.back()) indents.push_back(stmt.indent);
+    stmt.block = static_cast<int>(indents.size()) - 1;
+  }
+}
+
 }  // namespace
+
+std::string to_string(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kPlain: return "plain";
+    case StmtKind::kIf: return "if";
+    case StmtKind::kElif: return "elif";
+    case StmtKind::kElse: return "else";
+    case StmtKind::kWhile: return "while";
+    case StmtKind::kFor: return "for";
+    case StmtKind::kTry: return "try";
+    case StmtKind::kExcept: return "except";
+    case StmtKind::kReturn: return "return";
+    case StmtKind::kRaise: return "raise";
+    case StmtKind::kBreak: return "break";
+    case StmtKind::kContinue: return "continue";
+  }
+  return "plain";
+}
 
 const FunctionDef* ParsedUnit::function(const std::string& name) const {
   for (const auto& f : functions) {
@@ -266,7 +341,11 @@ ParsedUnit parse(const SourceFile& file) {
           begin = i + 1;
         }
       } else {
-        if (is_op(t, ";") || is_op(t, "{") || is_op(t, "}")) {
+        // `;` only separates statements at paren depth 0, so a
+        // `for (int i = 0; i < n; i++)` header stays one statement.
+        if (is_op(t, "(")) ++depth;
+        if (is_op(t, ")")) --depth;
+        if ((is_op(t, ";") && depth <= 0) || is_op(t, "{") || is_op(t, "}")) {
           const std::size_t end = is_op(t, "{") ? i + 1 : i;  // keep `{`
           if (end > begin) spans.emplace_back(begin, end);
           if (is_op(t, "}")) spans.emplace_back(i, i + 1);  // scope pop marker
@@ -307,6 +386,7 @@ ParsedUnit parse(const SourceFile& file) {
       const std::size_t target = stack.empty() ? 0 : stack.back().first;
       unit.functions[target].body.push_back(make_statement(toks, span));
     }
+    for (auto& fn : unit.functions) assign_python_blocks(fn);
   } else {
     // Brace scoping: kContainer (class) / kFunction / kBlock.
     enum class Scope { kContainer, kFunction, kBlock };
@@ -319,11 +399,13 @@ ParsedUnit parse(const SourceFile& file) {
       }
       const bool opens_block = is_op(toks[span.second - 1], "{");
       std::size_t current_fn = 0;
+      int block_depth = 0;  // kBlock scopes between here and the function
       for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
         if (it->first == Scope::kFunction) {
           current_fn = it->second;
           break;
         }
+        if (it->first == Scope::kBlock) ++block_depth;
       }
       if (opens_block) {
         bool is_container = false;
@@ -367,13 +449,16 @@ ParsedUnit parse(const SourceFile& file) {
         }
         // Control block: statements inside still belong to current_fn, but
         // the header itself may carry calls (`if (isAdmin(user)) {`).
-        unit.functions[current_fn].body.push_back(
-            make_statement(toks, {span.first, span.second - 1}));
+        Statement header = make_statement(toks, {span.first, span.second - 1});
+        header.block = block_depth;
+        unit.functions[current_fn].body.push_back(std::move(header));
         stack.emplace_back(Scope::kBlock, current_fn);
         continue;
       }
       if (is_ident(first, "package") || is_ident(first, "import")) continue;
-      unit.functions[current_fn].body.push_back(make_statement(toks, span));
+      Statement stmt = make_statement(toks, span);
+      stmt.block = block_depth;
+      unit.functions[current_fn].body.push_back(std::move(stmt));
     }
   }
   return unit;

@@ -26,9 +26,33 @@ struct CallRef {
   std::vector<ArgInfo> args;
 };
 
+/// Control-flow role of a statement, recovered from its leading keyword.
+/// The CFG builder (cfg.hpp) keys branch/loop/jump lowering off this.
+enum class StmtKind {
+  kPlain,     // assignment / expression / block header with no branching
+  kIf,        // `if cond:` / `if (cond) {`
+  kElif,      // `elif cond:` / `} else if (cond) {`
+  kElse,      // `else:` / `} else {`
+  kWhile,     // `while cond:` — loop header, children form the body
+  kFor,       // `for x in xs:` — loop header; Python target lands in `lhs`
+  kTry,       // `try:` / `do {` / `finally:` — body always executes
+  kExcept,    // `except:` / `catch (...)` — body may or may not execute
+  kReturn,    // `return expr`
+  kRaise,     // `raise` / `throw` — terminates the path like a return
+  kBreak,     // jumps to the innermost loop exit
+  kContinue,  // jumps back to the innermost loop header
+};
+std::string to_string(StmtKind kind);
+
 struct Statement {
   int line = 0;
   int indent = 0;
+  /// Nesting depth inside the enclosing function (0 = function top level).
+  /// Block headers (if/while/...) sit at their parent's depth; the
+  /// statements they govern are one level deeper. Derived from indentation
+  /// for Python and from brace scoping for Java.
+  int block = 0;
+  StmtKind kind = StmtKind::kPlain;
   std::string lhs;            // assigned name; "" for expression statements
   bool augmented = false;     // `q += x` keeps q's existing taint
   bool is_return = false;

@@ -34,6 +34,7 @@ std::string to_string(Confidence confidence) {
     case Confidence::kHigh: return "high";
     case Confidence::kMedium: return "medium";
     case Confidence::kLow: return "low";
+    case Confidence::kAudit: return "audit";
   }
   return "unknown";
 }

@@ -26,9 +26,13 @@ Language language_for_path(const std::string& path);
 ///  kHigh   — a complete unsanitized source->sink taint flow was traced.
 ///  kMedium — pattern evidence (legacy rule) or a parameter-dependent flow
 ///            whose caller is outside the scanned unit.
-///  kLow    — the dataflow pass saw the flow neutralized (sanitizer /
-///            parameter binding); kept for audit, never gates.
-enum class Confidence { kHigh, kMedium, kLow };
+///  kLow    — a legacy pattern match the dataflow pass refuted (sanitized
+///            flow or constant query on that line); never gates.
+///  kAudit  — the dataflow pass itself traced the flow AND saw it
+///            neutralized (sanitizer / parameter binding). Distinct from
+///            kLow so dashboards can show "proven-safe flows" separately
+///            from "refuted regex noise"; never actionable, never gates.
+enum class Confidence { kHigh, kMedium, kLow, kAudit };
 std::string to_string(Confidence confidence);
 
 /// One hop of a taint trace: "line 3: 'sensor' tainted by request.args.get".

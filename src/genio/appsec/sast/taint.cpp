@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "genio/appsec/sast/dataflow.hpp"
 #include "genio/common/strings.hpp"
 
 namespace genio::appsec::sast {
@@ -18,15 +19,30 @@ std::string to_string(SinkCategory category) {
   return "sink";
 }
 
+std::string to_string(TaintEngine engine) {
+  switch (engine) {
+    case TaintEngine::kDefUse: return "def-use";
+    case TaintEngine::kFlowSensitive: return "flow-sensitive";
+  }
+  return "taint-engine";
+}
+
 bool callee_matches(const std::string& callee, const std::string& pattern) {
+  if (pattern.empty()) return false;
   const std::string c = common::to_lower(callee);
   const std::string p = common::to_lower(pattern);
-  if (c == p) return true;
-  if (c.size() > p.size() && c.compare(c.size() - p.size(), p.size(), p) == 0 &&
-      c[c.size() - p.size() - 1] == '.') {
-    return true;
-  }
-  return false;
+  if (c.size() < p.size()) return false;
+  // Suffix match anchored on whole dotted segments: the pattern must cover
+  // the tail of the callee exactly, and the character before the matched
+  // tail (if any) must be the '.' segment separator.
+  const std::size_t off = c.size() - p.size();
+  if (c.compare(off, p.size(), p) != 0) return false;
+  return off == 0 || c[off - 1] == '.';
+}
+
+std::string last_dotted_segment(const std::string& dotted) {
+  const auto dot = dotted.find_last_of('.');
+  return dot == std::string::npos ? dotted : dotted.substr(dot + 1);
 }
 
 namespace {
@@ -204,11 +220,6 @@ struct FunctionSummary {
   VarTaint return_taint;  // set when returns_source
 };
 
-std::string last_segment(const std::string& dotted) {
-  const auto dot = dotted.find_last_of('.');
-  return dot == std::string::npos ? dotted : dotted.substr(dot + 1);
-}
-
 struct Analysis {
   const TaintRuleSet& rules;
   Language lang;
@@ -261,12 +272,12 @@ class FunctionPass {
 
   const FunctionSummary* summary_for(const std::string& callee) const {
     if (ctx_.summaries == nullptr) return nullptr;
-    const auto it = ctx_.summaries->find(last_segment(callee));
+    const auto it = ctx_.summaries->find(last_dotted_segment(callee));
     return it == ctx_.summaries->end() ? nullptr : &it->second;
   }
   const FunctionDef* function_for(const std::string& callee) const {
     if (ctx_.functions == nullptr) return nullptr;
-    const auto it = ctx_.functions->find(last_segment(callee));
+    const auto it = ctx_.functions->find(last_dotted_segment(callee));
     return it == ctx_.functions->end() ? nullptr : it->second;
   }
 
@@ -547,10 +558,43 @@ class FunctionPass {
 
 }  // namespace
 
+std::vector<TaintFlow> canonicalize_flows(std::vector<TaintFlow> flows) {
+  // Confirmed flows shadow parameter-dependent ones on the same sink;
+  // duplicates collapse; sanitized parameter flows are dropped.
+  std::set<std::pair<std::string, int>> confirmed;
+  for (const auto& f : flows) {
+    if (!f.parameter_dependent && !f.sanitized) {
+      confirmed.insert({f.rule_id, f.sink_line});
+    }
+  }
+  std::vector<TaintFlow> out;
+  std::set<std::string> seen;
+  for (auto& f : flows) {
+    if (f.parameter_dependent &&
+        (f.sanitized || confirmed.count({f.rule_id, f.sink_line}) != 0)) {
+      continue;
+    }
+    const std::string key = f.rule_id + ":" + std::to_string(f.sink_line) + ":" +
+                            std::to_string(f.source_line) + ":" +
+                            (f.sanitized ? "s" : "u") +
+                            (f.parameter_dependent ? "p" : "c");
+    if (!seen.insert(key).second) continue;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const TaintFlow& a, const TaintFlow& b) {
+    if (a.sink_line != b.sink_line) return a.sink_line < b.sink_line;
+    return a.rule_id < b.rule_id;
+  });
+  return out;
+}
+
 TaintAnalyzer::TaintAnalyzer() : rules_(default_taint_rules()) {}
 TaintAnalyzer::TaintAnalyzer(TaintRuleSet rules) : rules_(std::move(rules)) {}
 
 TaintReport TaintAnalyzer::analyze(const SourceFile& file) const {
+  if (engine_ == TaintEngine::kFlowSensitive) {
+    return analyze_flow_sensitive(file, rules_, pool_);
+  }
   const ParsedUnit unit = parse(file);
   const Language lang = file.language;
   TaintReport report;
@@ -576,33 +620,7 @@ TaintReport TaintAnalyzer::analyze(const SourceFile& file) const {
     FunctionPass(fn, ctx).run();
   }
 
-  // Post: confirmed flows shadow parameter-dependent ones on the same
-  // sink; duplicates collapse; sanitized parameter flows are dropped.
-  std::set<std::pair<std::string, int>> confirmed;
-  for (const auto& f : flows) {
-    if (!f.parameter_dependent && !f.sanitized) {
-      confirmed.insert({f.rule_id, f.sink_line});
-    }
-  }
-  std::vector<TaintFlow> out;
-  std::set<std::string> seen;
-  for (auto& f : flows) {
-    if (f.parameter_dependent &&
-        (f.sanitized || confirmed.count({f.rule_id, f.sink_line}) != 0)) {
-      continue;
-    }
-    const std::string key = f.rule_id + ":" + std::to_string(f.sink_line) + ":" +
-                            std::to_string(f.source_line) + ":" +
-                            (f.sanitized ? "s" : "u") +
-                            (f.parameter_dependent ? "p" : "c");
-    if (!seen.insert(key).second) continue;
-    out.push_back(std::move(f));
-  }
-  std::sort(out.begin(), out.end(), [](const TaintFlow& a, const TaintFlow& b) {
-    if (a.sink_line != b.sink_line) return a.sink_line < b.sink_line;
-    return a.rule_id < b.rule_id;
-  });
-  report.flows = std::move(out);
+  report.flows = canonicalize_flows(std::move(flows));
   return report;
 }
 

@@ -1,11 +1,13 @@
-// Taint-tracking dataflow pass (M14v2). Models the source -> sanitizer ->
-// sink discipline real analyzers use: request parameters / environment /
-// file reads introduce taint, assignments and string concatenation
-// propagate it along per-function def-use chains, sanitizers (escaping,
-// parameter binding, hashing, integer coercion) kill it, and dangerous
-// sinks (SQL, process execution, eval, deserialization, weak hashes)
-// report a finding only when an unsanitized flow actually reaches them —
-// with the full trace, so operators can audit every hop.
+// Taint-tracking dataflow pass. Models the source -> sanitizer -> sink
+// discipline real analyzers use: request parameters / environment / file
+// reads introduce taint, assignments and string concatenation propagate
+// it, sanitizers (escaping, parameter binding, hashing, integer coercion)
+// kill it, and dangerous sinks (SQL, process execution, eval,
+// deserialization, weak hashes) report a finding only when an unsanitized
+// flow actually reaches them — with the full trace, so operators can
+// audit every hop. Two engines share this interface (see TaintEngine):
+// the M14v2 linear def-use walk and the M14v3 CFG-based flow-sensitive
+// solver (cfg.hpp + dataflow.hpp), which is the default.
 #pragma once
 
 #include <map>
@@ -15,6 +17,10 @@
 
 #include "genio/appsec/sast/parser.hpp"
 #include "genio/appsec/sast/source.hpp"
+
+namespace genio::common {
+class ThreadPool;
+}  // namespace genio::common
 
 namespace genio::appsec::sast {
 
@@ -57,9 +63,14 @@ struct TaintRuleSet {
   const SanitizerSpec* match_sanitizer(const std::string& callee, Language lang) const;
 };
 
-/// Case-insensitive dotted-suffix match: "db.execute" matches "execute";
-/// "flask.request.args.get" matches "request.args.get".
+/// Case-insensitive dotted-suffix match on whole segments: "db.execute"
+/// matches "execute"; "flask.request.args.get" matches "request.args.get".
+/// Partial segments never match — pattern "eval" does not match callee
+/// "retrieval", and "args.get" does not match "myargs.get".
 bool callee_matches(const std::string& callee, const std::string& pattern);
+
+/// Last segment of a dotted name: "db.execute" -> "execute".
+std::string last_dotted_segment(const std::string& dotted);
 
 /// The default source/sink/sanitizer model for the simulated Python/Java
 /// corpus (requests/flask, DB-API, subprocess; servlet API, JDBC).
@@ -92,19 +103,46 @@ struct TaintReport {
   std::set<int> constant_sink_lines;
 };
 
+/// Canonical post-processing shared by both engines: confirmed flows
+/// shadow parameter-dependent ones on the same sink, duplicates collapse,
+/// sanitized parameter flows drop, and output sorts by (sink line, rule).
+std::vector<TaintFlow> canonicalize_flows(std::vector<TaintFlow> flows);
+
+/// Which dataflow engine TaintAnalyzer runs.
+///  kDefUse        — M14v2: per-function linear def-use chains with
+///                   one-level call summaries. Kept as the reference /
+///                   A-B baseline for bench_sast_precision.
+///  kFlowSensitive — M14v3: CFG + worklist fixpoint over a per-variable
+///                   untainted < sanitized < tainted lattice, with
+///                   recursion-safe bottom-up function summaries; catches
+///                   branch-dependent sanitization, loop-carried taint and
+///                   multi-hop helper chains the def-use walk cannot.
+enum class TaintEngine { kDefUse, kFlowSensitive };
+std::string to_string(TaintEngine engine);
+
 class TaintAnalyzer {
  public:
   TaintAnalyzer();  // default_taint_rules()
   explicit TaintAnalyzer(TaintRuleSet rules);
 
-  /// Run the multi-pass analysis: parse, per-function def-use chains,
-  /// one-level interprocedural call summaries, then flow extraction.
+  /// Run the configured engine: parse, intraprocedural analysis, function
+  /// summaries to fixpoint, then flow extraction.
   TaintReport analyze(const SourceFile& file) const;
+
+  void set_engine(TaintEngine engine) { engine_ = engine; }
+  TaintEngine engine() const { return engine_; }
+
+  /// Shard the flow-sensitive engine's per-function extraction pass on
+  /// the pool (deterministic ordered merge; byte-identical to serial).
+  /// Null or size-1 pool keeps the serial path.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   const TaintRuleSet& rules() const { return rules_; }
 
  private:
   TaintRuleSet rules_;
+  TaintEngine engine_ = TaintEngine::kFlowSensitive;
+  common::ThreadPool* pool_ = nullptr;  // non-owning; optional
 };
 
 }  // namespace genio::appsec::sast

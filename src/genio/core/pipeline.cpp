@@ -85,7 +85,11 @@ DeploymentPipeline::DeploymentPipeline(GenioPlatform* platform)
 std::string DeploymentPipeline::rulepack_fingerprint() const {
   const PlatformConfig& config = platform_->config();
   std::string fp = "rp1:sast=" + std::to_string(sast_.rule_count());
-  if (config.sast_taint_analysis) fp += "+taint";
+  if (config.sast_taint_analysis) {
+    // The two engines produce different verdicts for the same image, so
+    // they must never share scan-cache entries.
+    fp += config.sast_flow_sensitive ? "+taint2" : "+taint";
+  }
   fp += ":yara=" + std::to_string(yara_.rule_count());
   fp += ":block=" + common::format_double(sca_block_score, 2);
   fp += ":gates=";
@@ -122,6 +126,7 @@ bool DeploymentPipeline::run_scan_gates(PipelineReport& report,
                                         const Tenant& tenant) {
   const PlatformConfig& config = platform_->config();
   sast_.set_taint_enabled(config.sast_taint_analysis);
+  sast_.set_flow_sensitive(config.sast_flow_sensitive);
 
   // Resolve the SCA feed dependency serially, before any fan-out: outage
   // handling is control flow (retry policy, degrade-to-snapshot), not scan

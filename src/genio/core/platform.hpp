@@ -47,7 +47,10 @@ struct PlatformConfig {
   bool require_image_signature = true;
   bool sca_gate = true;              // M13
   bool sast_gate = true;             // M14
-  bool sast_taint_analysis = true;   // M14v2 dataflow pass (off = legacy regex only)
+  bool sast_taint_analysis = true;   // taint dataflow pass (off = legacy regex only)
+  // M14v3 CFG-based flow-sensitive engine; off = M14v2 linear def-use
+  // baseline. Only meaningful while sast_taint_analysis is on.
+  bool sast_flow_sensitive = true;
   bool secret_gate = true;           // M13/M14-adjacent secret scanning
   bool malware_gate = true;          // M16
   bool sandbox_enabled = true;       // M17

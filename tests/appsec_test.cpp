@@ -259,9 +259,13 @@ TEST(SastTaint, ParameterBindingKillsTaint) {
   const auto findings = engine.analyze(file);
   ASSERT_FALSE(findings.empty());
   for (const auto& f : findings) {
-    // The neutralized flow and the downgraded legacy match are kLow: the
-    // sanitized image must yield no high-confidence finding.
-    EXPECT_EQ(f.confidence, as::Confidence::kLow) << f.rule_id;
+    // The neutralized dataflow trace reports as kAudit; the downgraded
+    // legacy regex match stays kLow. Neither is ever actionable, so the
+    // sanitized image yields no high-confidence finding.
+    const as::Confidence expected = f.rule_id == "TAINT-SQLI"
+                                        ? as::Confidence::kAudit
+                                        : as::Confidence::kLow;
+    EXPECT_EQ(f.confidence, expected) << f.rule_id;
     EXPECT_FALSE(as::SastEngine::is_actionable(f));
   }
   EXPECT_EQ(as::SastEngine::count_confirmed(findings), 0u);
@@ -275,7 +279,13 @@ TEST(SastTaint, SanitizerAssignmentRefutesLegacyMatch) {
                       "    safe = db.escape(uid)\n"
                       "    return db.execute(\"SELECT * FROM u WHERE id=\" + safe)\n"};
   for (const auto& f : engine.analyze(file)) {
-    EXPECT_EQ(f.confidence, as::Confidence::kLow) << f.rule_id;
+    // Audit tier for the traced-and-neutralized flow, kLow for the
+    // refuted legacy regex match — and neither gates the pipeline.
+    const as::Confidence expected = f.rule_id == "TAINT-SQLI"
+                                        ? as::Confidence::kAudit
+                                        : as::Confidence::kLow;
+    EXPECT_EQ(f.confidence, expected) << f.rule_id;
+    EXPECT_FALSE(as::SastEngine::is_actionable(f)) << f.rule_id;
   }
 }
 

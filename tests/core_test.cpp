@@ -194,6 +194,63 @@ TEST(Pipeline, CriticalSastFindingBlocks) {
   EXPECT_EQ(report.blocked_by(), "sast");
 }
 
+TEST(Pipeline, SanitizedTaintFlowIsAuditOnlyAndDeploys) {
+  // The dataflow pass traces the flow but sees it neutralized: the flow
+  // reports at the audit tier and the legacy regex match is downgraded,
+  // so nothing actionable remains and the gate waves the image through.
+  PipelineFixture f;
+  as::ContainerImage image("registry.genio.io/tenant-a/escaped-app", "1.0.0");
+  image.add_layer({{"/app/db.py",
+                    gc::to_bytes("def get_user():\n"
+                                 "    uid = request.args.get(\"id\")\n"
+                                 "    safe = db.escape(uid)\n"
+                                 "    return db.execute(\"SELECT * FROM u"
+                                 " WHERE id=\" + safe)\n")}});
+  ASSERT_TRUE(f.platform.registry()
+                  .push_signed(std::move(image), "tenant-a", f.publisher)
+                  .ok());
+  const auto report =
+      f.pipeline.deploy({.tenant = "tenant-a",
+                         .image_reference =
+                             "registry.genio.io/tenant-a/escaped-app:1.0.0",
+                         .app_name = "escaped-app"});
+  EXPECT_TRUE(report.deployed) << report.blocked_by();
+  const auto* sast = report.stage("sast");
+  ASSERT_NE(sast, nullptr);
+  EXPECT_TRUE(sast->passed);
+  // Findings exist (the audit flow + downgraded regex), none confirmed.
+  EXPECT_EQ(sast->detail.find("confirmed"), std::string::npos);
+  EXPECT_NE(sast->detail, "0 findings");
+}
+
+TEST(Pipeline, BranchOnlySanitizationStillBlocks) {
+  // The sanitizer runs on one branch only; the flow-sensitive engine
+  // merges the unsanitized else path at the join and keeps the gate shut
+  // (the old def-use walk cleared the taint and deployed this image).
+  PipelineFixture f;
+  as::ContainerImage image("registry.genio.io/tenant-a/branchy-app", "1.0.0");
+  image.add_layer({{"/app/find.py",
+                    gc::to_bytes("def find(mode):\n"
+                                 "    x = request.args.get(\"id\")\n"
+                                 "    if mode:\n"
+                                 "        x = db.escape(x)\n"
+                                 "    return db.execute(\"SELECT * FROM t"
+                                 " WHERE id='\" + x + \"'\")\n")}});
+  ASSERT_TRUE(f.platform.registry()
+                  .push_signed(std::move(image), "tenant-a", f.publisher)
+                  .ok());
+  const auto report =
+      f.pipeline.deploy({.tenant = "tenant-a",
+                         .image_reference =
+                             "registry.genio.io/tenant-a/branchy-app:1.0.0",
+                         .app_name = "branchy-app"});
+  EXPECT_FALSE(report.deployed);
+  EXPECT_EQ(report.blocked_by(), "sast");
+  const auto* sast = report.stage("sast");
+  ASSERT_NE(sast, nullptr);
+  EXPECT_NE(sast->detail.find("confirmed"), std::string::npos);
+}
+
 TEST(Pipeline, EmbeddedSecretBlocks) {
   PipelineFixture f;
   as::ContainerImage image("registry.genio.io/tenant-a/leaky-app", "1.0.0");
