@@ -128,15 +128,32 @@ int main() {
               "degradation is flagged, not hidden)\n",
               mid.degraded_mitigations.size(), mid.overall_score());
 
-  // 8. Let the storm blow over and verify the site healed.
+  // 8. Let the storm blow over and verify the site healed. Both storm
+  //    deploys ran degraded, so nothing was cached (degraded verdicts
+  //    never are); a clean re-admit pair proves the cache works again —
+  //    one cold scan, one replayed verdict.
   platform.advance_time(gc::SimTime::from_hours(1));
+  (void)pipeline.deploy({.tenant = "acme",
+                         .image_reference =
+                             "registry.genio.io/acme/iot-analytics:1.0.0",
+                         .app_name = "iot-analytics-3"});
+  (void)pipeline.deploy({.tenant = "acme",
+                         .image_reference =
+                             "registry.genio.io/acme/iot-analytics:1.0.0",
+                         .app_name = "iot-analytics-4"});
   std::printf("\n[8] after the storm:\n");
-  const auto after = core::evaluate_posture(platform, boot);
+  const auto after = core::evaluate_posture(platform, boot, nullptr, &pipeline);
   std::printf("    active faults: %zu, degraded mitigations: %zu, "
               "pods failed: %zu\n",
               platform.chaos().active_faults().size(),
               after.degraded_mitigations.size(),
               platform.cluster().failed_pod_count());
+  std::printf("    admission scan cache: %llu hit(s) / %llu miss(es), "
+              "invalidations %llu full / %llu targeted\n",
+              static_cast<unsigned long long>(after.scan_cache.hits),
+              static_cast<unsigned long long>(after.scan_cache.misses),
+              static_cast<unsigned long long>(after.scan_cache.invalidations_full),
+              static_cast<unsigned long long>(after.scan_cache.invalidations_targeted));
   std::printf("    chaos stats: %llu injected, %llu reverted; breaker %s; "
               "failovers %llu\n",
               static_cast<unsigned long long>(platform.chaos().stats().injected),

@@ -19,6 +19,7 @@ std::string to_string(ErrorCode code) {
     case ErrorCode::kStateError: return "state_error";
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -31,6 +31,10 @@ enum class ErrorCode {
   kStateError,
   kParseError,
   kTimeout,
+  // A request's end-to-end time budget was exhausted (distinct from
+  // kTimeout, which is a single dependency call timing out): retrying
+  // cannot help, the budget is gone. Never transient.
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -145,6 +149,7 @@ inline Error resource_exhausted(std::string msg) { return {ErrorCode::kResourceE
 inline Error state_error(std::string msg) { return {ErrorCode::kStateError, std::move(msg)}; }
 inline Error parse_error(std::string msg) { return {ErrorCode::kParseError, std::move(msg)}; }
 inline Error timeout(std::string msg) { return {ErrorCode::kTimeout, std::move(msg)}; }
+inline Error deadline_exceeded(std::string msg) { return {ErrorCode::kDeadlineExceeded, std::move(msg)}; }
 inline Error internal_error(std::string msg) { return {ErrorCode::kInternal, std::move(msg)}; }
 
 }  // namespace genio::common

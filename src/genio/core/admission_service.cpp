@@ -1,0 +1,380 @@
+#include "genio/core/admission_service.hpp"
+
+#include <set>
+#include <utility>
+
+namespace genio::core {
+
+std::string to_string(AdmitClass cls) {
+  switch (cls) {
+    case AdmitClass::kCriticalInfra: return "critical-infra";
+    case AdmitClass::kTenantDeploy: return "tenant-deploy";
+    case AdmitClass::kBatchRescan: return "batch-rescan";
+  }
+  return "unknown";
+}
+
+std::string to_string(AdmitOutcome outcome) {
+  switch (outcome) {
+    case AdmitOutcome::kDeployed: return "deployed";
+    case AdmitOutcome::kBlocked: return "blocked";
+    case AdmitOutcome::kShedOverload: return "shed-overload";
+    case AdmitOutcome::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string dedup_key_for(const DeploymentRequest& request, bool rescan) {
+  return request.tenant + "|" + request.image_reference + "|" + request.app_name +
+         (rescan ? "|rescan" : "|deploy");
+}
+
+std::string workload_key(const std::string& tenant, const std::string& app) {
+  return tenant + "|" + app;
+}
+
+}  // namespace
+
+AdmissionService::AdmissionService(GenioPlatform* platform, DeploymentPipeline* pipeline,
+                                   AdmissionServiceConfig config)
+    : platform_(platform), pipeline_(pipeline), config_(config) {}
+
+common::SimTime AdmissionService::class_deadline(AdmitClass cls) const {
+  switch (cls) {
+    case AdmitClass::kCriticalInfra: return config_.deadline_critical;
+    case AdmitClass::kTenantDeploy: return config_.deadline_deploy;
+    case AdmitClass::kBatchRescan: return config_.deadline_batch;
+  }
+  return config_.deadline_deploy;
+}
+
+SubmitResult AdmissionService::submit(DeploymentRequest request, AdmitClass cls) {
+  return submit_internal(std::move(request), cls, /*rescan=*/false);
+}
+
+SubmitResult AdmissionService::submit_rescan(DeploymentRequest request) {
+  return submit_internal(std::move(request), AdmitClass::kBatchRescan, /*rescan=*/true);
+}
+
+SubmitResult AdmissionService::submit_internal(DeploymentRequest request, AdmitClass cls,
+                                               bool rescan) {
+  AdmitClassStats& stats = stats_mut(cls);
+  ++stats.submitted;
+  const common::SimTime now = platform_->clock().now();
+
+  // Ingress watermark sheds: the low classes yield queue room to the high
+  // ones before the queue is even full. Critical infra has no watermark —
+  // it is never shed, only (at worst) backpressured.
+  const double backlog_fraction =
+      config_.total_capacity == 0
+          ? 1.0
+          : static_cast<double>(total_backlog_) /
+                static_cast<double>(config_.total_capacity);
+  const bool watermark_shed =
+      (cls == AdmitClass::kBatchRescan && backlog_fraction >= config_.shed_batch_above) ||
+      (cls == AdmitClass::kTenantDeploy && backlog_fraction >= config_.shed_deploy_above);
+  if (watermark_shed) {
+    ++stats.shed_ingress;
+    Pending shed;
+    shed.ticket = ++next_ticket_;
+    shed.request = std::move(request);
+    shed.cls = cls;
+    shed.rescan = rescan;
+    shed.submitted_at = now;
+    platform_->bus().publish("admission.shed",
+                             {{"ticket", std::to_string(shed.ticket)},
+                              {"class", to_string(cls)},
+                              {"tenant", shed.request.tenant},
+                              {"image", shed.request.image_reference},
+                              {"reason", "ingress-watermark"}});
+    complete(shed, AdmitOutcome::kShedOverload, /*coalesced=*/false,
+             /*cold_scan=*/false, nullptr);
+    return {SubmitStatus::kShed, shed.ticket, {}, "shed at ingress watermark"};
+  }
+
+  // Bounded per-tenant queue: one noisy tenant cannot consume the whole
+  // backlog. Backpressure, not shed — the caller is told to retry.
+  const auto tenant_it = tenant_backlog_.find(request.tenant);
+  if (tenant_it != tenant_backlog_.end() &&
+      tenant_it->second >= config_.per_tenant_capacity) {
+    ++stats.rejected_backpressure;
+    platform_->bus().publish("admission.backpressure",
+                             {{"tenant", request.tenant},
+                              {"class", to_string(cls)},
+                              {"scope", "tenant"}});
+    return {SubmitStatus::kBackpressure, 0, config_.retry_after, "tenant queue full"};
+  }
+
+  // Bounded global queue: a full queue admits a higher class only by
+  // displacing the newest lowest-class entry (audited), never by growing.
+  if (total_backlog_ >= config_.total_capacity) {
+    if (!displace_lower_class(cls)) {
+      ++stats.rejected_backpressure;
+      platform_->bus().publish("admission.backpressure",
+                               {{"tenant", request.tenant},
+                                {"class", to_string(cls)},
+                                {"scope", "global"}});
+      return {SubmitStatus::kBackpressure, 0, config_.retry_after,
+              "admission queue full"};
+    }
+  }
+
+  Pending pending;
+  pending.ticket = ++next_ticket_;
+  pending.cls = cls;
+  pending.rescan = rescan;
+  pending.submitted_at = now;
+  pending.expires_at = now + class_deadline(cls);
+  pending.dedup_key = dedup_key_for(request, rescan);
+  pending.request = std::move(request);
+
+  ++tenant_backlog_[pending.request.tenant];
+  ++queued_key_counts_[pending.dedup_key];
+  ++total_backlog_;
+  if (total_backlog_ > backlog_high_water_) backlog_high_water_ = total_backlog_;
+  ++stats.accepted;
+  const std::uint64_t ticket = pending.ticket;
+  queues_[static_cast<std::size_t>(cls)].push_back(std::move(pending));
+  return {SubmitStatus::kAccepted, ticket, {}, "queued"};
+}
+
+bool AdmissionService::displace_lower_class(AdmitClass cls) {
+  for (std::size_t c = kAdmitClasses; c-- > static_cast<std::size_t>(cls) + 1;) {
+    auto& queue = queues_[c];
+    if (queue.empty()) continue;
+    Pending victim = std::move(queue.back());
+    queue.pop_back();
+    remove_bookkeeping(victim);
+    ++stats_mut(victim.cls).shed_displaced;
+    platform_->bus().publish("admission.shed",
+                             {{"ticket", std::to_string(victim.ticket)},
+                              {"class", to_string(victim.cls)},
+                              {"tenant", victim.request.tenant},
+                              {"image", victim.request.image_reference},
+                              {"reason", "displaced"}});
+    complete(victim, AdmitOutcome::kShedOverload, /*coalesced=*/false,
+             /*cold_scan=*/false, nullptr);
+    return true;
+  }
+  return false;
+}
+
+void AdmissionService::remove_bookkeeping(const Pending& pending) {
+  const auto it = tenant_backlog_.find(pending.request.tenant);
+  if (it != tenant_backlog_.end()) {
+    if (--it->second == 0) tenant_backlog_.erase(it);
+  }
+  const auto key_it = queued_key_counts_.find(pending.dedup_key);
+  if (key_it != queued_key_counts_.end()) {
+    if (--key_it->second == 0) queued_key_counts_.erase(key_it);
+  }
+  --total_backlog_;
+}
+
+void AdmissionService::complete(const Pending& pending, AdmitOutcome outcome,
+                                bool coalesced, bool cold_scan,
+                                const PipelineReport* report) {
+  AdmitClassStats& stats = stats_mut(pending.cls);
+  if (coalesced) {
+    ++stats.coalesced;
+  } else {
+    switch (outcome) {
+      case AdmitOutcome::kDeployed: ++stats.deployed; break;
+      case AdmitOutcome::kBlocked: ++stats.blocked; break;
+      case AdmitOutcome::kDeadlineExceeded: ++stats.deadline_exceeded; break;
+      case AdmitOutcome::kShedOverload: break;  // counted at the shed site
+    }
+  }
+  AdmitRecord record;
+  record.ticket = pending.ticket;
+  record.cls = pending.cls;
+  record.outcome = outcome;
+  record.tenant = pending.request.tenant;
+  record.image_reference = pending.request.image_reference;
+  record.app_name = pending.request.app_name;
+  record.rescan = pending.rescan;
+  record.coalesced = coalesced;
+  record.cold_scan = cold_scan;
+  record.submitted_at = pending.submitted_at;
+  record.completed_at = platform_->clock().now();
+  if (outcome != AdmitOutcome::kShedOverload) {
+    stats.latency_seconds.push_back(
+        static_cast<float>((record.completed_at - record.submitted_at).seconds()));
+  }
+  if (on_complete_) on_complete_(record, report);
+}
+
+void AdmissionService::coalesce_duplicates(const std::string& key,
+                                           AdmitOutcome outcome) {
+  // Fast path for the common case: nothing identical is queued, so the
+  // full queue sweep (O(total backlog)) is skipped entirely.
+  if (queued_key_counts_.find(key) == queued_key_counts_.end()) return;
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->dedup_key != key) {
+        ++it;
+        continue;
+      }
+      Pending duplicate = std::move(*it);
+      it = queue.erase(it);
+      remove_bookkeeping(duplicate);
+      complete(duplicate, outcome, /*coalesced=*/true, /*cold_scan=*/false, nullptr);
+    }
+  }
+}
+
+void AdmissionService::process_one() {
+  for (std::size_t c = 0; c < kAdmitClasses; ++c) {
+    auto& queue = queues_[c];
+    if (queue.empty()) continue;
+    Pending pending = std::move(queue.front());
+    queue.pop_front();
+    remove_bookkeeping(pending);
+
+    const common::SimTime now = platform_->clock().now();
+    if (now >= pending.expires_at) {
+      // The budget died in the queue; running the pipeline now would
+      // spend scan capacity on a verdict nobody is waiting for.
+      platform_->bus().publish("admission.deadline",
+                               {{"ticket", std::to_string(pending.ticket)},
+                                {"class", to_string(pending.cls)},
+                                {"tenant", pending.request.tenant},
+                                {"image", pending.request.image_reference}});
+      complete(pending, AdmitOutcome::kDeadlineExceeded, /*coalesced=*/false,
+               /*cold_scan=*/false, nullptr);
+      return;
+    }
+
+    // Repeat deploys of a workload already running this exact image are
+    // re-verifies: the scan gates re-run but no second pod is scheduled
+    // (create_pod would happily allocate capacity again).
+    bool rescan = pending.rescan;
+    const auto dep =
+        deployed_.find(workload_key(pending.request.tenant, pending.request.app_name));
+    if (!rescan && dep != deployed_.end() &&
+        dep->second.image_reference == pending.request.image_reference) {
+      rescan = true;
+    }
+
+    DeploymentRequest request = pending.request;
+    request.deadline_budget = pending.expires_at - now;
+    const ScanCacheStats before = pipeline_->scan_cache().stats();
+    const PipelineReport report =
+        rescan ? pipeline_->rescan(request) : pipeline_->deploy(request);
+    const ScanCacheStats after = pipeline_->scan_cache().stats();
+    // Cold = the content-addressed cache was consulted and missed (a real
+    // scan ran). A pull failure or an uncacheable outage-mode admit is
+    // neither cold nor warm — no scan verdict was produced.
+    const bool cold_scan = after.misses > before.misses;
+    const bool warm_scan = after.hits > before.hits;
+    if (cold_scan) {
+      ++scans_cold_;
+    } else if (warm_scan) {
+      ++scans_warm_;
+    }
+    platform_->advance_time(cold_scan ? config_.cost_cold_scan : config_.cost_warm_scan);
+
+    const bool clean = report.blocked_by().empty();
+    const PipelineStage* pull = report.stage("pull");
+    const bool pull_deadline = pull != nullptr && pull->ran && !pull->passed &&
+                               pull->detail.rfind("retry budget exhausted", 0) == 0;
+    AdmitOutcome outcome;
+    if (rescan ? clean : report.deployed) {
+      outcome = AdmitOutcome::kDeployed;
+    } else if (pull_deadline || platform_->clock().now() >= pending.expires_at) {
+      outcome = AdmitOutcome::kDeadlineExceeded;
+    } else {
+      outcome = AdmitOutcome::kBlocked;
+    }
+
+    if (outcome == AdmitOutcome::kDeployed && !rescan) {
+      DeployedWorkload workload;
+      workload.image_reference = pending.request.image_reference;
+      const auto entry = platform_->registry().pull(pending.request.image_reference);
+      if (entry.ok()) {
+        for (const auto& package : (*entry)->image.manifest()) {
+          workload.packages.push_back(package.name);
+        }
+        workload.manifest_known = true;
+      }
+      deployed_[workload_key(pending.request.tenant, pending.request.app_name)] =
+          std::move(workload);
+    }
+
+    complete(pending, outcome, /*coalesced=*/false, cold_scan, &report);
+    // Identical queued requests adopt this verdict — but never a deadline
+    // failure, which says nothing about the content.
+    if (outcome == AdmitOutcome::kDeployed || outcome == AdmitOutcome::kBlocked) {
+      coalesce_duplicates(pending.dedup_key, outcome);
+    }
+    return;
+  }
+}
+
+std::size_t AdmissionService::pump(std::size_t max_requests) {
+  std::size_t drained = 0;
+  while (drained < max_requests && total_backlog_ > 0) {
+    const std::size_t before = total_backlog_;
+    process_one();
+    drained += before - total_backlog_;
+  }
+  return drained;
+}
+
+std::size_t AdmissionService::pump_for(common::SimTime budget) {
+  const common::SimTime end = platform_->clock().now() + budget;
+  std::size_t drained = 0;
+  while (total_backlog_ > 0 && platform_->clock().now() < end) {
+    const std::size_t before = total_backlog_;
+    process_one();
+    drained += before - total_backlog_;
+  }
+  return drained;
+}
+
+std::size_t AdmissionService::enqueue_rescans(
+    const std::vector<std::string>& changed_packages) {
+  const std::set<std::string> changed(changed_packages.begin(), changed_packages.end());
+  std::size_t submitted = 0;
+  for (const auto& [key, workload] : deployed_) {
+    // Unknown manifest (registry was down when the deploy completed):
+    // conservatively re-verify rather than assume it is unaffected.
+    bool affected = !workload.manifest_known;
+    for (const auto& package : workload.packages) {
+      if (changed.count(package) != 0) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    const auto sep = key.find('|');
+    DeploymentRequest request;
+    request.tenant = key.substr(0, sep);
+    request.app_name = key.substr(sep + 1);
+    request.image_reference = workload.image_reference;
+    if (submit_rescan(std::move(request)).status == SubmitStatus::kAccepted) {
+      ++submitted;
+    }
+  }
+  return submitted;
+}
+
+bool AdmissionService::accounting_consistent() const {
+  for (std::size_t c = 0; c < kAdmitClasses; ++c) {
+    const AdmitClassStats& stats = stats_[c];
+    const std::uint64_t queued = queues_[c].size();
+    const std::uint64_t terminal = stats.deployed + stats.blocked +
+                                   stats.deadline_exceeded + stats.shed_displaced +
+                                   stats.coalesced;
+    if (stats.accepted != terminal + queued) return false;
+    if (stats.submitted !=
+        stats.rejected_backpressure + stats.shed_ingress + stats.accepted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace genio::core

@@ -1,0 +1,256 @@
+// AdmissionService: the long-running admission front-end over the
+// deployment pipeline. The pipeline scores one request at a time; the
+// north-star traffic model is a queueing system that must stay correct
+// and bounded under overload, fault storms, and mid-stream feed updates.
+// The service adds exactly the overload machinery the pipeline lacks:
+//
+//   bounded queues   per-tenant and global ingress caps with explicit
+//                    backpressure (reject-with-retry-after) — the backlog
+//                    can never grow without bound, so queue memory is a
+//                    config constant, not a function of arrival rate
+//   priority classes critical infra > tenant deploy > batch re-scan,
+//                    strict-priority dispatch; under pressure the low
+//                    classes are shed first (watermark sheds at ingress,
+//                    displacement sheds when a higher class needs the
+//                    slot) and every shed is an audited bus event —
+//                    never a silent fail-open
+//   deadline budgets each accepted request carries a class deadline; the
+//                    remaining budget is threaded into the pipeline's
+//                    pull-gate retry loop, so retries can never advance
+//                    sim time past the request's budget
+//   in-flight dedup  queued requests for the same (tenant, image, app)
+//                    coalesce onto the first one's verdict instead of
+//                    re-scanning the same content
+//   re-scan routing  batch re-verifies and repeat deploys of an already
+//                    running app take the pipeline's rescan() path (scan
+//                    gates only) so they never accumulate pod capacity
+//
+// enqueue_rescans() is the incremental-invalidation driver: after a CVE
+// feed re-ingest, only deployed workloads whose package manifest
+// intersects the changed-package diff are re-queued (as batch class),
+// mirroring the scan cache's targeted invalidation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/core/pipeline.hpp"
+
+namespace genio::core {
+
+/// Strict priority order: lower value dispatches first, higher value
+/// sheds first. Critical infra is structurally unsheddable — watermark
+/// sheds never apply to it and displacement only ever victimizes a
+/// strictly lower class.
+enum class AdmitClass {
+  kCriticalInfra = 0,  // platform / security workloads
+  kTenantDeploy = 1,   // business-user deployments
+  kBatchRescan = 2,    // feed-driven re-verification sweeps
+};
+inline constexpr std::size_t kAdmitClasses = 3;
+
+std::string to_string(AdmitClass cls);
+
+/// Terminal state of an accepted request.
+enum class AdmitOutcome {
+  kDeployed,          // pipeline admitted (or re-scan came back clean)
+  kBlocked,           // a security gate blocked it
+  kShedOverload,      // displaced from the queue by a higher class
+  kDeadlineExceeded,  // budget exhausted before or during processing
+};
+
+std::string to_string(AdmitOutcome outcome);
+
+/// What submit() did with the request.
+enum class SubmitStatus {
+  kAccepted,      // queued; a ticket tracks it to a terminal outcome
+  kBackpressure,  // bounded queue full: retry after `retry_after`
+  kShed,          // overload watermark: shed at ingress (audited)
+};
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kAccepted;
+  std::uint64_t ticket = 0;     // valid when accepted
+  common::SimTime retry_after{};  // advisory, when backpressured
+  std::string detail;
+};
+
+struct AdmissionServiceConfig {
+  // Bounded-queue shape. Total backlog memory is O(total_capacity).
+  std::size_t per_tenant_capacity = 64;
+  std::size_t total_capacity = 256;
+  // Ingress watermark sheds, as fractions of total_capacity: batch work
+  // sheds early, tenant deploys only near saturation, critical never.
+  double shed_batch_above = 0.50;
+  double shed_deploy_above = 0.90;
+  // Per-class end-to-end deadline budgets.
+  common::SimTime deadline_critical = common::SimTime::from_seconds(300);
+  common::SimTime deadline_deploy = common::SimTime::from_seconds(120);
+  common::SimTime deadline_batch = common::SimTime::from_hours(1);
+  // Modeled service cost charged to the sim clock per processed request
+  // (on top of whatever retry backoff the pipeline itself slept).
+  common::SimTime cost_warm_scan = common::SimTime::from_millis(5);
+  common::SimTime cost_cold_scan = common::SimTime::from_millis(50);
+  // Advisory retry hint returned with backpressure rejects.
+  common::SimTime retry_after = common::SimTime::from_seconds(5);
+};
+
+/// One finished request (any terminal state, including sheds).
+struct AdmitRecord {
+  std::uint64_t ticket = 0;
+  AdmitClass cls = AdmitClass::kTenantDeploy;
+  AdmitOutcome outcome = AdmitOutcome::kBlocked;
+  std::string tenant;
+  std::string image_reference;
+  std::string app_name;
+  bool rescan = false;     // took the scan-only re-verify path
+  bool coalesced = false;  // adopted an identical in-flight request's verdict
+  bool cold_scan = false;  // the scan actually ran (no cache hit)
+  common::SimTime submitted_at{};
+  common::SimTime completed_at{};
+};
+
+/// Per-class counters. The accounting identity every run must satisfy:
+///   submitted == rejected_backpressure + shed_ingress
+///              + deployed + blocked + deadline_exceeded + shed_displaced
+///              + coalesced + still-queued
+struct AdmitClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t shed_ingress = 0;     // watermark shed before queueing
+  std::uint64_t shed_displaced = 0;   // evicted from the queue by a higher class
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t deployed = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t sheds() const { return shed_ingress + shed_displaced; }
+  /// Queue-to-terminal latency of every non-shed completion, in sim
+  /// seconds (float keeps a million-request day's samples small).
+  std::vector<float> latency_seconds;
+};
+
+class AdmissionService {
+ public:
+  /// Called at every terminal outcome. `report` is the pipeline report
+  /// for directly processed requests and nullptr for sheds, coalesced
+  /// adoptions and queue-expired deadlines (no pipeline work ran).
+  using CompletionCallback =
+      std::function<void(const AdmitRecord&, const PipelineReport*)>;
+
+  AdmissionService(GenioPlatform* platform, DeploymentPipeline* pipeline,
+                   AdmissionServiceConfig config = {});
+
+  const AdmissionServiceConfig& config() const { return config_; }
+
+  /// Enqueue a request. Never blocks and never grows the backlog past the
+  /// configured bounds: the result is accepted, backpressured, or shed.
+  SubmitResult submit(DeploymentRequest request, AdmitClass cls);
+
+  /// Enqueue a scan-only re-verification (batch class, rescan path).
+  SubmitResult submit_rescan(DeploymentRequest request);
+
+  /// Feed re-ingest hook: queue batch re-scans for every deployed
+  /// workload whose recorded package manifest intersects
+  /// `changed_packages` (workloads with no recorded manifest are
+  /// conservatively included). Returns the number of re-scans submitted.
+  std::size_t enqueue_rescans(const std::vector<std::string>& changed_packages);
+
+  /// Process up to `max_requests` queued entries in strict priority
+  /// order (FIFO within a class). Returns entries drained, counting
+  /// coalesced adoptions and queue-expired deadlines.
+  std::size_t pump(std::size_t max_requests);
+
+  /// Pump until the backlog empties or the sim clock passes now+budget.
+  /// The last request is not preempted; the clock may finish slightly
+  /// past the budget.
+  std::size_t pump_for(common::SimTime budget);
+
+  std::size_t backlog() const { return total_backlog_; }
+  std::size_t backlog(AdmitClass cls) const {
+    return queues_[static_cast<std::size_t>(cls)].size();
+  }
+  /// Highest backlog ever observed — the bounded-memory invariant is
+  /// backlog_high_water() <= config.total_capacity.
+  std::size_t backlog_high_water() const { return backlog_high_water_; }
+
+  const AdmitClassStats& stats(AdmitClass cls) const {
+    return stats_[static_cast<std::size_t>(cls)];
+  }
+  std::uint64_t scans_cold() const { return scans_cold_; }
+  std::uint64_t scans_warm() const { return scans_warm_; }
+
+  /// Verifies the accounting identity for every class.
+  bool accounting_consistent() const;
+
+  void set_completion_callback(CompletionCallback callback) {
+    on_complete_ = std::move(callback);
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t ticket = 0;
+    DeploymentRequest request;
+    AdmitClass cls = AdmitClass::kTenantDeploy;
+    bool rescan = false;
+    common::SimTime submitted_at{};
+    common::SimTime expires_at{};
+    std::string dedup_key;  // tenant|image|app|path
+  };
+
+  /// What the service remembers about a deployed workload, for
+  /// incremental re-scan targeting.
+  struct DeployedWorkload {
+    std::string image_reference;
+    std::vector<std::string> packages;  // empty = unknown, re-scan always
+    bool manifest_known = false;
+  };
+
+  common::SimTime class_deadline(AdmitClass cls) const;
+  AdmitClassStats& stats_mut(AdmitClass cls) {
+    return stats_[static_cast<std::size_t>(cls)];
+  }
+
+  SubmitResult submit_internal(DeploymentRequest request, AdmitClass cls, bool rescan);
+  /// Evict the newest entry of the lowest class strictly below `cls` to
+  /// make room. Returns false when no lower-class entry exists.
+  bool displace_lower_class(AdmitClass cls);
+
+  /// Emit the terminal record: stats bucket, latency sample, callback.
+  /// Queue bookkeeping happens at removal, not here.
+  void complete(const Pending& pending, AdmitOutcome outcome, bool coalesced,
+                bool cold_scan, const PipelineReport* report);
+  /// Complete every queued duplicate of `key` with `outcome`, adopted.
+  void coalesce_duplicates(const std::string& key, AdmitOutcome outcome);
+  /// Process exactly one entry (the head of the highest non-empty class).
+  void process_one();
+  void remove_bookkeeping(const Pending& pending);
+
+  GenioPlatform* platform_;
+  DeploymentPipeline* pipeline_;
+  AdmissionServiceConfig config_;
+
+  std::array<std::deque<Pending>, kAdmitClasses> queues_;
+  std::map<std::string, std::size_t> tenant_backlog_;
+  // Queued entries per dedup key, so the coalescing sweep after every
+  // completion is O(1) when no identical request is in flight.
+  std::map<std::string, std::size_t> queued_key_counts_;
+  std::size_t total_backlog_ = 0;
+  std::size_t backlog_high_water_ = 0;
+  std::uint64_t next_ticket_ = 0;
+
+  // tenant|app -> what is running there (for re-scan routing + targeting).
+  std::map<std::string, DeployedWorkload> deployed_;
+
+  std::array<AdmitClassStats, kAdmitClasses> stats_;
+  std::uint64_t scans_cold_ = 0;
+  std::uint64_t scans_warm_ = 0;
+  CompletionCallback on_complete_;
+};
+
+}  // namespace genio::core

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <optional>
+#include <set>
 
 #include "genio/common/strings.hpp"
 #include "genio/crypto/sha256.hpp"
@@ -163,9 +164,18 @@ bool DeploymentPipeline::run_scan_gates(PipelineReport& report,
     key.scope = signature_scope(entry, tenant);
     key.feed_revision = sca_db != nullptr ? sca_db->revision() : 0;
     key.rulepack = rulepack_fingerprint();
-    // Feed re-ingest: eagerly strand every verdict from the old revision.
+    // Feed re-ingest. Incremental mode diffs the database's changed
+    // packages against each stale entry's manifest and drops only the
+    // intersecting verdicts, re-keying the rest — a re-ingest touching 3
+    // packages no longer dumps the whole cache onto the cold path.
     if (key.feed_revision != last_feed_revision_) {
-      cache_.invalidate_stale_feed(key.feed_revision);
+      if (config.incremental_invalidation && sca_db != nullptr) {
+        const auto changed = sca_db->packages_changed_since(last_feed_revision_);
+        cache_.retarget_feed(key.feed_revision,
+                             std::set<std::string>(changed.begin(), changed.end()));
+      } else {
+        cache_.invalidate_stale_feed(key.feed_revision);
+      }
       last_feed_revision_ = key.feed_revision;
     }
     if (auto cached = cache_.lookup(key)) {
@@ -311,59 +321,75 @@ bool DeploymentPipeline::run_scan_gates(PipelineReport& report,
   }
 
   if (cacheable) {
+    std::vector<std::string> packages;
+    packages.reserve(entry.image.manifest().size());
+    for (const auto& package : entry.image.manifest()) {
+      packages.push_back(package.name);
+    }
     cache_.insert(key, {report.stages.begin() + static_cast<std::ptrdiff_t>(span_begin),
-                        report.stages.end()});
+                        report.stages.end()},
+                  std::move(packages));
   }
   return !blocked;
 }
 
-PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
-  PipelineReport report;
+namespace {
+
+bool add_stage(PipelineReport& report, std::string name, bool ran, bool passed,
+               std::string detail) {
+  report.stages.push_back({std::move(name), ran, passed, std::move(detail)});
+  return !ran || passed;
+}
+
+// A disabled gate never examined the image: it must not block, but the
+// report shows it as skipped — not silently "passed".
+void add_skipped(PipelineReport& report, std::string name) {
+  PipelineStage stage;
+  stage.name = std::move(name);
+  stage.ran = false;
+  stage.passed = true;
+  stage.skipped = true;
+  stage.detail = "gate disabled (skipped, not passed)";
+  report.stages.push_back(std::move(stage));
+}
+
+}  // namespace
+
+bool DeploymentPipeline::admit_prefix(const DeploymentRequest& request,
+                                      PipelineReport& report) {
   report.image = request.image_reference;
   report.tenant = request.tenant;
-  const PlatformConfig& config = platform_->config();
-
-  auto add_stage = [&report](std::string name, bool ran, bool passed,
-                             std::string detail) -> bool {
-    report.stages.push_back({std::move(name), ran, passed, std::move(detail)});
-    return !ran || passed;
-  };
-  // A disabled gate never examined the image: it must not block, but the
-  // report shows it as skipped — not silently "passed".
-  auto add_skipped = [&report](std::string name) {
-    PipelineStage stage;
-    stage.name = std::move(name);
-    stage.ran = false;
-    stage.passed = true;
-    stage.skipped = true;
-    stage.detail = "gate disabled (skipped, not passed)";
-    report.stages.push_back(std::move(stage));
-  };
 
   common::Rng retry_rng = platform_->rng().fork("pipeline:" + request.image_reference);
   const resilience::SleepFn sleep = [this](common::SimTime delay) {
     platform_->advance_time(delay);
   };
+  std::optional<resilience::Deadline> deadline;
+  if (request.deadline_budget > common::SimTime{}) {
+    deadline.emplace(&platform_->clock(), request.deadline_budget);
+  }
 
   // 0. Pull. Transient registry outages are retried under the gate's
   // policy; an image we cannot fetch can never be waved through, so an
-  // exhausted retry blocks regardless of fail mode.
+  // exhausted retry blocks regardless of fail mode. The request deadline
+  // caps cumulative backoff so a storm cannot spin sim time unboundedly.
   resilience::RetryStats pull_stats;
   const auto entry = resilience::retry(
       policies_.for_gate("pull").retry, retry_rng, sleep,
-      [&] { return platform_->registry().pull(request.image_reference); }, &pull_stats);
+      [&] { return platform_->registry().pull(request.image_reference); }, &pull_stats,
+      deadline ? &*deadline : nullptr);
   std::string pull_detail = entry.ok() ? "image found" : entry.error().message();
   if (pull_stats.attempts > 1) {
     pull_detail += " (after " + std::to_string(pull_stats.attempts) + " attempts)";
   }
-  if (!add_stage("pull", true, entry.ok(), pull_detail)) {
-    return report;
+  if (!add_stage(report, "pull", true, entry.ok(), pull_detail)) {
+    return false;
   }
   const appsec::RegistryEntry& image_entry = **entry;
   const Tenant* tenant = platform_->tenant(request.tenant);
-  if (!add_stage("tenant", true, tenant != nullptr,
+  if (!add_stage(report, "tenant", true, tenant != nullptr,
                  tenant != nullptr ? "tenant registered" : "unknown tenant")) {
-    return report;
+    return false;
   }
 
   // 1-5. The content-addressed gates — signature (supply-chain trust),
@@ -371,7 +397,19 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
   // admission-scan fabric (or serially when it is sized 1), behind the
   // content-addressed cache. Stage order, details and fail-mode semantics
   // are byte-identical to the legacy serial gate chain.
-  if (!run_scan_gates(report, image_entry, *tenant)) {
+  return run_scan_gates(report, image_entry, *tenant);
+}
+
+PipelineReport DeploymentPipeline::rescan(const DeploymentRequest& request) {
+  PipelineReport report;
+  admit_prefix(request, report);
+  return report;
+}
+
+PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
+  PipelineReport report;
+  const PlatformConfig& config = platform_->config();
+  if (!admit_prefix(request, report)) {
     return report;
   }
 
@@ -385,7 +423,7 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
   spec.container.capabilities = request.capabilities;
   spec.container.host_mounts = request.host_mounts;
   const auto pod = platform_->cluster().create_pod(request.tenant + ":deployer", spec);
-  if (!add_stage("admission", true, pod.ok(),
+  if (!add_stage(report, "admission", true, pod.ok(),
                  pod.ok() ? "scheduled" : pod.error().message())) {
     return report;
   }
@@ -395,9 +433,9 @@ PipelineReport DeploymentPipeline::deploy(const DeploymentRequest& request) {
   if (config.sandbox_enabled) {
     platform_->sandbox().add_policy(
         appsec::make_web_workload_policy(request.tenant + "/" + request.app_name));
-    add_stage("sandbox", true, true, "policy installed");
+    add_stage(report, "sandbox", true, true, "policy installed");
   } else {
-    add_skipped("sandbox");
+    add_skipped(report, "sandbox");
   }
 
   report.deployed = true;

@@ -63,6 +63,10 @@ struct DeploymentRequest {
   bool privileged = false;
   std::set<std::string> capabilities;
   std::vector<std::string> host_mounts;
+  /// End-to-end time budget for the admit: the pull-gate retry loop never
+  /// sleeps past it (it reports kDeadlineExceeded instead of spinning
+  /// through repeated outage injection). Zero = unbounded (legacy).
+  common::SimTime deadline_budget{};
 };
 
 class DeploymentPipeline {
@@ -72,6 +76,13 @@ class DeploymentPipeline {
   explicit DeploymentPipeline(GenioPlatform* platform);
 
   PipelineReport deploy(const DeploymentRequest& request);
+
+  /// Re-verify an image against the current feed/rulepack state: pull,
+  /// tenant and the content-addressed scan gates only — no pod is created
+  /// and no sandbox policy installed, so repeated re-scans of a running
+  /// workload never accumulate cluster capacity. `deployed` stays false;
+  /// a clean re-scan is one whose blocked_by() is empty.
+  PipelineReport rescan(const DeploymentRequest& request);
 
   /// SCA gate threshold: block when any reachable finding scores >= this.
   double sca_block_score = 9.0;
@@ -89,6 +100,11 @@ class DeploymentPipeline {
   std::string rulepack_fingerprint() const;
 
  private:
+  /// The shared admit prefix: pull (retried under the gate policy, capped
+  /// by the request's deadline budget), tenant lookup, then the scan
+  /// gates. Returns false when any stage blocked.
+  bool admit_prefix(const DeploymentRequest& request, PipelineReport& report);
+
   /// Run the content-addressed post-pull gates (signature, SCA, SAST,
   /// secrets, malware) — concurrently on the fabric when enabled, with an
   /// ordered merge that reproduces the serial report byte for byte — and

@@ -68,6 +68,11 @@ struct PlatformConfig {
   // images replay the cached gate verdicts instead of rescanning.
   bool scan_cache = true;
   std::size_t scan_cache_capacity = 128;  // LRU entries
+  // On CVE feed re-ingest, diff changed packages against each cached
+  // entry's manifest and drop only intersecting verdicts (the rest are
+  // re-keyed to the live revision). Off = legacy whole-cache dump, which
+  // sends every tenant back down the cold path at once.
+  bool incremental_invalidation = true;
 
   int onu_count = 4;
   std::uint64_t seed = 42;

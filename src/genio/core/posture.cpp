@@ -36,7 +36,8 @@ std::string PostureReport::grade() const {
 
 PostureReport evaluate_posture(GenioPlatform& platform,
                                const os::BootReport& boot_report,
-                               const resilience::RecoveryLedger* ledger) {
+                               const resilience::RecoveryLedger* ledger,
+                               const DeploymentPipeline* pipeline) {
   PostureReport report;
 
   hardening::HostAuditor auditor;
@@ -137,6 +138,16 @@ PostureReport evaluate_posture(GenioPlatform& platform,
                     " transient failure(s) pending");
   }
 
+  if (pipeline != nullptr) {
+    const ScanCacheStats cache = pipeline->scan_cache().stats();
+    report.scan_cache.attached = true;
+    report.scan_cache.hits = cache.hits;
+    report.scan_cache.misses = cache.misses;
+    report.scan_cache.invalidations_full = cache.invalidations_full;
+    report.scan_cache.invalidations_targeted = cache.invalidations_targeted;
+    report.scan_cache.revision_rekeys = cache.revision_rekeys;
+  }
+
   if (ledger != nullptr) {
     report.self_healing.supervised = true;
     report.self_healing.episodes_total = ledger->episodes().size();
@@ -182,6 +193,15 @@ std::string render_posture(const PostureReport& report) {
   table.add_row({"PEACH isolation",
                  common::format_double(report.peach.mean_score(), 2) + " (" +
                      appsec::to_string(report.peach.overall_tier()) + ")"});
+  if (report.scan_cache.attached) {
+    const auto& sc = report.scan_cache;
+    table.add_row(
+        {"admission scan cache",
+         common::format_double(100.0 * sc.hit_rate(), 1) + "% hit rate, " +
+             "invalidations " + std::to_string(sc.invalidations_full) + " full / " +
+             std::to_string(sc.invalidations_targeted) + " targeted (" +
+             std::to_string(sc.revision_rekeys) + " re-keyed)"});
+  }
   if (report.self_healing.supervised) {
     const auto& sh = report.self_healing;
     table.add_row(

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "genio/appsec/peach.hpp"
+#include "genio/core/pipeline.hpp"
 #include "genio/core/platform.hpp"
 #include "genio/middleware/checkers.hpp"
 #include "genio/middleware/hunter.hpp"
@@ -57,6 +58,24 @@ struct PostureReport {
   };
   SelfHealing self_healing;
 
+  /// Admission scan-cache health (absent when no pipeline was passed).
+  /// The invalidation split matters operationally: full invalidations are
+  /// whole-cache dumps that send every tenant back down the cold path at
+  /// once, targeted ones are surgical per-package drops.
+  struct ScanCacheView {
+    bool attached = false;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations_full = 0;
+    std::uint64_t invalidations_targeted = 0;
+    std::uint64_t revision_rekeys = 0;
+    double hit_rate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+  ScanCacheView scan_cache;
+
   /// Aggregate score 0-100 (weighted sections).
   double overall_score() const;
   std::string grade() const;  // "A".."F"
@@ -65,10 +84,13 @@ struct PostureReport {
 /// Evaluate the platform's current posture. `boot_report` should come from
 /// the most recent boot_host() call. Pass the supervision loop's
 /// RecoveryLedger (when one is running) to fold the self-healing summary
-/// — episode counts, open escalations, MTTR — into the report.
+/// — episode counts, open escalations, MTTR — into the report, and the
+/// deployment pipeline to surface its scan-cache health (hit rate and the
+/// full/targeted invalidation split). Both are informational.
 PostureReport evaluate_posture(GenioPlatform& platform,
                                const os::BootReport& boot_report,
-                               const resilience::RecoveryLedger* ledger = nullptr);
+                               const resilience::RecoveryLedger* ledger = nullptr,
+                               const DeploymentPipeline* pipeline = nullptr);
 
 /// Render the report as a text block for operators.
 std::string render_posture(const PostureReport& report);

@@ -12,14 +12,19 @@
 //   rulepack       SAST/YARA rulepack + gate-config fingerprint
 // Degraded (snapshot-scan) and failed-open verdicts are never cached:
 // their stage details depend on outage state and snapshot age, not
-// content. Eviction is LRU; invalidate_stale_feed() drops every entry
-// from an older feed revision eagerly after a re-ingest.
+// content. Eviction is LRU. After a feed re-ingest there are two
+// invalidation modes: invalidate_stale_feed() drops every stale-revision
+// entry (the full dump), while retarget_feed() drops only entries whose
+// recorded package manifest intersects the changed-package diff and
+// re-keys the untouched rest to the live revision — their verdicts are
+// byte-identical because no advisory they could match changed.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -43,8 +48,12 @@ struct ScanKey {
 struct ScanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;      // LRU pressure
-  std::uint64_t invalidations = 0;  // feed re-ingest
+  std::uint64_t evictions = 0;  // LRU pressure
+  // Feed re-ingest fallout, split so the posture report can distinguish a
+  // whole-cache dump (cold-path stampede) from surgical invalidation:
+  std::uint64_t invalidations_full = 0;      // invalidate_stale_feed() drops
+  std::uint64_t invalidations_targeted = 0;  // retarget_feed() drops
+  std::uint64_t revision_rekeys = 0;         // entries retarget_feed() kept
 };
 
 /// LRU map from ScanKey to the gate-stage span the scan produced. `Stage`
@@ -82,17 +91,21 @@ class BasicScanCache {
     return it->second->stages;
   }
 
-  void insert(const ScanKey& key, std::vector<Stage> stages) {
+  /// `packages` is the image's manifest package-name set, recorded so
+  /// retarget_feed() can intersect the entry with a CVE change diff.
+  void insert(const ScanKey& key, std::vector<Stage> stages,
+              std::vector<std::string> packages = {}) {
     if (capacity_ == 0) return;
     std::lock_guard<std::mutex> lk(mu_);
     const std::string id = key.to_string();
     const auto it = index_.find(id);
     if (it != index_.end()) {
       it->second->stages = std::move(stages);
+      it->second->packages = std::move(packages);
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
-    lru_.push_front(Entry{key, std::move(stages)});
+    lru_.push_front(Entry{key, std::move(stages), std::move(packages)});
     index_.emplace(id, lru_.begin());
     while (lru_.size() > capacity_) {
       index_.erase(lru_.back().key.to_string());
@@ -115,7 +128,56 @@ class BasicScanCache {
         ++it;
       }
     }
-    stats_.invalidations += dropped;
+    stats_.invalidations_full += dropped;
+    return dropped;
+  }
+
+  /// Incremental feed re-ingest: drop only stale-revision entries whose
+  /// package manifest intersects `changed_packages` (their SCA verdict may
+  /// differ against the new database) and re-key the rest to
+  /// `live_revision` — no advisory they could match changed, so their
+  /// cached span is still exact. Entries with no recorded manifest are
+  /// conservatively dropped. Returns the number of entries dropped.
+  std::size_t retarget_feed(std::uint64_t live_revision,
+                            const std::set<std::string>& changed_packages) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.feed_revision == live_revision) {
+        ++it;
+        continue;
+      }
+      bool affected = it->packages.empty();
+      for (const auto& package : it->packages) {
+        if (changed_packages.count(package) != 0) {
+          affected = true;
+          break;
+        }
+      }
+      if (affected) {
+        index_.erase(it->key.to_string());
+        it = lru_.erase(it);
+        ++dropped;
+        continue;
+      }
+      // Re-key in place: same LRU position, new feed revision. If a
+      // live-revision entry for this image already exists (re-scanned
+      // since the ingest), keep that one and drop the stale duplicate.
+      index_.erase(it->key.to_string());
+      ScanKey rekeyed = it->key;
+      rekeyed.feed_revision = live_revision;
+      const std::string new_id = rekeyed.to_string();
+      if (index_.find(new_id) != index_.end()) {
+        it = lru_.erase(it);
+        ++dropped;
+        continue;
+      }
+      it->key = rekeyed;
+      index_.emplace(new_id, it);
+      ++stats_.revision_rekeys;
+      ++it;
+    }
+    stats_.invalidations_targeted += dropped;
     return dropped;
   }
 
@@ -129,6 +191,7 @@ class BasicScanCache {
   struct Entry {
     ScanKey key;
     std::vector<Stage> stages;
+    std::vector<std::string> packages;  // manifest names, for retarget_feed
   };
 
   std::size_t capacity_;

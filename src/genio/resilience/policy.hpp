@@ -68,6 +68,9 @@ using SleepFn = std::function<void(SimTime)>;
 struct RetryStats {
   int attempts = 0;
   SimTime total_backoff{};
+  // The retry loop stopped because the request's Deadline could not
+  // absorb the next backoff, not because attempts ran out.
+  bool deadline_exceeded = false;
 };
 
 /// Run `op` (returning Status or Result<T>) under `policy`. Retries only
@@ -75,13 +78,27 @@ struct RetryStats {
 /// signature that does not verify will not verify harder on attempt 3.
 bool is_transient(const common::Error& error);
 
+/// When `deadline` is set, cumulative backoff is capped by the request's
+/// remaining budget: the loop never sleeps past the deadline (which would
+/// advance sim time without bound under repeated outage injection) and
+/// reports kDeadlineExceeded instead of spinning.
 template <typename Op>
 auto retry(const RetryPolicy& policy, common::Rng& rng, const SleepFn& sleep, Op&& op,
-           RetryStats* stats = nullptr) -> decltype(op()) {
+           RetryStats* stats = nullptr, const Deadline* deadline = nullptr)
+    -> decltype(op()) {
   auto result = op();
   int attempt = 1;
   while (!result.ok() && attempt < policy.max_attempts && is_transient(result.error())) {
     const SimTime delay = policy.backoff(attempt, rng);
+    if (deadline != nullptr && delay >= deadline->remaining()) {
+      if (stats != nullptr) {
+        stats->attempts = attempt;
+        stats->deadline_exceeded = true;
+      }
+      return common::deadline_exceeded(
+          "retry budget exhausted after " + std::to_string(attempt) +
+          " attempt(s): " + result.error().message());
+    }
     if (sleep) sleep(delay);
     if (stats != nullptr) stats->total_backoff = stats->total_backoff + delay;
     result = op();

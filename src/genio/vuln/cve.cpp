@@ -3,7 +3,9 @@
 namespace genio::vuln {
 
 CveDatabase::CveDatabase(const CveDatabase& other)
-    : by_id_(other.by_id_), revision_(other.revision_) {
+    : by_id_(other.by_id_),
+      package_changed_(other.package_changed_),
+      revision_(other.revision_) {
   // Re-point the package index at this copy's records, preserving the
   // original index order exactly (equal-key order is insertion order, and
   // downstream finding order must not change across snapshot copies).
@@ -15,6 +17,7 @@ CveDatabase::CveDatabase(const CveDatabase& other)
 CveDatabase& CveDatabase::operator=(const CveDatabase& other) {
   if (this == &other) return *this;
   by_id_ = other.by_id_;
+  package_changed_ = other.package_changed_;
   revision_ = other.revision_;
   by_package_.clear();
   for (const auto& [package, record] : other.by_package_) {
@@ -31,11 +34,13 @@ void CveDatabase::upsert(CveRecord record) {
     (void)ok;
     by_package_.emplace(inserted->second.package, &inserted->second);
     ++revision_;
+    package_changed_[inserted->second.package] = revision_;
     return;
   }
   if (record.published >= it->second.published) {
     if (it->second.package != record.package) {
-      // Re-key the package index.
+      // Re-key the package index. Both the old and new package's advisory
+      // sets changed, so both must appear in the change diff.
       auto [lo, hi] = by_package_.equal_range(it->second.package);
       for (auto i = lo; i != hi; ++i) {
         if (i->second == &it->second) {
@@ -44,9 +49,11 @@ void CveDatabase::upsert(CveRecord record) {
         }
       }
       by_package_.emplace(record.package, &it->second);
+      package_changed_[it->second.package] = revision_ + 1;
     }
     it->second = std::move(record);
     ++revision_;
+    package_changed_[it->second.package] = revision_;
   }
 }
 
@@ -70,6 +77,14 @@ std::vector<const CveRecord*> CveDatabase::for_package(const std::string& packag
   auto [lo, hi] = by_package_.equal_range(package);
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
   return out;
+}
+
+std::vector<std::string> CveDatabase::packages_changed_since(std::uint64_t revision) const {
+  std::vector<std::string> out;
+  for (const auto& [package, changed_at] : package_changed_) {
+    if (changed_at > revision) out.push_back(package);
+  }
+  return out;  // std::map iteration order is already sorted
 }
 
 std::vector<const CveRecord*> CveDatabase::published_since(SimTime since) const {

@@ -63,12 +63,23 @@ class CveDatabase {
   /// Records published after `since` (feed-lag studies, Lesson 6).
   std::vector<const CveRecord*> published_since(SimTime since) const;
 
+  /// Packages whose advisory set changed strictly after `revision`
+  /// (new records, accepted updates, and both sides of a package re-key),
+  /// in sorted order. This is the diff incremental scan-cache
+  /// invalidation intersects with the per-image manifests: a verdict
+  /// computed at `revision` is stale only if its packages appear here.
+  std::vector<std::string> packages_changed_since(std::uint64_t revision) const;
+
  private:
   std::map<std::string, CveRecord> by_id_;
   // package -> record. Direct pointers eliminate the per-candidate
   // by_id_.at(id) lookup matching()/for_package() used to pay on the hot
   // SCA path.
   std::multimap<std::string, CveRecord*> by_package_;
+  // package -> revision of its most recent accepted change; drives
+  // packages_changed_since(). Plain values, so copies/moves need no
+  // re-pointing.
+  std::map<std::string, std::uint64_t> package_changed_;
   std::uint64_t revision_ = 0;
 };
 

@@ -1,0 +1,466 @@
+// Tests for the overload-robust admission service: bounded per-tenant and
+// global queues with explicit backpressure, strict-priority dispatch with
+// audited load-shedding (critical infra is structurally unsheddable),
+// per-request deadline budgets threaded into the pull-gate retry loop,
+// in-flight dedup, re-scan routing, and the incremental feed-invalidation
+// driver. Ends with the 50-seed backpressure/no-starvation property sweep
+// the CI tier-1 target relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genio/common/rng.hpp"
+#include "genio/core/admission_service.hpp"
+#include "genio/core/pipeline.hpp"
+#include "genio/core/platform.hpp"
+
+namespace gc = genio::common;
+namespace cr = genio::crypto;
+namespace core = genio::core;
+namespace as = genio::appsec;
+namespace vl = genio::vuln;
+
+namespace {
+
+vl::CveRecord make_cve(const std::string& id, const std::string& package,
+                       const std::string& vector, gc::SimTime published) {
+  vl::CveRecord record;
+  record.id = id;
+  record.package = package;
+  record.affected = gc::VersionRange::parse("<9.0.0").value();
+  record.cvss = vl::CvssV3::parse(vector).value();
+  record.published = published;
+  return record;
+}
+
+constexpr const char* kMedium = "AV:N/AC:H/PR:L/UI:R/S:U/C:L/I:L/A:N";
+
+as::ContainerImage make_app_image(const std::string& name, const std::string& package) {
+  as::ContainerImage image("registry.genio.io/apps/" + name, "1.0.0");
+  image.add_layer({{"/app/main.py", gc::to_bytes("print(\"ok\")\n")}});
+  image.add_package({package, gc::Version(2, 0, 1), "pypi"});
+  image.set_entrypoint("/app/main.py");
+  return image;
+}
+
+core::AdmissionServiceConfig small_config() {
+  core::AdmissionServiceConfig config;
+  config.per_tenant_capacity = 32;  // > total: only the global bound binds
+  config.total_capacity = 16;
+  return config;
+}
+
+struct Site {
+  core::GenioPlatform platform;
+  cr::SigningKey publisher = cr::SigningKey::generate(gc::to_bytes("tenant-a-pub"), 6);
+  cr::SigningKey publisher_b = cr::SigningKey::generate(gc::to_bytes("tenant-b-pub"), 6);
+  core::DeploymentPipeline pipeline{&platform};
+  core::AdmissionService service;
+
+  explicit Site(core::PlatformConfig config = {},
+                core::AdmissionServiceConfig service_config = small_config())
+      : platform(std::move(config)),
+        service(&platform, &pipeline, service_config) {
+    (void)platform.register_tenant("tenant-a", publisher.public_key());
+    (void)platform.register_tenant("tenant-b", publisher_b.public_key());
+  }
+
+  void push_image(const as::ContainerImage& image, const std::string& tenant = "tenant-a") {
+    ASSERT_TRUE(platform.registry()
+                    .push_signed(image, tenant,
+                                 tenant == "tenant-a" ? publisher : publisher_b)
+                    .ok());
+  }
+
+  static core::DeploymentRequest make_request(const std::string& tenant,
+                                              const std::string& reference,
+                                              const std::string& app) {
+    core::DeploymentRequest request;
+    request.tenant = tenant;
+    request.image_reference = reference;
+    request.app_name = app;
+    request.limits = {0.05, 32};
+    return request;
+  }
+};
+
+}  // namespace
+
+TEST(AdmissionService, PerTenantBoundBackpressuresNotSheds) {
+  core::AdmissionServiceConfig config;
+  config.per_tenant_capacity = 4;
+  config.total_capacity = 64;
+  Site site(core::PlatformConfig{}, config);
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+
+  std::size_t backpressure_events = 0;
+  site.platform.bus().subscribe("admission.backpressure",
+                                [&](const gc::Event&) { ++backpressure_events; });
+
+  for (int i = 0; i < 4; ++i) {
+    const auto result = site.service.submit(
+        Site::make_request("tenant-a", image.reference(), "a" + std::to_string(i)),
+        core::AdmitClass::kTenantDeploy);
+    EXPECT_EQ(result.status, core::SubmitStatus::kAccepted);
+  }
+  const auto rejected = site.service.submit(
+      Site::make_request("tenant-a", image.reference(), "a4"),
+      core::AdmitClass::kTenantDeploy);
+  EXPECT_EQ(rejected.status, core::SubmitStatus::kBackpressure);
+  EXPECT_GT(rejected.retry_after, gc::SimTime{});
+  EXPECT_EQ(backpressure_events, 1u);
+  // Another tenant is unaffected by the noisy one's full queue.
+  const auto other = site.service.submit(
+      Site::make_request("tenant-b", image.reference(), "b0"),
+      core::AdmitClass::kTenantDeploy);
+  EXPECT_EQ(other.status, core::SubmitStatus::kAccepted);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, WatermarksShedBatchEarlyDeployLateCriticalNever) {
+  Site site;  // total 16: batch sheds at backlog >= 8, deploy at >= 15
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+  auto request = [&](const std::string& app) {
+    return Site::make_request("tenant-a", image.reference(), app);
+  };
+
+  std::size_t shed_events = 0;
+  site.platform.bus().subscribe("admission.shed",
+                                [&](const gc::Event&) { ++shed_events; });
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(site.service
+                  .submit(request("c" + std::to_string(i)),
+                          core::AdmitClass::kCriticalInfra)
+                  .status,
+              core::SubmitStatus::kAccepted);
+  }
+  // Backlog fraction now 0.5: batch work is shed at ingress, audited.
+  EXPECT_EQ(site.service.submit_rescan(request("r0")).status,
+            core::SubmitStatus::kShed);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kBatchRescan).shed_ingress, 1u);
+  EXPECT_EQ(shed_events, 1u);
+  // Tenant deploys still pass until the 0.9 watermark...
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_EQ(site.service
+                  .submit(request("d" + std::to_string(i)),
+                          core::AdmitClass::kTenantDeploy)
+                  .status,
+              core::SubmitStatus::kAccepted);
+  }
+  // ...then shed too (backlog 15/16 >= 0.9).
+  EXPECT_EQ(site.service.submit(request("d7"), core::AdmitClass::kTenantDeploy).status,
+            core::SubmitStatus::kShed);
+  // Critical infra has no watermark: it is still accepted at 15/16.
+  EXPECT_EQ(site.service.submit(request("c8"), core::AdmitClass::kCriticalInfra).status,
+            core::SubmitStatus::kAccepted);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kCriticalInfra).sheds(), 0u);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, FullQueueDisplacesNewestLowestClassForCritical) {
+  Site site;  // total 16
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+  auto request = [&](const std::string& app) {
+    return Site::make_request("tenant-a", image.reference(), app);
+  };
+
+  // Fill the queue entirely with critical work (immune to watermarks),
+  // then one batch entry cannot even get in...
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(site.service
+                  .submit(request("c" + std::to_string(i)),
+                          core::AdmitClass::kCriticalInfra)
+                  .status,
+              core::SubmitStatus::kAccepted);
+  }
+  // A full queue of critical work backpressures MORE critical work — there
+  // is no lower class to displace, and critical is never shed.
+  EXPECT_EQ(site.service.submit(request("c16"), core::AdmitClass::kCriticalInfra).status,
+            core::SubmitStatus::kBackpressure);
+
+  // Drain two, refill with one deploy + one batch, then fill back up with
+  // critical: the critical submits displace batch first, then deploy.
+  site.service.pump(2);
+  ASSERT_EQ(site.service.backlog(), 14u);
+  // Backlog 14/16 = 0.875: below the deploy watermark, above batch's — so
+  // insert the deploy via submit and the batch via a direct displacement
+  // setup: lower both backlog points first.
+  site.service.pump(8);
+  ASSERT_EQ(site.service.backlog(), 6u);
+  ASSERT_EQ(site.service
+                .submit(request("d0"), core::AdmitClass::kTenantDeploy)
+                .status,
+            core::SubmitStatus::kAccepted);
+  ASSERT_EQ(site.service.submit_rescan(request("r0")).status,
+            core::SubmitStatus::kAccepted);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(site.service
+                  .submit(request("cc" + std::to_string(i)),
+                          core::AdmitClass::kCriticalInfra)
+                  .status,
+              core::SubmitStatus::kAccepted);
+  }
+  ASSERT_EQ(site.service.backlog(), 16u);
+  // Queue full again. The next critical displaces the batch entry.
+  EXPECT_EQ(site.service.submit(request("cd0"), core::AdmitClass::kCriticalInfra).status,
+            core::SubmitStatus::kAccepted);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kBatchRescan).shed_displaced, 1u);
+  // And the one after that displaces the tenant deploy.
+  EXPECT_EQ(site.service.submit(request("cd1"), core::AdmitClass::kCriticalInfra).status,
+            core::SubmitStatus::kAccepted);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kTenantDeploy).shed_displaced, 1u);
+  // With only critical left, the queue is full and immovable.
+  EXPECT_EQ(site.service.submit(request("cd2"), core::AdmitClass::kCriticalInfra).status,
+            core::SubmitStatus::kBackpressure);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kCriticalInfra).sheds(), 0u);
+  EXPECT_EQ(site.service.backlog_high_water(), 16u);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, QueueExpiredDeadlineIsReportedNotProcessed) {
+  core::AdmissionServiceConfig config = small_config();
+  config.deadline_deploy = gc::SimTime::from_seconds(10);
+  Site site(core::PlatformConfig{}, config);
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+
+  std::vector<core::AdmitRecord> records;
+  site.service.set_completion_callback(
+      [&](const core::AdmitRecord& record, const core::PipelineReport*) {
+        records.push_back(record);
+      });
+  ASSERT_EQ(site.service
+                .submit(Site::make_request("tenant-a", image.reference(), "late"),
+                        core::AdmitClass::kTenantDeploy)
+                .status,
+            core::SubmitStatus::kAccepted);
+  site.platform.advance_time(gc::SimTime::from_seconds(11));  // budget dies queued
+  EXPECT_EQ(site.service.pump(8), 1u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, core::AdmitOutcome::kDeadlineExceeded);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kTenantDeploy).deadline_exceeded, 1u);
+  // No scan ran at all for the expired request.
+  EXPECT_EQ(site.pipeline.scan_cache().stats().misses, 0u);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, DeadlineCapsPullRetriesUnderRegistryOutage) {
+  core::AdmissionServiceConfig config = small_config();
+  config.deadline_deploy = gc::SimTime::from_seconds(30);
+  Site site(core::PlatformConfig{}, config);
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+  site.platform.registry().set_available(false);  // outage with no scheduled end
+
+  std::vector<core::AdmitRecord> records;
+  site.service.set_completion_callback(
+      [&](const core::AdmitRecord& record, const core::PipelineReport*) {
+        records.push_back(record);
+      });
+  ASSERT_EQ(site.service
+                .submit(Site::make_request("tenant-a", image.reference(), "app"),
+                        core::AdmitClass::kTenantDeploy)
+                .status,
+            core::SubmitStatus::kAccepted);
+  const gc::SimTime start = site.platform.clock().now();
+  EXPECT_EQ(site.service.pump(1), 1u);
+  // Without the deadline the fail-closed pull policy would have slept
+  // 5+10+20+40+80s of backoff; the 30s budget must cap the loop.
+  const gc::SimTime elapsed = site.platform.clock().now() - start;
+  EXPECT_LE(elapsed, gc::SimTime::from_seconds(31));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, core::AdmitOutcome::kDeadlineExceeded);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, PipelineHonorsExplicitDeadlineBudgetOnPullRetries) {
+  // The satellite fix at pipeline level, without the service: an explicit
+  // request budget caps cumulative retry backoff and surfaces
+  // kDeadlineExceeded in the pull stage.
+  Site site;
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+  site.platform.registry().set_available(false);
+
+  core::DeploymentRequest request =
+      Site::make_request("tenant-a", image.reference(), "app");
+  request.deadline_budget = gc::SimTime::from_seconds(12);
+  const gc::SimTime start = site.platform.clock().now();
+  const auto report = site.pipeline.deploy(request);
+  EXPECT_LE(site.platform.clock().now() - start, gc::SimTime::from_seconds(12));
+  EXPECT_FALSE(report.deployed);
+  ASSERT_NE(report.stage("pull"), nullptr);
+  EXPECT_FALSE(report.stage("pull")->passed);
+  EXPECT_NE(report.stage("pull")->detail.find("retry budget exhausted"),
+            std::string::npos);
+}
+
+TEST(AdmissionService, DuplicateQueuedRequestsCoalesceOntoOneScan) {
+  Site site;
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+
+  std::vector<core::AdmitRecord> records;
+  site.service.set_completion_callback(
+      [&](const core::AdmitRecord& record, const core::PipelineReport*) {
+        records.push_back(record);
+      });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(site.service
+                  .submit(Site::make_request("tenant-a", image.reference(), "same-app"),
+                          core::AdmitClass::kTenantDeploy)
+                  .status,
+              core::SubmitStatus::kAccepted);
+  }
+  EXPECT_EQ(site.service.pump(8), 3u);  // one processed + two coalesced
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_FALSE(records[0].coalesced);
+  EXPECT_TRUE(records[1].coalesced);
+  EXPECT_TRUE(records[2].coalesced);
+  for (const auto& record : records) {
+    EXPECT_EQ(record.outcome, core::AdmitOutcome::kDeployed);
+  }
+  // Exactly one scan ran and exactly one pod exists.
+  EXPECT_EQ(site.pipeline.scan_cache().stats().misses, 1u);
+  EXPECT_EQ(site.platform.cluster().pods().size(), 1u);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kTenantDeploy).coalesced, 2u);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, RepeatDeploysAndRescansNeverAccumulatePods) {
+  Site site;
+  const as::ContainerImage image = make_app_image("app", "flask");
+  site.push_image(image);
+  auto request = Site::make_request("tenant-a", image.reference(), "app");
+
+  ASSERT_EQ(site.service.submit(request, core::AdmitClass::kTenantDeploy).status,
+            core::SubmitStatus::kAccepted);
+  EXPECT_EQ(site.service.pump(1), 1u);
+  ASSERT_EQ(site.platform.cluster().pods().size(), 1u);
+
+  // A later resubmit of the running workload re-verifies via the scan-only
+  // path instead of scheduling a second pod.
+  ASSERT_EQ(site.service.submit(request, core::AdmitClass::kTenantDeploy).status,
+            core::SubmitStatus::kAccepted);
+  ASSERT_EQ(site.service.submit_rescan(request).status, core::SubmitStatus::kAccepted);
+  EXPECT_EQ(site.service.pump(8), 2u);
+  EXPECT_EQ(site.platform.cluster().pods().size(), 1u);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kTenantDeploy).deployed, 2u);
+  EXPECT_EQ(site.service.stats(core::AdmitClass::kBatchRescan).deployed, 1u);
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+TEST(AdmissionService, EnqueueRescansTargetsOnlyAffectedWorkloads) {
+  Site site;
+  const as::ContainerImage flask_app = make_app_image("flask-app", "flask");
+  const as::ContainerImage ssl_app = make_app_image("ssl-app", "openssl");
+  site.push_image(flask_app);
+  site.push_image(ssl_app);
+
+  ASSERT_EQ(site.service
+                .submit(Site::make_request("tenant-a", flask_app.reference(), "app-flask"),
+                        core::AdmitClass::kTenantDeploy)
+                .status,
+            core::SubmitStatus::kAccepted);
+  ASSERT_EQ(site.service
+                .submit(Site::make_request("tenant-a", ssl_app.reference(), "app-ssl"),
+                        core::AdmitClass::kTenantDeploy)
+                .status,
+            core::SubmitStatus::kAccepted);
+  EXPECT_EQ(site.service.pump(4), 2u);
+  ASSERT_EQ(site.platform.cluster().pods().size(), 2u);
+
+  // Feed re-ingest touching only flask.
+  const std::uint64_t baseline = site.platform.cve_db().revision();
+  site.platform.cve_db().upsert(
+      make_cve("CVE-FLASK-1", "flask", kMedium, gc::SimTime::from_hours(5)));
+  const auto changed = site.platform.cve_db().packages_changed_since(baseline);
+  ASSERT_EQ(changed, (std::vector<std::string>{"flask"}));
+
+  // Only the flask workload is re-queued for verification.
+  EXPECT_EQ(site.service.enqueue_rescans(changed), 1u);
+  EXPECT_EQ(site.service.backlog(core::AdmitClass::kBatchRescan), 1u);
+  const auto warm_before = site.service.scans_warm();
+  EXPECT_EQ(site.service.pump(4), 1u);
+  // The flask entry was (targeted-)invalidated, so its re-scan is cold;
+  // the openssl image's cached verdict was re-keyed, not dropped.
+  const auto cache = site.pipeline.scan_cache().stats();
+  EXPECT_GE(cache.invalidations_targeted, 1u);
+  EXPECT_EQ(cache.invalidations_full, 0u);
+  EXPECT_GE(cache.revision_rekeys, 1u);
+  EXPECT_EQ(site.service.scans_warm(), warm_before);
+  EXPECT_EQ(site.platform.cluster().pods().size(), 2u);  // rescan, no new pod
+  EXPECT_TRUE(site.service.accounting_consistent());
+}
+
+// The 50-seed property sweep CI's tier-1 target runs: under randomized
+// traffic mixes, pump schedules and clock jitter, (1) critical infra is
+// never shed, (2) the backlog never exceeds the configured bound, (3)
+// every shed is an audited bus event, (4) no gate ever fails open, and
+// (5) the accounting identity holds after a full drain — every submitted
+// request reaches exactly one terminal state.
+TEST(AdmissionServiceProperty, FiftySeedBackpressureNoStarvationSweep) {
+  static const char* kPackages[] = {"flask", "openssl", "zlib"};
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    core::PlatformConfig platform_config;
+    platform_config.seed = seed;
+    platform_config.parallel_scanning = false;  // keep 50 sites cheap
+    core::AdmissionServiceConfig service_config;
+    service_config.per_tenant_capacity = 6;
+    service_config.total_capacity = 12;
+    Site site(platform_config, service_config);
+
+    std::vector<as::ContainerImage> images;
+    for (int i = 0; i < 3; ++i) {
+      images.push_back(make_app_image("app-" + std::to_string(i), kPackages[i]));
+      site.push_image(images.back());
+    }
+
+    std::size_t shed_events = 0;
+    site.platform.bus().subscribe("admission.shed",
+                                  [&](const gc::Event&) { ++shed_events; });
+    std::size_t gate_bypasses = 0;
+    site.service.set_completion_callback(
+        [&](const core::AdmitRecord&, const core::PipelineReport* report) {
+          if (report != nullptr) gate_bypasses += report->failed_open_count();
+        });
+
+    gc::Rng rng(seed * 977 + 13);
+    for (int step = 0; step < 150; ++step) {
+      const double roll = rng.uniform01();
+      if (roll < 0.65) {
+        const auto cls = static_cast<core::AdmitClass>(rng.index(3));
+        const auto& image = images[rng.index(images.size())];
+        auto request = Site::make_request(
+            rng.uniform01() < 0.7 ? "tenant-a" : "tenant-b", image.reference(),
+            "app-" + std::to_string(rng.index(6)));
+        (void)site.service.submit(std::move(request), cls);
+      } else if (roll < 0.85) {
+        site.service.pump(1 + rng.index(3));
+      } else {
+        site.platform.advance_time(gc::SimTime::from_seconds(1 + rng.index(30)));
+      }
+      ASSERT_LE(site.service.backlog(), service_config.total_capacity);
+    }
+    // Drain completely: no request may be left in limbo.
+    while (site.service.backlog() > 0) site.service.pump(64);
+
+    EXPECT_EQ(site.service.stats(core::AdmitClass::kCriticalInfra).sheds(), 0u)
+        << "seed " << seed;
+    EXPECT_LE(site.service.backlog_high_water(), service_config.total_capacity)
+        << "seed " << seed;
+    EXPECT_EQ(gate_bypasses, 0u) << "seed " << seed;
+    EXPECT_TRUE(site.service.accounting_consistent()) << "seed " << seed;
+    const std::uint64_t sheds_total =
+        site.service.stats(core::AdmitClass::kCriticalInfra).sheds() +
+        site.service.stats(core::AdmitClass::kTenantDeploy).sheds() +
+        site.service.stats(core::AdmitClass::kBatchRescan).sheds();
+    EXPECT_EQ(shed_events, sheds_total) << "seed " << seed;
+  }
+}

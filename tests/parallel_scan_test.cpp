@@ -198,6 +198,77 @@ TEST(CveDatabase, CopyRebuildsIndexIntoOwnRecords) {
   }
 }
 
+TEST(CveDatabase, RevisionStaysMonotonicAcrossRepeatedReingest) {
+  vl::CveDatabase db;
+  std::uint64_t last = db.revision();
+  // The same feed file re-ingested 5 times: every pass replays the same
+  // records with advancing publication times, and the revision must only
+  // ever move forward (never reset or repeat).
+  for (int pass = 0; pass < 5; ++pass) {
+    db.upsert(make_cve("CVE-A", "flask", "<3.0.0", kMedium,
+                       gc::SimTime::from_hours(pass + 1)));
+    db.upsert(make_cve("CVE-B", "openssl", "<1.2.0", kCritical,
+                       gc::SimTime::from_hours(pass + 1)));
+    EXPECT_GT(db.revision(), last);
+    last = db.revision();
+    // A stale record (older publication) is rejected and never bumps.
+    db.upsert(make_cve("CVE-A", "flask", "<3.0.0", kMedium, gc::SimTime{}));
+    EXPECT_EQ(db.revision(), last);
+  }
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(CveDatabase, PackageIndexSurvivesCopyMoveAndReingest) {
+  vl::CveDatabase db;
+  db.upsert(make_cve("CVE-A", "flask", "<3.0.0", kMedium, gc::SimTime::from_hours(1)));
+  db.upsert(make_cve("CVE-B", "flask", "<2.0.0", kCritical, gc::SimTime::from_hours(1)));
+
+  vl::CveDatabase copy = db;
+  // Re-ingest into the copy after copying: its index must keep pointing
+  // into its own storage, not the original's.
+  copy.upsert(make_cve("CVE-A", "flask", "<3.0.0", kMedium, gc::SimTime::from_hours(2)));
+  for (const vl::CveRecord* record : copy.for_package("flask")) {
+    EXPECT_EQ(record, copy.find(record->id));
+  }
+  EXPECT_GT(copy.revision(), db.revision());
+
+  const std::uint64_t moved_revision = copy.revision();
+  vl::CveDatabase moved = std::move(copy);
+  EXPECT_EQ(moved.revision(), moved_revision);
+  ASSERT_EQ(moved.for_package("flask").size(), 2u);
+  for (const vl::CveRecord* record : moved.for_package("flask")) {
+    EXPECT_EQ(record, moved.find(record->id));  // node-stable across move
+  }
+}
+
+TEST(CveDatabase, PackagesChangedSinceDiffsExactlyTheTouchedPackages) {
+  vl::CveDatabase db;
+  db.upsert(make_cve("CVE-A", "flask", "<3.0.0", kMedium, gc::SimTime::from_hours(1)));
+  db.upsert(make_cve("CVE-B", "openssl", "<1.2.0", kMedium, gc::SimTime::from_hours(1)));
+  const std::uint64_t baseline = db.revision();
+
+  // Rejected upsert: no package changed since the baseline.
+  db.upsert(make_cve("CVE-A", "flask", "<3.0.0", kMedium, gc::SimTime{}));
+  EXPECT_TRUE(db.packages_changed_since(baseline).empty());
+
+  db.upsert(make_cve("CVE-C", "zlib", "<1.3.0", kCritical, gc::SimTime::from_hours(2)));
+  db.upsert(make_cve("CVE-B", "openssl", "<1.2.5", kCritical, gc::SimTime::from_hours(3)));
+  const auto changed = db.packages_changed_since(baseline);
+  EXPECT_EQ(changed, (std::vector<std::string>{"openssl", "zlib"}));
+  // Since revision 0 everything ever touched appears.
+  EXPECT_EQ(db.packages_changed_since(0).size(), 3u);
+
+  // A package re-key marks both the old and the new package as changed.
+  const std::uint64_t before_rekey = db.revision();
+  db.upsert(make_cve("CVE-C", "minizip", "<1.3.0", kCritical, gc::SimTime::from_hours(4)));
+  EXPECT_EQ(db.packages_changed_since(before_rekey),
+            (std::vector<std::string>{"minizip", "zlib"}));
+
+  // The change journal survives copies (snapshot diffing).
+  const vl::CveDatabase copy = db;
+  EXPECT_EQ(copy.packages_changed_since(baseline), db.packages_changed_since(baseline));
+}
+
 // -------------------------------------------------------------- scan cache
 
 namespace {
@@ -237,7 +308,47 @@ TEST(ScanCache, FeedRevisionChangeStrandsOldEntries) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_FALSE(cache.lookup(make_key("img-1", 1)).has_value());
   EXPECT_TRUE(cache.lookup(make_key("img-3", 2)).has_value());
-  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.stats().invalidations_full, 2u);
+  EXPECT_EQ(cache.stats().invalidations_targeted, 0u);
+}
+
+TEST(ScanCache, RetargetDropsOnlyIntersectingEntriesAndRekeysTheRest) {
+  core::BasicScanCache<std::string> cache(8);
+  cache.insert(make_key("img-flask", 1), {"a"}, {"flask", "requests"});
+  cache.insert(make_key("img-openssl", 1), {"b"}, {"openssl"});
+  cache.insert(make_key("img-live", 2), {"c"}, {"flask"});
+
+  // Re-ingest touched only flask: the flask entry is dropped, the openssl
+  // entry is re-keyed to the live revision and keeps serving hits.
+  EXPECT_EQ(cache.retarget_feed(2, {"flask"}), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(make_key("img-flask", 1)).has_value());
+  EXPECT_FALSE(cache.lookup(make_key("img-flask", 2)).has_value());
+  EXPECT_TRUE(cache.lookup(make_key("img-openssl", 2)).has_value());
+  EXPECT_TRUE(cache.lookup(make_key("img-live", 2)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations_targeted, 1u);
+  EXPECT_EQ(stats.revision_rekeys, 1u);
+  EXPECT_EQ(stats.invalidations_full, 0u);
+}
+
+TEST(ScanCache, RetargetDropsEntriesWithUnknownManifestConservatively) {
+  core::BasicScanCache<std::string> cache(8);
+  cache.insert(make_key("img-unknown", 1), {"a"});  // no recorded packages
+  EXPECT_EQ(cache.retarget_feed(2, {"openssl"}), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScanCache, RetargetPrefersTheLiveEntryOnRekeyCollision) {
+  core::BasicScanCache<std::string> cache(8);
+  cache.insert(make_key("img-1", 1), {"stale"}, {"openssl"});
+  cache.insert(make_key("img-1", 2), {"fresh"}, {"openssl"});
+  // Re-keying the rev-1 entry would collide with the rev-2 entry already
+  // scanned against the live database; the stale one must lose.
+  EXPECT_EQ(cache.retarget_feed(2, {"flask"}), 1u);
+  const auto hit = cache.lookup(make_key("img-1", 2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front(), "fresh");
 }
 
 TEST(ScanCache, CapacityZeroDisablesEverything) {
@@ -473,7 +584,10 @@ TEST(ParallelPipeline, CacheReplaysScanSpanAndInvalidatesOnFeedIngest) {
   const auto after_ingest = site.deploy_app(image.reference(), "cache-c");
   EXPECT_FALSE(after_ingest.deployed);
   EXPECT_EQ(after_ingest.blocked_by(), "sca");
-  EXPECT_GE(site.pipeline.scan_cache().stats().invalidations, 1u);
+  // Incremental invalidation (default): the re-ingest touched flask, and
+  // the image's manifest contains flask, so the drop is targeted.
+  EXPECT_GE(site.pipeline.scan_cache().stats().invalidations_targeted, 1u);
+  EXPECT_EQ(site.pipeline.scan_cache().stats().invalidations_full, 0u);
 
   // The blocking verdict itself is cacheable at the new revision.
   const auto blocked_again = site.deploy_app(image.reference(), "cache-d");

@@ -30,6 +30,9 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== data-plane crypto bench smoke (fast/reference divergence fails CI) =="
   "${repo_root}/build/bench/bench_dataplane" --smoke \
     --out "${repo_root}/build/BENCH_dataplane.json"
+  echo "== admission-service overload bench smoke (shed/deadline invariants fail CI) =="
+  "${repo_root}/build/bench/bench_admission_service" --smoke \
+    --out "${repo_root}/build/BENCH_admission.json"
 fi
 
 if [[ "${mode}" != "--plain-only" && "${mode}" != "--tsan-only" ]]; then
@@ -54,6 +57,10 @@ if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "${repo_root}/build-tsan/bench/bench_dataplane" --smoke \
     --out "${repo_root}/build-tsan/BENCH_dataplane.json"
+  echo "== admission-service overload bench smoke (TSan) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    "${repo_root}/build-tsan/bench/bench_admission_service" --smoke \
+    --out "${repo_root}/build-tsan/BENCH_admission.json"
 fi
 
 echo "CI: all suites passed"
