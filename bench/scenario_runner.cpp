@@ -1,0 +1,311 @@
+// scenario_runner: executes the scenario catalog in parallel and enforces
+// the consolidated scorecard. Every registered scenario runs on the
+// work-stealing pool with its own derived seed and sim-time watchdog; a
+// serial re-run of a sample proves parallel verdicts are byte-identical.
+// Exits nonzero when any scorecard invariant is violated, and writes
+// BENCH_scenarios.json (or --out PATH) for CI artifacts.
+//
+//   scenario_runner --all                 run the full catalog
+//   scenario_runner --list [--filter F]   print matching scenario names
+//   scenario_runner --filter smoke        run the smoke subset
+//   scenario_runner --smoke               alias for --filter smoke
+//   scenario_runner --seed N --repeat R   seeds N .. N+R-1
+//   scenario_runner --jobs J              pool size (0 = auto)
+//   scenario_runner --no-determinism-check
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "genio/common/strings.hpp"
+#include "genio/common/table.hpp"
+#include "genio/resilience/chaos.hpp"
+#include "genio/scenario/catalog.hpp"
+#include "genio/scenario/runner.hpp"
+#include "genio/scenario/scenario.hpp"
+
+namespace gc = genio::common;
+namespace gs = genio::scenario;
+namespace gr = genio::resilience;
+
+namespace {
+
+constexpr std::size_t kCatalogFloor = 100;
+
+const gr::FaultKind kAllFaultKinds[] = {
+    gr::FaultKind::kPonLinkFlap,    gr::FaultKind::kPonBitErrorBurst,
+    gr::FaultKind::kOnuChurn,       gr::FaultKind::kNodeCrash,
+    gr::FaultKind::kKubeletStall,   gr::FaultKind::kSdnOutage,
+    gr::FaultKind::kRegistryOutage, gr::FaultKind::kFeedOutage,
+    gr::FaultKind::kTpmTransient,
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Scorecard {
+  std::size_t catalog_size = 0;
+  std::size_t selected = 0;
+  std::size_t executions = 0;
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::size_t timeouts = 0;
+  std::uint64_t gate_bypasses = 0;
+  std::uint64_t events_captured = 0;
+  bool determinism_checked = false;
+  bool determinism_ok = true;
+  std::size_t determinism_sampled = 0;
+  bool full_catalog = false;  // unfiltered run: coverage invariants apply
+  std::map<std::string, std::size_t> threat_passes;   // "T1" -> passes
+  std::map<std::string, std::size_t> fault_coverage;  // fault tag -> scenarios
+  std::vector<const gs::ScenarioVerdict*> failures;
+  std::vector<std::string> determinism_mismatches;
+};
+
+void write_json(const char* path, const Scorecard& card,
+                const std::vector<std::pair<std::string, bool>>& invariants,
+                bool invariants_hold, std::uint64_t seed, int repeat) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"scenario_fabric\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"repeat\": %d,\n", repeat);
+  std::fprintf(f, "  \"catalog_size\": %zu,\n", card.catalog_size);
+  std::fprintf(f, "  \"selected\": %zu,\n", card.selected);
+  std::fprintf(f, "  \"executions\": %zu,\n", card.executions);
+  std::fprintf(f, "  \"passed\": %zu,\n", card.passed);
+  std::fprintf(f, "  \"failed\": %zu,\n", card.failed);
+  std::fprintf(f, "  \"timeouts\": %zu,\n", card.timeouts);
+  std::fprintf(f, "  \"gate_bypasses\": %llu,\n",
+               static_cast<unsigned long long>(card.gate_bypasses));
+  std::fprintf(f, "  \"events_captured\": %llu,\n",
+               static_cast<unsigned long long>(card.events_captured));
+  std::fprintf(f, "  \"determinism_checked\": %s,\n",
+               card.determinism_checked ? "true" : "false");
+  std::fprintf(f, "  \"determinism_ok\": %s,\n", card.determinism_ok ? "true" : "false");
+  std::fprintf(f, "  \"determinism_sampled\": %zu,\n", card.determinism_sampled);
+
+  std::fprintf(f, "  \"threat_contrasts\": {");
+  bool first = true;
+  for (const auto& [threat, passes] : card.threat_passes) {
+    std::fprintf(f, "%s\n    \"%s\": %zu", first ? "" : ",", threat.c_str(), passes);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+
+  std::fprintf(f, "  \"fault_kind_coverage\": {");
+  first = true;
+  for (const auto& [kind, count] : card.fault_coverage) {
+    std::fprintf(f, "%s\n    \"%s\": %zu", first ? "" : ",", kind.c_str(), count);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+
+  std::fprintf(f, "  \"failures\": [");
+  first = true;
+  for (const auto* v : card.failures) {
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"outcome\": \"%s\", \"error\": \"%s\", "
+                 "\"repro\": \"%s\"}",
+                 first ? "" : ",", json_escape(v->name).c_str(),
+                 gs::to_string(v->outcome).c_str(), json_escape(v->error).c_str(),
+                 json_escape(v->repro()).c_str());
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  std::fprintf(f, "  \"invariants\": {");
+  first = true;
+  for (const auto& [name, ok] : invariants) {
+    std::fprintf(f, "%s\n    \"%s\": %s", first ? "" : ",", json_escape(name).c_str(),
+                 ok ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(f, "  \"invariants_hold\": %s\n", invariants_hold ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gs::RunOptions options;
+  bool list_only = false;
+  bool determinism_check = true;
+  const char* out_path = "BENCH_scenarios.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) list_only = true;
+    else if (std::strcmp(arg, "--all") == 0) options.filter.clear();
+    else if (std::strcmp(arg, "--smoke") == 0) options.filter = "smoke";
+    else if (std::strcmp(arg, "--no-determinism-check") == 0) determinism_check = false;
+    else if (std::strcmp(arg, "--filter") == 0 && i + 1 < argc) options.filter = argv[++i];
+    else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc)
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(arg, "--repeat") == 0 && i + 1 < argc)
+      options.repeat = std::atoi(argv[++i]);
+    else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc)
+      options.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+
+  gs::register_builtin_catalog();
+  const auto& registry = gs::ScenarioRegistry::global();
+  const auto selected = registry.match(options.filter);
+
+  if (list_only) {
+    for (const auto* def : selected) {
+      std::string tags;
+      for (const auto& tag : def->tags) tags += (tags.empty() ? "" : ",") + tag;
+      std::printf("%-48s %s\n", def->name.c_str(), tags.c_str());
+    }
+    std::printf("%zu of %zu scenarios match\n", selected.size(), registry.size());
+    return 0;
+  }
+
+  std::printf("=== scenario fabric: %zu of %zu scenarios, seed %llu, repeat %d ===\n\n",
+              selected.size(), registry.size(),
+              static_cast<unsigned long long>(options.seed), options.repeat);
+
+  const gs::RunSummary summary = gs::run_catalog(registry, options);
+
+  Scorecard card;
+  card.catalog_size = registry.size();
+  card.selected = summary.selected;
+  card.executions = summary.verdicts.size();
+  card.passed = summary.passed;
+  card.failed = summary.failed;
+  card.timeouts = summary.timeouts;
+  card.gate_bypasses = summary.gate_bypasses;
+  card.full_catalog = options.filter.empty();
+  for (const auto& verdict : summary.verdicts) {
+    card.events_captured += verdict.events_captured;
+    if (!verdict.passed()) card.failures.push_back(&verdict);
+  }
+
+  // Coverage maps come from the selection, pass counts from the verdicts.
+  std::map<std::string, const gs::ScenarioDef*> by_name;
+  for (const auto* def : selected) by_name[def->name] = def;
+  for (const auto& verdict : summary.verdicts) {
+    const auto it = by_name.find(verdict.name);
+    if (it == by_name.end()) continue;
+    const std::string threat = it->second->tag_value("threat:");
+    if (!threat.empty() && verdict.passed()) ++card.threat_passes[threat];
+    const std::string fault = it->second->tag_value("fault:");
+    if (!fault.empty()) ++card.fault_coverage[fault];
+  }
+
+  if (determinism_check && !summary.verdicts.empty()) {
+    const std::size_t stride = std::max<std::size_t>(1, summary.selected / 16);
+    card.determinism_checked = true;
+    card.determinism_ok = gs::verify_determinism(registry, options, summary, stride,
+                                                 &card.determinism_mismatches);
+    card.determinism_sampled = (summary.selected + stride - 1) / stride;
+  }
+
+  // -- report ----------------------------------------------------------------
+  gc::Table table({"outcome", "count"});
+  table.add_row({"pass", std::to_string(card.passed)});
+  table.add_row({"fail", std::to_string(card.failed)});
+  table.add_row({"timeout", std::to_string(card.timeouts)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%zu executions, %llu bus events observed, %llu gate bypasses\n",
+              card.executions, static_cast<unsigned long long>(card.events_captured),
+              static_cast<unsigned long long>(card.gate_bypasses));
+  if (card.determinism_checked) {
+    std::printf("determinism: %zu scenarios re-run serially, %s\n",
+                card.determinism_sampled,
+                card.determinism_ok ? "all digests identical" : "MISMATCH");
+  }
+  for (const auto* v : card.failures) {
+    std::printf("FAILED %-44s %s\n       repro: %s\n", v->name.c_str(),
+                v->error.empty() ? "(invariant violated)" : v->error.c_str(),
+                v->repro().c_str());
+    for (const auto& inv : v->invariants) {
+      if (!inv.held) {
+        std::printf("       invariant %s%s%s\n", inv.name.c_str(),
+                    inv.detail.empty() ? "" : ": ", inv.detail.c_str());
+      }
+    }
+  }
+  std::printf("\n");
+
+  // -- scorecard -------------------------------------------------------------
+  std::vector<std::pair<std::string, bool>> invariants;
+  bool invariants_hold = true;
+  const auto check = [&](const std::string& what, bool ok) {
+    invariants.emplace_back(what, ok);
+    if (!ok) {
+      std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what.c_str());
+      invariants_hold = false;
+    }
+    std::printf("  [%s] %s\n", ok ? "ok" : "VIOLATED", what.c_str());
+  };
+
+  check("every selected scenario passed (zero failures)", card.failed == 0);
+  check("zero watchdog timeouts", card.timeouts == 0);
+  check("zero gate bypasses across every audited report", card.gate_bypasses == 0);
+  if (card.determinism_checked) {
+    check("parallel verdicts byte-identical to serial re-run", card.determinism_ok);
+  }
+  if (card.full_catalog) {
+    check("catalog holds at least " + std::to_string(kCatalogFloor) + " scenarios",
+          card.catalog_size >= kCatalogFloor);
+    for (int t = 1; t <= 8; ++t) {
+      const std::string threat = "T" + std::to_string(t);
+      const auto it = card.threat_passes.find(threat);
+      check("threat " + threat + " contrast exercised and held",
+            it != card.threat_passes.end() && it->second > 0);
+    }
+    for (const auto kind : kAllFaultKinds) {
+      const std::string tag = gr::to_string(kind);
+      const auto it = card.fault_coverage.find(tag);
+      check("fault kind " + tag + " exercised by the catalog",
+            it != card.fault_coverage.end() && it->second > 0);
+    }
+  }
+  std::printf("\n");
+
+  write_json(out_path, card, invariants, invariants_hold, options.seed, options.repeat);
+  if (!invariants_hold) {
+    for (const auto& name : card.determinism_mismatches) {
+      std::fprintf(stderr, "determinism mismatch: %s\n", name.c_str());
+    }
+    return 1;
+  }
+  std::printf("scorecard: all invariants hold\n");
+  return 0;
+}

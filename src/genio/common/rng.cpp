@@ -39,6 +39,12 @@ Rng Rng::fork(std::string_view label) {
   return Rng(next_u64() ^ fnv1a(label));
 }
 
+std::uint64_t Rng::mix(std::uint64_t seed, std::string_view label) {
+  std::uint64_t x = seed ^ fnv1a(label);
+  (void)splitmix64(x);  // one whitening round before the output draw
+  return splitmix64(x);
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

@@ -21,6 +21,19 @@ class Rng {
   /// subsystems do not perturb each other's sequences.
   Rng fork(std::string_view label);
 
+  /// Splitmix-style seed mixing: hash (seed, label) into a child-stream
+  /// seed without consuming any generator state. Identical inputs give the
+  /// identical child stream on every thread and in every call order —
+  /// derive, don't share. This is how the scenario fabric keeps hundreds
+  /// of concurrently running scenarios deterministic: each scenario seed
+  /// is mix(run_seed, scenario_name), each chaos storm stream is
+  /// mix(scenario_seed, fault_target).
+  static std::uint64_t mix(std::uint64_t seed, std::string_view label);
+  /// Convenience: a generator seeded with mix(seed, label).
+  static Rng derive(std::uint64_t seed, std::string_view label) {
+    return Rng(mix(seed, label));
+  }
+
   std::uint64_t next_u64();
   /// Uniform in [0, bound) — bound must be > 0.
   std::uint64_t uniform(std::uint64_t bound);

@@ -12,8 +12,6 @@
 
 namespace genio::core {
 
-namespace {
-
 PlatformConfig unmitigated_config() {
   PlatformConfig config;
   config.pon_encryption = false;
@@ -36,8 +34,8 @@ PlatformConfig unmitigated_config() {
   return config;
 }
 
-/// A tenant image with a seeded SQL injection (a complete request->sink
-/// taint flow the M14v2 dataflow pass confirms) and vulnerable dependencies.
+// A tenant image with a seeded SQL injection (a complete request->sink
+// taint flow the M14v2 dataflow pass confirms) and vulnerable dependencies.
 appsec::ContainerImage make_vulnerable_app_image() {
   appsec::ContainerImage image("registry.genio.io/tenant-a/readings-api", "1.0.0");
   image.add_layer(
@@ -54,7 +52,7 @@ appsec::ContainerImage make_vulnerable_app_image() {
   return image;
 }
 
-/// A deliberately malicious image: cryptominer + escape tooling.
+// A deliberately malicious image: cryptominer + escape tooling.
 appsec::ContainerImage make_malicious_image() {
   appsec::ContainerImage image("registry.genio.io/tenant-x/optimizer", "2.0.0");
   image.add_layer(
@@ -82,7 +80,8 @@ void seed_kernel_cve(vuln::CveDatabase& db) {
   db.upsert(std::move(record));
 }
 
-}  // namespace
+// run_all_scenarios() lives in scenario/catalog_attacks.cpp: it walks the
+// scenario registry's contrast entries instead of hard-coding eight calls.
 
 // ------------------------------------------------------------------- T1
 
@@ -523,13 +522,6 @@ ScenarioResult run_t8_malicious_applications() {
   result.unmitigated = run(false);
   result.mitigated = run(true);
   return result;
-}
-
-std::vector<ScenarioResult> run_all_scenarios() {
-  return {run_t1_network_attacks(),          run_t2_code_tampering(),
-          run_t3_os_privilege_abuse(),       run_t4_low_level_vulnerabilities(),
-          run_t5_middleware_privilege_abuse(), run_t6_middleware_vulnerabilities(),
-          run_t7_vulnerable_applications(),  run_t8_malicious_applications()};
 }
 
 }  // namespace genio::core

@@ -44,7 +44,21 @@ ScenarioResult run_t6_middleware_vulnerabilities();
 ScenarioResult run_t7_vulnerable_applications();
 ScenarioResult run_t8_malicious_applications();
 
-/// All eight, in order.
+/// All eight, in order. Defined by the scenario fabric (link
+/// genio_scenario): the registry's contrast scenarios are the single
+/// source of truth for which threats exist, so a threat added there is
+/// automatically part of this sweep.
 std::vector<ScenarioResult> run_all_scenarios();
+
+/// Shared scenario building blocks, exported so the scenario fabric can
+/// cross them into many registered variants.
+PlatformConfig unmitigated_config();
+/// A tenant image with a seeded SQL injection (request->sink taint flow)
+/// and a vulnerable dependency (requests 2.25.0).
+appsec::ContainerImage make_vulnerable_app_image();
+/// A deliberately malicious image: cryptominer + escape tooling.
+appsec::ContainerImage make_malicious_image();
+/// Seed a Dirty-Pipe-class kernel CVE into a database.
+void seed_kernel_cve(vuln::CveDatabase& db);
 
 }  // namespace genio::core

@@ -64,6 +64,29 @@ std::vector<int> ChaosEngine::schedule_random(int count, SimTime horizon,
   return ids;
 }
 
+std::vector<int> ChaosEngine::schedule_storm(FaultKind kind, const std::string& target,
+                                             int count, SimTime horizon,
+                                             SimTime mean_duration,
+                                             std::uint64_t stream_seed) {
+  Rng stream = Rng::derive(stream_seed, to_string(kind) + "/" + target);
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.target = target;
+    spec.at = clock_->now() +
+              SimTime(static_cast<std::int64_t>(stream.uniform01() *
+                                                static_cast<double>(horizon.nanos())));
+    spec.duration = SimTime(static_cast<std::int64_t>(
+        stream.exponential(static_cast<double>(mean_duration.nanos()))));
+    if (spec.kind == FaultKind::kPonBitErrorBurst) spec.magnitude = 0.05;
+    if (spec.kind == FaultKind::kTpmTransient) spec.magnitude = 2.0;
+    ids.push_back(schedule(spec));
+  }
+  return ids;
+}
+
 std::map<std::string, std::string> ChaosEngine::event_attrs(const FaultSpec& spec) const {
   return {{"fault", to_string(spec.kind)},
           {"target", spec.target},

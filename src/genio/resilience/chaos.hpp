@@ -77,6 +77,17 @@ class ChaosEngine {
   /// durations (mean `mean_duration`). Deterministic per engine seed.
   std::vector<int> schedule_random(int count, SimTime horizon, SimTime mean_duration);
 
+  /// Schedule a storm of `count` faults of one kind against one target:
+  /// start times uniform in [now, now+horizon), exponential durations
+  /// (mean `mean_duration`). Unlike schedule_random this does NOT consume
+  /// the engine's own generator — the draw comes from an independent
+  /// child stream Rng::derive(stream_seed, "<kind>/<target>"), so the
+  /// storm timeline depends only on (stream_seed, kind, target), never on
+  /// what any other scenario or storm drew first.
+  std::vector<int> schedule_storm(FaultKind kind, const std::string& target,
+                                  int count, SimTime horizon,
+                                  SimTime mean_duration, std::uint64_t stream_seed);
+
   /// Apply/revert every fault whose time has come (clock not advanced).
   void process_due();
 

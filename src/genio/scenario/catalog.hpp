@@ -1,0 +1,22 @@
+// Linker anchors for the built-in catalog. The catalog TUs register their
+// scenarios from static initializers; when genio_scenario is linked as a
+// static library those TUs would be dead-stripped unless something pulls a
+// symbol from each. Call register_builtin_catalog() (idempotent, cheap)
+// before touching ScenarioRegistry::global() from another binary.
+#pragma once
+
+namespace genio::scenario {
+
+void anchor_catalog_attacks();
+void anchor_catalog_chaos();
+void anchor_catalog_recovery();
+void anchor_catalog_admission();
+
+inline void register_builtin_catalog() {
+  anchor_catalog_attacks();
+  anchor_catalog_chaos();
+  anchor_catalog_recovery();
+  anchor_catalog_admission();
+}
+
+}  // namespace genio::scenario

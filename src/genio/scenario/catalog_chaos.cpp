@@ -1,0 +1,288 @@
+// Chaos catalog: seeded storms of every FaultKind (light/heavy), mixed
+// multi-tenant storms, flapping feeders, degraded feeds, and
+// roaming/churning ONUs. Every audited deployment feeds the verdict's
+// gate-bypass tally: the scorecard requires that no storm ever made a
+// security gate fail open.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "genio/common/strings.hpp"
+#include "genio/pon/attacker.hpp"
+#include "genio/scenario/catalog.hpp"
+#include "genio/scenario/fragments.hpp"
+#include "genio/scenario/scenario.hpp"
+
+namespace genio::scenario {
+
+namespace {
+
+namespace gc = genio::common;
+namespace gr = genio::resilience;
+
+const gc::SimTime kTick = gc::SimTime::from_seconds(30);
+
+constexpr gr::FaultKind kAllFaultKinds[] = {
+    gr::FaultKind::kPonLinkFlap,   gr::FaultKind::kPonBitErrorBurst,
+    gr::FaultKind::kOnuChurn,      gr::FaultKind::kNodeCrash,
+    gr::FaultKind::kKubeletStall,  gr::FaultKind::kSdnOutage,
+    gr::FaultKind::kRegistryOutage, gr::FaultKind::kFeedOutage,
+    gr::FaultKind::kTpmTransient,
+};
+
+void run_kind_storm(ScenarioContext& ctx, gr::FaultKind kind, int per_target,
+                    int ticks) {
+  auto& platform = ctx.make_platform(scenario_config());
+  (void)platform.activate_pon();
+  const TenantFleet fleet = setup_tenants(platform, 2);
+  const gc::SimTime window = gc::SimTime::from_seconds(30 * ticks);
+  const int scheduled =
+      storm(ctx, platform, kind, per_target,
+            gc::SimTime(window.nanos() * 6 / 10), gc::SimTime::from_seconds(45));
+
+  core::DeploymentPipeline pipeline(&platform);
+  const WorkloadStats stats =
+      drive_workload(ctx, platform, pipeline, fleet, ticks, kTick);
+  const std::size_t recovered = heal(ctx, platform);
+
+  ctx.check("no-gate-failed-open", stats.failed_open == 0,
+            std::to_string(stats.failed_open) + " fail-open stages");
+  ctx.check("no-workload-vanished", vanished_pods(platform, stats.pod_refs) == 0);
+  ctx.check("dependencies-recover", all_dependencies_available(platform));
+  ctx.check("storm-actually-fired", platform.chaos().stats().injected > 0,
+            std::to_string(scheduled) + " scheduled");
+  ctx.note("deployed " + std::to_string(stats.deployed) + "/" +
+           std::to_string(stats.deployments) + ", recovered " +
+           std::to_string(recovered) + " pods");
+}
+
+GENIO_SCENARIO_FAMILY(kind_storms) {
+  const std::pair<const char*, std::pair<int, int>> intensities[] = {
+      {"light", {2, 10}},
+      {"heavy", {5, 16}},
+  };
+  for (const gr::FaultKind kind : kAllFaultKinds) {
+    for (const auto& [slug, shape] : intensities) {
+      ScenarioDef def;
+      def.name = "chaos.storm." + gr::to_string(kind) + "." + slug;
+      def.tags = {"chaos", "fault:" + gr::to_string(kind)};
+      if (kind == gr::FaultKind::kNodeCrash && shape.first == 2) {
+        def.tags.push_back("smoke");
+      }
+      if (kind == gr::FaultKind::kRegistryOutage && shape.first == 2) {
+        def.tags.push_back("smoke");
+      }
+      if (kind == gr::FaultKind::kTpmTransient && shape.first == 2) {
+        def.tags.push_back("quick");
+      }
+      def.fn = [kind, per_target = shape.first, ticks = shape.second](
+                   ScenarioContext& ctx) {
+        run_kind_storm(ctx, kind, per_target, ticks);
+      };
+      registry.add(std::move(def));
+    }
+  }
+}
+
+// ------------------------------------------------- mixed multi-tenant storms
+
+void run_mixed_storm(ScenarioContext& ctx, int fault_count, int tenant_count) {
+  auto& platform = ctx.make_platform(scenario_config());
+  (void)platform.activate_pon();
+  const TenantFleet fleet = setup_tenants(platform, tenant_count);
+  // schedule_random draws from the platform's own chaos stream, which is
+  // seeded from this scenario's derived platform seed — deterministic.
+  (void)platform.chaos().schedule_random(fault_count, gc::SimTime::from_seconds(420),
+                                         gc::SimTime::from_seconds(60));
+
+  core::DeploymentPipeline pipeline(&platform);
+  const WorkloadStats stats =
+      drive_workload(ctx, platform, pipeline, fleet, 14, kTick);
+  (void)heal(ctx, platform);
+
+  ctx.check("no-gate-failed-open", stats.failed_open == 0);
+  ctx.check("no-workload-vanished", vanished_pods(platform, stats.pod_refs) == 0);
+  ctx.check("dependencies-recover", all_dependencies_available(platform));
+  ctx.note("injected " + std::to_string(platform.chaos().stats().injected) +
+           " faults over " + std::to_string(tenant_count) + " tenants");
+}
+
+GENIO_SCENARIO_FAMILY(mixed_storms) {
+  for (const int faults : {8, 16, 32}) {
+    for (const int tenants : {1, 2, 4}) {
+      ScenarioDef def;
+      def.name = "chaos.storm.mixed.f" + std::to_string(faults) + ".t" +
+                 std::to_string(tenants);
+      def.tags = {"chaos", "multi-tenant"};
+      if (faults == 8 && tenants == 2) def.tags.push_back("smoke");
+      def.fn = [faults, tenants](ScenarioContext& ctx) {
+        run_mixed_storm(ctx, faults, tenants);
+      };
+      registry.add(std::move(def));
+    }
+  }
+}
+
+// ------------------------------------------------------- flapping feeder
+
+GENIO_SCENARIO_FAMILY(feeder_flaps) {
+  for (const int flaps : {3, 6, 12}) {
+    ScenarioDef def;
+    def.name = "chaos.flap.feeder.x" + std::to_string(flaps);
+    def.tags = {"chaos", "pon", "fault:pon-link-flap"};
+    def.fn = [flaps](ScenarioContext& ctx) {
+      auto& platform = ctx.make_platform(scenario_config());
+      pon::FiberTap tap;
+      platform.odn().add_tap(&tap);
+      (void)platform.activate_pon();
+      for (int i = 0; i < flaps; ++i) {
+        gr::FaultSpec spec;
+        spec.kind = gr::FaultKind::kPonLinkFlap;
+        spec.target = "odn";
+        spec.at = gc::SimTime::from_seconds(60 + 120 * i);
+        spec.duration = gc::SimTime::from_seconds(45);
+        (void)platform.chaos().schedule(spec);
+      }
+      for (int round = 0; round < 2 * flaps + 4; ++round) {
+        ctx.advance(gc::SimTime::from_seconds(60));
+        for (auto& onu : platform.onus()) {
+          const auto id = platform.olt().onu_id_for(onu->serial());
+          if (id.has_value()) {
+            (void)platform.olt().send_data(*id, 1, gc::to_bytes("downstream"));
+            onu->send_data(1, gc::to_bytes("upstream"));
+          }
+        }
+      }
+      ctx.advance(gc::SimTime::from_seconds(300));
+      ctx.check("feeder-recovers", platform.odn().feeder_up());
+      ctx.check("tap-never-reads-plaintext", tap.plaintext_data_bytes() == 0);
+      bool reauth = true;
+      for (auto& onu : platform.onus()) {
+        reauth &= platform.reauthenticate_onu(onu->serial()).ok();
+      }
+      ctx.check("onus-rekey-after-flaps", reauth);
+      ctx.note("flaps reverted: " + std::to_string(platform.chaos().stats().reverted));
+    };
+    registry.add(std::move(def));
+  }
+}
+
+// ------------------------------------------------------- degraded feeds
+
+void run_degraded_feed(ScenarioContext& ctx, int outage_seconds, bool use_rescan) {
+  auto& platform = ctx.make_platform(scenario_config());
+  const TenantFleet fleet = setup_tenants(platform, 1);
+  core::DeploymentPipeline pipeline(&platform);
+
+  // Healthy ingest first: the resilient SCA gate degrades to this
+  // last-good snapshot during the outage.
+  platform.feed_service().mark_refreshed(platform.clock().now());
+  const auto before = pipeline.deploy({.tenant = fleet.names[0],
+                                       .image_reference = fleet.image_refs[0],
+                                       .app_name = "app-before"});
+  ctx.record(before);
+  ctx.check("baseline-deploys", before.deployed);
+
+  gr::FaultSpec spec;
+  spec.kind = gr::FaultKind::kFeedOutage;
+  spec.target = "cve-feed";
+  spec.at = platform.clock().now() + gc::SimTime::from_seconds(60);
+  spec.duration = gc::SimTime::from_seconds(outage_seconds);
+  (void)platform.chaos().schedule(spec);
+  ctx.advance(gc::SimTime::from_seconds(90));  // inside the outage window
+
+  const core::DeploymentRequest request{.tenant = fleet.names[0],
+                                        .image_reference = fleet.image_refs[0],
+                                        .app_name = "app-during"};
+  const auto during = use_rescan ? pipeline.rescan(request) : pipeline.deploy(request);
+  ctx.record(during);
+  const auto* sca = during.stage("sca");
+  ctx.check("sca-degrades-not-fails-open",
+            sca != nullptr && sca->degraded && !sca->failed_open,
+            sca != nullptr ? sca->detail : "no sca stage");
+  ctx.check("degraded-verdict-still-served", during.blocked_by().empty());
+
+  ctx.advance(gc::SimTime::from_seconds(outage_seconds + 60));
+  const auto after = use_rescan
+                         ? pipeline.rescan(request)
+                         : pipeline.deploy({.tenant = fleet.names[0],
+                                            .image_reference = fleet.image_refs[0],
+                                            .app_name = "app-after"});
+  ctx.record(after);
+  const auto* sca_after = after.stage("sca");
+  ctx.check("live-feed-restored", sca_after != nullptr && !sca_after->degraded);
+}
+
+GENIO_SCENARIO_FAMILY(degraded_feeds) {
+  const std::pair<const char*, int> outages[] = {{"short", 120}, {"long", 3600}};
+  for (const bool use_rescan : {false, true}) {
+    for (const auto& [slug, seconds] : outages) {
+      ScenarioDef def;
+      def.name = std::string("chaos.degraded-feed.") +
+                 (use_rescan ? "rescan." : "deploy.") + slug;
+      def.tags = {"chaos", "fault:feed-outage"};
+      def.fn = [seconds = seconds, use_rescan](ScenarioContext& ctx) {
+        run_degraded_feed(ctx, seconds, use_rescan);
+      };
+      registry.add(std::move(def));
+    }
+  }
+}
+
+// --------------------------------------------------- roaming/churning ONUs
+
+void run_roaming_churn(ScenarioContext& ctx, int onu_count, int churns) {
+  auto& platform = ctx.make_platform(scenario_config(onu_count));
+  pon::FiberTap tap;
+  platform.odn().add_tap(&tap);
+  (void)platform.activate_pon();
+  const pon::Onu* roamer_dev = platform.onus()[0].get();
+  const std::string roamer = roamer_dev->serial();
+
+  for (int i = 0; i < churns; ++i) {
+    gr::FaultSpec spec;
+    spec.kind = gr::FaultKind::kOnuChurn;
+    spec.target = roamer;
+    spec.at = platform.clock().now() + gc::SimTime::from_seconds(30);
+    spec.duration = gc::SimTime::from_seconds(90);
+    (void)platform.chaos().schedule(spec);
+    ctx.advance(gc::SimTime::from_seconds(60));  // detached mid-window
+    // The rest of the fleet keeps talking while the roamer is away.
+    for (auto& onu : platform.onus()) {
+      const auto id = platform.olt().onu_id_for(onu->serial());
+      if (id.has_value()) {
+        (void)platform.olt().send_data(*id, 1, gc::to_bytes("steady traffic"));
+      }
+    }
+    ctx.advance(gc::SimTime::from_seconds(120));  // churn reverted: reattached
+    ctx.check("roamer-reattaches-r" + std::to_string(i),
+              platform.odn().attached(roamer_dev));
+    ctx.check("roamer-reauths-r" + std::to_string(i),
+              platform.reauthenticate_onu(roamer).ok());
+  }
+  ctx.check("tap-never-reads-plaintext", tap.plaintext_data_bytes() == 0);
+  ctx.note("churns: " + std::to_string(churns) + ", onus: " +
+           std::to_string(onu_count));
+}
+
+GENIO_SCENARIO_FAMILY(roaming_churn) {
+  for (const int onu_count : {2, 4, 8}) {
+    for (const int churns : {1, 3}) {
+      ScenarioDef def;
+      def.name = "pon.roam.churn.onu" + std::to_string(onu_count) + ".x" +
+                 std::to_string(churns);
+      def.tags = {"chaos", "pon", "fault:onu-churn"};
+      if (onu_count == 2 && churns == 1) def.tags.push_back("quick");
+      def.fn = [onu_count, churns](ScenarioContext& ctx) {
+        run_roaming_churn(ctx, onu_count, churns);
+      };
+      registry.add(std::move(def));
+    }
+  }
+}
+
+}  // namespace
+
+void anchor_catalog_chaos() {}
+
+}  // namespace genio::scenario

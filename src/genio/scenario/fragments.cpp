@@ -1,0 +1,155 @@
+#include "genio/scenario/fragments.hpp"
+
+#include <algorithm>
+
+#include "genio/common/strings.hpp"
+#include "genio/crypto/signature.hpp"
+#include "genio/middleware/sdn.hpp"
+
+namespace genio::scenario {
+
+namespace gc = genio::common;
+namespace gm = genio::middleware;
+namespace gr = genio::resilience;
+
+core::PlatformConfig scenario_config(int onu_count) {
+  core::PlatformConfig config;
+  config.onu_count = onu_count;
+  config.scan_workers = 1;  // one scenario = one thread; the runner fans out
+  return config;
+}
+
+appsec::ContainerImage clean_image(const std::string& tenant, const std::string& app) {
+  appsec::ContainerImage image("registry.genio.io/" + tenant + "/" + app, "1.0.0");
+  image.add_layer({{"/app/main.py", gc::to_bytes("print(\"serving\")\n")}});
+  image.add_package({"flask", gc::Version(2, 0, 1), "pypi"});
+  image.set_entrypoint("/app/main.py");
+  return image;
+}
+
+TenantFleet setup_tenants(core::GenioPlatform& platform, int count) {
+  TenantFleet fleet;
+  for (int i = 0; i < count; ++i) {
+    const std::string name = "tenant-" + std::string(1, static_cast<char>('a' + i));
+    auto key = crypto::SigningKey::generate(platform.rng().bytes(32), 4);
+    (void)platform.register_tenant(name, key.public_key());
+    (void)platform.registry().push_signed(clean_image(name, "app"), name, key);
+    fleet.names.push_back(name);
+    fleet.image_refs.push_back("registry.genio.io/" + name + "/app:1.0.0");
+  }
+  return fleet;
+}
+
+std::vector<std::string> chaos_targets(core::GenioPlatform& platform,
+                                       gr::FaultKind kind) {
+  switch (kind) {
+    case gr::FaultKind::kPonLinkFlap:
+    case gr::FaultKind::kPonBitErrorBurst:
+      return {"odn"};
+    case gr::FaultKind::kOnuChurn: {
+      std::vector<std::string> serials;
+      for (const auto& onu : platform.onus()) serials.push_back(onu->serial());
+      return serials;
+    }
+    case gr::FaultKind::kNodeCrash:
+    case gr::FaultKind::kKubeletStall: {
+      std::vector<std::string> names;
+      for (const auto& node : platform.cluster().nodes()) names.push_back(node.name);
+      return names;
+    }
+    case gr::FaultKind::kSdnOutage:
+      return {"onos", "voltha"};
+    case gr::FaultKind::kRegistryOutage:
+      return {"registry"};
+    case gr::FaultKind::kFeedOutage:
+      return {"cve-feed"};
+    case gr::FaultKind::kTpmTransient:
+      return {"tpm"};
+  }
+  return {};
+}
+
+int storm(ScenarioContext& ctx, core::GenioPlatform& platform, gr::FaultKind kind,
+          int per_target, gc::SimTime horizon, gc::SimTime mean_duration) {
+  int scheduled = 0;
+  for (const auto& target : chaos_targets(platform, kind)) {
+    scheduled += static_cast<int>(platform.chaos()
+                                      .schedule_storm(kind, target, per_target,
+                                                      horizon, mean_duration,
+                                                      ctx.seed())
+                                      .size());
+  }
+  return scheduled;
+}
+
+WorkloadStats drive_workload(ScenarioContext& ctx, core::GenioPlatform& platform,
+                             core::DeploymentPipeline& pipeline,
+                             const TenantFleet& fleet, int ticks,
+                             gc::SimTime tick, bool audited) {
+  const bool resilient = platform.config().resilience_policies;
+  WorkloadStats stats;
+  for (int t = 0; t < ticks; ++t) {
+    ctx.advance(tick);
+
+    ++stats.ops;
+    const auto sdn_status =
+        resilient ? platform.onos_failover().api_call(
+                        "svc-genio-nbi", "cert:svc-genio-nbi",
+                        gm::SdnCapability::kLogicalConfig)
+                  : platform.onos().api_call("svc-genio-nbi", "cert:svc-genio-nbi",
+                                             gm::SdnCapability::kLogicalConfig);
+    if (sdn_status.ok()) ++stats.ok_ops;
+
+    const std::size_t which = static_cast<std::size_t>(t) % fleet.names.size();
+    ++stats.ops;
+    ++stats.deployments;
+    const auto report =
+        pipeline.deploy({.tenant = fleet.names[which],
+                         .image_reference = fleet.image_refs[which],
+                         .app_name = "app-" + std::to_string(t),
+                         .limits = gm::ResourceQuantity{0.1, 64}});
+    if (audited) ctx.record(report);
+    stats.failed_open += report.failed_open_count();
+    if (report.deployed) {
+      ++stats.deployed;
+      ++stats.ok_ops;
+      stats.pod_refs.push_back(report.pod_ref);
+    } else {
+      ++stats.blocked;
+    }
+
+    if (resilient) (void)platform.cluster().reschedule_failed();
+  }
+  return stats;
+}
+
+std::size_t vanished_pods(core::GenioPlatform& platform,
+                          const std::vector<std::string>& pod_refs) {
+  std::size_t vanished = 0;
+  for (const auto& ref : pod_refs) {
+    const auto slash = ref.find('/');
+    const auto* pod =
+        platform.cluster().find_pod(ref.substr(0, slash), ref.substr(slash + 1));
+    if (pod == nullptr || pod->phase == gm::PodPhase::kFailed) ++vanished;
+  }
+  return vanished;
+}
+
+std::size_t heal(ScenarioContext& ctx, core::GenioPlatform& platform) {
+  gc::SimTime last{};
+  for (const auto& fault : platform.chaos().scheduled()) {
+    last = std::max(last, fault.at + fault.duration);
+  }
+  const gc::SimTime settle = last + gc::SimTime::from_seconds(60);
+  const gc::SimTime now = platform.clock().now();
+  if (settle > now) ctx.advance(settle - now);
+  return platform.cluster().reschedule_failed().recovered;
+}
+
+bool all_dependencies_available(core::GenioPlatform& platform) {
+  return platform.registry().available() && platform.feed_service().available() &&
+         platform.onos().available() && platform.odn().feeder_up() &&
+         platform.cluster().failed_pod_count() == 0;
+}
+
+}  // namespace genio::scenario

@@ -1,0 +1,75 @@
+// Reusable scenario fragments: the composition layer that turns platform
+// building blocks (tenants, workload drivers, chaos storms, healing
+// passes) into one-liners the catalogs cross into hundreds of variants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genio/core/pipeline.hpp"
+#include "genio/core/platform.hpp"
+#include "genio/resilience/chaos.hpp"
+#include "genio/scenario/scenario.hpp"
+
+namespace genio::scenario {
+
+/// Hardened config tuned for the fabric: the runner supplies parallelism,
+/// so each scenario scans serially (one scenario = one thread).
+core::PlatformConfig scenario_config(int onu_count = 2);
+
+/// A benign tenant image ("registry.genio.io/<tenant>/<app>", 1.0.0).
+appsec::ContainerImage clean_image(const std::string& tenant, const std::string& app);
+
+struct TenantFleet {
+  std::vector<std::string> names;
+  std::vector<std::string> image_refs;  // pullable "<registry path>:1.0.0"
+};
+
+/// Register `count` tenants ("tenant-a", "tenant-b", ...) each with one
+/// signed clean image pushed to the registry.
+TenantFleet setup_tenants(core::GenioPlatform& platform, int count);
+
+/// Every registered chaos target name for one fault kind on this platform.
+std::vector<std::string> chaos_targets(core::GenioPlatform& platform,
+                                       resilience::FaultKind kind);
+
+/// Schedule `per_target` faults of `kind` against every registered target,
+/// drawn from child streams derived from the scenario seed. Returns the
+/// number of faults scheduled.
+int storm(ScenarioContext& ctx, core::GenioPlatform& platform,
+          resilience::FaultKind kind, int per_target, common::SimTime horizon,
+          common::SimTime mean_duration);
+
+struct WorkloadStats {
+  int ops = 0;
+  int ok_ops = 0;
+  int deployments = 0;
+  int deployed = 0;
+  int blocked = 0;
+  std::size_t failed_open = 0;
+  std::vector<std::string> pod_refs;  // "ns/name" of deployed workloads
+};
+
+/// Drive `ticks` rounds of mixed work: one SDN northbound call (through
+/// the failover shim when resilience is on) plus one tenant deployment per
+/// tick, advancing the scenario clock each round. With `audited` every
+/// pipeline report is recorded into the verdict's gate-bypass tally.
+WorkloadStats drive_workload(ScenarioContext& ctx, core::GenioPlatform& platform,
+                             core::DeploymentPipeline& pipeline,
+                             const TenantFleet& fleet, int ticks,
+                             common::SimTime tick, bool audited = true);
+
+/// Deployed pods that are gone or kFailed now.
+std::size_t vanished_pods(core::GenioPlatform& platform,
+                          const std::vector<std::string>& pod_refs);
+
+/// Advance past the last scheduled fault edge plus a settle margin, then
+/// run one reschedule pass. Returns pods recovered.
+std::size_t heal(ScenarioContext& ctx, core::GenioPlatform& platform);
+
+/// True when every faultable dependency is back: registry, feed, SDN
+/// primary, PON feeder, and no failed pods.
+bool all_dependencies_available(core::GenioPlatform& platform);
+
+}  // namespace genio::scenario

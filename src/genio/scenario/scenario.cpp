@@ -1,0 +1,225 @@
+#include "genio/scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace genio::scenario {
+
+namespace {
+
+constexpr std::size_t kEvidenceCap = 64;
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= 0xff;  // field separator so "ab"+"c" != "a"+"bc"
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(value >> (i * 8));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kPass: return "pass";
+    case Outcome::kFail: return "fail";
+    case Outcome::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::string ScenarioVerdict::repro() const {
+  return "scenario_runner --filter '" + name + "' --seed " +
+         std::to_string(run_seed);
+}
+
+std::string ScenarioVerdict::canonical() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_step(h, name);
+  h = fnv1a_step(h, run_seed);
+  h = fnv1a_step(h, scenario_seed);
+  h = fnv1a_step(h, to_string(outcome));
+  for (const auto& inv : invariants) {
+    h = fnv1a_step(h, inv.name);
+    h = fnv1a_step(h, static_cast<std::uint64_t>(inv.held ? 1 : 0));
+    h = fnv1a_step(h, inv.detail);
+  }
+  for (const auto& line : evidence) h = fnv1a_step(h, line);
+  h = fnv1a_step(h, error);
+  h = fnv1a_step(h, gate_bypasses);
+  h = fnv1a_step(h, events_captured);
+  h = fnv1a_step(h, static_cast<std::uint64_t>(sim_consumed.nanos()));
+  return name + ":" + to_string(outcome) + ":" + hex64(h);
+}
+
+ScenarioContext::ScenarioContext(std::string name, std::uint64_t run_seed,
+                                 common::SimTime budget)
+    : name_(std::move(name)),
+      run_seed_(run_seed),
+      seed_(common::Rng::mix(run_seed, name_)),
+      rng_(common::Rng::derive(seed_, "scenario-rng")),
+      budget_(budget) {}
+
+core::GenioPlatform& ScenarioContext::platform() {
+  if (platforms_.empty()) return make_platform(core::PlatformConfig{});
+  return *platforms_.back();
+}
+
+core::GenioPlatform& ScenarioContext::make_platform(core::PlatformConfig config) {
+  config.seed = common::Rng::mix(
+      seed_, "platform:" + std::to_string(platforms_.size()));
+  platforms_.push_back(std::make_unique<core::GenioPlatform>(config));
+  core::GenioPlatform& platform = *platforms_.back();
+  platform.bus().subscribe("", [this](const common::Event& event) {
+    ++events_captured_;
+    ++topic_counts_[event.topic];
+  });
+  return platform;
+}
+
+void ScenarioContext::advance(common::SimTime dt) {
+  consumed_ = consumed_ + dt;
+  if (consumed_ > budget_) throw ScenarioTimeout{};
+  if (!platforms_.empty()) platforms_.back()->advance_time(dt);
+}
+
+void ScenarioContext::check(const std::string& invariant, bool held,
+                            std::string detail) {
+  invariants_.push_back({invariant, held, std::move(detail)});
+}
+
+void ScenarioContext::note(std::string line) {
+  if (evidence_.size() < kEvidenceCap) evidence_.push_back(std::move(line));
+}
+
+void ScenarioContext::record(const core::PipelineReport& report) {
+  gate_bypasses_ += static_cast<std::uint64_t>(report.failed_open_count());
+}
+
+std::uint64_t ScenarioContext::events(std::string_view prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& [topic, count] : topic_counts_) {
+    if (topic.size() >= prefix.size() &&
+        std::string_view(topic).substr(0, prefix.size()) == prefix) {
+      total += count;
+    }
+  }
+  return total;
+}
+
+ScenarioVerdict ScenarioContext::verdict(Outcome outcome, std::string error) const {
+  ScenarioVerdict v;
+  v.name = name_;
+  v.run_seed = run_seed_;
+  v.scenario_seed = seed_;
+  v.invariants = invariants_;
+  v.evidence = evidence_;
+  v.error = std::move(error);
+  v.gate_bypasses = gate_bypasses_;
+  v.events_captured = events_captured_;
+  v.sim_consumed = consumed_;
+  if (outcome == Outcome::kPass) {
+    bool all_held = !invariants_.empty();
+    for (const auto& inv : invariants_) all_held &= inv.held;
+    if (invariants_.empty()) {
+      v.error = "no invariants checked";
+      outcome = Outcome::kFail;
+    } else if (!all_held) {
+      outcome = Outcome::kFail;
+    }
+  }
+  v.outcome = outcome;
+  return v;
+}
+
+bool ScenarioDef::has_tag(std::string_view tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+std::string ScenarioDef::tag_value(std::string_view prefix) const {
+  for (const auto& tag : tags) {
+    if (tag.size() > prefix.size() &&
+        std::string_view(tag).substr(0, prefix.size()) == prefix) {
+      return tag.substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioDef def) {
+  if (def.name.empty()) {
+    throw std::invalid_argument("scenario name must not be empty");
+  }
+  if (find(def.name) != nullptr) {
+    throw std::invalid_argument("duplicate scenario name: " + def.name);
+  }
+  defs_.push_back(std::move(def));
+}
+
+const ScenarioDef* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& def : defs_) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioDef*> ScenarioRegistry::match(std::string_view filter) const {
+  std::vector<const ScenarioDef*> out;
+  for (const auto& def : defs_) {
+    bool hit = filter.empty() || def.name.find(filter) != std::string::npos;
+    if (!hit) {
+      for (const auto& tag : def.tags) {
+        if (tag.find(filter) != std::string::npos) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) out.push_back(&def);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioDef* a, const ScenarioDef* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(const char* name,
+                                     std::initializer_list<const char*> tags,
+                                     void (*body)(ScenarioContext&)) {
+  ScenarioDef def;
+  def.name = name;
+  for (const char* tag : tags) def.tags.emplace_back(tag);
+  def.fn = body;
+  ScenarioRegistry::global().add(std::move(def));
+}
+
+ScenarioRegistrar::ScenarioRegistrar(void (*family)(ScenarioRegistry&)) {
+  family(ScenarioRegistry::global());
+}
+
+}  // namespace genio::scenario

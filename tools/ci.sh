@@ -33,6 +33,9 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== admission-service overload bench smoke (shed/deadline invariants fail CI) =="
   "${repo_root}/build/bench/bench_admission_service" --smoke \
     --out "${repo_root}/build/BENCH_admission.json"
+  echo "== scenario fabric: full catalog + scorecard (any regression fails CI) =="
+  "${repo_root}/build/bench/scenario_runner" --all \
+    --out "${repo_root}/build/BENCH_scenarios.json"
 fi
 
 if [[ "${mode}" != "--plain-only" && "${mode}" != "--tsan-only" ]]; then
@@ -61,6 +64,10 @@ if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "${repo_root}/build-tsan/bench/bench_admission_service" --smoke \
     --out "${repo_root}/build-tsan/BENCH_admission.json"
+  echo "== scenario fabric smoke subset (TSan) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    "${repo_root}/build-tsan/bench/scenario_runner" --filter smoke \
+    --out "${repo_root}/build-tsan/BENCH_scenarios.json"
 fi
 
 echo "CI: all suites passed"
