@@ -38,6 +38,40 @@ inline std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
 }
 
+// Encryption T-tables: Te0[b] packs SubBytes + MixColumns for one input
+// byte — (2*S[b], S[b], S[b], 3*S[b]) big-endian — and Te1..Te3 are its
+// byte rotations, so one full round of a column is four lookups and four
+// XORs. Key-independent, built once per process.
+struct EncTables {
+  std::array<std::uint32_t, 256> te0{}, te1{}, te2{}, te3{};
+};
+
+const EncTables& enc_tables() {
+  static const EncTables kTables = [] {
+    EncTables t;
+    for (unsigned i = 0; i < 256; ++i) {
+      const std::uint8_t s = kSBox[i];
+      const std::uint8_t s2 = xtime(s);
+      const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                              (static_cast<std::uint32_t>(s) << 16) |
+                              (static_cast<std::uint32_t>(s) << 8) |
+                              static_cast<std::uint32_t>(s ^ s2);
+      t.te0[i] = w;
+      t.te1[i] = (w >> 8) | (w << 24);
+      t.te2[i] = (w >> 16) | (w << 16);
+      t.te3[i] = (w >> 24) | (w << 8);
+    }
+    return t;
+  }();
+  return kTables;
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
 }  // namespace
 
 Aes128::Aes128(const AesKey& key) {
@@ -61,6 +95,10 @@ Aes128::Aes128(const AesKey& key) {
   }
   for (int r = 0; r < 11; ++r) {
     std::memcpy(round_keys_[r].data(), &w[16 * r], 16);
+    for (int j = 0; j < 4; ++j) {
+      rk_words_[static_cast<std::size_t>(4 * r + j)] =
+          load_be32(round_keys_[r].data() + 4 * j);
+    }
   }
 }
 
@@ -118,6 +156,84 @@ void Aes128::ctr_xor_in_place(const AesBlock& iv, std::span<std::uint8_t> data) 
     for (int i = 15; i >= 12; --i) {
       if (++counter[static_cast<std::size_t>(i)] != 0) break;
     }
+  }
+}
+
+void Aes128::ctr_xor_wide(const AesBlock& iv, std::span<std::uint8_t> data) const {
+  constexpr std::size_t kWide = 4;        // blocks generated per pass
+  constexpr std::size_t kWideBytes = 16 * kWide;
+
+  const EncTables& T = enc_tables();
+  const std::uint32_t* rk = rk_words_.data();
+  // GCM-style counter block: 12 fixed prefix bytes plus a trailing 32-bit
+  // big-endian counter that wraps mod 2^32 (matching inc32 / the
+  // single-block path's increment).
+  const std::uint32_t c0 = load_be32(iv.data());
+  const std::uint32_t c1 = load_be32(iv.data() + 4);
+  const std::uint32_t c2 = load_be32(iv.data() + 8);
+  std::uint32_t ctr = load_be32(iv.data() + 12);
+
+  std::size_t offset = 0;
+  while (data.size() - offset >= kWideBytes) {
+    std::uint32_t a[4 * kWide];
+    std::uint32_t b[4 * kWide];
+    for (std::size_t blk = 0; blk < kWide; ++blk) {
+      a[4 * blk + 0] = c0 ^ rk[0];
+      a[4 * blk + 1] = c1 ^ rk[1];
+      a[4 * blk + 2] = c2 ^ rk[2];
+      a[4 * blk + 3] = (ctr + static_cast<std::uint32_t>(blk)) ^ rk[3];
+    }
+    std::uint32_t* cur = a;
+    std::uint32_t* nxt = b;
+    for (int round = 1; round < 10; ++round) {
+      const std::uint32_t* k = &rk[4 * round];
+      for (std::size_t blk = 0; blk < kWide; ++blk) {
+        const std::uint32_t* x = &cur[4 * blk];
+        std::uint32_t* y = &nxt[4 * blk];
+        y[0] = T.te0[x[0] >> 24] ^ T.te1[(x[1] >> 16) & 0xff] ^
+               T.te2[(x[2] >> 8) & 0xff] ^ T.te3[x[3] & 0xff] ^ k[0];
+        y[1] = T.te0[x[1] >> 24] ^ T.te1[(x[2] >> 16) & 0xff] ^
+               T.te2[(x[3] >> 8) & 0xff] ^ T.te3[x[0] & 0xff] ^ k[1];
+        y[2] = T.te0[x[2] >> 24] ^ T.te1[(x[3] >> 16) & 0xff] ^
+               T.te2[(x[0] >> 8) & 0xff] ^ T.te3[x[1] & 0xff] ^ k[2];
+        y[3] = T.te0[x[3] >> 24] ^ T.te1[(x[0] >> 16) & 0xff] ^
+               T.te2[(x[1] >> 8) & 0xff] ^ T.te3[x[2] & 0xff] ^ k[3];
+      }
+      std::uint32_t* tmp = cur;
+      cur = nxt;
+      nxt = tmp;
+    }
+    // Final round (SubBytes + ShiftRows, no MixColumns), XORed straight
+    // into the data as keystream.
+    const std::uint32_t* k = &rk[40];
+    std::uint8_t* out = data.data() + offset;
+    for (std::size_t blk = 0; blk < kWide; ++blk) {
+      const std::uint32_t* x = &cur[4 * blk];
+      for (std::size_t j = 0; j < 4; ++j) {
+        const std::uint32_t w =
+            ((static_cast<std::uint32_t>(kSBox[x[j] >> 24]) << 24) |
+             (static_cast<std::uint32_t>(kSBox[(x[(j + 1) & 3] >> 16) & 0xff]) << 16) |
+             (static_cast<std::uint32_t>(kSBox[(x[(j + 2) & 3] >> 8) & 0xff]) << 8) |
+             static_cast<std::uint32_t>(kSBox[x[(j + 3) & 3] & 0xff])) ^
+            k[j];
+        std::uint8_t* p = out + 16 * blk + 4 * j;
+        p[0] ^= static_cast<std::uint8_t>(w >> 24);
+        p[1] ^= static_cast<std::uint8_t>(w >> 16);
+        p[2] ^= static_cast<std::uint8_t>(w >> 8);
+        p[3] ^= static_cast<std::uint8_t>(w);
+      }
+    }
+    ctr += static_cast<std::uint32_t>(kWide);
+    offset += kWideBytes;
+  }
+
+  if (offset < data.size()) {
+    AesBlock tail_iv = iv;
+    for (int i = 0; i < 4; ++i) {
+      tail_iv[static_cast<std::size_t>(12 + i)] =
+          static_cast<std::uint8_t>(ctr >> (24 - 8 * i));
+    }
+    ctr_xor_in_place(tail_iv, data.subspan(offset));
   }
 }
 

@@ -38,8 +38,19 @@ class Aes128 {
   /// schedule — no allocation, no copies.
   void ctr_xor_in_place(const AesBlock& iv, std::span<std::uint8_t> data) const;
 
+  /// Wide AES-CTR: generates 4 keystream blocks per pass with the rounds of
+  /// all four blocks interleaved over T-tables and the round-key-major u32
+  /// schedule, so the four column chains fill the pipeline instead of
+  /// serializing. Tails shorter than 64 bytes fall back to the single-block
+  /// path, continuing from the incremented counter — output is byte-for-byte
+  /// identical to ctr_xor_in_place for every length.
+  void ctr_xor_wide(const AesBlock& iv, std::span<std::uint8_t> data) const;
+
  private:
   std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
+  // Round-key-major layout: rk_words_[4*r + j] is column j of round key r as
+  // a big-endian u32 — the shape the wide T-table rounds consume directly.
+  std::array<std::uint32_t, 44> rk_words_{};
 };
 
 /// AES-128-CTR keystream XOR: encryption and decryption are the same

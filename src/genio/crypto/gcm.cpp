@@ -67,41 +67,6 @@ AesBlock inc32(AesBlock block) {
   return block;
 }
 
-GcmTag compute_tag_bitwise(const Aes128& cipher, const AesBlock& h, const AesBlock& j0,
-                           BytesView aad, BytesView ciphertext) {
-  AesBlock y{};
-  ghash_update(y, h, aad);
-  ghash_update(y, h, ciphertext);
-  AesBlock lens = length_block(aad.size() * 8, ciphertext.size() * 8);
-  for (int i = 0; i < 16; ++i) {
-    y[static_cast<std::size_t>(i)] ^= lens[static_cast<std::size_t>(i)];
-  }
-  y = gf_mult(y, h);
-
-  const AesBlock ek_j0 = cipher.encrypt_block(j0);
-  GcmTag tag;
-  for (int i = 0; i < 16; ++i) {
-    tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
-        y[static_cast<std::size_t>(i)] ^ ek_j0[static_cast<std::size_t>(i)]);
-  }
-  return tag;
-}
-
-Bytes gctr(const Aes128& cipher, AesBlock counter, BytesView data) {
-  Bytes out(data.begin(), data.end());
-  std::size_t offset = 0;
-  while (offset < out.size()) {
-    const AesBlock keystream = cipher.encrypt_block(counter);
-    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) {
-      out[offset + i] ^= keystream[i];
-    }
-    counter = inc32(counter);
-    offset += n;
-  }
-  return out;
-}
-
 std::uint64_t load_be64(const std::uint8_t* p) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
@@ -144,54 +109,17 @@ const std::array<std::uint16_t, 256>& byte_reduction_table() {
   return kTable;
 }
 
-}  // namespace
-
-AesBlock ghash(const AesBlock& h, BytesView data) {
-  AesBlock y{};
-  ghash_update(y, h, data);
-  return y;
-}
-
-GcmSealed gcm_seal(const AesKey& key, const GcmNonce& nonce, BytesView plaintext,
-                   BytesView aad) {
-  const Aes128 cipher(key);
-  const AesBlock h = cipher.encrypt_block(AesBlock{});
-  const AesBlock j0 = j0_from_nonce(nonce);
-
-  GcmSealed sealed;
-  sealed.ciphertext = gctr(cipher, inc32(j0), plaintext);
-  sealed.tag = compute_tag_bitwise(cipher, h, j0, aad, sealed.ciphertext);
-  return sealed;
-}
-
-Result<Bytes> gcm_open(const AesKey& key, const GcmNonce& nonce, BytesView ciphertext,
-                       const GcmTag& tag, BytesView aad) {
-  const Aes128 cipher(key);
-  const AesBlock h = cipher.encrypt_block(AesBlock{});
-  const AesBlock j0 = j0_from_nonce(nonce);
-
-  const GcmTag expected = compute_tag_bitwise(cipher, h, j0, aad, ciphertext);
-  if (!common::constant_time_equal(BytesView(expected.data(), expected.size()),
-                                   BytesView(tag.data(), tag.size()))) {
-    return common::decryption_failed("GCM tag mismatch");
-  }
-  return gctr(cipher, inc32(j0), ciphertext);
-}
-
-// ----------------------------------------------------------- GcmContext
-
-GcmContext::GcmContext(const AesKey& key) : cipher_(key) {
-  h_ = cipher_.encrypt_block(AesBlock{});
-
-  // Shoup table: entry B is the field product B*H, where byte value B
-  // encodes the degree-<8 polynomial occupying bit positions x^0..x^7
-  // (GCM's reflected bit order: x^0 is the MSB of byte 0). Single-bit
-  // bytes come from repeated doubling of H (0x80 encodes x^0, so
-  // T[0x80] = H and T[0x80 >> j] = H * x^j); every other entry is the
-  // XOR of its lowest set bit's entry and the rest — 8 shifts + 248
-  // two-word XORs total, cheap enough to run on every rekey.
+// Shoup table for one hash-subkey power: entry B is the field product B*Hp,
+// where byte value B encodes the degree-<8 polynomial occupying bit
+// positions x^0..x^7 (GCM's reflected bit order: x^0 is the MSB of byte 0).
+// Single-bit bytes come from repeated doubling of Hp (0x80 encodes x^0, so
+// T[0x80] = Hp and T[0x80 >> j] = Hp * x^j); every other entry is the XOR
+// of its lowest set bit's entry and the rest — 8 shifts + 248 two-word
+// XORs per power.
+void build_shoup_table(const AesBlock& hp, std::array<std::uint64_t, 256>& hi,
+                       std::array<std::uint64_t, 256>& lo) {
   std::array<AesBlock, 256> t{};
-  t[0x80] = h_;
+  t[0x80] = hp;
   for (int j = 1; j < 8; ++j) {
     t[static_cast<std::size_t>(0x80 >> j)] = mul_x(t[static_cast<std::size_t>(0x80 >> (j - 1))]);
   }
@@ -205,56 +133,114 @@ GcmContext::GcmContext(const AesKey& key) : cipher_(key) {
     }
   }
   for (unsigned b = 0; b < 256; ++b) {
-    table_hi_[b] = load_be64(t[b].data());
-    table_lo_[b] = load_be64(t[b].data() + 8);
+    hi[b] = load_be64(t[b].data());
+    lo[b] = load_be64(t[b].data() + 8);
+  }
+}
+
+// One Shoup multiply of a 16-byte block against a precomputed power table,
+// XOR-accumulated into (zh, zl). Horner over the 16 bytes: each step is a
+// byte-shift (with table-driven reduction) plus one lookup.
+inline void shoup_mult_acc(const std::array<std::uint64_t, 256>& hi,
+                           const std::array<std::uint64_t, 256>& lo,
+                           const std::uint8_t* x, std::uint64_t& zh,
+                           std::uint64_t& zl) {
+  const auto& reduce = byte_reduction_table();
+  std::uint64_t ah = 0;
+  std::uint64_t al = 0;
+  for (int k = 15; k >= 0; --k) {
+    const std::uint8_t overflow = static_cast<std::uint8_t>(al & 0xff);
+    al = (al >> 8) | (ah << 56);
+    ah = (ah >> 8) ^ (static_cast<std::uint64_t>(reduce[overflow]) << 48);
+    ah ^= hi[x[k]];
+    al ^= lo[x[k]];
+  }
+  zh ^= ah;
+  zl ^= al;
+}
+
+}  // namespace
+
+AesBlock ghash(const AesBlock& h, BytesView data) {
+  AesBlock y{};
+  ghash_update(y, h, data);
+  return y;
+}
+
+GcmSealed gcm_seal(const AesKey& key, const GcmNonce& nonce, BytesView plaintext,
+                   BytesView aad) {
+  const GcmContext ctx(key);
+  return ctx.seal(nonce, plaintext, aad);
+}
+
+Result<Bytes> gcm_open(const AesKey& key, const GcmNonce& nonce, BytesView ciphertext,
+                       const GcmTag& tag, BytesView aad) {
+  const GcmContext ctx(key);
+  return ctx.open(nonce, ciphertext, tag, aad);
+}
+
+// ----------------------------------------------------------- GcmContext
+
+GcmContext::GcmContext(const AesKey& key) : cipher_(key) {
+  h_pows_[0] = cipher_.encrypt_block(AesBlock{});
+  build_shoup_table(h_pows_[0], pow_hi_[0], pow_lo_[0]);
+  // Higher powers chain through the H^1 table: H^p = H^(p-1) * H.
+  for (std::size_t p = 1; p < 4; ++p) {
+    h_pows_[p] = mult_h(h_pows_[p - 1]);
+    build_shoup_table(h_pows_[p], pow_hi_[p], pow_lo_[p]);
   }
 }
 
 AesBlock GcmContext::mult_h(const AesBlock& x) const {
-  // Horner over the 16 bytes of x: z = ((T[x15]*x^8 + T[x14])*x^8 + ...),
-  // each step one byte-shift (with table-driven reduction) + one lookup.
-  const auto& reduce = byte_reduction_table();
   std::uint64_t zh = 0;
   std::uint64_t zl = 0;
-  for (int k = 15; k >= 0; --k) {
-    const std::uint8_t overflow = static_cast<std::uint8_t>(zl & 0xff);
-    zl = (zl >> 8) | (zh << 56);
-    zh = (zh >> 8) ^ (static_cast<std::uint64_t>(reduce[overflow]) << 48);
-    zh ^= table_hi_[x[static_cast<std::size_t>(k)]];
-    zl ^= table_lo_[x[static_cast<std::size_t>(k)]];
-  }
+  shoup_mult_acc(pow_hi_[0], pow_lo_[0], x.data(), zh, zl);
   AesBlock z;
   store_be64(z.data(), zh);
   store_be64(z.data() + 8, zl);
   return z;
 }
 
-AesBlock GcmContext::ghash(BytesView data) const {
-  AesBlock y{};
+void GcmContext::ghash_fold(AesBlock& y, BytesView data) const {
   std::size_t offset = 0;
+  // Aggregated fold, four blocks per reduction:
+  //   y' = (y ^ B0)*H^4 ^ B1*H^3 ^ B2*H^2 ^ B3*H
+  // — algebraically identical to four serial Horner steps, but the four
+  // multiplies are independent and fill the pipeline.
+  while (data.size() - offset >= 64) {
+    const std::uint8_t* p = data.data() + offset;
+    std::uint8_t b0[16];
+    for (int i = 0; i < 16; ++i) b0[i] = static_cast<std::uint8_t>(y[static_cast<std::size_t>(i)] ^ p[i]);
+    std::uint64_t zh = 0;
+    std::uint64_t zl = 0;
+    shoup_mult_acc(pow_hi_[3], pow_lo_[3], b0, zh, zl);
+    shoup_mult_acc(pow_hi_[2], pow_lo_[2], p + 16, zh, zl);
+    shoup_mult_acc(pow_hi_[1], pow_lo_[1], p + 32, zh, zl);
+    shoup_mult_acc(pow_hi_[0], pow_lo_[0], p + 48, zh, zl);
+    store_be64(y.data(), zh);
+    store_be64(y.data() + 8, zl);
+    offset += 64;
+  }
+  // Serial tail (full blocks plus one zero-padded partial).
   while (offset < data.size()) {
     const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
     for (std::size_t i = 0; i < n; ++i) y[i] ^= data[offset + i];
     y = mult_h(y);
     offset += n;
   }
+}
+
+AesBlock GcmContext::ghash(BytesView data) const {
+  AesBlock y{};
+  ghash_fold(y, data);
   return y;
 }
 
 GcmTag GcmContext::compute_tag(const AesBlock& j0, BytesView aad,
                                BytesView ciphertext) const {
   AesBlock y{};
-  const auto fold = [&](BytesView data) {
-    std::size_t offset = 0;
-    while (offset < data.size()) {
-      const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
-      for (std::size_t i = 0; i < n; ++i) y[i] ^= data[offset + i];
-      y = mult_h(y);
-      offset += n;
-    }
-  };
-  fold(aad);
-  fold(ciphertext);
+  ghash_fold(y, aad);
+  ghash_fold(y, ciphertext);
   const AesBlock lens = length_block(aad.size() * 8, ciphertext.size() * 8);
   for (int i = 0; i < 16; ++i) {
     y[static_cast<std::size_t>(i)] ^= lens[static_cast<std::size_t>(i)];
@@ -273,7 +259,7 @@ GcmTag GcmContext::compute_tag(const AesBlock& j0, BytesView aad,
 GcmTag GcmContext::seal_in_place(const GcmNonce& nonce, std::span<std::uint8_t> data,
                                  BytesView aad) const {
   const AesBlock j0 = j0_from_nonce(nonce);
-  cipher_.ctr_xor_in_place(inc32(j0), data);
+  cipher_.ctr_xor_wide(inc32(j0), data);
   return compute_tag(j0, aad, BytesView(data.data(), data.size()));
 }
 
@@ -285,7 +271,7 @@ Status GcmContext::open_in_place(const GcmNonce& nonce, std::span<std::uint8_t> 
                                    BytesView(tag.data(), tag.size()))) {
     return common::decryption_failed("GCM tag mismatch");
   }
-  cipher_.ctr_xor_in_place(inc32(j0), data);
+  cipher_.ctr_xor_wide(inc32(j0), data);
   return Status::success();
 }
 
@@ -303,6 +289,21 @@ Result<Bytes> GcmContext::open(const GcmNonce& nonce, BytesView ciphertext,
   auto status = open_in_place(nonce, out, tag, aad);
   if (!status.ok()) return status.error();
   return out;
+}
+
+void GcmContext::seal_burst(std::span<GcmBurstFrame> frames) const {
+  for (auto& frame : frames) {
+    frame.tag = seal_in_place(frame.nonce, frame.data, frame.aad);
+  }
+}
+
+std::vector<Status> GcmContext::open_burst(std::span<GcmBurstFrame> frames) const {
+  std::vector<Status> statuses;
+  statuses.reserve(frames.size());
+  for (auto& frame : frames) {
+    statuses.push_back(open_in_place(frame.nonce, frame.data, frame.tag, frame.aad));
+  }
+  return statuses;
 }
 
 }  // namespace genio::crypto

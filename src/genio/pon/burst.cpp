@@ -1,0 +1,72 @@
+#include "genio/pon/burst.hpp"
+
+#include <tuple>
+
+#include "genio/crypto/crc32.hpp"
+
+namespace genio::pon {
+
+namespace {
+
+template <typename Fn>
+std::vector<LinkBurstResult> run_sharded(common::ThreadPool* pool,
+                                         std::span<const LinkBurst> links,
+                                         const Fn& per_link) {
+  std::vector<LinkBurstResult> results(links.size());
+  const auto one = [&](std::size_t i) {
+    const LinkBurst& link = links[i];
+    LinkBurstResult& out = results[i];
+    if (link.frames == nullptr) return;
+    out.frames = link.frames->size();
+    for (const GemFrame& frame : *link.frames) out.payload_bytes += frame.payload.size();
+    per_link(link, out);
+  };
+  if (pool != nullptr && pool->size() > 1 && links.size() > 1) {
+    pool->parallel_for(links.size(), one);
+  } else {
+    for (std::size_t i = 0; i < links.size(); ++i) one(i);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<LinkBurstResult> seal_link_bursts(common::ThreadPool* pool,
+                                              std::span<const LinkBurst> links) {
+  return run_sharded(pool, links, [](const LinkBurst& link, LinkBurstResult&) {
+    if (link.cipher != nullptr) {
+      link.cipher->seal_burst(*link.frames);
+    } else {
+      for (GemFrame& frame : *link.frames) frame.seal_fcs();
+    }
+  });
+}
+
+std::vector<LinkBurstResult> open_link_bursts(common::ThreadPool* pool,
+                                              std::span<const LinkBurst> links) {
+  return run_sharded(pool, links, [](const LinkBurst& link, LinkBurstResult& out) {
+    if (link.cipher != nullptr) {
+      out.statuses = link.cipher->open_burst(*link.frames);
+    } else {
+      out.statuses.assign(link.frames->size(), common::Status::success());
+    }
+  });
+}
+
+std::uint32_t burst_fcs(std::span<const GemFrame> frames) {
+  constexpr std::uint64_t kHeaderBytes = std::tuple_size_v<GemHeader>;
+  std::uint32_t combined = 0;
+  bool first = true;
+  for (const GemFrame& frame : frames) {
+    if (first) {
+      combined = frame.fcs;
+      first = false;
+    } else {
+      combined = crypto::crc32_combine(combined, frame.fcs,
+                                       kHeaderBytes + frame.payload.size());
+    }
+  }
+  return combined;
+}
+
+}  // namespace genio::pon

@@ -1,0 +1,45 @@
+// Per-link sharding of burst crypto onto the work-stealing pool. Each
+// link's allocation is one leaf task — links hold independent key contexts,
+// so the crypto parallelizes with no shared mutable state — and results
+// come back in link order, byte-identical to a serial loop (the PR 4
+// speculate-then-merge pattern applied to the data plane).
+#pragma once
+
+#include <vector>
+
+#include "genio/common/thread_pool.hpp"
+#include "genio/pon/gpon_crypto.hpp"
+
+namespace genio::pon {
+
+/// One link's share of a multi-link burst: the cipher (nullptr = FCS-only
+/// link) and the frames to seal/open in place.
+struct LinkBurst {
+  const GponCipher* cipher = nullptr;
+  std::vector<GemFrame>* frames = nullptr;
+};
+
+/// Per-link outcome of a sharded burst.
+struct LinkBurstResult {
+  std::size_t frames = 0;
+  std::size_t payload_bytes = 0;
+  std::vector<common::Status> statuses;  // open only; empty for seal
+};
+
+/// Seal every link's burst, one leaf task per link on `pool` (nullptr or a
+/// single-slot pool runs inline). Results are indexed by link, independent
+/// of execution order.
+std::vector<LinkBurstResult> seal_link_bursts(common::ThreadPool* pool,
+                                              std::span<const LinkBurst> links);
+
+/// Open every link's burst the same way; per-frame statuses land in link
+/// order exactly as a serial loop would produce them.
+std::vector<LinkBurstResult> open_link_bursts(common::ThreadPool* pool,
+                                              std::span<const LinkBurst> links);
+
+/// Burst-level FCS: combines the frames' own CRC-32 FCS values with
+/// crc32_combine instead of rescanning any frame bytes. Equals the
+/// streaming CRC over the concatenated header||payload spans of the burst.
+std::uint32_t burst_fcs(std::span<const GemFrame> frames);
+
+}  // namespace genio::pon

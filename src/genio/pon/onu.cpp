@@ -183,8 +183,12 @@ void Onu::send_data(std::uint16_t port, Bytes payload) {
 }
 
 std::size_t Onu::drain_upstream(std::size_t max_frames) {
-  std::size_t sent = 0;
-  while (sent < max_frames && !upstream_queue_.empty()) {
+  // The DBA grant is the batch boundary: assemble the whole allocation,
+  // seal it as one burst through the shared cipher context, and ship it up
+  // the ODN as a unit. Superframe numbering and wire bytes are identical
+  // to the old frame-by-frame drain.
+  std::vector<GemFrame> burst;
+  while (burst.size() < max_frames && !upstream_queue_.empty()) {
     if (state_ != OnuState::kOperational) break;
     auto& next = upstream_queue_.front();
     GemFrame frame;
@@ -193,16 +197,17 @@ std::size_t Onu::drain_upstream(std::size_t max_frames) {
     frame.superframe = ++tx_superframe_;
     frame.payload = std::move(next.payload);
     upstream_queue_.pop_front();
-    if (cipher_.has_value()) {
-      cipher_->encrypt(frame);
-    } else {
-      frame.seal_fcs();
-    }
-    odn_->upstream(frame);
-    ++stats_.data_frames_sent;
-    ++sent;
+    burst.push_back(std::move(frame));
   }
-  return sent;
+  if (burst.empty()) return 0;
+  if (cipher_.has_value()) {
+    cipher_->seal_burst(burst);
+  } else {
+    for (GemFrame& frame : burst) frame.seal_fcs();
+  }
+  odn_->upstream_burst(burst);
+  stats_.data_frames_sent += burst.size();
+  return burst.size();
 }
 
 }  // namespace genio::pon

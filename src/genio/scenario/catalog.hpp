@@ -11,12 +11,14 @@ void anchor_catalog_attacks();
 void anchor_catalog_chaos();
 void anchor_catalog_recovery();
 void anchor_catalog_admission();
+void anchor_catalog_dataplane();
 
 inline void register_builtin_catalog() {
   anchor_catalog_attacks();
   anchor_catalog_chaos();
   anchor_catalog_recovery();
   anchor_catalog_admission();
+  anchor_catalog_dataplane();
 }
 
 }  // namespace genio::scenario

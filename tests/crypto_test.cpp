@@ -611,3 +611,204 @@ TEST(Pki, EmptyChainRejected) {
   cr::TrustStore store;
   EXPECT_FALSE(store.verify_chain({}, gc::SimTime{}, cr::KeyUsage::kNodeAuth).ok());
 }
+
+// ------------------------------------------------- data-plane round 2
+
+TEST(Aes128, CtrWideMatchesSingleBlockEveryLength) {
+  // 1..9-block messages plus every tail length 0..15 around each block
+  // boundary: the wide 4-block path and the single-block path must agree
+  // byte for byte, including the fallback hand-off mid-buffer.
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const cr::Aes128 cipher(key);
+  gc::Rng rng(7001);
+  cr::AesBlock iv{};
+  for (std::size_t i = 0; i < iv.size(); ++i) iv[i] = static_cast<std::uint8_t>(rng.index(256));
+  for (std::size_t len = 0; len <= 9 * 16 + 15; ++len) {
+    const gc::Bytes data = rng.bytes(len);
+    gc::Bytes wide = data;
+    gc::Bytes narrow = data;
+    cipher.ctr_xor_wide(iv, wide);
+    cipher.ctr_xor_in_place(iv, narrow);
+    ASSERT_EQ(wide, narrow) << "len=" << len;
+  }
+}
+
+TEST(Aes128, CtrWideHandlesCounterWrap) {
+  // The trailing 32-bit counter wraps mod 2^32 (GCM inc32 semantics); start
+  // just below the wrap so wide groups straddle it.
+  const auto key = cr::make_aes_key(gc::Bytes(16, 0x3c));
+  const cr::Aes128 cipher(key);
+  cr::AesBlock iv{};
+  iv[12] = iv[13] = iv[14] = 0xff;
+  iv[15] = 0xfe;  // counter = 0xfffffffe: wraps inside the first wide group
+  gc::Rng rng(7002);
+  const gc::Bytes data = rng.bytes(11 * 16 + 5);
+  gc::Bytes wide = data;
+  gc::Bytes narrow = data;
+  cipher.ctr_xor_wide(iv, wide);
+  cipher.ctr_xor_in_place(iv, narrow);
+  EXPECT_EQ(wide, narrow);
+}
+
+TEST(GcmContext, HPowerTablesMatchBitwiseSquaring) {
+  const auto key = cr::make_aes_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  const cr::GcmContext ctx(key);
+  // H^(p+1) must equal GHASH_H of a single block holding H^p (one bitwise
+  // multiply by H), pinning the aggregation tables to the oracle.
+  for (int p = 1; p < 4; ++p) {
+    const cr::AesBlock& hp = ctx.h_pow(p);
+    const cr::AesBlock expect =
+        cr::ghash(ctx.h(), gc::BytesView(hp.data(), hp.size()));
+    EXPECT_EQ(ctx.h_pow(p + 1), expect) << "power=" << p + 1;
+  }
+}
+
+TEST(GcmContext, AggregatedGhashMatchesBitwiseEveryLength) {
+  // Lengths sweeping through 0..4+ aggregated groups and every partial
+  // tail, so both the 4-block fold and the serial remainder are pinned.
+  const auto key = cr::make_aes_key(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const cr::GcmContext ctx(key);
+  gc::Rng rng(7003);
+  for (std::size_t len = 0; len <= 300; ++len) {
+    const gc::Bytes data = rng.bytes(len);
+    ASSERT_EQ(ctx.ghash(data), cr::ghash(ctx.h(), data)) << "len=" << len;
+  }
+}
+
+TEST(GcmContext, SealMatchesBitwiseReferenceAcrossBlockCounts) {
+  // Full seal (wide CTR + aggregated GHASH) against a tag assembled purely
+  // from the bitwise oracle primitives, for 1..9 block messages, tail
+  // lengths 0..15, and an AAD-only message.
+  const auto key = cr::make_aes_key(from_hex("feffe9928665731c6d6a8f9467308308"));
+  const cr::GcmContext ctx(key);
+  const cr::Aes128 raw(key);
+  gc::Rng rng(7004);
+  const gc::Bytes aad = rng.bytes(23);
+
+  const auto ref_tag = [&](gc::BytesView a, gc::BytesView ct) {
+    gc::Bytes ghash_in;
+    ghash_in.insert(ghash_in.end(), a.begin(), a.end());
+    ghash_in.resize((ghash_in.size() + 15) / 16 * 16, 0);
+    ghash_in.insert(ghash_in.end(), ct.begin(), ct.end());
+    ghash_in.resize((ghash_in.size() + 15) / 16 * 16, 0);
+    for (int i = 0; i < 8; ++i) {
+      ghash_in.push_back(static_cast<std::uint8_t>((a.size() * 8) >> (56 - 8 * i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      ghash_in.push_back(static_cast<std::uint8_t>((ct.size() * 8) >> (56 - 8 * i)));
+    }
+    const cr::AesBlock y = cr::ghash(ctx.h(), ghash_in);
+    cr::AesBlock j0{};
+    j0[15] = 1;
+    const cr::AesBlock ek = raw.encrypt_block(j0);
+    cr::GcmTag tag;
+    for (int i = 0; i < 16; ++i) tag[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(y[static_cast<std::size_t>(i)] ^ ek[static_cast<std::size_t>(i)]);
+    return tag;
+  };
+
+  std::vector<std::size_t> lengths = {0};  // AAD-only
+  for (std::size_t blocks = 1; blocks <= 9; ++blocks) {
+    for (std::size_t tail = 0; tail <= 15; ++tail) {
+      lengths.push_back((blocks - 1) * 16 + tail);
+    }
+    lengths.push_back(blocks * 16);
+  }
+  for (const std::size_t len : lengths) {
+    const gc::Bytes pt = rng.bytes(len);
+    const cr::GcmNonce nonce{};  // j0 = 0^12 || 1, matching ref_tag
+    const auto sealed = ctx.seal(nonce, pt, aad);
+    // Ciphertext from the single-block reference CTR path.
+    gc::Bytes expect_ct = pt;
+    cr::AesBlock ctr{};
+    ctr[15] = 2;  // inc32(j0)
+    raw.ctr_xor_in_place(ctr, expect_ct);
+    ASSERT_EQ(sealed.ciphertext, expect_ct) << "len=" << len;
+    ASSERT_EQ(sealed.tag, ref_tag(aad, sealed.ciphertext)) << "len=" << len;
+  }
+}
+
+TEST(GcmContext, BurstSealOpenMatchesPerFrame) {
+  const auto key = cr::make_aes_key(gc::Bytes(16, 0x42));
+  const cr::GcmContext ctx(key);
+  gc::Rng rng(7005);
+  constexpr std::size_t kFrames = 6;
+  std::vector<gc::Bytes> burst_bufs(kFrames);
+  std::vector<gc::Bytes> single_bufs(kFrames);
+  std::vector<gc::Bytes> originals(kFrames);
+  std::vector<gc::Bytes> aads(kFrames);
+  std::vector<cr::GcmBurstFrame> frames(kFrames);
+  std::vector<cr::GcmNonce> nonces(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    originals[i] = rng.bytes(40 + 37 * i);
+    aads[i] = rng.bytes(9);
+    burst_bufs[i] = originals[i];
+    single_bufs[i] = originals[i];
+    nonces[i] = cr::GcmNonce{};
+    nonces[i][0] = static_cast<std::uint8_t>(i + 1);
+    frames[i].nonce = nonces[i];
+    frames[i].data = burst_bufs[i];
+    frames[i].aad = aads[i];
+  }
+  ctx.seal_burst(frames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto tag = ctx.seal_in_place(nonces[i], single_bufs[i], aads[i]);
+    EXPECT_EQ(burst_bufs[i], single_bufs[i]) << "frame " << i;
+    EXPECT_EQ(frames[i].tag, tag) << "frame " << i;
+  }
+  // Tamper exactly one frame; open_burst must fail it and only it.
+  burst_bufs[3][5] ^= 0x10;
+  const auto statuses = ctx.open_burst(frames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(statuses[i].ok());
+    } else {
+      ASSERT_TRUE(statuses[i].ok()) << "frame " << i;
+      EXPECT_EQ(burst_bufs[i], originals[i]) << "frame " << i;
+    }
+  }
+}
+
+TEST(Crc32, CombineMatchesOneShotOnRandomSplits) {
+  gc::Rng rng(7006);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t len_a = rng.index(200);
+    const std::size_t len_b = rng.index(200);
+    const gc::Bytes a = rng.bytes(len_a);
+    const gc::Bytes b = rng.bytes(len_b);
+    gc::Bytes joined = a;
+    joined.insert(joined.end(), b.begin(), b.end());
+    ASSERT_EQ(cr::crc32_combine(cr::crc32(a), cr::crc32(b), b.size()),
+              cr::crc32(joined))
+        << "len_a=" << len_a << " len_b=" << len_b;
+  }
+}
+
+TEST(Crc32, CombineMatchesStreamingUpdate) {
+  // Property from the satellite spec: combining per-chunk CRCs equals the
+  // streaming crc32_update fold over the same split points.
+  gc::Rng rng(7007);
+  const gc::Bytes data = rng.bytes(1024);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t s1 = rng.index(data.size() + 1);
+    const std::size_t s2 = s1 + rng.index(data.size() - s1 + 1);
+    const gc::BytesView a(data.data(), s1);
+    const gc::BytesView b(data.data() + s1, s2 - s1);
+    const gc::BytesView c(data.data() + s2, data.size() - s2);
+    std::uint32_t state = cr::crc32_init();
+    state = cr::crc32_update(state, a);
+    state = cr::crc32_update(state, b);
+    state = cr::crc32_update(state, c);
+    const std::uint32_t streamed = cr::crc32_final(state);
+    std::uint32_t combined = cr::crc32_combine(cr::crc32(a), cr::crc32(b), b.size());
+    combined = cr::crc32_combine(combined, cr::crc32(c), c.size());
+    ASSERT_EQ(combined, streamed) << "s1=" << s1 << " s2=" << s2;
+  }
+}
+
+TEST(Crc32, CombineEmptyPieces) {
+  const gc::Bytes data = gc::to_bytes("123456789");
+  EXPECT_EQ(cr::crc32_combine(cr::crc32(data), cr::crc32({}), 0), cr::crc32(data));
+  EXPECT_EQ(cr::crc32_combine(cr::crc32({}), cr::crc32(data), data.size()),
+            cr::crc32(data));
+}

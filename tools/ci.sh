@@ -27,8 +27,9 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== pipeline-throughput bench smoke (serial/parallel divergence fails CI) =="
   "${repo_root}/build/bench/bench_pipeline_throughput" --smoke \
     --out "${repo_root}/build/BENCH_pipeline.json"
-  echo "== data-plane crypto bench smoke (fast/reference divergence fails CI) =="
+  echo "== data-plane crypto bench smoke (fast/reference divergence or a >20% regression vs the committed baseline fails CI) =="
   "${repo_root}/build/bench/bench_dataplane" --smoke \
+    --baseline "${repo_root}/BENCH_dataplane.json" \
     --out "${repo_root}/build/BENCH_dataplane.json"
   echo "== admission-service overload bench smoke (shed/deadline invariants fail CI) =="
   "${repo_root}/build/bench/bench_admission_service" --smoke \
