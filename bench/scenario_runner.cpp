@@ -33,7 +33,7 @@ namespace gr = genio::resilience;
 
 namespace {
 
-constexpr std::size_t kCatalogFloor = 100;
+constexpr std::size_t kCatalogFloor = 119;
 
 const gr::FaultKind kAllFaultKinds[] = {
     gr::FaultKind::kPonLinkFlap,    gr::FaultKind::kPonBitErrorBurst,

@@ -1,0 +1,152 @@
+// Discrete-event core. Everything time-driven in the platform — the chaos
+// fault timeline, supervisor reconcile ticks, TDMA/DBA upstream cycles,
+// per-subscriber traffic generators — schedules callbacks here, and
+// advance_time() becomes "drain events until T" instead of fixed-step
+// polling. Two interchangeable scheduler implementations share one
+// interface and must produce byte-identical execution orders:
+//
+//   kCalendar  a calendar queue (Brown 1988): power-of-two bucket array
+//              indexed by (time >> width_shift), an overflow min-heap for
+//              events beyond the current "year", and O(1) amortized
+//              insert/pop once the adaptive bucket width settles near one
+//              event per bucket. The structure rebuilds (grow, shrink, or
+//              re-span) when occupancy drifts, so clustered horizons
+//              (10k arrivals inside one 125 us DBA cycle) stay O(1).
+//   kHeap      a plain binary heap on (time, seq) — the correctness
+//              oracle. Tests and bench_des assert the two pop identical
+//              schedules for identical workloads.
+//
+// Determinism: same-timestamp events run in schedule order (FIFO via a
+// monotonic sequence number). Cancellation is O(1) lazy: the token's seq
+// leaves the pending set and the record is swept when next touched.
+// Single-threaded by design — one queue per simulation domain; shard
+// domains across the pool for parallel fabrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "genio/common/sim_clock.hpp"
+
+namespace genio::common {
+
+enum class SchedulerImpl {
+  kCalendar,  // calendar queue (default fast path)
+  kHeap,      // binary-heap oracle
+};
+
+std::string to_string(SchedulerImpl impl);
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Cancellation token. Default-constructed tokens are invalid.
+  struct EventId {
+    std::uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rebuilds = 0;            // calendar resize/re-span events
+    std::uint64_t overflow_migrations = 0; // events promoted overflow -> year
+    std::uint64_t max_pending = 0;
+  };
+
+  explicit EventQueue(SimClock* clock, SchedulerImpl impl = SchedulerImpl::kCalendar);
+
+  SchedulerImpl impl() const { return impl_; }
+  SimClock& clock() { return *clock_; }
+  const SimClock& clock() const { return *clock_; }
+
+  /// Schedule `fn` at absolute time `at`; times in the past clamp to now
+  /// (the clock never moves backwards). Returns a cancellation token.
+  EventId schedule_at(SimTime at, Callback fn);
+  /// Schedule `fn` at now + delay (negative delays clamp to now).
+  EventId schedule_after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event. Returns true iff the event was still pending
+  /// (not yet executed, not already cancelled).
+  bool cancel(EventId id);
+
+  /// Drain every event with time <= t in (time, seq) order, advancing the
+  /// clock to each event before its callback runs, then settle the clock
+  /// at t. Callbacks may schedule (including zero-delay self-reschedules,
+  /// which run within this drain) and cancel; they must not re-enter
+  /// run_until. Returns the number of callbacks executed.
+  std::size_t run_until(SimTime t);
+  /// run_until(now + dt).
+  std::size_t run_for(SimTime dt) { return run_until(clock_->now() + dt); }
+
+  /// Time of the earliest pending event, if any.
+  std::optional<SimTime> next_event_time();
+
+  std::size_t pending() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    std::int64_t at = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+
+  // Heap ordering: min on (at, seq).
+  static bool heap_after(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  void insert(Event ev);
+  /// Remove and return the earliest pending event if its time <= limit.
+  std::optional<Event> pop_due(std::int64_t limit);
+
+  // -- calendar internals ------------------------------------------------
+  std::int64_t vbucket(std::int64_t at) const { return at >> width_shift_; }
+  std::int64_t year_end_vb() const {
+    return year_start_vb_ + static_cast<std::int64_t>(bucket_count_);
+  }
+  void calendar_insert(Event ev);
+  /// Earliest pending record: (virtual bucket, index) in the bucket array,
+  /// or overflow promotion / year re-anchor as side effects. Sweeps
+  /// cancelled records it touches. Returns false when nothing is pending.
+  bool locate_min(std::int64_t* vb_out, std::size_t* idx_out);
+  /// Re-anchor the (empty) bucket array at the overflow minimum and pull
+  /// every overflow event that now falls inside the year.
+  void reanchor_from_overflow();
+  /// Rebuild the whole calendar: recompute bucket count and width from the
+  /// live population, re-anchor at the earliest event, redistribute.
+  void rebuild(std::size_t new_bucket_count);
+  void overflow_push(Event ev);
+  Event overflow_pop();
+
+  SimClock* clock_;
+  SchedulerImpl impl_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_set<std::uint64_t> pending_;
+  Stats stats_;
+
+  // kHeap state.
+  std::vector<Event> heap_;
+
+  // kCalendar state.
+  static constexpr std::size_t kMinBuckets = 64;
+  static constexpr int kDefaultWidthShift = 20;  // ~1 ms buckets
+  static constexpr int kMaxWidthShift = 44;      // ~4.8 h buckets
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> overflow_;          // min-heap on (at, seq)
+  std::size_t bucket_count_ = 0;         // power of two
+  std::size_t bucket_mask_ = 0;
+  int width_shift_ = kDefaultWidthShift;
+  std::int64_t year_start_vb_ = 0;       // first virtual bucket of the year
+  std::size_t calendar_count_ = 0;       // raw records in buckets_ (incl. cancelled)
+};
+
+}  // namespace genio::common

@@ -1,6 +1,9 @@
 #include "genio/core/platform.hpp"
 
+#include <stdexcept>
+
 #include "genio/hardening/scap.hpp"
+#include "genio/pon/serial.hpp"
 
 namespace genio::core {
 
@@ -12,7 +15,11 @@ constexpr auto kValidTo = common::SimTime::from_days(3650);
 }  // namespace
 
 GenioPlatform::GenioPlatform(PlatformConfig config)
-    : config_(config), logger_(&clock_), bus_(&clock_), rng_(config.seed) {
+    : config_(config),
+      logger_(&clock_),
+      bus_(&clock_),
+      rng_(config.seed),
+      events_(&clock_) {
   logger_.add_sink(&sink_);
   build_pki();
   build_pon();
@@ -22,8 +29,39 @@ GenioPlatform::GenioPlatform(PlatformConfig config)
   if (config_.runtime_monitoring) falco_ = appsec::make_default_falco_monitor();
 }
 
+resilience::ChaosEngine& GenioPlatform::chaos() {
+  if (chaos_ == nullptr) {
+    throw std::logic_error(
+        "chaos engine not built (PlatformConfig::chaos_enabled = false)");
+  }
+  return *chaos_;
+}
+
 void GenioPlatform::advance_time(common::SimTime delta) {
-  chaos_->run_until(clock_.now() + delta);
+  events_.run_until(clock_.now() + delta);
+}
+
+void GenioPlatform::start_tdma(common::SimTime period, std::size_t grant_frames) {
+  stop_tdma();
+  tdma_period_ = period;
+  tdma_grant_frames_ = grant_frames;
+  schedule_tdma_cycle();
+}
+
+void GenioPlatform::stop_tdma() {
+  if (tdma_token_.valid()) (void)events_.cancel(tdma_token_);
+  tdma_token_ = {};
+}
+
+void GenioPlatform::schedule_tdma_cycle() {
+  tdma_token_ = events_.schedule_after(tdma_period_, [this] {
+    std::vector<pon::Onu*> devices;
+    devices.reserve(onus_.size());
+    for (auto& onu : onus_) devices.push_back(onu.get());
+    (void)olt_->run_dba_cycle(devices, tdma_grant_frames_);
+    ++tdma_cycles_;
+    schedule_tdma_cycle();
+  });
 }
 
 void GenioPlatform::build_pki() {
@@ -51,9 +89,11 @@ void GenioPlatform::build_pon() {
                               &trust_, rng_.fork("olt-auth"));
 
   for (int i = 0; i < config_.onu_count; ++i) {
-    char serial[16];
-    std::snprintf(serial, sizeof(serial), "GNIO%04d", i + 1);
-    olt_->register_serial(serial);
+    const std::string serial = pon::make_onu_serial(
+        static_cast<unsigned>(config_.olt_ordinal), static_cast<unsigned>(i));
+    // Serials here are unique by construction (one ordinal, sequential
+    // indices), so a rejection would be a scheme bug.
+    (void)olt_->register_serial(serial);
     auto onu = std::make_unique<pon::Onu>(serial, odn_.get(), &clock_, &logger_);
     auto key = crypto::SigningKey::generate(rng_.bytes(32), 4);
     auto cert = root_ca_
@@ -175,8 +215,12 @@ void GenioPlatform::build_middleware() {
 void GenioPlatform::build_resilience() {
   feed_service_ = std::make_unique<vuln::FeedHealthService>(&cve_db_);
   feed_service_->mark_refreshed(clock_.now());
+  if (!config_.chaos_enabled) return;
   chaos_ = std::make_unique<resilience::ChaosEngine>(&clock_, &bus_,
                                                      rng_.fork("chaos"));
+  // Fault edges become events: the timeline rides the platform queue, so
+  // advance_time() processes chaos alongside every other event source.
+  chaos_->attach_queue(&events_);
   using resilience::FaultKind;
   using resilience::FaultSpec;
   resilience::ChaosEngine& chaos = *chaos_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "genio/appsec/falco.hpp"
+#include "genio/common/event_queue.hpp"
 #include "genio/appsec/image.hpp"
 #include "genio/appsec/sandbox.hpp"
 #include "genio/hardening/auditor.hpp"
@@ -74,7 +75,15 @@ struct PlatformConfig {
   // sends every tenant back down the cold path at once.
   bool incremental_invalidation = true;
 
+  // Resilience wiring: when false the chaos engine is not built at all —
+  // time still advances through the event queue, but no fault targets
+  // exist and chaos() throws instead of dereferencing null.
+  bool chaos_enabled = true;
+
   int onu_count = 4;
+  // Position of this platform's OLT in the fleet-wide serial scheme
+  // (pon::make_onu_serial); 0 keeps the legacy single-site serial block.
+  int olt_ordinal = 0;
   std::uint64_t seed = 42;
 };
 
@@ -96,6 +105,10 @@ class GenioPlatform {
   common::MemorySink& log_sink() { return sink_; }
   common::EventBus& bus() { return bus_; }
   common::Rng& rng() { return rng_; }
+  /// The platform's discrete-event queue. Everything time-driven — chaos
+  /// fault edges, supervisor ticks, TDMA cycles, scenario callbacks — is
+  /// an event here; advance_time() drains it.
+  common::EventQueue& events() { return events_; }
 
   // -- PKI ---------------------------------------------------------------------
   crypto::CertificateAuthority& root_ca() { return *root_ca_; }
@@ -140,11 +153,23 @@ class GenioPlatform {
 
   // -- resilience ---------------------------------------------------------------
   /// The chaos engine, with every substrate fault target pre-registered.
-  resilience::ChaosEngine& chaos() { return *chaos_; }
-  /// Advance the sim clock by `delta`, processing every scheduled chaos
-  /// fault edge (injection or reversion) that falls due along the way.
-  /// Retry backoffs sleep through this so faults can heal mid-retry.
+  /// Throws std::logic_error when the platform was built with
+  /// chaos_enabled = false — check has_chaos() first.
+  resilience::ChaosEngine& chaos();
+  bool has_chaos() const { return chaos_ != nullptr; }
+  /// Advance the sim clock by `delta`, draining every due event (chaos
+  /// fault edges, supervisor ticks, TDMA cycles) in timestamp order along
+  /// the way. Retry backoffs sleep through this so faults can heal
+  /// mid-retry. Safe with resilience disabled: the queue advances time
+  /// whether or not a chaos engine exists.
   void advance_time(common::SimTime delta);
+
+  // -- TDMA upstream scheduling -------------------------------------------------
+  /// Run one DBA cycle (grant every operational ONU up to `grant_frames`
+  /// slots) every `period`, as a self-rescheduling event on the queue.
+  void start_tdma(common::SimTime period, std::size_t grant_frames);
+  void stop_tdma();
+  std::uint64_t tdma_cycles() const { return tdma_cycles_; }
 
   // -- tenants -------------------------------------------------------------------
   /// Register a business user: namespace, RBAC grants, publisher key.
@@ -159,6 +184,7 @@ class GenioPlatform {
   void build_host();
   void build_middleware();
   void build_resilience();
+  void schedule_tdma_cycle();
 
   PlatformConfig config_;
   common::SimClock clock_;
@@ -166,6 +192,7 @@ class GenioPlatform {
   common::Logger logger_;
   common::EventBus bus_;
   common::Rng rng_;
+  common::EventQueue events_;
 
   std::unique_ptr<crypto::CertificateAuthority> root_ca_;
   crypto::TrustStore trust_;
@@ -193,6 +220,11 @@ class GenioPlatform {
   vuln::CveDatabase cve_db_;
   std::unique_ptr<vuln::FeedHealthService> feed_service_;
   std::unique_ptr<resilience::ChaosEngine> chaos_;
+
+  common::EventQueue::EventId tdma_token_{};
+  common::SimTime tdma_period_{};
+  std::size_t tdma_grant_frames_ = 0;
+  std::uint64_t tdma_cycles_ = 0;
 
   std::map<std::string, Tenant> tenants_;
 };

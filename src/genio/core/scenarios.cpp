@@ -96,7 +96,7 @@ ScenarioResult run_t1_network_attacks() {
 
     pon::FiberTap tap;
     platform.odn().add_tap(&tap);
-    pon::RogueOnu rogue("GNIO0002", &platform.odn());  // clones a known serial
+    pon::RogueOnu rogue("GNIO000002", &platform.odn());  // clones a known serial
 
     int security_events = 0;
     platform.bus().subscribe("pon.security.",

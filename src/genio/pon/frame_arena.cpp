@@ -1,0 +1,65 @@
+#include "genio/pon/frame_arena.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace genio::pon {
+
+std::size_t FrameArena::class_for(std::size_t size) {
+  const std::size_t rounded = std::bit_ceil(std::max<std::size_t>(size, 1));
+  const std::size_t shift = static_cast<std::size_t>(std::bit_width(rounded) - 1);
+  if (shift < kMinClassShift) return 0;
+  if (shift > kMaxClassShift) return kClasses;
+  return shift - kMinClassShift;
+}
+
+common::Bytes FrameArena::acquire(std::size_t size) {
+  ++stats_.acquires;
+  const std::size_t cls = class_for(size);
+  if (cls < kClasses && !pools_[cls].empty()) {
+    common::Bytes buffer = std::move(pools_[cls].back());
+    pools_[cls].pop_back();
+    stats_.pooled_bytes -= class_bytes(cls);
+    stats_.outstanding_bytes += class_bytes(cls);
+    buffer.resize(size);  // capacity == class size, so this never reallocates
+    ++stats_.reuses;
+    return buffer;
+  }
+  ++stats_.fresh_allocations;
+  common::Bytes buffer;
+  const std::size_t reserve = cls < kClasses ? class_bytes(cls) : size;
+  buffer.reserve(reserve);
+  buffer.resize(size);
+  stats_.outstanding_bytes += reserve;
+  stats_.high_water_bytes = std::max(stats_.high_water_bytes,
+                                     stats_.outstanding_bytes + stats_.pooled_bytes);
+  return buffer;
+}
+
+void FrameArena::recycle(common::Bytes&& buffer) {
+  ++stats_.recycles;
+  const std::size_t cls = class_for(buffer.capacity());
+  const std::size_t credit = cls < kClasses ? class_bytes(cls) : buffer.capacity();
+  stats_.outstanding_bytes -= std::min<std::uint64_t>(stats_.outstanding_bytes, credit);
+  if (cls >= kClasses || buffer.capacity() < class_bytes(cls) ||
+      stats_.pooled_bytes + class_bytes(cls) > max_pooled_bytes_) {
+    // Oversize, undersized-for-class (foreign buffer), or pool full: let it
+    // free normally.
+    ++stats_.recycle_drops;
+    common::Bytes drop = std::move(buffer);
+    (void)drop;
+    return;
+  }
+  buffer.clear();
+  stats_.pooled_bytes += class_bytes(cls);
+  stats_.high_water_bytes = std::max(stats_.high_water_bytes,
+                                     stats_.outstanding_bytes + stats_.pooled_bytes);
+  pools_[cls].push_back(std::move(buffer));
+}
+
+void FrameArena::reset() {
+  for (auto& pool : pools_) pool.clear();
+  stats_.pooled_bytes = 0;
+}
+
+}  // namespace genio::pon

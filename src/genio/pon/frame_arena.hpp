@@ -1,0 +1,83 @@
+// Arena/slab recycler for frame payload buffers. The carrier-scale data
+// path moves one Bytes buffer per frame through generator -> ONU queue ->
+// GEM frame -> ODN -> OLT -> sink; without pooling that is one heap
+// allocation and one free per frame per hop. The arena closes the loop:
+// acquire() hands out a buffer from a power-of-two size-class free list
+// (capacity retained, so resize() never reallocates), recycle() returns it
+// after delivery, and reset() bulk-drops the pooled slabs at an epoch
+// boundary (end of a DBA macro-cycle, scenario teardown). After one warm-up
+// cycle the steady state allocates nothing.
+//
+// Lifetime rules: the arena must outlive every buffer it handed out that
+// will be recycled into it; recycling a foreign buffer is allowed (it is
+// adopted into the class its capacity fits); buffers are plain
+// common::Bytes, so dropping one on the floor is safe — it just becomes a
+// normal heap free instead of a reuse.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "genio/common/bytes.hpp"
+
+namespace genio::pon {
+
+class FrameArena {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t fresh_allocations = 0;  // acquires that hit the heap
+    std::uint64_t reuses = 0;             // acquires served from a free list
+    std::uint64_t recycles = 0;
+    std::uint64_t recycle_drops = 0;      // pool at capacity; buffer freed
+    std::uint64_t outstanding_bytes = 0;  // handed out, not yet recycled
+    std::uint64_t pooled_bytes = 0;       // parked on free lists
+    std::uint64_t high_water_bytes = 0;   // max outstanding + pooled
+
+    double reuse_ratio() const {
+      return acquires == 0 ? 1.0
+                           : static_cast<double>(reuses) /
+                                 static_cast<double>(acquires);
+    }
+  };
+
+  /// `max_pooled_bytes` caps the parked free lists; recycles beyond it are
+  /// plain frees (recycle_drops counts them).
+  explicit FrameArena(std::size_t max_pooled_bytes = 64 * 1024 * 1024)
+      : max_pooled_bytes_(max_pooled_bytes) {}
+
+  /// A buffer of exactly `size` bytes (contents unspecified), with capacity
+  /// rounded up to the size class so in-place growth up to the class (GCM
+  /// tag append, FCS trailer) never reallocates.
+  common::Bytes acquire(std::size_t size);
+
+  /// Return a delivered buffer to its size-class free list.
+  void recycle(common::Bytes&& buffer);
+
+  /// Bulk reset: drop every pooled slab (outstanding buffers are untouched
+  /// and may still be recycled later). Stats counters persist.
+  void reset();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Classes are powers of two from 64 B to 64 KB: class i holds buffers of
+  // capacity kMinClassBytes << i.
+  static constexpr std::size_t kMinClassShift = 6;   // 64 B
+  static constexpr std::size_t kMaxClassShift = 16;  // 64 KB
+  static constexpr std::size_t kClasses = kMaxClassShift - kMinClassShift + 1;
+
+  /// Size-class index for a requested size, or kClasses for oversize
+  /// requests (served straight from the heap, never pooled).
+  static std::size_t class_for(std::size_t size);
+  static std::size_t class_bytes(std::size_t cls) {
+    return std::size_t{1} << (kMinClassShift + cls);
+  }
+
+  std::size_t max_pooled_bytes_;
+  std::array<std::vector<common::Bytes>, kClasses> pools_;
+  Stats stats_;
+};
+
+}  // namespace genio::pon

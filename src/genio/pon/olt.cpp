@@ -1,5 +1,7 @@
 #include "genio/pon/olt.hpp"
 
+#include <algorithm>
+
 namespace genio::pon {
 
 Olt::Olt(std::string id, Odn* odn, const common::SimClock* clock,
@@ -19,7 +21,32 @@ void Olt::provision_credentials(crypto::SigningKey key,
   auth_.emplace(id_, std::move(key), std::move(chain), trust, rng);
 }
 
-void Olt::register_serial(const std::string& serial) { allowed_serials_.insert(serial); }
+common::Status Olt::register_serial(const std::string& serial) {
+  const auto [it, inserted] = allowed_serials_.insert(serial);
+  (void)it;
+  if (!inserted) {
+    emit("pon.security.serial_collision", {{"serial", serial}});
+    return common::already_exists("serial '" + serial +
+                                  "' already registered on OLT '" + id_ + "'");
+  }
+  return common::Status::success();
+}
+
+GemFrame Olt::copy_frame(const GemFrame& frame) const {
+  GemFrame local;
+  local.onu_id = frame.onu_id;
+  local.port_id = frame.port_id;
+  local.superframe = frame.superframe;
+  local.encrypted = frame.encrypted;
+  local.fcs = frame.fcs;
+  if (arena_ != nullptr) {
+    local.payload = arena_->acquire(frame.payload.size());
+    std::copy(frame.payload.begin(), frame.payload.end(), local.payload.begin());
+  } else {
+    local.payload = frame.payload;
+  }
+  return local;
+}
 
 void Olt::emit(const std::string& topic, std::map<std::string, std::string> attrs) {
   if (bus_) {
@@ -139,7 +166,7 @@ void Olt::handle_data(const GemFrame& frame, GemFrame* opened,
     if (opened_status != nullptr) {
       st = *opened_status;
     } else {
-      local = frame;
+      local = copy_frame(frame);
       st = record.cipher->decrypt(local);
     }
     if (!st.ok()) {
@@ -153,11 +180,15 @@ void Olt::handle_data(const GemFrame& frame, GemFrame* opened,
     }
     if (opened != nullptr) local = std::move(*opened);
   } else {
-    local = frame;
+    local = copy_frame(frame);
   }
 
   record.last_superframe = frame.superframe;
-  received_[frame.onu_id].push_back(std::move(local.payload));
+  if (sink_) {
+    sink_(frame.onu_id, std::move(local.payload));
+  } else {
+    received_[frame.onu_id].push_back(std::move(local.payload));
+  }
 }
 
 void Olt::on_upstream_burst(std::span<const GemFrame* const> frames) {
@@ -202,6 +233,8 @@ void Olt::on_upstream_burst(std::span<const GemFrame* const> frames) {
     specs[i].status = it->second.cipher->decrypt(specs[i].opened);
     specs[i].valid = true;
   };
+  // The speculative copies above run off-thread when pooled, so they stay
+  // on the plain allocator; the arena is not thread-safe by design.
   if (pool_ != nullptr && pool_->size() > 1 && targets.size() > 1) {
     pool_->parallel_for(targets.size(),
                         [&](std::size_t k) { open_one(targets[k]); });

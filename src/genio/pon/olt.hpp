@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -16,6 +17,7 @@
 #include "genio/common/thread_pool.hpp"
 #include "genio/pon/auth.hpp"
 #include "genio/pon/control.hpp"
+#include "genio/pon/frame_arena.hpp"
 #include "genio/pon/gpon_crypto.hpp"
 #include "genio/pon/medium.hpp"
 #include "genio/pon/onu.hpp"
@@ -48,8 +50,11 @@ class Olt : public OltDevice {
   void provision_credentials(crypto::SigningKey key,
                              std::vector<crypto::Certificate> chain,
                              const crypto::TrustStore* trust, common::Rng rng);
-  /// Add an ONU serial to the provisioning allow-list.
-  void register_serial(const std::string& serial);
+  /// Add an ONU serial to the provisioning allow-list. Duplicate
+  /// registrations fail with already_exists — in a multi-OLT fleet a
+  /// duplicate serial is a provisioning collision (or a cloned device), not
+  /// a harmless re-add.
+  common::Status register_serial(const std::string& serial);
 
   const std::string& id() const { return id_; }
   const OltSecurityPolicy& policy() const { return policy_; }
@@ -86,6 +91,18 @@ class Olt : public OltDevice {
     return received_;
   }
 
+  /// Streaming delivery: when set, accepted upstream payloads are handed to
+  /// the sink instead of accumulating in received_data(). The carrier-scale
+  /// fabric uses this to count/digest/recycle 10k ONUs' traffic without
+  /// retaining every payload.
+  using DataSink = std::function<void(std::uint16_t onu_id, Bytes&& payload)>;
+  void set_data_sink(DataSink sink) { sink_ = std::move(sink); }
+
+  /// Attach a payload arena: per-frame working copies (the decrypt scratch
+  /// and speculative burst opens) draw their buffers from it instead of the
+  /// heap. nullptr (default) reverts to plain allocation.
+  void set_frame_arena(FrameArena* arena) { arena_ = arena; }
+
   // -- introspection --------------------------------------------------------
   struct OnuRecord {
     std::string serial;
@@ -112,6 +129,8 @@ class Olt : public OltDevice {
   void send_control(std::uint16_t onu_id, ControlType type,
                     std::map<std::string, std::string> fields);
   void emit(const std::string& topic, std::map<std::string, std::string> attrs);
+  // Copy `frame`, drawing the payload buffer from the arena when attached.
+  GemFrame copy_frame(const GemFrame& frame) const;
 
   std::string id_;
   Odn* odn_;
@@ -134,6 +153,8 @@ class Olt : public OltDevice {
   std::map<std::uint16_t, std::vector<Bytes>> received_;
   OltSecurityCounters counters_;
   common::ThreadPool* pool_ = nullptr;
+  DataSink sink_;
+  FrameArena* arena_ = nullptr;
 };
 
 }  // namespace genio::pon

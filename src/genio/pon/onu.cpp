@@ -1,5 +1,7 @@
 #include "genio/pon/onu.hpp"
 
+#include <algorithm>
+
 namespace genio::pon {
 
 std::string to_string(OnuState state) {
@@ -179,6 +181,7 @@ void Onu::send_data(std::uint16_t port, Bytes payload) {
   if (port == kControlPort) {
     throw std::invalid_argument("port 0 is reserved for the control plane");
   }
+  upstream_queue_bytes_ += payload.size();
   upstream_queue_.push_back({port, std::move(payload)});
 }
 
@@ -186,9 +189,10 @@ std::size_t Onu::drain_upstream(std::size_t max_frames) {
   // The DBA grant is the batch boundary: assemble the whole allocation,
   // seal it as one burst through the shared cipher context, and ship it up
   // the ODN as a unit. Superframe numbering and wire bytes are identical
-  // to the old frame-by-frame drain.
-  std::vector<GemFrame> burst;
-  while (burst.size() < max_frames && !upstream_queue_.empty()) {
+  // to the old frame-by-frame drain. The burst vector is a member so its
+  // capacity survives across grants.
+  burst_.clear();
+  while (burst_.size() < max_frames && !upstream_queue_.empty()) {
     if (state_ != OnuState::kOperational) break;
     auto& next = upstream_queue_.front();
     GemFrame frame;
@@ -196,18 +200,26 @@ std::size_t Onu::drain_upstream(std::size_t max_frames) {
     frame.port_id = next.port;
     frame.superframe = ++tx_superframe_;
     frame.payload = std::move(next.payload);
+    upstream_queue_bytes_ -= std::min(upstream_queue_bytes_, frame.payload.size());
     upstream_queue_.pop_front();
-    burst.push_back(std::move(frame));
+    burst_.push_back(std::move(frame));
   }
-  if (burst.empty()) return 0;
+  if (burst_.empty()) return 0;
   if (cipher_.has_value()) {
-    cipher_->seal_burst(burst);
+    cipher_->seal_burst(burst_);
   } else {
-    for (GemFrame& frame : burst) frame.seal_fcs();
+    for (GemFrame& frame : burst_) frame.seal_fcs();
   }
-  odn_->upstream_burst(burst);
-  stats_.data_frames_sent += burst.size();
-  return burst.size();
+  odn_->upstream_burst(burst_);
+  stats_.data_frames_sent += burst_.size();
+  const std::size_t sent = burst_.size();
+  if (arena_ != nullptr) {
+    // The medium delivered (and copied/consumed) the burst; the payload
+    // buffers are dead weight now — recycle them for the next generation.
+    for (GemFrame& frame : burst_) arena_->recycle(std::move(frame.payload));
+  }
+  burst_.clear();
+  return sent;
 }
 
 }  // namespace genio::pon

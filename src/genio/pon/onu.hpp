@@ -13,6 +13,7 @@
 #include "genio/common/log.hpp"
 #include "genio/pon/auth.hpp"
 #include "genio/pon/control.hpp"
+#include "genio/pon/frame_arena.hpp"
 #include "genio/pon/gpon_crypto.hpp"
 #include "genio/pon/medium.hpp"
 
@@ -77,6 +78,14 @@ class Onu : public OnuDevice, public AuthTransport {
   /// Transmit up to `max_frames` queued frames (called during a DBA grant).
   std::size_t drain_upstream(std::size_t max_frames);
   std::size_t upstream_queue_size() const { return upstream_queue_.size(); }
+  /// Total payload bytes waiting in the upstream queue (maintained
+  /// incrementally — O(1), used by the DBA report path at carrier scale).
+  std::size_t upstream_queue_bytes() const { return upstream_queue_bytes_; }
+
+  /// Attach a payload arena: after a burst ships, each frame's payload
+  /// buffer is recycled into it, closing the generator -> queue -> frame ->
+  /// arena allocation loop. nullptr (default) keeps plain heap frees.
+  void set_frame_arena(FrameArena* arena) { arena_ = arena; }
 
   /// Downstream payloads accepted for this ONU (after decryption).
   const std::vector<Bytes>& received_data() const { return received_; }
@@ -106,6 +115,9 @@ class Onu : public OnuDevice, public AuthTransport {
     Bytes payload;
   };
   std::deque<QueuedFrame> upstream_queue_;
+  std::size_t upstream_queue_bytes_ = 0;
+  std::vector<GemFrame> burst_;  // drain scratch, capacity reused across grants
+  FrameArena* arena_ = nullptr;
   std::vector<Bytes> received_;
   OnuStats stats_;
 };

@@ -1,0 +1,54 @@
+#include "genio/pon/serial.hpp"
+
+#include <stdexcept>
+
+namespace genio::pon {
+
+namespace {
+
+constexpr char kDigits[] = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+void encode_base36(unsigned value, int width, std::string& out) {
+  char buf[8];
+  for (int i = width - 1; i >= 0; --i) {
+    buf[i] = kDigits[value % 36];
+    value /= 36;
+  }
+  out.append(buf, static_cast<std::size_t>(width));
+}
+
+}  // namespace
+
+std::string make_onu_serial(unsigned olt_ordinal, unsigned onu_index) {
+  if (olt_ordinal >= kMaxOltOrdinal) {
+    throw std::out_of_range("make_onu_serial: OLT ordinal " +
+                            std::to_string(olt_ordinal) + " exceeds scheme capacity");
+  }
+  if (onu_index >= kMaxOnuIndex) {
+    throw std::out_of_range("make_onu_serial: ONU index " +
+                            std::to_string(onu_index) + " exceeds scheme capacity");
+  }
+  std::string serial;
+  serial.reserve(10);
+  serial += "GNIO";
+  encode_base36(olt_ordinal, 2, serial);
+  encode_base36(onu_index + 1, 4, serial);
+  return serial;
+}
+
+common::Status SerialSpace::claim(const std::string& serial, const std::string& owner) {
+  const auto [it, inserted] = owners_.emplace(serial, owner);
+  if (!inserted) {
+    ++collisions_;
+    return common::already_exists("serial '" + serial + "' already claimed by OLT '" +
+                                  it->second + "'");
+  }
+  return common::Status::success();
+}
+
+std::string SerialSpace::owner(const std::string& serial) const {
+  const auto it = owners_.find(serial);
+  return it == owners_.end() ? std::string{} : it->second;
+}
+
+}  // namespace genio::pon

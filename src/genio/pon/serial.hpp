@@ -1,0 +1,53 @@
+// Fleet-wide ONU serial scheme. The seed's GNIO%04d serials alias as soon
+// as a second OLT exists (every OLT would mint GNIO0001); the widened
+// scheme embeds the OLT ordinal so serials are unique across the whole
+// fleet by construction, and SerialSpace gives the provisioning system a
+// collision check at registration time — 100 OLTs x 10k ONUs cannot alias
+// each other's allowlists.
+//
+// Format: "GNIO" + 2 base-36 digits of the OLT ordinal + 4 base-36 digits
+// of (onu_index + 1). Ten characters, uppercase, fixed width, sortable.
+// Single-OLT platforms with ordinal 0 mint GNIO000001, GNIO000002, ... —
+// the direct widening of the legacy GNIO0001 sequence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "genio/common/result.hpp"
+
+namespace genio::pon {
+
+/// Maximum OLT ordinal (exclusive): 36^2.
+inline constexpr unsigned kMaxOltOrdinal = 1296;
+/// Maximum ONU index (exclusive) per OLT: 36^4 - 1 (index+1 must fit).
+inline constexpr unsigned kMaxOnuIndex = 1679615;
+
+/// Mint the fleet-unique serial for ONU `onu_index` under OLT
+/// `olt_ordinal`. Throws std::out_of_range past the scheme's capacity.
+std::string make_onu_serial(unsigned olt_ordinal, unsigned onu_index);
+
+/// Fleet-wide provisioning registry: one claim per serial, ever. The
+/// multi-OLT fabric claims every serial here before registering it on the
+/// owning OLT's allowlist, so a collision (duplicate provisioning, cloned
+/// device, scheme bug) is caught at registration instead of activating as
+/// an impersonation.
+class SerialSpace {
+ public:
+  /// Claim `serial` for `owner` (an OLT id). Fails with already_exists if
+  /// any owner — including the same one — already holds it.
+  common::Status claim(const std::string& serial, const std::string& owner);
+
+  bool claimed(const std::string& serial) const { return owners_.contains(serial); }
+  /// The OLT that owns `serial`, or "" if unclaimed.
+  std::string owner(const std::string& serial) const;
+  std::size_t size() const { return owners_.size(); }
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  std::map<std::string, std::string> owners_;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace genio::pon

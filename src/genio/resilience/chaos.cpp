@@ -37,7 +37,27 @@ int ChaosEngine::schedule(FaultSpec spec) {
   spec.id = next_id_++;
   schedule_.push_back(spec);
   states_.push_back({});
+  if (queue_ != nullptr) post_wakes(schedule_.back(), states_.back());
   return spec.id;
+}
+
+void ChaosEngine::post_wakes(const FaultSpec& spec, const FaultState& state) {
+  // One wake per outstanding edge. schedule_at clamps past times to "now",
+  // so a fault scheduled in the past is applied on the next drain step.
+  if (!state.applied) {
+    (void)queue_->schedule_at(spec.at, [this] { process_due(); });
+  }
+  if (spec.duration > SimTime{} && !state.reverted) {
+    (void)queue_->schedule_at(spec.at + spec.duration, [this] { process_due(); });
+  }
+}
+
+void ChaosEngine::attach_queue(common::EventQueue* queue) {
+  queue_ = queue;
+  if (queue_ == nullptr) return;
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    post_wakes(schedule_[i], states_[i]);
+  }
 }
 
 std::vector<int> ChaosEngine::schedule_random(int count, SimTime horizon,

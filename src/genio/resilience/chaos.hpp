@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "genio/common/event_bus.hpp"
+#include "genio/common/event_queue.hpp"
 #include "genio/common/rng.hpp"
 #include "genio/common/sim_clock.hpp"
 
@@ -93,7 +94,18 @@ class ChaosEngine {
 
   /// Advance the clock through every pending fault edge up to `t`,
   /// processing each in chronological order, then settle at `t`.
+  /// Standalone driver for engines not attached to an event queue; the
+  /// platform path runs on EventQueue wakes instead (attach_queue).
   void run_until(SimTime t);
+
+  /// Run the timeline on `queue` (which must share this engine's clock):
+  /// every schedule() call posts a process_due() wake at each fault edge
+  /// (injection, and reversion when duration > 0), and wakes for edges of
+  /// already-scheduled unfinished faults are posted immediately. Wakes are
+  /// idempotent — process_due() applies every due edge in the legacy order
+  /// — so the observable timeline is identical to run_until(), but the
+  /// engine no longer needs an O(schedule) scan per time step.
+  void attach_queue(common::EventQueue* queue);
 
   /// Faults currently applied and not yet reverted.
   std::vector<FaultSpec> active_faults() const;
@@ -109,10 +121,12 @@ class ChaosEngine {
 
   void inject(std::size_t index);
   void revert(std::size_t index);
+  void post_wakes(const FaultSpec& spec, const FaultState& state);
   std::map<std::string, std::string> event_attrs(const FaultSpec& spec) const;
 
   SimClock* clock_;
   EventBus* bus_;
+  common::EventQueue* queue_ = nullptr;
   Rng rng_;
   std::map<std::pair<FaultKind, std::string>, FaultTarget> targets_;
   std::vector<FaultSpec> schedule_;

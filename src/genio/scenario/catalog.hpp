@@ -12,6 +12,7 @@ void anchor_catalog_chaos();
 void anchor_catalog_recovery();
 void anchor_catalog_admission();
 void anchor_catalog_dataplane();
+void anchor_catalog_des();
 
 inline void register_builtin_catalog() {
   anchor_catalog_attacks();
@@ -19,6 +20,7 @@ inline void register_builtin_catalog() {
   anchor_catalog_recovery();
   anchor_catalog_admission();
   anchor_catalog_dataplane();
+  anchor_catalog_des();
 }
 
 }  // namespace genio::scenario

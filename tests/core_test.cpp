@@ -4,6 +4,9 @@
 // reproduction of the paper's Fig. 3.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "genio/core/pipeline.hpp"
 #include "genio/core/platform.hpp"
 #include "genio/core/scenarios.hpp"
@@ -485,4 +488,78 @@ TEST(Scenarios, AllEightContrastsHold) {
   for (const auto& result : results) {
     EXPECT_TRUE(result.contrast_holds()) << result.threat_id << " " << result.name;
   }
+}
+
+// ------------------------------------------- discrete-event platform core
+
+// Regression (the advance_time guard): a platform built with the chaos
+// engine disabled must still advance time — the old implementation
+// dereferenced the null chaos engine unconditionally.
+TEST(Platform, ChaosDisabledPlatformStillAdvancesTime) {
+  core::PlatformConfig config;
+  config.chaos_enabled = false;
+  core::GenioPlatform platform(config);
+  EXPECT_FALSE(platform.has_chaos());
+  EXPECT_THROW((void)platform.chaos(), std::logic_error);
+
+  EXPECT_EQ(platform.activate_pon(), platform.config().onu_count);
+  platform.advance_time(gc::SimTime::from_seconds(30));
+  EXPECT_EQ(platform.clock().now(), gc::SimTime::from_seconds(30));
+  platform.advance_time(gc::SimTime::from_seconds(30));
+  EXPECT_EQ(platform.clock().now(), gc::SimTime::from_seconds(60));
+}
+
+TEST(Platform, ChaosEnabledPlatformExposesTheEngine) {
+  core::GenioPlatform platform({});
+  EXPECT_TRUE(platform.has_chaos());
+  EXPECT_NO_THROW((void)platform.chaos());
+}
+
+// advance_time() is now "drain the event queue until T": events scheduled
+// on the platform queue fire at their timestamps, in order, with the clock
+// set to the event time when the callback runs.
+TEST(Platform, AdvanceTimeDrainsTheEventQueue) {
+  core::GenioPlatform platform({});
+  std::vector<std::int64_t> fired;
+  for (const int s : {7, 3, 11}) {
+    (void)platform.events().schedule_at(
+        gc::SimTime::from_seconds(s),
+        [&fired, &platform] { fired.push_back(platform.clock().now().nanos()); });
+  }
+  platform.advance_time(gc::SimTime::from_seconds(5));
+  EXPECT_EQ(fired.size(), 1u);  // only t=3 is due
+  platform.advance_time(gc::SimTime::from_seconds(10));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], gc::SimTime::from_seconds(3).nanos());
+  EXPECT_EQ(fired[1], gc::SimTime::from_seconds(7).nanos());
+  EXPECT_EQ(fired[2], gc::SimTime::from_seconds(11).nanos());
+  EXPECT_EQ(platform.clock().now(), gc::SimTime::from_seconds(15));
+}
+
+// The TDMA/DBA upstream cycle is an event on the platform queue, not a
+// polling loop: advance_time() runs the cycles that fall in the window,
+// and queued upstream traffic drains through the grants.
+TEST(Platform, TdmaCyclesRideTheEventQueue) {
+  core::GenioPlatform platform({});
+  ASSERT_EQ(platform.activate_pon(), platform.config().onu_count);
+
+  auto& onu = *platform.onus()[0];
+  for (int i = 0; i < 8; ++i) {
+    onu.send_data(1, gc::to_bytes("tdma-payload-" + std::to_string(i)));
+  }
+  ASSERT_EQ(onu.upstream_queue_size(), 8u);
+
+  platform.start_tdma(gc::SimTime::from_micros(125), 4);
+  EXPECT_EQ(platform.tdma_cycles(), 0u);
+  platform.advance_time(gc::SimTime::from_millis(1));
+  EXPECT_EQ(platform.tdma_cycles(), 8u);  // 1ms / 125us
+  EXPECT_EQ(onu.upstream_queue_size(), 0u) << "grants drained the queue";
+
+  platform.stop_tdma();
+  platform.advance_time(gc::SimTime::from_millis(1));
+  EXPECT_EQ(platform.tdma_cycles(), 8u) << "stop_tdma cancels the cycle event";
+
+  platform.start_tdma(gc::SimTime::from_micros(125), 4);
+  platform.advance_time(gc::SimTime::from_millis(1));
+  EXPECT_EQ(platform.tdma_cycles(), 16u) << "restart resumes cleanly";
 }

@@ -1,0 +1,241 @@
+// The discrete-event core pinned to its oracle: the calendar queue must
+// pop the byte-identical (time, seq) schedule as the binary heap for every
+// workload a property fuzzer can draw — random schedules, cancellations,
+// far-future overflow events, zero-delay self-reschedules — plus directed
+// tests for FIFO stability at equal timestamps, clamping, cancellation
+// semantics, overflow migration, and rebuild behavior. A TSan section
+// drains independent queues concurrently on the work-stealing pool
+// (one queue per domain — the documented sharding model).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genio/common/event_queue.hpp"
+#include "genio/common/rng.hpp"
+#include "genio/common/sim_clock.hpp"
+#include "genio/common/thread_pool.hpp"
+
+namespace gc = genio::common;
+
+using gc::EventQueue;
+using gc::SchedulerImpl;
+using gc::SimClock;
+using gc::SimTime;
+
+namespace {
+
+TEST(EventQueueTest, SameTimestampEventsRunInScheduleOrder) {
+  for (const auto impl : {SchedulerImpl::kCalendar, SchedulerImpl::kHeap}) {
+    SimClock clock;
+    EventQueue queue(&clock, impl);
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+      (void)queue.schedule_at(SimTime::from_millis(5), [&order, i] { order.push_back(i); });
+    }
+    EXPECT_EQ(queue.run_until(SimTime::from_millis(10)), 32u) << to_string(impl);
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(clock.now(), SimTime::from_millis(10));
+  }
+}
+
+TEST(EventQueueTest, PastTimesClampToNow) {
+  SimClock clock;
+  clock.advance_to(SimTime::from_seconds(10));
+  EventQueue queue(&clock);
+  bool ran = false;
+  (void)queue.schedule_at(SimTime::from_seconds(1), [&ran] { ran = true; });
+  ASSERT_TRUE(queue.next_event_time().has_value());
+  EXPECT_EQ(*queue.next_event_time(), SimTime::from_seconds(10));
+  (void)queue.run_for(SimTime::from_millis(1));
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, RunUntilBackwardsThrows) {
+  SimClock clock;
+  clock.advance_to(SimTime::from_seconds(5));
+  EventQueue queue(&clock);
+  EXPECT_THROW((void)queue.run_until(SimTime::from_seconds(1)), std::invalid_argument);
+}
+
+TEST(EventQueueTest, CancelSemantics) {
+  for (const auto impl : {SchedulerImpl::kCalendar, SchedulerImpl::kHeap}) {
+    SimClock clock;
+    EventQueue queue(&clock, impl);
+    int fired = 0;
+    const auto id = queue.schedule_after(SimTime::from_millis(1), [&fired] { ++fired; });
+    const auto keep = queue.schedule_after(SimTime::from_millis(2), [&fired] { ++fired; });
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id)) << "double-cancel must report not-pending";
+    EXPECT_FALSE(queue.cancel(EventQueue::EventId{})) << "invalid token";
+    (void)queue.run_for(SimTime::from_millis(5));
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(queue.cancel(keep)) << "executed events are no longer pending";
+    EXPECT_EQ(queue.stats().cancelled, 1u);
+    EXPECT_EQ(queue.stats().executed, 1u);
+  }
+}
+
+TEST(EventQueueTest, FarFutureEventsMigrateFromOverflow) {
+  SimClock clock;
+  EventQueue queue(&clock, SchedulerImpl::kCalendar);
+  std::vector<int> order;
+  // A dense near cluster plus events ~hours out: the far set must land in
+  // the overflow heap, then migrate into the bucket year as time advances.
+  for (int i = 0; i < 64; ++i) {
+    (void)queue.schedule_after(SimTime::from_micros(10 * (i + 1)),
+                               [&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i < 8; ++i) {
+    (void)queue.schedule_after(SimTime::from_hours(2) + SimTime::from_millis(i),
+                               [&order, i] { order.push_back(1000 + i); });
+  }
+  (void)queue.run_until(SimTime::from_hours(3));
+  ASSERT_EQ(order.size(), 72u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(64 + i)], 1000 + i);
+  EXPECT_GT(queue.stats().overflow_migrations, 0u);
+}
+
+TEST(EventQueueTest, ZeroDelaySelfRescheduleRunsWithinOneDrain) {
+  for (const auto impl : {SchedulerImpl::kCalendar, SchedulerImpl::kHeap}) {
+    SimClock clock;
+    EventQueue queue(&clock, impl);
+    int hops = 0;
+    std::function<void()> hop = [&] {
+      if (++hops < 10) (void)queue.schedule_after(SimTime{}, hop);
+    };
+    (void)queue.schedule_after(SimTime::from_millis(1), hop);
+    EXPECT_EQ(queue.run_for(SimTime::from_millis(2)), 10u) << to_string(impl);
+    EXPECT_EQ(hops, 10);
+    EXPECT_TRUE(queue.empty());
+  }
+}
+
+TEST(EventQueueTest, PartialDrainSettlesAtRequestedTime) {
+  SimClock clock;
+  EventQueue queue(&clock);
+  std::vector<int> order;
+  for (int i = 1; i <= 10; ++i) {
+    (void)queue.schedule_at(SimTime::from_millis(i), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(queue.run_until(SimTime::from_millis(4)), 4u);
+  EXPECT_EQ(clock.now(), SimTime::from_millis(4));
+  EXPECT_EQ(queue.pending(), 6u);
+  EXPECT_EQ(queue.run_until(SimTime::from_millis(20)), 6u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, GrowthAndShrinkRebuilds) {
+  SimClock clock;
+  EventQueue queue(&clock, SchedulerImpl::kCalendar);
+  gc::Rng rng(7);
+  std::vector<EventQueue::EventId> ids;
+  int fired = 0;
+  // Push far past the initial 64 buckets to force growth rebuilds...
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(queue.schedule_after(
+        SimTime(static_cast<std::int64_t>(rng.uniform(50'000'000))),
+        [&fired] { ++fired; }));
+  }
+  // ...then cancel most of the population to force a shrink on pop.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 8 != 0) {
+      EXPECT_TRUE(queue.cancel(ids[i]));
+    }
+  }
+  (void)queue.run_for(SimTime::from_millis(100));
+  EXPECT_EQ(fired, 4096 / 8);
+  EXPECT_GT(queue.stats().rebuilds, 0u);
+  EXPECT_EQ(queue.stats().max_pending, 4096u);
+}
+
+// The property gate: for seeded random interleavings of schedule / cancel /
+// far-future / zero-delay-reschedule operations, the calendar queue and the
+// heap oracle must execute the byte-identical (time, seq) trace.
+TEST(EventQueueTest, PropertyCalendarMatchesHeapOracle) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SimClock cal_clock, heap_clock;
+    EventQueue calendar(&cal_clock, SchedulerImpl::kCalendar);
+    EventQueue heap(&heap_clock, SchedulerImpl::kHeap);
+
+    const auto drive = [seed](EventQueue& queue) {
+      gc::Rng rng(seed);
+      std::vector<std::pair<std::int64_t, std::uint64_t>> trace;
+      std::vector<EventQueue::EventId> live;
+      const auto record = [&queue, &trace] {
+        trace.emplace_back(queue.clock().now().nanos(),
+                           queue.stats().executed);
+      };
+      for (int round = 0; round < 40; ++round) {
+        const int ops = static_cast<int>(rng.uniform(60)) + 1;
+        for (int op = 0; op < ops; ++op) {
+          const double draw = rng.uniform01();
+          if (draw < 0.55) {
+            // Near-term event, possibly at an already-used timestamp.
+            const auto delay = SimTime(static_cast<std::int64_t>(
+                rng.uniform(2'000'000)));
+            live.push_back(queue.schedule_after(delay, record));
+          } else if (draw < 0.70) {
+            // Far-future event: lands in the calendar's overflow heap.
+            const auto delay = SimTime::from_seconds(
+                static_cast<std::int64_t>(rng.uniform(10'000)) + 1);
+            live.push_back(queue.schedule_after(delay, record));
+          } else if (draw < 0.85 && !live.empty()) {
+            (void)queue.cancel(live[rng.index(live.size())]);
+          } else {
+            // Event that reschedules itself once at zero delay.
+            auto* q = &queue;
+            live.push_back(queue.schedule_after(
+                SimTime(static_cast<std::int64_t>(rng.uniform(1'000'000))),
+                [q, record] { (void)q->schedule_after(SimTime{}, record); }));
+          }
+        }
+        (void)queue.run_for(SimTime(static_cast<std::int64_t>(
+            rng.uniform(3'000'000)) + 1));
+      }
+      (void)queue.run_for(SimTime::from_seconds(20'000));  // drain the tail
+      return trace;
+    };
+
+    const auto cal_trace = drive(calendar);
+    const auto heap_trace = drive(heap);
+    ASSERT_EQ(cal_trace, heap_trace) << "seed " << seed;
+    EXPECT_TRUE(calendar.empty()) << "seed " << seed;
+    EXPECT_EQ(calendar.stats().executed, heap.stats().executed) << "seed " << seed;
+    EXPECT_EQ(calendar.stats().scheduled, heap.stats().scheduled) << "seed " << seed;
+  }
+}
+
+// Sharding model under TSan: one queue per simulation domain, many domains
+// drained concurrently on the pool. No shared mutable state between queues
+// means no races to report.
+TEST(EventQueueTest, ConcurrentDrainOfIndependentQueues) {
+  constexpr std::size_t kDomains = 8;
+  std::vector<SimClock> clocks(kDomains);
+  std::vector<std::unique_ptr<EventQueue>> queues;
+  std::vector<std::uint64_t> sums(kDomains, 0);
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    queues.push_back(std::make_unique<EventQueue>(&clocks[d]));
+    gc::Rng rng(d + 1);
+    for (int i = 0; i < 2000; ++i) {
+      const auto at = SimTime(static_cast<std::int64_t>(rng.uniform(1'000'000)));
+      auto* sum = &sums[d];
+      const auto value = static_cast<std::uint64_t>(i);
+      (void)queues[d]->schedule_at(at, [sum, value] { *sum += value; });
+    }
+  }
+  gc::ThreadPool pool(4);
+  pool.parallel_for(kDomains, [&](std::size_t d) {
+    (void)queues[d]->run_until(SimTime::from_seconds(1));
+  });
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    EXPECT_EQ(sums[d], 2000ull * 1999ull / 2ull) << "domain " << d;
+    EXPECT_TRUE(queues[d]->empty());
+  }
+}
+
+}  // namespace

@@ -359,7 +359,7 @@ TEST(Activation, OnuReachesOperational) {
   PonFixture f;
   auto olt = f.make_olt({});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
 
   olt->start_discovery();
   EXPECT_EQ(onu->state(), pon::OnuState::kOperational);
@@ -383,7 +383,7 @@ TEST(Activation, MultipleOnusActivate) {
   std::vector<std::unique_ptr<pon::Onu>> onus;
   for (int i = 0; i < 8; ++i) {
     const std::string serial = "GNIO000" + std::to_string(i);
-    olt->register_serial(serial);
+    (void)olt->register_serial(serial);
     onus.push_back(f.make_onu(serial));
   }
   olt->start_discovery();
@@ -397,7 +397,7 @@ TEST(Activation, AuthenticationEstablishesEncryptedPath) {
   PonFixture f;
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
 
   const auto id = olt->onu_id_for("GNIO0001").value();
@@ -410,7 +410,7 @@ TEST(DataPath, PlaintextRoundTrip) {
   PonFixture f;
   auto olt = f.make_olt({});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
 
@@ -429,7 +429,7 @@ TEST(DataPath, EncryptedRoundTrip) {
   PonFixture f;
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
   ASSERT_TRUE(olt->authenticate_onu(id, *onu).ok());
@@ -449,7 +449,7 @@ TEST(DataPath, UnauthenticatedOnuDeniedWhenM4Required) {
   PonFixture f;
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
 
@@ -462,7 +462,7 @@ TEST(Activation, DeactivationResetsOnu) {
   PonFixture f;
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
   ASSERT_TRUE(olt->authenticate_onu(id, *onu).ok());
@@ -490,7 +490,7 @@ TEST(DataPath, OnuQueueDrainsAcrossMultipleGrants) {
   PonFixture f;
   auto olt = f.make_olt({});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
 
@@ -510,7 +510,7 @@ TEST(DataPath, ControlPortReservedOnBothEnds) {
   PonFixture f;
   auto olt = f.make_olt({});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   EXPECT_THROW(onu->send_data(pon::kControlPort, gc::to_bytes("x")),
                std::invalid_argument);
@@ -527,7 +527,7 @@ TEST(AttackT1, FiberTapReadsPlaintextWithoutM3) {
   f.odn.add_tap(&tap);
   auto olt = f.make_olt({});  // no encryption
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
 
@@ -542,7 +542,7 @@ TEST(AttackT1, FiberTapDefeatedByM3Encryption) {
   f.odn.add_tap(&tap);
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
   ASSERT_TRUE(olt->authenticate_onu(id, *onu).ok());
@@ -563,7 +563,7 @@ TEST(AttackT1, ReplaySucceedsWithoutEncryption) {
   f.odn.add_tap(&tap);
   auto olt = f.make_olt({});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
 
@@ -588,7 +588,7 @@ TEST(AttackT1, ReplayBlockedWithEncryption) {
   f.odn.add_tap(&tap);
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
   ASSERT_TRUE(olt->authenticate_onu(id, *onu).ok());
@@ -618,7 +618,7 @@ TEST(AttackT1, ImpersonationSucceedsWithoutM4) {
   // Allow-list on, but no certificate requirement: a rogue that clones a
   // KNOWN serial activates and steals downstream traffic.
   auto olt = f.make_olt({.enforce_serial_allowlist = true});
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   pon::RogueOnu rogue("GNIO0001", &f.odn);
 
   olt->start_discovery();
@@ -633,7 +633,7 @@ TEST(AttackT1, ImpersonationBlockedByM4) {
   auto olt = f.make_olt({.enforce_serial_allowlist = true,
                          .require_authentication = true,
                          .encrypt_data_path = true});
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   pon::RogueOnu rogue("GNIO0001", &f.odn);
 
   // Attacker forges credentials from its own CA.
@@ -665,7 +665,7 @@ TEST(AttackT1, DownstreamHijackSucceedsWithoutM3) {
   PonFixture f;
   auto olt = f.make_olt({});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
 
   pon::DownstreamHijacker hijacker(&f.odn);
@@ -679,7 +679,7 @@ TEST(AttackT1, DownstreamHijackBlockedByM3) {
   PonFixture f;
   auto olt = f.make_olt({.require_authentication = true, .encrypt_data_path = true});
   auto onu = f.make_onu("GNIO0001");
-  olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0001");
   olt->start_discovery();
   const auto id = olt->onu_id_for("GNIO0001").value();
   ASSERT_TRUE(olt->authenticate_onu(id, *onu).ok());
@@ -700,8 +700,8 @@ TEST(AttackT1, BroadcastPhysicsExposeForeignFrames) {
   auto olt = f.make_olt({});
   auto onu1 = f.make_onu("GNIO0001");
   auto onu2 = f.make_onu("GNIO0002");
-  olt->register_serial("GNIO0001");
-  olt->register_serial("GNIO0002");
+  (void)olt->register_serial("GNIO0001");
+  (void)olt->register_serial("GNIO0002");
   olt->start_discovery();
 
   const auto id1 = olt->onu_id_for("GNIO0001").value();
@@ -727,7 +727,7 @@ TEST(DataPath, ThreadPoolBurstDeliveryMatchesSerial) {
     std::vector<pon::Onu*> raw;
     for (int i = 0; i < 3; ++i) {
       const std::string serial = "GNIO000" + std::to_string(i + 1);
-      olt->register_serial(serial);
+      (void)olt->register_serial(serial);
       onus.push_back(f.make_onu(serial));
     }
     olt->start_discovery();

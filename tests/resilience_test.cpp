@@ -537,7 +537,7 @@ TEST(PlatformChaos, AllFaultTargetsRegistered) {
   using gr::FaultKind;
   EXPECT_TRUE(chaos.target_registered(FaultKind::kPonLinkFlap, "odn"));
   EXPECT_TRUE(chaos.target_registered(FaultKind::kPonBitErrorBurst, "odn"));
-  EXPECT_TRUE(chaos.target_registered(FaultKind::kOnuChurn, "GNIO0001"));
+  EXPECT_TRUE(chaos.target_registered(FaultKind::kOnuChurn, "GNIO000001"));
   EXPECT_TRUE(chaos.target_registered(FaultKind::kNodeCrash, "olt-node-1"));
   EXPECT_TRUE(chaos.target_registered(FaultKind::kKubeletStall, "olt-node-2"));
   EXPECT_TRUE(chaos.target_registered(FaultKind::kSdnOutage, "onos"));
@@ -640,11 +640,72 @@ TEST(PlatformChaos, OnuChurnDetachesAndReattaches) {
   ASSERT_EQ(platform.activate_pon(), platform.config().onu_count);
   const std::size_t attached = platform.odn().onu_count();
   platform.chaos().schedule({.kind = gr::FaultKind::kOnuChurn,
-                             .target = "GNIO0002",
+                             .target = "GNIO000002",
                              .at = platform.clock().now() + gc::SimTime::from_seconds(1),
                              .duration = gc::SimTime::from_seconds(10)});
   platform.advance_time(gc::SimTime::from_seconds(5));
   EXPECT_EQ(platform.odn().onu_count(), attached - 1);
   platform.advance_time(gc::SimTime::from_seconds(10));
   EXPECT_EQ(platform.odn().onu_count(), attached);
+}
+
+// ---------------------------------------------------------------------------
+// Discrete-event integration: a chaos engine attached to an EventQueue must
+// produce the identical observable fault timeline — same edges, same order,
+// same clock timestamps, same stats — as the legacy run_until() scan. This
+// is the parity gate for moving the chaos timeline onto the event core.
+
+TEST(ChaosEngine, AttachedQueueMatchesLegacyRunUntilTimeline) {
+  using Timeline = std::vector<std::pair<std::int64_t, std::string>>;
+
+  const auto run = [](bool on_queue) {
+    gc::SimClock clock;
+    gc::EventQueue queue(&clock);
+    gr::ChaosEngine chaos(&clock, nullptr, gc::Rng(9));
+    Timeline timeline;
+    const auto target = [&timeline, &clock](const std::string& name) {
+      return gr::FaultTarget{
+          .apply =
+              [&timeline, &clock, name](const gr::FaultSpec& spec) {
+                timeline.emplace_back(clock.now().nanos(),
+                                      name + "+" + std::to_string(spec.id));
+              },
+          .revert =
+              [&timeline, &clock, name](const gr::FaultSpec& spec) {
+                timeline.emplace_back(clock.now().nanos(),
+                                      name + "-" + std::to_string(spec.id));
+              }};
+    };
+    chaos.register_target(gr::FaultKind::kPonLinkFlap, "odn", target("link"));
+    chaos.register_target(gr::FaultKind::kSdnOutage, "onos", target("sdn"));
+
+    // One fault lands before attach_queue(): attaching must retroactively
+    // post wakes for already-scheduled edges.
+    chaos.schedule({.kind = gr::FaultKind::kPonLinkFlap,
+                    .target = "odn",
+                    .at = gc::SimTime::from_seconds(5),
+                    .duration = gc::SimTime::from_seconds(10)});
+    if (on_queue) chaos.attach_queue(&queue);
+    chaos.schedule({.kind = gr::FaultKind::kSdnOutage,
+                    .target = "onos",
+                    .at = gc::SimTime::from_seconds(8),
+                    .duration = gc::SimTime::from_seconds(2)});
+    (void)chaos.schedule_storm(gr::FaultKind::kPonLinkFlap, "odn", 6,
+                               gc::SimTime::from_seconds(60),
+                               gc::SimTime::from_seconds(5), 1234);
+
+    if (on_queue) {
+      (void)queue.run_until(gc::SimTime::from_seconds(300));
+    } else {
+      chaos.run_until(gc::SimTime::from_seconds(300));
+    }
+    return std::tuple{timeline, chaos.stats().injected, chaos.stats().reverted};
+  };
+
+  const auto legacy = run(false);
+  const auto queued = run(true);
+  EXPECT_EQ(std::get<0>(legacy), std::get<0>(queued));
+  EXPECT_EQ(std::get<1>(legacy), std::get<1>(queued));
+  EXPECT_EQ(std::get<2>(legacy), std::get<2>(queued));
+  EXPECT_GE(std::get<1>(legacy), 8u) << "all eight faults should have fired";
 }

@@ -34,6 +34,10 @@ if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "== admission-service overload bench smoke (shed/deadline invariants fail CI) =="
   "${repo_root}/build/bench/bench_admission_service" --smoke \
     --out "${repo_root}/build/BENCH_admission.json"
+  echo "== discrete-event core bench smoke (trace/digest divergence or a >20% regression vs the committed baseline fails CI) =="
+  "${repo_root}/build/bench/bench_des" --smoke \
+    --baseline "${repo_root}/BENCH_des.json" \
+    --out "${repo_root}/build/BENCH_des.json"
   echo "== scenario fabric: full catalog + scorecard (any regression fails CI) =="
   "${repo_root}/build/bench/scenario_runner" --all \
     --out "${repo_root}/build/BENCH_scenarios.json"
@@ -65,6 +69,10 @@ if [[ "${mode}" != "--plain-only" && "${mode}" != "--sanitize-only" ]]; then
   TSAN_OPTIONS=halt_on_error=1 \
     "${repo_root}/build-tsan/bench/bench_admission_service" --smoke \
     --out "${repo_root}/build-tsan/BENCH_admission.json"
+  echo "== discrete-event core bench smoke (TSan; digest identity still enforced) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    "${repo_root}/build-tsan/bench/bench_des" --smoke \
+    --out "${repo_root}/build-tsan/BENCH_des.json"
   echo "== scenario fabric smoke subset (TSan) =="
   TSAN_OPTIONS=halt_on_error=1 \
     "${repo_root}/build-tsan/bench/scenario_runner" --filter smoke \
